@@ -1,0 +1,51 @@
+"""Factory for the Figures 10-14 benchmark modules.
+
+The five constraint figures differ only in the Table 3 constraint they
+evaluate; each ``bench_fig1X_*.py`` module calls
+:func:`build_figure_benchmarks` and re-exports the generated test
+functions, so the per-figure files stay declarative while pytest still
+collects one named benchmark per (figure, algorithm, group).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import render_results, run_experiment
+
+from benchmarks._support import answer_group, figure_workload, make_algorithm
+from benchmarks.conftest import PYTEST_SCALE, record_tables
+
+BENCH_DATASET = "D2"
+ALGORITHMS = ("UIS", "UIS*", "INS")
+
+
+def build_figure_benchmarks(figure: str, constraint_name: str) -> dict:
+    """Return the test callables for one constraint figure."""
+
+    @pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+    @pytest.mark.parametrize("group", ["true", "false"])
+    def test_query_group(benchmark, algorithm_name, group):
+        workload = figure_workload(BENCH_DATASET, constraint_name)
+        queries = workload.true_queries if group == "true" else workload.false_queries
+        if not queries:
+            pytest.skip(f"no {group} queries generated for {constraint_name}")
+        algorithm = make_algorithm(algorithm_name, BENCH_DATASET)
+        true_count = benchmark(answer_group, algorithm, queries)
+        expected = sum(1 for q in queries if q.expected)
+        assert true_count == expected
+
+    def test_report(benchmark):
+        results = benchmark.pedantic(
+            lambda: run_experiment(figure, PYTEST_SCALE, seed=0),
+            rounds=1,
+            iterations=1,
+        )
+        record_tables(render_results(results))
+        assert len(results) == 4
+
+    prefix = f"test_{figure}"
+    return {
+        f"{prefix}_query_group": test_query_group,
+        f"{prefix}_report": test_report,
+    }

@@ -1,0 +1,61 @@
+"""Builders shared by the figure benchmarks (import-light, cached)."""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from repro.core.ins import INS
+from repro.core.uis import UIS
+from repro.core.uis_star import UISStar
+from repro.datasets.lubm import constraint as lubm_constraint
+from repro.datasets.lubm import generate_dataset
+from repro.index.local_index import LocalIndex, build_local_index
+from repro.workloads.generator import Workload, generate_workload
+
+from benchmarks.conftest import PYTEST_SCALE
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str):
+    """One shared graph per dataset name (read-only after creation)."""
+    return generate_dataset(name, rng=0)
+
+
+@lru_cache(maxsize=None)
+def local_index(name: str) -> LocalIndex:
+    """One shared local index per dataset."""
+    return build_local_index(dataset(name), rng=1)
+
+
+@lru_cache(maxsize=None)
+def figure_workload(dataset_name: str, constraint_name: str) -> Workload:
+    """The Section 6.1.1 workload of one figure cell."""
+    return generate_workload(
+        dataset(dataset_name),
+        lubm_constraint(constraint_name),
+        num_true=PYTEST_SCALE.queries_per_group,
+        num_false=PYTEST_SCALE.queries_per_group,
+        rng=2,
+    )
+
+
+def make_algorithm(name: str, dataset_name: str):
+    """Fresh algorithm instance bound to the shared dataset/index."""
+    graph = dataset(dataset_name)
+    if name == "UIS":
+        return UIS(graph)
+    if name == "UIS*":
+        return UISStar(graph, rng=random.Random(3))
+    if name == "INS":
+        return INS(graph, local_index(dataset_name), rng=random.Random(4))
+    raise ValueError(name)
+
+
+def answer_group(algorithm, queries) -> int:
+    """Answer every query; returns how many were true (sanity output)."""
+    true_count = 0
+    for item in queries:
+        if algorithm.answer(item.query).answer:
+            true_count += 1
+    return true_count

@@ -1,0 +1,54 @@
+"""Ablation (extension): what each INS mechanism contributes.
+
+Benchmarks the four INS variants — full, no index pruning, no informed
+priorities, neither — on the same workload, substantiating the design
+rationale of the paper's Section 5.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import render_results, run_experiment
+from repro.core.ins import INS
+
+from benchmarks._support import answer_group, dataset, figure_workload, local_index
+from benchmarks.conftest import PYTEST_SCALE, record_tables
+
+BENCH_DATASET = "D2"
+
+VARIANTS = {
+    "full": dict(),
+    "noprune": dict(use_index_pruning=False),
+    "noprio": dict(use_priorities=False),
+    "neither": dict(use_index_pruning=False, use_priorities=False),
+}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_ablation_variant(benchmark, variant):
+    graph = dataset(BENCH_DATASET)
+    workload = figure_workload(BENCH_DATASET, "S1")
+    queries = workload.all_queries()
+    if not queries:
+        pytest.skip("no queries generated")
+    algorithm = INS(
+        graph,
+        local_index(BENCH_DATASET),
+        rng=random.Random(0),
+        **VARIANTS[variant],
+    )
+    true_count = benchmark(answer_group, algorithm, queries)
+    assert true_count == sum(1 for q in queries if q.expected)
+
+
+def test_ablation_report(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("ablation", PYTEST_SCALE, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_tables(render_results(results))
+    assert results[0].rows

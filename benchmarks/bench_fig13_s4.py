@@ -1,0 +1,8 @@
+"""Figure 13 — LSCR queries under the Table 3 constraint S4 on D1-D5.
+
+Generated from the shared factory; see benchmarks/_figure_bench.py.
+"""
+
+from benchmarks._figure_bench import build_figure_benchmarks
+
+globals().update(build_figure_benchmarks("fig13", "S4"))

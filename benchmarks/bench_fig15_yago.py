@@ -1,0 +1,71 @@
+"""Figure 15 — random substructure constraints on the YAGO substitute.
+
+Times the three algorithms per |V(S,G)| magnitude; the report benchmark
+regenerates all four panels of the figure.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.bench.harness import render_results, run_experiment
+from repro.core.ins import INS
+from repro.core.uis import UIS
+from repro.core.uis_star import UISStar
+from repro.datasets.yago import YagoConfig, generate_yago_like
+from repro.index.local_index import build_local_index
+from repro.workloads.constraints import random_constraint_with_magnitude
+from repro.workloads.generator import generate_workload
+
+from benchmarks._support import answer_group
+from benchmarks.conftest import PYTEST_SCALE, record_tables
+
+
+@lru_cache(maxsize=None)
+def yago_setup():
+    graph = generate_yago_like(
+        YagoConfig(num_entities=PYTEST_SCALE.yago_entities), rng=0
+    )
+    index = build_local_index(graph, rng=1)
+    return graph, index
+
+
+@lru_cache(maxsize=None)
+def magnitude_workload(magnitude: int):
+    graph, _index = yago_setup()
+    generated = random_constraint_with_magnitude(graph, magnitude, rng=magnitude)
+    return generate_workload(
+        graph,
+        generated.constraint,
+        num_true=PYTEST_SCALE.queries_per_group,
+        num_false=PYTEST_SCALE.queries_per_group,
+        rng=magnitude + 1,
+    )
+
+
+@pytest.mark.parametrize("algorithm_name", ["UIS", "UIS*", "INS"])
+@pytest.mark.parametrize("magnitude", list(PYTEST_SCALE.yago_magnitudes))
+def test_fig15_query_group(benchmark, algorithm_name, magnitude):
+    graph, index = yago_setup()
+    workload = magnitude_workload(magnitude)
+    queries = workload.all_queries()
+    if not queries:
+        pytest.skip("workload generation produced no queries")
+    if algorithm_name == "UIS":
+        algorithm = UIS(graph)
+    elif algorithm_name == "UIS*":
+        algorithm = UISStar(graph)
+    else:
+        algorithm = INS(graph, index)
+    true_count = benchmark(answer_group, algorithm, queries)
+    assert true_count == sum(1 for q in queries if q.expected)
+
+
+def test_fig15_report(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig15", PYTEST_SCALE, seed=0), rounds=1, iterations=1
+    )
+    record_tables(render_results(results))
+    assert len(results) == 4

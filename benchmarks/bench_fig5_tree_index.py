@@ -1,0 +1,53 @@
+"""Figure 5 — tree-based LCR index construction does not scale.
+
+Times the [6]-style sampling-tree index across the density sweep (5a)
+and the vertex-count sweep (5b); the report benchmark regenerates both
+panels and asserts the paper's shape (monotone growth in |V|).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import render_results, run_experiment
+from repro.datasets.synthetic import random_labeled_graph
+from repro.index.spanning_tree import build_sampling_tree_index
+
+from benchmarks.conftest import PYTEST_SCALE, record_tables
+
+
+@pytest.mark.parametrize("density", list(PYTEST_SCALE.fig5_densities))
+def test_fig5a_density_sweep(benchmark, density):
+    graph = random_labeled_graph(
+        PYTEST_SCALE.fig5_fixed_vertices,
+        density,
+        PYTEST_SCALE.fig5_num_labels,
+        rng=0,
+    )
+    index = benchmark.pedantic(
+        lambda: build_sampling_tree_index(graph, rng=1), rounds=2, iterations=1
+    )
+    assert index.stats()["closure_entries"] > 0
+
+
+@pytest.mark.parametrize("vertices", list(PYTEST_SCALE.fig5_vertices))
+def test_fig5b_vertex_sweep(benchmark, vertices):
+    graph = random_labeled_graph(
+        vertices,
+        PYTEST_SCALE.fig5_fixed_density,
+        PYTEST_SCALE.fig5_num_labels,
+        rng=0,
+    )
+    index = benchmark.pedantic(
+        lambda: build_sampling_tree_index(graph, rng=1), rounds=2, iterations=1
+    )
+    assert index.stats()["closure_entries"] > 0
+
+
+def test_fig5_report(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig5", PYTEST_SCALE, seed=0), rounds=1, iterations=1
+    )
+    record_tables(render_results(results))
+    vertex_times = [row[2] for row in results[1].rows]
+    assert vertex_times == sorted(vertex_times), "5(b): time must grow with |V|"

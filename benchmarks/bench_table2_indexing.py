@@ -1,0 +1,54 @@
+"""Table 2 — indexing time and space: local index vs traditional [19].
+
+Micro-benchmarks time each index build; the report benchmark regenerates
+the full Table 2 (the traditional column shows "-" where the build
+exceeds its budget, mirroring the paper's 8-hour cut-off).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import render_results, run_experiment
+from repro.exceptions import IndexingBudgetExceeded
+from repro.index.local_index import build_local_index
+from repro.index.traditional import build_traditional_index
+
+from benchmarks._support import dataset
+from benchmarks.conftest import PYTEST_SCALE, record_tables
+
+
+@pytest.mark.parametrize("name", ["D0", "D1"])
+def test_local_index_build(benchmark, name):
+    graph = dataset(name)
+    index = benchmark.pedantic(
+        lambda: build_local_index(graph, rng=1), rounds=2, iterations=1
+    )
+    assert index.stats().ii_entries > 0
+
+
+def test_traditional_index_build_d0(benchmark):
+    graph = dataset("D0")
+
+    def build():
+        try:
+            return build_traditional_index(
+                graph, budget_seconds=PYTEST_SCALE.traditional_budget_seconds
+            )
+        except IndexingBudgetExceeded:
+            return None
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    # either it finished within budget (paper: D0 succeeds) or the budget
+    # tripped — both are valid Table 2 outcomes at this scale
+    assert result is None or result.stats()["full_entries"] > 0
+
+
+def test_table2_report(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("table2", PYTEST_SCALE, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_tables(render_results(results))
+    assert results[0].rows

@@ -1,0 +1,112 @@
+"""Financial crime detection — the paper's Figure 1 scenario, scaled up.
+
+Models a transaction knowledge graph: people transfer money (edges
+labeled by occurrence month) and hold social relationships (marriedTo,
+friendOf, parentOf).  The investigation question from the paper's
+introduction — "is there an indirect transaction from suspect C to
+suspect P inside April 2019 whose middleman is married to Amy?" — is an
+LSCR query: label constraint = the allowed months, substructure
+constraint = the marriage pattern.
+
+The script generates a few hundred accounts with decoy paths and shows
+how the same query template screens candidate suspects.
+
+Run:  python examples/financial_fraud.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import INS, LSCRQuery, UIS, find_witness
+from repro.constraints import SubstructureConstraint
+from repro.graph import GraphBuilder
+from repro.index import build_local_index
+
+MONTHS = ["2019-03", "2019-04", "2019-05"]
+
+
+def build_transaction_graph(accounts: int = 300, seed: int = 7):
+    """A synthetic transfer network with one planted April-2019 chain."""
+    rng = random.Random(seed)
+    builder = GraphBuilder("transactions")
+    builder.declare_class("Person")
+    people = [f"acct{i}" for i in range(accounts)]
+    for person in people:
+        builder.typed(person, "Person")
+
+    # Background noise: random transfers in random months.
+    for _ in range(accounts * 4):
+        source, target = rng.sample(people, 2)
+        builder.edge(source, rng.choice(MONTHS), target)
+
+    # Some marriages (including Amy's).
+    builder.typed("Amy", "Person")
+    spouse_of_amy = people[42]
+    builder.edge(spouse_of_amy, "marriedTo", "Amy")
+    builder.edge("Amy", "marriedTo", spouse_of_amy)
+    for _ in range(20):
+        a, b = rng.sample(people, 2)
+        builder.edge(a, "marriedTo", b)
+        builder.edge(b, "marriedTo", a)
+
+    # The planted chain: C -> ... -> spouse_of_amy -> ... -> P in April.
+    builder.edge("suspectC", "2019-04", people[10])
+    builder.edge(people[10], "2019-04", spouse_of_amy)
+    builder.edge(spouse_of_amy, "2019-04", people[77])
+    builder.edge(people[77], "2019-04", "suspectP")
+    builder.typed("suspectC", "Person")
+    builder.typed("suspectP", "Person")
+
+    # A decoy chain that leaves April midway.
+    builder.edge("suspectC", "2019-04", people[100])
+    builder.edge(people[100], "2019-03", "suspectP")
+
+    return builder.build(), spouse_of_amy
+
+
+def main() -> None:
+    graph, spouse = build_transaction_graph()
+    print(f"Transaction KG: {graph}")
+    print(f"(planted middleman married to Amy: {spouse})\n")
+
+    married_to_amy = SubstructureConstraint.from_sparql(
+        "SELECT ?x WHERE { ?x <marriedTo> Amy . }"
+    )
+
+    index = build_local_index(graph, k=max(4, graph.num_vertices // 48), rng=1)
+    uis = UIS(graph)
+    ins = INS(graph, index)
+
+    investigations = [
+        ("suspectC", "suspectP", ["2019-04"], "April 2019 only"),
+        ("suspectC", "suspectP", ["2019-03"], "March 2019 only"),
+        ("suspectC", "suspectP", ["2019-03", "2019-05"], "excluding April"),
+    ]
+    for source, target, months, note in investigations:
+        query = LSCRQuery.create(source, target, months, married_to_amy)
+        uis_result = uis.answer(query)
+        ins_result = ins.answer(query)
+        assert uis_result.answer == ins_result.answer
+        verdict = "SUSPICIOUS CHAIN FOUND" if uis_result.answer else "clean"
+        print(f"{note:18s}: {verdict}")
+        print(
+            f"{'':20s}UIS {uis_result.seconds * 1000:7.2f} ms "
+            f"({uis_result.passed_vertices} vertices), "
+            f"INS {ins_result.seconds * 1000:7.2f} ms "
+            f"({ins_result.passed_vertices} vertices)"
+        )
+        if uis_result.answer:
+            witness = find_witness(graph, query)
+            assert witness is not None
+            chain = " -> ".join(str(v) for v in witness.vertices())
+            print(f"{'':20s}evidence: {chain}")
+            print(f"{'':20s}middleman married to Amy: {witness.satisfying_vertex}")
+    print(
+        "\nThe April-only query finds the planted chain through Amy's "
+        "spouse; the\nMarch/May variants correctly reject the decoys."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The environment this reproduction targets may lack the ``wheel`` package
+(and network access to fetch it), in which case ``pip install -e .``
+cannot build a PEP 660 editable wheel.  ``python setup.py develop`` works
+with bare setuptools; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""CLI entry point: ``python -m repro.bench [experiment ...]``.
+
+Runs the requested experiments (default: all) at BENCH scale and prints
+each table/figure.  ``--smoke`` switches to the seconds-scale preset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import BENCH, SMOKE
+from repro.bench.harness import EXPERIMENTS, render_results, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help=f"experiment ids (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes (CI)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    scale = SMOKE if args.smoke else BENCH
+    names = args.experiments or list(EXPERIMENTS)
+    for name in names:
+        started = time.perf_counter()
+        results = run_experiment(name, scale, args.seed)
+        elapsed = time.perf_counter() - started
+        print(render_results(results))
+        print(f"[{name} completed in {elapsed:.1f}s at scale '{scale.name}']")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""The experiment registry and top-level runner.
+
+``python -m repro.bench`` runs every experiment at BENCH scale and
+prints the paper-shaped tables; ``run_experiment`` exposes single
+experiments to the pytest benchmarks and the test suite (at SMOKE
+scale).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.bench.experiments import (
+    BENCH,
+    BenchScale,
+    ExperimentResult,
+    ablation_ins,
+    constraint_figure,
+    fig5_tree_index,
+    fig15_yago,
+    table2_indexing,
+)
+from repro.bench.reporting import render_experiment
+from repro.exceptions import BenchmarkError
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "render_results"]
+
+#: Experiment id → runner. Each runner takes ``(scale, seed)``.
+EXPERIMENTS: dict[str, Callable[[BenchScale, int], list[ExperimentResult]]] = {
+    "table2": table2_indexing,
+    "fig5": fig5_tree_index,
+    "fig10": lambda scale, seed: constraint_figure("fig10", scale, seed),
+    "fig11": lambda scale, seed: constraint_figure("fig11", scale, seed),
+    "fig12": lambda scale, seed: constraint_figure("fig12", scale, seed),
+    "fig13": lambda scale, seed: constraint_figure("fig13", scale, seed),
+    "fig14": lambda scale, seed: constraint_figure("fig14", scale, seed),
+    "fig15": fig15_yago,
+    # Extension beyond the paper: INS mechanism ablation.
+    "ablation": ablation_ins,
+}
+
+
+def run_experiment(
+    name: str,
+    scale: BenchScale = BENCH,
+    seed: int = 0,
+) -> list[ExperimentResult]:
+    """Run one experiment by id ('table2', 'fig5', 'fig10' .. 'fig15')."""
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        raise BenchmarkError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return runner(scale, seed)
+
+
+def run_all(scale: BenchScale = BENCH, seed: int = 0) -> list[ExperimentResult]:
+    """Run every experiment, in paper order."""
+    results: list[ExperimentResult] = []
+    for name in EXPERIMENTS:
+        results.extend(run_experiment(name, scale, seed))
+    return results
+
+
+def render_results(results: list[ExperimentResult]) -> str:
+    """Render experiment results as printable text blocks."""
+    blocks = [
+        render_experiment(r.title, r.headers, r.rows, r.notes) for r in results
+    ]
+    return "\n\n".join(blocks)

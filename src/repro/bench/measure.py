@@ -1,0 +1,46 @@
+"""Measurement primitives shared by all experiments."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.base import LSCRAlgorithm
+from repro.core.result import ResultAggregate
+from repro.workloads.generator import WorkloadQuery
+
+__all__ = ["run_query_group", "MeasurementError"]
+
+
+class MeasurementError(AssertionError):
+    """An algorithm disagreed with the workload's expected answer.
+
+    All algorithms are exact, so a disagreement is a bug, never noise —
+    experiments abort rather than report numbers from a wrong answer.
+    """
+
+
+def run_query_group(
+    algorithms: Iterable[LSCRAlgorithm],
+    queries: list[WorkloadQuery],
+    verify: bool = True,
+) -> dict[str, ResultAggregate]:
+    """Run every algorithm over every query; aggregate per algorithm.
+
+    With ``verify`` (default) each answer is checked against the
+    workload's expected truth value (established by UIS at generation
+    time) — this makes every benchmark run double as a correctness test.
+    """
+    aggregates: dict[str, ResultAggregate] = {}
+    for algorithm in algorithms:
+        aggregate = aggregates.setdefault(
+            algorithm.name, ResultAggregate(algorithm=algorithm.name)
+        )
+        for item in queries:
+            result = algorithm.answer(item.query)
+            if verify and result.answer != item.expected:
+                raise MeasurementError(
+                    f"{algorithm.name} answered {result.answer} but "
+                    f"{item.expected} was expected for {item.query.describe()}"
+                )
+            aggregate.add(result)
+    return aggregates

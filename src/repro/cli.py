@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the end-to-end workflow on TSV-serialised graphs
+(see :mod:`repro.graph.io` for the format):
+
+* ``generate`` — produce a LUBM-like / YAGO-like / random dataset;
+* ``stats``    — describe a graph (sizes, degrees, label histogram);
+* ``index``    — build and persist a local index (Algorithm 3);
+* ``query``    — answer one LSCR query, optionally with a witness path.
+
+Examples::
+
+    python -m repro generate --lubm D1 --seed 0 --output d1.tsv
+    python -m repro stats d1.tsv
+    python -m repro index d1.tsv --output d1.index.json
+    python -m repro query d1.tsv \
+        --source "Department0.University0/FullProfessor0" \
+        --target "University0" \
+        --labels ub:worksFor,ub:subOrganizationOf \
+        --constraint "SELECT ?x WHERE { ?x <ub:headOf> ?y . }" \
+        --algorithm ins --index d1.index.json --witness
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.ins import INS
+from repro.core.naive import NaiveTwoProcedure
+from repro.core.query import LSCRQuery
+from repro.core.uis import UIS
+from repro.core.uis_star import UISStar
+from repro.core.witness import find_witness
+from repro.datasets.lubm import SCALED_DATASETS, generate_dataset
+from repro.datasets.synthetic import random_labeled_graph
+from repro.datasets.yago import YagoConfig, generate_yago_like
+from repro.exceptions import ReproError
+from repro.graph.io import dump_tsv, load_tsv
+from repro.graph.stats import graph_stats, label_histogram
+from repro.index.local_index import build_local_index
+from repro.index.storage import load_local_index, save_local_index
+
+__all__ = ["main", "build_parser"]
+
+_ALGORITHMS = {
+    "uis": UIS,
+    "uis*": UISStar,
+    "ins": INS,
+    "naive": NaiveTwoProcedure,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument grammar (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="LSCR reachability queries on knowledge graphs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a dataset as TSV")
+    kind = generate.add_mutually_exclusive_group(required=True)
+    kind.add_argument(
+        "--lubm",
+        choices=sorted(SCALED_DATASETS),
+        help="LUBM-like scaled dataset (D0..D5)",
+    )
+    kind.add_argument("--yago", type=int, metavar="ENTITIES", help="YAGO-like KG")
+    kind.add_argument(
+        "--random",
+        nargs=3,
+        type=float,
+        metavar=("VERTICES", "DENSITY", "LABELS"),
+        help="uniform random labeled graph",
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True, help="TSV file to write")
+
+    stats = commands.add_parser("stats", help="describe a TSV graph")
+    stats.add_argument("graph", help="TSV graph file")
+    stats.add_argument("--labels", action="store_true", help="print label histogram")
+
+    index = commands.add_parser("index", help="build a local index (Algorithm 3)")
+    index.add_argument("graph", help="TSV graph file")
+    index.add_argument("--output", required=True, help="index JSON to write")
+    index.add_argument("--k", type=int, default=None, help="landmark count")
+    index.add_argument("--seed", type=int, default=0)
+
+    query = commands.add_parser("query", help="answer one LSCR query")
+    query.add_argument("graph", help="TSV graph file")
+    query.add_argument("--source", required=True)
+    query.add_argument("--target", required=True)
+    query.add_argument(
+        "--labels", required=True, help="comma-separated label constraint L"
+    )
+    query.add_argument(
+        "--constraint",
+        required=True,
+        help="substructure constraint S as a SELECT ?x query",
+    )
+    query.add_argument(
+        "--algorithm", choices=sorted(_ALGORITHMS), default="uis"
+    )
+    query.add_argument(
+        "--index", default=None, help="local index JSON (ins only; built if absent)"
+    )
+    query.add_argument(
+        "--witness", action="store_true", help="also print a witness path"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+        if args.command == "index":
+            return _cmd_index(args)
+        if args.command == "query":
+            return _cmd_query(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.lubm:
+        graph = generate_dataset(args.lubm, rng=args.seed)
+    elif args.yago:
+        graph = generate_yago_like(YagoConfig(num_entities=args.yago), rng=args.seed)
+    else:
+        vertices, density, labels = args.random
+        graph = random_labeled_graph(int(vertices), density, int(labels), rng=args.seed)
+    dump_tsv(graph, args.output)
+    print(
+        f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_tsv(args.graph, name=args.graph)
+    print(graph_stats(graph).describe())
+    if args.labels:
+        for label, count in label_histogram(graph).items():
+            print(f"  {label}: {count}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    graph = load_tsv(args.graph)
+    index = build_local_index(graph, k=args.k, rng=args.seed)
+    size = save_local_index(index, args.output)
+    stats = index.stats()
+    print(
+        f"indexed {stats.num_landmarks} landmarks, {stats.total_entries} entries "
+        f"in {stats.build_seconds:.2f}s; {size} bytes -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = load_tsv(args.graph)
+    constraint = SubstructureConstraint.from_sparql(args.constraint)
+    query = LSCRQuery.create(
+        args.source,
+        args.target,
+        [label for label in args.labels.split(",") if label],
+        constraint,
+    )
+    if args.algorithm == "ins":
+        index = (
+            load_local_index(args.index, graph)
+            if args.index
+            else build_local_index(graph)
+        )
+        algorithm = INS(graph, index)
+    else:
+        algorithm = _ALGORITHMS[args.algorithm](graph)
+    result = algorithm.answer(query)
+    print(
+        f"{result.algorithm}: answer={result.answer} "
+        f"time={result.seconds * 1000:.3f}ms "
+        f"passed_vertices={result.passed_vertices}"
+    )
+    if args.witness and result.answer:
+        witness = find_witness(graph, query)
+        assert witness is not None
+        print(f"witness (satisfying vertex: {witness.satisfying_vertex}):")
+        if not witness.edges:
+            print(f"  trivial path at {query.source}")
+        for source, label, target in witness.edges:
+            print(f"  {source} --{label}--> {target}")
+    return 0 if result.answer else 1

@@ -1,0 +1,6 @@
+"""Label and substructure constraints (Definitions 2.2–2.4)."""
+
+from repro.constraints.label_constraint import LabelConstraint
+from repro.constraints.substructure import SubstructureChecker, SubstructureConstraint
+
+__all__ = ["LabelConstraint", "SubstructureChecker", "SubstructureConstraint"]

@@ -1,0 +1,82 @@
+"""Label constraints (the ``L ⊆ 𝕃`` of Definition 2.4).
+
+A label constraint is just a set of edge-label names; algorithms compile
+it to a bitmask against a graph's label universe once per query and then
+expand only edges whose label bit is set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import ConstraintError
+from repro.graph.labeled_graph import KnowledgeGraph
+
+__all__ = ["LabelConstraint"]
+
+
+class LabelConstraint:
+    """An immutable set of allowed edge labels.
+
+    >>> constraint = LabelConstraint(["friendOf", "follows"])
+    >>> "friendOf" in constraint
+    True
+    >>> len(constraint)
+    2
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Iterable[str]) -> None:
+        self._labels = frozenset(labels)
+        if not self._labels:
+            raise ConstraintError("a label constraint must contain at least one label")
+
+    @property
+    def labels(self) -> frozenset[str]:
+        """The allowed label names."""
+        return self._labels
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._labels
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._labels))
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LabelConstraint):
+            return self._labels == other._labels
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._labels)
+
+    def __repr__(self) -> str:
+        return f"LabelConstraint({sorted(self._labels)!r})"
+
+    def mask_for(self, graph: KnowledgeGraph, strict: bool = False) -> int:
+        """Bitmask of this constraint in ``graph``'s label universe.
+
+        Labels absent from the graph cannot appear on any path, so by
+        default they are silently dropped (a query mentioning them is
+        simply harder to satisfy).  With ``strict`` they raise
+        :class:`ConstraintError` instead.
+        """
+        mask = 0
+        for label in self._labels:
+            if label in graph.labels:
+                mask |= 1 << graph.labels.id_of(label)
+            elif strict:
+                raise ConstraintError(f"label {label!r} does not occur in the graph")
+        return mask
+
+    def union(self, other: "LabelConstraint") -> "LabelConstraint":
+        """Constraint allowing either side's labels."""
+        return LabelConstraint(self._labels | other._labels)
+
+    def is_subset_of(self, other: "LabelConstraint") -> bool:
+        """True if every allowed label of self is allowed by ``other``."""
+        return self._labels <= other._labels

@@ -1,0 +1,197 @@
+"""Substructure constraints (Definition 2.2) and the ``SCck`` test.
+
+A substructure constraint ``S = (?x, V_S, E_S, E_?)`` consists of a
+designated variable ``?x``, concrete vertices ``V_S``, concrete edges
+``E_S`` among them, and variable edges ``E_?`` each having at least one
+variable endpoint — with ``?x`` required to occur in some element of
+``E_?``.  Section 2 of the paper notes the equivalence with SPARQL basic
+graph patterns (``S0`` ≡ ``SELECT ?x WHERE { ?x <friendOf> v3 . v3
+<likes> ?y . }``), and Sections 4–5 exploit it: ``V(S, G)`` is obtained
+from a SPARQL engine.
+
+This module represents a constraint as a BGP plus the designated
+variable and implements both uses the paper makes of it:
+
+* :meth:`SubstructureConstraint.satisfied_by` / :class:`SubstructureChecker`
+  — the per-vertex test ``SCck(v, S)`` used by UIS (Algorithm 1);
+* :meth:`SubstructureConstraint.satisfying_vertices` — ``V(S, G)`` used
+  by UIS* and INS.
+
+Semantics of ``E_?`` (see DESIGN.md §5.2): SPARQL semantics are adopted —
+every pattern must match at least one edge; ``u`` satisfies ``S`` iff the
+BGP with ``?x := u`` has a solution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.exceptions import ConstraintError
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.sparql.ast import SelectQuery, TriplePattern, Var
+from repro.sparql.evaluator import bgp_is_satisfiable, compile_patterns, evaluate_bgp
+from repro.sparql.parser import parse_select
+
+__all__ = ["SubstructureConstraint", "SubstructureChecker"]
+
+
+class SubstructureConstraint:
+    """A substructure constraint as a BGP with designated variable ``?x``."""
+
+    __slots__ = ("patterns", "variable")
+
+    def __init__(
+        self,
+        patterns: Iterable[TriplePattern],
+        variable: str = "x",
+    ) -> None:
+        self.patterns: tuple[TriplePattern, ...] = tuple(patterns)
+        self.variable = variable
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.patterns:
+            raise ConstraintError("a substructure constraint needs at least one pattern")
+        target = Var(self.variable)
+        occurs = any(target in pattern.variables() for pattern in self.patterns)
+        if not occurs:
+            raise ConstraintError(
+                f"designated variable ?{self.variable} does not occur in the pattern "
+                "(Definition 2.2 requires ?x to appear in E_?)"
+            )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_sparql(cls, text: str, variable: str | None = None) -> "SubstructureConstraint":
+        """Parse a ``SELECT ?x WHERE { ... }`` constraint (Table 3 style).
+
+        When ``variable`` is omitted, the single projected variable is
+        taken as the designated ``?x``.
+        """
+        query = parse_select(text)
+        if variable is None:
+            projection = query.effective_projection()
+            if len(projection) != 1:
+                raise ConstraintError(
+                    "constraint query must project exactly one variable "
+                    f"(got {len(projection)}); pass variable= to disambiguate"
+                )
+            variable = projection[0].name
+        return cls(query.patterns, variable)
+
+    @classmethod
+    def from_parts(
+        cls,
+        concrete_edges: Iterable[tuple[Hashable, str, Hashable]],
+        variable_edges: Iterable[TriplePattern],
+        variable: str = "x",
+    ) -> "SubstructureConstraint":
+        """Build from Definition 2.2's parts.
+
+        ``concrete_edges`` is ``E_S`` (plain triples over ``V_S``);
+        ``variable_edges`` is ``E_?`` (patterns with variable endpoints).
+        """
+        patterns = [TriplePattern(str(s), label, str(t)) for s, label, t in concrete_edges]
+        patterns.extend(variable_edges)
+        return cls(patterns, variable)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def to_select(self) -> SelectQuery:
+        """The constraint as ``SELECT DISTINCT ?x WHERE { ... }``."""
+        return SelectQuery(
+            projection=(Var(self.variable),),
+            patterns=self.patterns,
+            distinct=True,
+        )
+
+    def to_sparql(self) -> str:
+        """The SPARQL text of :meth:`to_select` (round-trips via parser)."""
+        return str(self.to_select())
+
+    @property
+    def size(self) -> int:
+        """Pattern count — the ``|V_S| + |E_S| + |E_?|`` cost driver."""
+        return len(self.patterns)
+
+    def variables(self) -> tuple[Var, ...]:
+        """All variables of the pattern (``?x`` first if present)."""
+        ordered: list[Var] = []
+        target = Var(self.variable)
+        for pattern in self.patterns:
+            for var in pattern.variables():
+                if var not in ordered:
+                    ordered.append(var)
+        if target in ordered:
+            ordered.remove(target)
+            ordered.insert(0, target)
+        return tuple(ordered)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SubstructureConstraint):
+            return self.patterns == other.patterns and self.variable == other.variable
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.patterns, self.variable))
+
+    def __repr__(self) -> str:
+        return f"SubstructureConstraint({self.to_sparql()!r})"
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def satisfied_by(self, graph: KnowledgeGraph, vertex_id: int) -> bool:
+        """``SCck(v, S)``: does ``vertex_id`` satisfy the constraint?"""
+        return bgp_is_satisfiable(graph, self.patterns, {self.variable: vertex_id})
+
+    def satisfying_vertices(self, graph: KnowledgeGraph) -> list[int]:
+        """``V(S, G)``: distinct satisfying vertex ids, first-seen order."""
+        ordered: list[int] = []
+        seen: set[int] = set()
+        for solution in evaluate_bgp(graph, self.patterns):
+            value = solution[self.variable]
+            if value not in seen:
+                seen.add(value)
+                ordered.append(value)
+        return ordered
+
+
+class SubstructureChecker:
+    """Compiled per-graph ``SCck``: the hot-loop form used by UIS.
+
+    Compiles the pattern once, counts invocations (the paper's complexity
+    analysis bounds ``SCck`` calls by ``|V|``), and memoises verdicts —
+    UIS may ask about the same vertex again after a ``close`` upgrade.
+    """
+
+    __slots__ = ("graph", "constraint", "calls", "_unsatisfiable", "_cache")
+
+    def __init__(self, graph: KnowledgeGraph, constraint: SubstructureConstraint) -> None:
+        self.graph = graph
+        self.constraint = constraint
+        self.calls = 0
+        self._cache: dict[int, bool] = {}
+        # Compile eagerly so a structurally-empty constraint short-circuits
+        # every later check.
+        self._unsatisfiable = compile_patterns(graph, constraint.patterns) is None
+
+    def __call__(self, vertex_id: int) -> bool:
+        self.calls += 1
+        if self._unsatisfiable:
+            return False
+        cached = self._cache.get(vertex_id)
+        if cached is None:
+            cached = bgp_is_satisfiable(
+                self.graph,
+                self.constraint.patterns,
+                {self.constraint.variable: vertex_id},
+            )
+            self._cache[vertex_id] = cached
+        return cached

@@ -1,0 +1,68 @@
+"""The ``close`` surjection ``V → {N, T, F}`` (Definition 3.1).
+
+All four search algorithms share the same vertex-state bookkeeping:
+
+* ``N`` — the vertex has not been explored;
+* ``F`` — ``s ⇝_L v`` has been proved (reachable under the label
+  constraint, but not yet through a satisfying vertex);
+* ``T`` — ``s ⇝_{L,S} v`` has been proved (reachable through a vertex
+  satisfying the substructure constraint).
+
+States only ever move ``N → F → T`` or ``N → T``; a downgrade would
+forget a proof.  :class:`CloseMap` enforces the monotonicity and counts
+the vertices whose state differs from ``N`` — that count is the paper's
+second evaluation metric ("average number of the vertices whose states
+in close are not N", Section 6).
+"""
+
+from __future__ import annotations
+
+__all__ = ["N", "F", "T", "CloseMap"]
+
+#: Vertex states.  Integer values are ordered by information content so
+#: that monotonicity is simply ``new >= old``.
+N = 0
+F = 1
+T = 2
+
+_STATE_NAMES = {N: "N", F: "F", T: "T"}
+
+
+class CloseMap:
+    """Dense array of per-vertex states with monotone updates."""
+
+    __slots__ = ("_states", "_passed")
+
+    def __init__(self, num_vertices: int) -> None:
+        self._states = bytearray(num_vertices)
+        self._passed = 0
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __getitem__(self, vertex_id: int) -> int:
+        return self._states[vertex_id]
+
+    def __setitem__(self, vertex_id: int, state: int) -> None:
+        current = self._states[vertex_id]
+        if state < current:
+            raise ValueError(
+                f"close downgrade {_STATE_NAMES[current]} -> {_STATE_NAMES[state]} "
+                f"for vertex {vertex_id} (Definition 3.1 is monotone)"
+            )
+        if current == N and state != N:
+            self._passed += 1
+        self._states[vertex_id] = state
+
+    @property
+    def passed_count(self) -> int:
+        """Number of vertices whose state is not ``N`` (paper metric)."""
+        return self._passed
+
+    def state_name(self, vertex_id: int) -> str:
+        """Human-readable state of one vertex (debugging aid)."""
+        return _STATE_NAMES[self._states[vertex_id]]
+
+    def vertices_in_state(self, state: int) -> list[int]:
+        """All vertex ids currently in ``state`` (test helper)."""
+        return [vid for vid, s in enumerate(self._states) if s == state]

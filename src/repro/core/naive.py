@@ -1,0 +1,62 @@
+"""The Section 3 two-procedure baseline — and the library's test oracle.
+
+The paper opens its algorithmic discussion by analysing what plain
+DFS/BFS costs on LSCR queries: one procedure explores the space ``s``
+reaches under the label constraint, evaluating ``SCck`` on every vertex
+it discovers; whenever a satisfying vertex ``v`` turns up, a second
+procedure checks ``v ⇝_L t`` from scratch.  Worst case
+``O(|V| · (|V| + |E|))`` (Theorem 3.1) — the motivation for UIS.
+
+The implementation is deliberately simple and obviously correct; the
+property-based tests use it as ground truth for UIS / UIS* / INS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.constraints.substructure import SubstructureChecker
+from repro.core.base import LSCRAlgorithm
+from repro.core.lcr import lcr_reachable
+from repro.core.query import LSCRQuery
+
+__all__ = ["NaiveTwoProcedure"]
+
+
+class NaiveTwoProcedure(LSCRAlgorithm):
+    """Direct BFS/BFS composition with per-vertex ``SCck`` checks."""
+
+    name = "Naive"
+
+    def _run(
+        self,
+        source: int,
+        target: int,
+        mask: int,
+        query: LSCRQuery,
+    ) -> tuple[bool, dict[str, float]]:
+        checker = SubstructureChecker(self.graph, query.constraint)
+
+        # Procedure one: BFS over the label-feasible space from `source`,
+        # testing every discovered vertex (including `source` itself).
+        visited = bytearray(self.graph.num_vertices)
+        visited[source] = 1
+        passed = 1
+        queue = deque((source,))
+        if checker(source) and lcr_reachable(self.graph, source, target, mask):
+            return True, {"passed_vertices": passed, "scck_calls": checker.calls}
+        while queue:
+            u = queue.popleft()
+            for _label, w in self.graph.out_masked(u, mask):
+                if visited[w]:
+                    continue
+                visited[w] = 1
+                passed += 1
+                queue.append(w)
+                # Procedure two: launched afresh for every satisfying vertex.
+                if checker(w) and lcr_reachable(self.graph, w, target, mask):
+                    return True, {
+                        "passed_vertices": passed,
+                        "scck_calls": checker.calls,
+                    }
+        return False, {"passed_vertices": passed, "scck_calls": checker.calls}

@@ -1,0 +1,49 @@
+"""The LSCR query object (Definition 2.4)."""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from repro.constraints.label_constraint import LabelConstraint
+from repro.constraints.substructure import SubstructureConstraint
+
+__all__ = ["LSCRQuery"]
+
+
+@dataclass(frozen=True)
+class LSCRQuery:
+    """``Q = (s, t, L, S)``: is there an ``L``-labeled path from ``s`` to
+    ``t`` passing through a vertex that satisfies ``S``?
+
+    ``source`` / ``target`` are vertex *names* (resolved against a graph
+    by the algorithms); ``labels`` is the label constraint ``L``;
+    ``constraint`` is the substructure constraint ``S``.
+    """
+
+    source: Hashable
+    target: Hashable
+    labels: LabelConstraint
+    constraint: SubstructureConstraint
+
+    @classmethod
+    def create(
+        cls,
+        source: Hashable,
+        target: Hashable,
+        labels: Iterable[str] | LabelConstraint,
+        constraint: SubstructureConstraint | str,
+    ) -> "LSCRQuery":
+        """Convenience constructor accepting raw labels / SPARQL text."""
+        if not isinstance(labels, LabelConstraint):
+            labels = LabelConstraint(labels)
+        if isinstance(constraint, str):
+            constraint = SubstructureConstraint.from_sparql(constraint)
+        return cls(source=source, target=target, labels=labels, constraint=constraint)
+
+    def describe(self) -> str:
+        """One-line rendering used by the bench harness logs."""
+        return (
+            f"Q(s={self.source!r}, t={self.target!r}, "
+            f"L={sorted(self.labels.labels)}, S={self.constraint.to_sparql()})"
+        )

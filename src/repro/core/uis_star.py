@@ -1,0 +1,137 @@
+"""UIS* — the SPARQL-engine-assisted search of Algorithm 2.
+
+UIS* first materialises ``V(S, G)`` (all vertices satisfying the
+substructure constraint) through the SPARQL engine, then reduces the
+LSCR query to label-constrained reachability:
+``∃v ∈ V(S,G): s ⇝_L v ∧ v ⇝_L t``.  The key to its ``O(|V| + |E|)``
+bound (Theorem 4.5) is that all these checks share one global stack and
+one ``close`` map through the ``LCS`` subroutine:
+
+* ``LCS(s, v, L, F)`` *continues* the forward search from wherever the
+  frontier currently is, marking newly discovered vertices ``F``
+  (Lemma 4.2: ``close[v] ≠ N  ⇔  s ⇝_L v``);
+* ``LCS(v, t, L, T)`` runs the "second leg" from a satisfying vertex,
+  marking ``T`` and re-visiting ``F`` vertices at most once more.
+
+The paper's Section 6 observation that UIS* often *loses* to UIS comes
+from the arbitrary order of ``V(S, G)`` ("the order of processing the
+elements in V(S,G) dominates the efficiency", Theorem 4.1): a bad first
+candidate drags the search into a useless corner of the graph.  Pass an
+``rng`` to shuffle the candidate order per query, reproducing that
+behaviour; by default the engine's first-solution order is used.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.base import LSCRAlgorithm
+from repro.core.close import CloseMap, F, N, T
+from repro.core.query import LSCRQuery
+from repro.graph.labeled_graph import KnowledgeGraph
+
+__all__ = ["UISStar"]
+
+
+class UISStar(LSCRAlgorithm):
+    """Algorithm 2: improved uninformed search via ``V(S, G)``."""
+
+    name = "UIS*"
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(graph)
+        #: Optional shuffler for ``V(S, G)`` (paper: the set is disordered).
+        self.rng = rng
+
+    def _run(
+        self,
+        source: int,
+        target: int,
+        mask: int,
+        query: LSCRQuery,
+    ) -> tuple[bool, dict[str, float]]:
+        graph = self.graph
+
+        vsg_started = time.perf_counter()
+        candidates = query.constraint.satisfying_vertices(graph)  # SPARQL engine
+        vsg_seconds = time.perf_counter() - vsg_started
+        if self.rng is not None:
+            self.rng.shuffle(candidates)
+
+        close = CloseMap(graph.num_vertices)
+        stack: list[int] = [source]                       # line 1
+        close[source] = F                                 # line 2
+        lcs_calls = 0
+
+        telemetry = {
+            "vsg_size": len(candidates),
+            "vsg_seconds": vsg_seconds,
+        }
+
+        def finish(verdict: bool) -> tuple[bool, dict[str, float]]:
+            telemetry["passed_vertices"] = close.passed_count
+            telemetry["lcs_calls"] = lcs_calls
+            return verdict, telemetry
+
+        # Trivial path <s>: s == t and s satisfies S (DESIGN.md §5.1).
+        candidate_set = set(candidates)
+        if source == target and source in candidate_set:
+            return finish(True)
+
+        def lcs(s_star: int, t_star: int, mode: int) -> bool:     # lines 14-24
+            """``LCS(s*, t*, L, B)`` — shared-state reachability leg.
+
+            When ``t*`` turns up mid-way through a vertex's edge list,
+            the remaining edges are still processed before returning:
+            the stack is shared across invocations (that is what makes
+            UIS* O(|V| + |E|)), and abandoning a half-expanded vertex
+            would silently drop part of the frontier for later legs.
+            """
+            nonlocal lcs_calls
+            lcs_calls += 1
+            if mode == T:                                          # line 15
+                if s_star == t_star:
+                    # s ⇝_L s* and s* satisfies S, so s* = t* answers Q
+                    # (guard for close[t]=F candidates; DESIGN.md §5.1).
+                    return True
+                close[s_star] = T
+                stack.append(s_star)                               # line 16
+            while stack and (mode == F or close[stack[-1]] == T):  # line 17
+                u = stack.pop()                                    # line 18
+                found = False
+                for _label, w in graph.out_masked(u, mask):        # line 19
+                    state_w = close[w]
+                    if (mode == T and state_w != T) or (
+                        mode == F and state_w == N
+                    ):                                             # line 20
+                        stack.append(w)
+                        close[w] = mode                            # line 21
+                        if w == t_star:                            # lines 22-23
+                            found = True
+                if found:
+                    return True
+            if mode == T:
+                # Line 24: drop stale stack entries upgraded to T by this
+                # invocation so the F-frontier underneath is clean again.
+                stack[:] = [x for x in stack if close[x] != T]
+            return False
+
+        for v in candidates:                                       # line 3
+            state_v = close[v]
+            if state_v == N:                                       # line 4
+                # Line 5's `v = s` arm is unreachable: close[s] = F since
+                # line 2, so only `v = t` can occur here.
+                if v == target:
+                    return finish(lcs(source, target, F))          # line 6
+                if lcs(source, v, F):                              # line 7
+                    if lcs(v, target, T):                          # line 8
+                        return finish(True)                        # line 9
+            elif state_v == F:                                     # line 10
+                if lcs(v, target, T):                              # line 11
+                    return finish(True)                            # line 12
+        return finish(False)                                       # line 13

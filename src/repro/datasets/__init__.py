@@ -1,0 +1,36 @@
+"""Dataset generators: LUBM-like, YAGO-like, random graphs, paper toys."""
+
+from repro.datasets.lubm import (
+    SCALED_DATASETS,
+    LubmConfig,
+    generate_dataset,
+    generate_lubm,
+)
+from repro.datasets.synthetic import (
+    cycle_graph,
+    line_graph,
+    random_labeled_graph,
+    star_graph,
+)
+from repro.datasets.toy import (
+    figure1_financial_graph,
+    figure3_constraint,
+    figure3_graph,
+)
+from repro.datasets.yago import YagoConfig, generate_yago_like
+
+__all__ = [
+    "LubmConfig",
+    "SCALED_DATASETS",
+    "YagoConfig",
+    "cycle_graph",
+    "figure1_financial_graph",
+    "figure3_constraint",
+    "figure3_graph",
+    "generate_dataset",
+    "generate_lubm",
+    "generate_yago_like",
+    "line_graph",
+    "random_labeled_graph",
+    "star_graph",
+]

@@ -1,0 +1,23 @@
+"""LUBM-like university-domain dataset generator and the S1–S5 queries."""
+
+from repro.datasets.lubm.generator import (
+    SCALED_DATASETS,
+    LubmConfig,
+    generate_dataset,
+    generate_lubm,
+)
+from repro.datasets.lubm.queries import ALL_CONSTRAINTS, S1, S2, S3, S4, S5, constraint
+
+__all__ = [
+    "ALL_CONSTRAINTS",
+    "LubmConfig",
+    "S1",
+    "S2",
+    "S3",
+    "S4",
+    "S5",
+    "SCALED_DATASETS",
+    "constraint",
+    "generate_dataset",
+    "generate_lubm",
+]

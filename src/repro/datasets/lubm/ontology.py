@@ -1,0 +1,140 @@
+"""The ub: ontology subset used by the LUBM-like generator.
+
+LUBM (the Lehigh University Benchmark [4]) models the university domain:
+universities contain departments, departments employ faculty and enrol
+students, faculty teach courses and author publications.  This module
+pins down the class and property vocabulary our generator emits — the
+exact subset needed by the Table 3 substructure constraints S1–S5 plus
+the surrounding structure that gives the graph its LUBM-like shape.
+
+Names keep LUBM's prefixed spelling (``ub:FullProfessor``); the
+:data:`CLASS_HIERARCHY` mirrors the benchmark's ``Professor ⊑ Faculty ⊑
+Employee ⊑ Person`` chain so schema-transitive queries behave.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "UNIVERSITY",
+    "DEPARTMENT",
+    "RESEARCH_GROUP",
+    "FULL_PROFESSOR",
+    "ASSOCIATE_PROFESSOR",
+    "ASSISTANT_PROFESSOR",
+    "LECTURER",
+    "UNDERGRADUATE_STUDENT",
+    "GRADUATE_STUDENT",
+    "COURSE",
+    "GRADUATE_COURSE",
+    "PUBLICATION",
+    "CLASS_HIERARCHY",
+    "ALL_CLASSES",
+    "FACULTY_CLASSES",
+    "PROPERTIES",
+    "P_WORKS_FOR",
+    "P_MEMBER_OF",
+    "P_SUB_ORGANIZATION_OF",
+    "P_UNDERGRAD_DEGREE_FROM",
+    "P_MASTERS_DEGREE_FROM",
+    "P_DOCTORAL_DEGREE_FROM",
+    "P_TAKES_COURSE",
+    "P_TEACHER_OF",
+    "P_ADVISOR",
+    "P_PUBLICATION_AUTHOR",
+    "P_RESEARCH_INTEREST",
+    "P_NAME",
+    "P_EMAIL",
+    "P_HEAD_OF",
+]
+
+# ----------------------------------------------------------------------
+# classes
+# ----------------------------------------------------------------------
+
+UNIVERSITY = "ub:University"
+DEPARTMENT = "ub:Department"
+RESEARCH_GROUP = "ub:ResearchGroup"
+FULL_PROFESSOR = "ub:FullProfessor"
+ASSOCIATE_PROFESSOR = "ub:AssociateProfessor"
+ASSISTANT_PROFESSOR = "ub:AssistantProfessor"
+LECTURER = "ub:Lecturer"
+UNDERGRADUATE_STUDENT = "ub:UndergraduateStudent"
+GRADUATE_STUDENT = "ub:GraduateStudent"
+COURSE = "ub:Course"
+GRADUATE_COURSE = "ub:GraduateCourse"
+PUBLICATION = "ub:Publication"
+
+#: ``(subclass, superclass)`` pairs (LUBM's hierarchy, trimmed).
+CLASS_HIERARCHY: tuple[tuple[str, str], ...] = (
+    (FULL_PROFESSOR, "ub:Professor"),
+    (ASSOCIATE_PROFESSOR, "ub:Professor"),
+    (ASSISTANT_PROFESSOR, "ub:Professor"),
+    ("ub:Professor", "ub:Faculty"),
+    (LECTURER, "ub:Faculty"),
+    ("ub:Faculty", "ub:Employee"),
+    ("ub:Employee", "ub:Person"),
+    (UNDERGRADUATE_STUDENT, "ub:Student"),
+    (GRADUATE_STUDENT, "ub:Student"),
+    ("ub:Student", "ub:Person"),
+    (GRADUATE_COURSE, COURSE),
+    (DEPARTMENT, "ub:Organization"),
+    (UNIVERSITY, "ub:Organization"),
+    (RESEARCH_GROUP, "ub:Organization"),
+)
+
+FACULTY_CLASSES: tuple[str, ...] = (
+    FULL_PROFESSOR,
+    ASSOCIATE_PROFESSOR,
+    ASSISTANT_PROFESSOR,
+    LECTURER,
+)
+
+ALL_CLASSES: tuple[str, ...] = (
+    UNIVERSITY,
+    DEPARTMENT,
+    RESEARCH_GROUP,
+    *FACULTY_CLASSES,
+    UNDERGRADUATE_STUDENT,
+    GRADUATE_STUDENT,
+    COURSE,
+    GRADUATE_COURSE,
+    PUBLICATION,
+)
+
+# ----------------------------------------------------------------------
+# properties (with their LUBM domain/range, registered in the schema)
+# ----------------------------------------------------------------------
+
+P_WORKS_FOR = "ub:worksFor"
+P_MEMBER_OF = "ub:memberOf"
+P_SUB_ORGANIZATION_OF = "ub:subOrganizationOf"
+P_UNDERGRAD_DEGREE_FROM = "ub:undergraduateDegreeFrom"
+P_MASTERS_DEGREE_FROM = "ub:mastersDegreeFrom"
+P_DOCTORAL_DEGREE_FROM = "ub:doctoralDegreeFrom"
+P_TAKES_COURSE = "ub:takesCourse"
+P_TEACHER_OF = "ub:teacherOf"
+P_ADVISOR = "ub:advisor"
+P_PUBLICATION_AUTHOR = "ub:publicationAuthor"
+P_RESEARCH_INTEREST = "ub:researchInterest"
+P_NAME = "ub:name"
+P_EMAIL = "ub:emailAddress"
+P_HEAD_OF = "ub:headOf"
+
+#: ``property → (domain, range)``; ``None`` means unconstrained (e.g.
+#: literal-valued properties whose objects we model as plain vertices).
+PROPERTIES: dict[str, tuple[str | None, str | None]] = {
+    P_WORKS_FOR: ("ub:Faculty", DEPARTMENT),
+    P_MEMBER_OF: ("ub:Person", DEPARTMENT),
+    P_SUB_ORGANIZATION_OF: ("ub:Organization", "ub:Organization"),
+    P_UNDERGRAD_DEGREE_FROM: ("ub:Person", UNIVERSITY),
+    P_MASTERS_DEGREE_FROM: ("ub:Person", UNIVERSITY),
+    P_DOCTORAL_DEGREE_FROM: ("ub:Person", UNIVERSITY),
+    P_TAKES_COURSE: ("ub:Student", COURSE),
+    P_TEACHER_OF: ("ub:Faculty", COURSE),
+    P_ADVISOR: ("ub:Student", "ub:Professor"),
+    P_PUBLICATION_AUTHOR: (PUBLICATION, "ub:Person"),
+    P_RESEARCH_INTEREST: ("ub:Faculty", None),
+    P_NAME: (None, None),
+    P_EMAIL: (None, None),
+    P_HEAD_OF: ("ub:Professor", DEPARTMENT),
+}

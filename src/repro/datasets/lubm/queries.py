@@ -1,0 +1,59 @@
+"""The Table 3 substructure constraints S1–S5, verbatim.
+
+Each constant below is the SPARQL text of one constraint exactly as
+Table 3 states it (modulo IRI spelling — the paper's ``⟨ub:...⟩`` angle
+quotes become ``<ub:...>``); :func:`constraint` parses them into
+:class:`~repro.constraints.substructure.SubstructureConstraint` objects.
+
+Expected selectivity on a default-config LUBM-like dataset ``D``
+(Section 6.1's characterisation):
+
+========  ==============================================  ===============
+name      meaning                                         ``|V(S, D)|``
+========  ==============================================  ===============
+S1        research interest is 'Research12'               ≈ 1 / department
+S2        S1 ∧ associate professor                        ≈ 50% of S1
+S3        undergraduate taking a course                   ≫ S1 (all of them)
+S4        the 'GraduateStudent4' star pattern             ≈ 1 / department
+S5        one specific professor's email + three degrees  exactly 1
+========  ==============================================  ===============
+"""
+
+from __future__ import annotations
+
+from repro.constraints.substructure import SubstructureConstraint
+
+__all__ = ["S1", "S2", "S3", "S4", "S5", "ALL_CONSTRAINTS", "constraint"]
+
+S1 = "SELECT ?x WHERE { ?x <ub:researchInterest> 'Research12' . }"
+
+S2 = (
+    "SELECT ?x WHERE { ?x <ub:researchInterest> 'Research12' . "
+    "?x <rdf:type> <ub:AssociateProfessor> . }"
+)
+
+S3 = (
+    "SELECT ?x WHERE { ?x <rdf:type> <ub:UndergraduateStudent> . "
+    "?x <ub:takesCourse> ?y . ?y <rdf:type> <ub:Course> . }"
+)
+
+S4 = (
+    "SELECT ?x WHERE { ?x <ub:name> 'GraduateStudent4' . "
+    "?x <ub:takesCourse> ?y1 . ?x <ub:advisor> ?y2 . ?x <ub:memberOf> ?y3 . "
+    "?z1 <ub:takesCourse> ?y1 . ?y2 <ub:teacherOf> ?z2 . "
+    "?y2 <ub:worksFor> ?z3 . ?y3 <ub:subOrganizationOf> ?z4 . }"
+)
+
+S5 = (
+    "SELECT ?x WHERE { "
+    "?x <ub:emailAddress> 'FullProfessor0@Department0.University0.edu' . "
+    "?x <ub:undergraduateDegreeFrom> ?y1 . ?x <ub:mastersDegreeFrom> ?y2 . "
+    "?x <ub:doctoralDegreeFrom> ?y3 . }"
+)
+
+ALL_CONSTRAINTS: dict[str, str] = {"S1": S1, "S2": S2, "S3": S3, "S4": S4, "S5": S5}
+
+
+def constraint(name: str) -> SubstructureConstraint:
+    """Parse one of S1–S5 by name ("S1" .. "S5")."""
+    return SubstructureConstraint.from_sparql(ALL_CONSTRAINTS[name])

@@ -1,0 +1,85 @@
+"""Plain random edge-labeled graphs.
+
+Two uses:
+
+* **Figure 5** — the tree-index scaling experiment sweeps graph density
+  ``D = |E|/|V|`` at fixed ``|V|`` and vertex count at fixed density;
+  :func:`random_labeled_graph` provides exactly that control;
+* **property-based tests** — hypothesis strategies build on these
+  generators for the cross-algorithm agreement suites.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import GraphError
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.utils.rng import make_rng
+
+__all__ = ["random_labeled_graph", "line_graph", "cycle_graph", "star_graph"]
+
+
+def random_labeled_graph(
+    num_vertices: int,
+    density: float,
+    num_labels: int,
+    rng: int | random.Random | None = 0,
+    name: str | None = None,
+) -> KnowledgeGraph:
+    """Uniform random graph with ``|E| ≈ density · |V|`` distinct edges.
+
+    Labels are drawn uniformly from ``l0 .. l{num_labels-1}``.  Raises
+    :class:`GraphError` when the requested density exceeds what a simple
+    labeled digraph on ``num_vertices`` can hold.
+    """
+    if num_vertices <= 0:
+        raise GraphError("num_vertices must be positive")
+    rng = make_rng(rng)
+    graph = KnowledgeGraph(name or f"random-{num_vertices}v-{density}d")
+    names = [f"n{i}" for i in range(num_vertices)]
+    for vertex in names:
+        graph.add_vertex(vertex)
+    labels = [f"l{i}" for i in range(num_labels)]
+    target_edges = int(round(density * num_vertices))
+    capacity = num_vertices * num_vertices * num_labels
+    if target_edges > capacity:
+        raise GraphError(
+            f"density {density} needs {target_edges} edges but only "
+            f"{capacity} distinct labeled edges exist"
+        )
+    attempts = 0
+    max_attempts = max(100, target_edges * 50)
+    while graph.num_edges < target_edges and attempts < max_attempts:
+        attempts += 1
+        graph.add_edge(rng.choice(names), rng.choice(labels), rng.choice(names))
+    return graph
+
+
+def line_graph(length: int, label: str = "next") -> KnowledgeGraph:
+    """``n0 → n1 → ... → n{length}`` — worst-case depth for searches."""
+    graph = KnowledgeGraph(f"line-{length}")
+    for i in range(length):
+        graph.add_edge(f"n{i}", label, f"n{i + 1}")
+    return graph
+
+
+def cycle_graph(length: int, label: str = "next") -> KnowledgeGraph:
+    """A directed cycle of ``length`` vertices."""
+    if length < 1:
+        raise GraphError("cycle length must be at least 1")
+    graph = KnowledgeGraph(f"cycle-{length}")
+    for i in range(length):
+        graph.add_edge(f"n{i}", label, f"n{(i + 1) % length}")
+    return graph
+
+
+def star_graph(leaves: int, label: str = "spoke", inward: bool = False) -> KnowledgeGraph:
+    """A hub with ``leaves`` spokes (outward by default)."""
+    graph = KnowledgeGraph(f"star-{leaves}")
+    for i in range(leaves):
+        if inward:
+            graph.add_edge(f"leaf{i}", label, "hub")
+        else:
+            graph.add_edge("hub", label, f"leaf{i}")
+    return graph

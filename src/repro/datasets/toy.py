@@ -1,0 +1,94 @@
+"""The paper's worked examples as ready-made fixtures.
+
+* :func:`figure3_graph` — the running example ``G0`` of Figure 3.  The
+  figure itself is partly garbled in the source; the edge set here is
+  reconstructed from the CMS values the paper states
+  (``M(v0,v3) = {{friendOf}}``, ``M(v0,v4) = {{friendOf,likes},
+  {advisorOf,follows}, {likes,follows}}``), the Section 3 walk
+  ``v3 → v4 → v1 → v3 → v4``, and the claims ``v0 ⇝_{L,S0} v4`` /
+  ``v0 ↛_{L,S0} v3`` for ``L = {likes, follows}`` — all of which hold on
+  this graph (and are pinned by tests).
+* :func:`figure3_constraint` — ``S0 = (?x, {v3}, {},
+  {(?x, friendOf, v3), (v3, likes, ?y)})``.
+* :func:`figure1_financial_graph` — a small financial KG in the shape of
+  the introduction's criminal-detection scenario: account-transfer edges
+  labeled with month timestamps plus social-relationship edges, so the
+  "indirect transaction from C to P in April 2019 through a middleman
+  married to Amy" query is expressible.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.substructure import SubstructureConstraint
+from repro.graph.builder import GraphBuilder
+from repro.graph.labeled_graph import KnowledgeGraph
+
+__all__ = [
+    "figure3_graph",
+    "figure3_constraint",
+    "figure1_financial_graph",
+    "FIGURE3_EDGES",
+]
+
+#: The reconstructed edge set of Figure 3(a).
+FIGURE3_EDGES: tuple[tuple[str, str, str], ...] = (
+    ("v0", "friendOf", "v1"),
+    ("v1", "friendOf", "v3"),
+    ("v0", "advisorOf", "v2"),
+    ("v0", "likes", "v2"),
+    ("v2", "follows", "v4"),
+    ("v2", "friendOf", "v3"),
+    ("v3", "likes", "v4"),
+    ("v4", "hates", "v1"),
+)
+
+
+def figure3_graph() -> KnowledgeGraph:
+    """The running-example graph ``G0`` (Figure 3(a))."""
+    builder = GraphBuilder("G0")
+    builder.edges(FIGURE3_EDGES)
+    return builder.build()
+
+
+def figure3_constraint() -> SubstructureConstraint:
+    """``S0`` of Figure 3(b): ``?x friendOf v3 . v3 likes ?y .``"""
+    return SubstructureConstraint.from_sparql(
+        "SELECT ?x WHERE { ?x <friendOf> v3 . v3 <likes> ?y . }"
+    )
+
+
+def figure1_financial_graph() -> KnowledgeGraph:
+    """A financial KG for the Figure 1 scenario.
+
+    Vertices are people; transfer edges are labeled by occurrence month
+    (``2019-03`` .. ``2019-05``), social edges by relationship.  The
+    suspicious chain is ``C → m1 → m2 → P`` entirely inside April 2019,
+    with middleman ``m2`` married to ``Amy``; decoy paths either leave
+    April or avoid married middlemen.
+    """
+    builder = GraphBuilder("figure1")
+    builder.declare_class("Person")
+    for person in ("C", "P", "Amy", "m1", "m2", "m3", "m4", "broker"):
+        builder.typed(person, "Person")
+    transfers = [
+        # the criminal chain (all April 2019)
+        ("C", "2019-04", "m1"),
+        ("m1", "2019-04", "m2"),
+        ("m2", "2019-04", "P"),
+        # decoy: reaches P but the middle hop is in March
+        ("C", "2019-04", "m3"),
+        ("m3", "2019-03", "P"),
+        # decoy: April path whose middlemen are unmarried
+        ("C", "2019-04", "m4"),
+        ("m4", "2019-04", "broker"),
+        ("broker", "2019-05", "P"),
+    ]
+    builder.edges(transfers)
+    social = [
+        ("m2", "marriedTo", "Amy"),
+        ("Amy", "marriedTo", "m2"),
+        ("m3", "friendOf", "Amy"),
+        ("broker", "parentOf", "m4"),
+    ]
+    builder.edges(social)
+    return builder.build()

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the LSCR reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subsystems get
+their own branch of the hierarchy:
+
+* :class:`GraphError` — knowledge-graph construction and lookups;
+* :class:`SparqlError` — the embedded SPARQL engine (syntax/evaluation);
+* :class:`ConstraintError` — label / substructure constraint validation;
+* :class:`IndexingError` — local-index and comparator index construction;
+* :class:`WorkloadError` — evaluation-query generation (Section 6.1.1/6.2);
+* :class:`BenchmarkError` — the table/figure benchmark harness.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class GraphError(ReproError):
+    """A knowledge-graph operation failed."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex name or id was not present in the graph."""
+
+    def __init__(self, vertex: object):
+        super().__init__(f"vertex not found: {vertex!r}")
+        self.vertex = vertex
+
+
+class LabelNotFoundError(GraphError, KeyError):
+    """An edge label was not present in the graph's label universe."""
+
+    def __init__(self, label: object):
+        super().__init__(f"edge label not found: {label!r}")
+        self.label = label
+
+
+class SchemaError(GraphError):
+    """An RDFS schema operation failed (unknown class, bad triple, ...)."""
+
+
+class SparqlError(ReproError):
+    """Base class for SPARQL engine failures."""
+
+
+class SparqlSyntaxError(SparqlError):
+    """The query text could not be tokenised or parsed.
+
+    Carries the offending position so callers can point at the error.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        suffix = f" (at offset {position})" if position is not None else ""
+        super().__init__(message + suffix)
+        self.position = position
+
+
+class SparqlEvaluationError(SparqlError):
+    """The query parsed but could not be evaluated on the given graph."""
+
+
+class ConstraintError(ReproError):
+    """A label or substructure constraint is malformed for the graph."""
+
+
+class IndexingError(ReproError):
+    """Index construction failed or was mis-configured."""
+
+
+class IndexingBudgetExceeded(IndexingError):
+    """An index build exceeded its wall-clock budget.
+
+    Mirrors the paper's Table 2, where the traditional landmark index of
+    [19] is cut off after eight hours ("-" entries).  The partially built
+    index is intentionally discarded; callers receive the elapsed time.
+    """
+
+    def __init__(self, elapsed_seconds: float, budget_seconds: float):
+        super().__init__(
+            f"index construction exceeded its budget: "
+            f"{elapsed_seconds:.3f}s elapsed > {budget_seconds:.3f}s allowed"
+        )
+        self.elapsed_seconds = elapsed_seconds
+        self.budget_seconds = budget_seconds
+
+
+class WorkloadError(ReproError):
+    """Evaluation-query generation could not satisfy its contract."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark experiment was mis-configured or failed to run."""

@@ -1,0 +1,320 @@
+"""The core edge-labeled directed graph (Definition 2.1).
+
+A knowledge graph ``G = (V, E, 𝕃, LS)`` is a set of vertices ``V``, a set
+of labeled directed edges ``E ⊆ V × 𝕃 × V``, the label universe ``𝕃`` and
+an RDFS schema ``LS``.  This module implements the ``(V, E, 𝕃)`` part;
+the schema lives in :mod:`repro.graph.schema` and is attached via the
+``schema`` attribute so that ``G`` remains a single object as in the
+paper.
+
+Representation choices (all driven by the hot loops of UIS/UIS*/INS and
+the SPARQL evaluator):
+
+* vertices and labels are interned to dense ints; every algorithm works
+  on ids and converts to names only at the API boundary;
+* adjacency is a per-vertex ``dict[label_id, list[vertex_id]]`` in both
+  directions, so label-constrained expansion (the single most executed
+  operation in the paper's algorithms) never touches edges with labels
+  outside the constraint mask;
+* ``E`` is a *set* (the paper's definition): duplicate ``(s, l, t)``
+  insertions are ignored, backed by an O(1) membership set that also
+  serves ``has_edge`` for the SPARQL evaluator;
+* per-label edge lists support the evaluator's selectivity ordering and
+  unbound-subject patterns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.labels import LabelUniverse, iter_mask_bits
+
+__all__ = ["KnowledgeGraph", "Edge"]
+
+#: An edge as exposed by iteration APIs: ``(source_id, label_id, target_id)``.
+Edge = tuple[int, int, int]
+
+
+class KnowledgeGraph:
+    """Edge-labeled directed graph with interned vertices and labels.
+
+    Vertex names may be any hashable value (strings in practice).  All
+    id-returning methods hand out dense ints starting at zero, so
+    algorithm state can live in flat lists indexed by vertex id.
+
+    >>> g = KnowledgeGraph()
+    >>> g.add_edge("v0", "friendOf", "v1")
+    True
+    >>> g.add_edge("v0", "friendOf", "v1")   # E is a set (Definition 2.1)
+    False
+    >>> g.num_vertices, g.num_edges
+    (2, 1)
+    """
+
+    __slots__ = (
+        "name",
+        "schema",
+        "_labels",
+        "_vertex_ids",
+        "_vertex_names",
+        "_out",
+        "_in",
+        "_out_degree",
+        "_in_degree",
+        "_edge_set",
+        "_by_label",
+        "_label_edge_count",
+    )
+
+    def __init__(self, name: str = "kg", schema: object | None = None) -> None:
+        self.name = name
+        #: RDFS schema (``LS`` of Definition 2.1); attached by builders.
+        self.schema = schema
+        self._labels = LabelUniverse()
+        self._vertex_ids: dict[Hashable, int] = {}
+        self._vertex_names: list[Hashable] = []
+        self._out: list[dict[int, list[int]]] = []
+        self._in: list[dict[int, list[int]]] = []
+        self._out_degree: list[int] = []
+        self._in_degree: list[int] = []
+        self._edge_set: set[Edge] = set()
+        self._by_label: dict[int, list[tuple[int, int]]] = {}
+        self._label_edge_count: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # sizes and dunder conveniences
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """``|V|``."""
+        return len(self._vertex_names)
+
+    @property
+    def num_edges(self) -> int:
+        """``|E|``."""
+        return len(self._edge_set)
+
+    @property
+    def num_labels(self) -> int:
+        """``|𝕃|``."""
+        return len(self._labels)
+
+    @property
+    def labels(self) -> LabelUniverse:
+        """The label universe ``𝕃`` (shared, mutable)."""
+        return self._labels
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __contains__(self, vertex_name: Hashable) -> bool:
+        return vertex_name in self._vertex_ids
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeGraph({self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, |L|={self.num_labels})"
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, name: Hashable) -> int:
+        """Intern ``name`` and return its vertex id (idempotent)."""
+        existing = self._vertex_ids.get(name)
+        if existing is not None:
+            return existing
+        vid = len(self._vertex_names)
+        self._vertex_ids[name] = vid
+        self._vertex_names.append(name)
+        self._out.append({})
+        self._in.append({})
+        self._out_degree.append(0)
+        self._in_degree.append(0)
+        return vid
+
+    def add_edge(self, source: Hashable, label: str, target: Hashable) -> bool:
+        """Add edge ``(source, label, target)`` by *name*; False if present."""
+        s = self.add_vertex(source)
+        t = self.add_vertex(target)
+        lid = self._labels.intern(label)
+        return self.add_edge_ids(s, lid, t)
+
+    def add_edge_ids(self, s: int, label_id: int, t: int) -> bool:
+        """Add an edge by pre-interned ids; returns False for duplicates."""
+        edge = (s, label_id, t)
+        if edge in self._edge_set:
+            return False
+        self._edge_set.add(edge)
+        self._out[s].setdefault(label_id, []).append(t)
+        self._in[t].setdefault(label_id, []).append(s)
+        self._out_degree[s] += 1
+        self._in_degree[t] += 1
+        self._by_label.setdefault(label_id, []).append((s, t))
+        self._label_edge_count[label_id] = self._label_edge_count.get(label_id, 0) + 1
+        return True
+
+    # ------------------------------------------------------------------
+    # id <-> name
+    # ------------------------------------------------------------------
+
+    def vid(self, name: Hashable) -> int:
+        """Vertex id of ``name``; raises :class:`VertexNotFoundError`."""
+        try:
+            return self._vertex_ids[name]
+        except KeyError:
+            raise VertexNotFoundError(name) from None
+
+    def name_of(self, vid: int) -> Hashable:
+        """Vertex name of ``vid``; raises :class:`VertexNotFoundError`."""
+        if 0 <= vid < len(self._vertex_names):
+            return self._vertex_names[vid]
+        raise VertexNotFoundError(vid)
+
+    def has_vertex(self, name: Hashable) -> bool:
+        """True if a vertex with this name exists."""
+        return name in self._vertex_ids
+
+    def label_id(self, label: str) -> int:
+        """Label id of ``label``; raises :class:`LabelNotFoundError`."""
+        return self._labels.id_of(label)
+
+    def label_name(self, label_id: int) -> str:
+        """Label name of ``label_id``; raises :class:`LabelNotFoundError`."""
+        return self._labels.name_of(label_id)
+
+    def label_mask(self, labels: Iterable[str]) -> int:
+        """Bitmask for a collection of label names (the constraint ``L``)."""
+        return self._labels.mask_of(labels)
+
+    # ------------------------------------------------------------------
+    # iteration (ids)
+    # ------------------------------------------------------------------
+
+    def vertices(self) -> range:
+        """All vertex ids."""
+        return range(self.num_vertices)
+
+    def vertex_names(self) -> Iterator[Hashable]:
+        """All vertex names in id order."""
+        return iter(self._vertex_names)
+
+    def edges(self) -> Iterator[Edge]:
+        """All edges as ``(source_id, label_id, target_id)``."""
+        for s, adjacency in enumerate(self._out):
+            for label_id, targets in adjacency.items():
+                for t in targets:
+                    yield (s, label_id, t)
+
+    def edges_named(self) -> Iterator[tuple[Hashable, str, Hashable]]:
+        """All edges as ``(source_name, label_name, target_name)``."""
+        names = self._vertex_names
+        label_name = self._labels.name_of
+        for s, label_id, t in self.edges():
+            yield (names[s], label_name(label_id), names[t])
+
+    def out_edges(self, vid: int) -> Iterator[tuple[int, int]]:
+        """Outgoing ``(label_id, target_id)`` pairs of ``vid``."""
+        for label_id, targets in self._out[vid].items():
+            for t in targets:
+                yield (label_id, t)
+
+    def in_edges(self, vid: int) -> Iterator[tuple[int, int]]:
+        """Incoming ``(label_id, source_id)`` pairs of ``vid``."""
+        for label_id, sources in self._in[vid].items():
+            for s in sources:
+                yield (label_id, s)
+
+    def out_by_label(self, vid: int, label_id: int) -> list[int]:
+        """Targets of ``vid``'s out-edges labeled ``label_id`` (maybe empty)."""
+        return self._out[vid].get(label_id, [])
+
+    def in_by_label(self, vid: int, label_id: int) -> list[int]:
+        """Sources of ``vid``'s in-edges labeled ``label_id`` (maybe empty)."""
+        return self._in[vid].get(label_id, [])
+
+    def out_masked(self, vid: int, mask: int) -> Iterator[tuple[int, int]]:
+        """Outgoing ``(label_id, target_id)`` with the label inside ``mask``.
+
+        This is the expansion step of every search algorithm in the paper
+        ("for each edge e = (u, l, v), l ∈ L"): edges whose label is
+        outside the constraint are never touched.
+        """
+        for label_id, targets in self._out[vid].items():
+            if mask >> label_id & 1:
+                for t in targets:
+                    yield (label_id, t)
+
+    def in_masked(self, vid: int, mask: int) -> Iterator[tuple[int, int]]:
+        """Incoming ``(label_id, source_id)`` with the label inside ``mask``."""
+        for label_id, sources in self._in[vid].items():
+            if mask >> label_id & 1:
+                for s in sources:
+                    yield (label_id, s)
+
+    def out_labels(self, vid: int) -> Iterator[int]:
+        """Distinct label ids on ``vid``'s out-edges."""
+        return iter(self._out[vid].keys())
+
+    def edges_with_label(self, label_id: int) -> list[tuple[int, int]]:
+        """All ``(source_id, target_id)`` pairs carrying ``label_id``."""
+        return self._by_label.get(label_id, [])
+
+    # ------------------------------------------------------------------
+    # membership / degrees / frequencies
+    # ------------------------------------------------------------------
+
+    def has_edge(self, s: int, label_id: int, t: int) -> bool:
+        """O(1) edge-set membership by ids."""
+        return (s, label_id, t) in self._edge_set
+
+    def has_edge_named(self, source: Hashable, label: str, target: Hashable) -> bool:
+        """Edge membership by names; unknown names/labels simply yield False."""
+        if label not in self._labels:
+            return False
+        s = self._vertex_ids.get(source)
+        t = self._vertex_ids.get(target)
+        if s is None or t is None:
+            return False
+        return self.has_edge(s, self._labels.id_of(label), t)
+
+    def out_degree(self, vid: int) -> int:
+        """Number of outgoing edges of ``vid``."""
+        return self._out_degree[vid]
+
+    def in_degree(self, vid: int) -> int:
+        """Number of incoming edges of ``vid``."""
+        return self._in_degree[vid]
+
+    def degree(self, vid: int) -> int:
+        """Total degree (in + out) of ``vid``."""
+        return self._out_degree[vid] + self._in_degree[vid]
+
+    def label_frequency(self, label_id: int) -> int:
+        """Number of edges carrying ``label_id`` (evaluator selectivity)."""
+        return self._label_edge_count.get(label_id, 0)
+
+    def density(self) -> float:
+        """``|E| / |V|`` — the paper's ``D`` (Figure 5)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+
+    def labels_between(self, s: int, t: int) -> int:
+        """Mask of labels on direct edges from ``s`` to ``t``."""
+        mask = 0
+        for label_id, targets in self._out[s].items():
+            if t in targets:
+                mask |= 1 << label_id
+        return mask
+
+    def mask_labels(self, mask: int) -> tuple[str, ...]:
+        """Decode a label mask to names (ascending id order)."""
+        return tuple(self._labels.name_of(bit) for bit in iter_mask_bits(mask))

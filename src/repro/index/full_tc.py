@@ -1,0 +1,111 @@
+"""Full CMS transitive closure — the Section 3.2 strawman.
+
+The paper's opening argument against index-based LCR on KGs is that a
+*full transitive closure* stores all minimal sufficient path label sets
+for every vertex pair: answer time O(1)-ish, space ``O(|V|² · 2^|𝕃|)``.
+This module implements that strawman exactly, for three uses:
+
+* a third independent reachability oracle for the test suite (its
+  answers must match BFS and the other indexes);
+* a space-measurement subject: :meth:`FullTransitiveClosure.stats`
+  exhibits the quadratic entry growth the paper cites as prohibitive;
+* the fastest possible LCR answering for *tiny* graphs, where the
+  quadratic cost is irrelevant (used by some examples).
+
+Construction reuses the minimal-insert BFS of the other index builders,
+run from every vertex.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exceptions import IndexingBudgetExceeded
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.index.cms import CmsTable
+from repro.utils.timing import Stopwatch, Timer
+
+__all__ = ["FullTransitiveClosure", "build_full_tc"]
+
+_BUDGET_CHECK_INTERVAL = 2048
+
+
+@dataclass
+class FullTransitiveClosure:
+    """CMS tables from every vertex to every reachable vertex."""
+
+    graph: KnowledgeGraph
+    closure: dict[int, CmsTable] = field(default_factory=dict)
+    build_seconds: float = 0.0
+
+    def reaches(self, source: int, target: int, constraint_mask: int) -> bool:
+        """Exact ``source ⇝_L target`` from the precomputed tables."""
+        if source == target:
+            return True
+        table = self.closure.get(source)
+        if table is None:
+            return False
+        return table.reaches_under(target, constraint_mask)
+
+    def cms(self, source: int, target: int) -> list[int]:
+        """The stored ``M(source, target)`` (empty if unreachable)."""
+        table = self.closure.get(source)
+        if table is None:
+            return []
+        return sorted(table.get(target))
+
+    def stats(self) -> dict[str, float]:
+        """Entry counts — the quadratic blow-up the paper warns about."""
+        entries = sum(t.entry_count() for t in self.closure.values())
+        pairs = sum(len(t) for t in self.closure.values())
+        return {
+            "pairs": pairs,
+            "entries": entries,
+            "build_seconds": self.build_seconds,
+        }
+
+
+def build_full_tc(
+    graph: KnowledgeGraph,
+    budget_seconds: float | None = None,
+) -> FullTransitiveClosure:
+    """Precompute the full CMS transitive closure (tiny graphs only)."""
+    stopwatch = Stopwatch(budget_seconds)
+    tc = FullTransitiveClosure(graph=graph)
+    with Timer() as timer:
+        for source in graph.vertices():
+            tc.closure[source] = _cms_from(graph, source, stopwatch)
+    tc.build_seconds = timer.elapsed
+    return tc
+
+
+def _cms_from(
+    graph: KnowledgeGraph, source: int, stopwatch: Stopwatch
+) -> CmsTable:
+    table = CmsTable()
+    table.insert(source, 0)
+    queue: deque[tuple[int, int]] = deque(((source, 0),))
+    enqueued: set[tuple[int, int]] = {(source, 0)}
+    first_pop = True
+    pops = 0
+    while queue:
+        pops += 1
+        if pops % _BUDGET_CHECK_INTERVAL == 0 and stopwatch.over_budget():
+            raise IndexingBudgetExceeded(
+                stopwatch.elapsed, stopwatch.budget_seconds or 0.0
+            )
+        vertex, mask = queue.popleft()
+        if first_pop:
+            proceed = True
+            first_pop = False
+        else:
+            proceed = table.insert(vertex, mask)
+        if not proceed:
+            continue
+        for label_id, target in graph.out_edges(vertex):
+            state = (target, mask | (1 << label_id))
+            if state not in enqueued:
+                enqueued.add(state)
+                queue.append(state)
+    return table

@@ -1,0 +1,101 @@
+"""Local-index persistence and on-disk size accounting (Table 2 "IS").
+
+The paper stores both competing indexes "by the same data structure and
+on disk" and reports their sizes; this module serialises a
+:class:`~repro.index.local_index.LocalIndex` to a compact JSON document
+so the benchmark can report real on-disk bytes.  JSON is chosen over
+pickle deliberately: index files are plain data, diffable, and safe to
+load from untrusted sources.
+
+Masks are written as hex strings (arbitrary-width label universes);
+vertex ids as ints.  The graph itself is *not* stored — an index is only
+valid against the exact graph it was built from, so loading requires
+passing that graph and verifies basic shape (vertex count).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import IndexingError
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.index.cms import CmsTable
+from repro.index.landmarks import Partition
+from repro.index.local_index import LocalIndex
+
+__all__ = ["save_local_index", "load_local_index", "index_file_size"]
+
+_FORMAT_VERSION = 1
+
+
+def save_local_index(index: LocalIndex, path: str | Path) -> int:
+    """Write ``index`` to ``path``; returns the file size in bytes."""
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "graph_name": index.graph.name,
+        "num_vertices": index.graph.num_vertices,
+        "landmarks": index.partition.landmarks,
+        "region": index.partition.region,
+        "ii": {
+            str(u): {str(v): [hex(m) for m in masks] for v, masks in table.items()}
+            for u, table in index.ii.items()
+        },
+        "eit": {
+            str(u): {hex(mask): vertices for mask, vertices in transposed.items()}
+            for u, transposed in index.eit.items()
+        },
+        "d": {
+            str(u): {str(v): count for v, count in row.items()}
+            for u, row in index.d.items()
+        },
+        "build_seconds": index.build_seconds,
+    }
+    path = Path(path)
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+    return path.stat().st_size
+
+
+def load_local_index(path: str | Path, graph: KnowledgeGraph) -> LocalIndex:
+    """Load an index written by :func:`save_local_index` for ``graph``."""
+    with open(path, "r", encoding="ascii") as handle:
+        document = json.load(handle)
+    if document.get("format_version") != _FORMAT_VERSION:
+        raise IndexingError(
+            f"unsupported index format version {document.get('format_version')!r}"
+        )
+    if document["num_vertices"] != graph.num_vertices:
+        raise IndexingError(
+            "index/graph mismatch: index was built for "
+            f"{document['num_vertices']} vertices, graph has {graph.num_vertices}"
+        )
+    landmarks = list(document["landmarks"])
+    region = list(document["region"])
+    members: dict[int, list[int]] = {u: [] for u in landmarks}
+    for vertex, owner in enumerate(region):
+        if owner != -1:
+            members.setdefault(owner, []).append(vertex)
+    partition = Partition(landmarks=landmarks, region=region, members=members)
+    index = LocalIndex(graph, partition)
+    for u_text, table_doc in document["ii"].items():
+        table = CmsTable()
+        for v_text, masks in table_doc.items():
+            vertex = int(v_text)
+            for mask_text in masks:
+                table.insert(vertex, int(mask_text, 16))
+        index.ii[int(u_text)] = table
+    for u_text, transposed_doc in document["eit"].items():
+        index.eit[int(u_text)] = {
+            int(mask_text, 16): list(vertices)
+            for mask_text, vertices in transposed_doc.items()
+        }
+    for u_text, row in document["d"].items():
+        index.d[int(u_text)] = {int(v_text): count for v_text, count in row.items()}
+    index.build_seconds = float(document.get("build_seconds", 0.0))
+    return index
+
+
+def index_file_size(path: str | Path) -> int:
+    """Size of a saved index in bytes."""
+    return Path(path).stat().st_size

@@ -1,0 +1,129 @@
+"""High-level session facade for answering many queries on one graph.
+
+The individual algorithm classes are deliberately low-level (one object
+per algorithm, explicit index management).  :class:`LSCRSession` is the
+convenience layer a downstream application would use: pick an algorithm
+by name, build the local index once (for INS), reuse parsed constraints,
+and expose ask / answer / explain in one place.
+
+>>> from repro.datasets.toy import figure3_graph
+>>> session = LSCRSession(figure3_graph(), algorithm="uis")
+>>> session.ask("v0", "v4", ["likes", "follows"],
+...             "SELECT ?x WHERE { ?x <friendOf> v3 . v3 <likes> ?y . }")
+True
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable
+
+from repro.constraints.label_constraint import LabelConstraint
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.base import LSCRAlgorithm
+from repro.core.ins import INS
+from repro.core.naive import NaiveTwoProcedure
+from repro.core.query import LSCRQuery
+from repro.core.result import QueryResult
+from repro.core.uis import UIS
+from repro.core.uis_star import UISStar
+from repro.core.witness import WitnessPath, find_witness
+from repro.exceptions import ReproError
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.index.local_index import LocalIndex, build_local_index
+
+__all__ = ["LSCRSession"]
+
+_ALGORITHMS = ("uis", "uis*", "ins", "naive")
+
+
+class LSCRSession:
+    """One graph + one algorithm + cached constraints, ready to query."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        algorithm: str = "ins",
+        index: LocalIndex | None = None,
+        seed: int | None = None,
+        landmark_count: int | None = None,
+    ) -> None:
+        if algorithm not in _ALGORITHMS:
+            raise ReproError(
+                f"unknown algorithm {algorithm!r}; choose from {_ALGORITHMS}"
+            )
+        self.graph = graph
+        self.algorithm_name = algorithm
+        rng = random.Random(seed) if seed is not None else None
+        self._constraint_cache: dict[str, SubstructureConstraint] = {}
+        self._algorithm: LSCRAlgorithm
+        if algorithm == "ins":
+            if index is None:
+                index = build_local_index(graph, k=landmark_count, rng=seed or 0)
+            self.index: LocalIndex | None = index
+            self._algorithm = INS(graph, index, rng=rng)
+        else:
+            self.index = None
+            if algorithm == "uis":
+                self._algorithm = UIS(graph)
+            elif algorithm == "uis*":
+                self._algorithm = UISStar(graph, rng=rng)
+            else:
+                self._algorithm = NaiveTwoProcedure(graph)
+
+    def __repr__(self) -> str:
+        return f"LSCRSession({self.graph.name!r}, algorithm={self.algorithm_name!r})"
+
+    # ------------------------------------------------------------------
+
+    def _as_constraint(
+        self, constraint: str | SubstructureConstraint
+    ) -> SubstructureConstraint:
+        if isinstance(constraint, SubstructureConstraint):
+            return constraint
+        cached = self._constraint_cache.get(constraint)
+        if cached is None:
+            cached = SubstructureConstraint.from_sparql(constraint)
+            self._constraint_cache[constraint] = cached
+        return cached
+
+    def make_query(
+        self,
+        source: Hashable,
+        target: Hashable,
+        labels: Iterable[str] | LabelConstraint,
+        constraint: str | SubstructureConstraint,
+    ) -> LSCRQuery:
+        """Build an :class:`LSCRQuery` with constraint-text caching."""
+        if not isinstance(labels, LabelConstraint):
+            labels = LabelConstraint(labels)
+        return LSCRQuery(
+            source=source,
+            target=target,
+            labels=labels,
+            constraint=self._as_constraint(constraint),
+        )
+
+    # ------------------------------------------------------------------
+
+    def answer(self, query: LSCRQuery) -> QueryResult:
+        """Answer a prepared query with full telemetry."""
+        return self._algorithm.answer(query)
+
+    def ask(
+        self,
+        source: Hashable,
+        target: Hashable,
+        labels: Iterable[str] | LabelConstraint,
+        constraint: str | SubstructureConstraint,
+    ) -> bool:
+        """One-shot Boolean answer."""
+        return self.answer(self.make_query(source, target, labels, constraint)).answer
+
+    def answer_many(self, queries: Iterable[LSCRQuery]) -> list[QueryResult]:
+        """Answer a batch of prepared queries."""
+        return [self.answer(query) for query in queries]
+
+    def explain(self, query: LSCRQuery) -> WitnessPath | None:
+        """A witness path for a true query (None when false)."""
+        return find_witness(self.graph, query)

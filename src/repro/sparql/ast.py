@@ -1,0 +1,116 @@
+"""Abstract syntax for the embedded SPARQL subset.
+
+The engine supports exactly what the paper needs (Section 2 and Table 3):
+``SELECT`` / ``ASK`` queries over a basic graph pattern (a conjunction of
+triple patterns).  Substructure constraints are such patterns with a
+designated variable ``?x``; S1–S5 of Table 3 and the randomly generated
+constraints of Section 6.2 all fall in this fragment.
+
+Terms are either :class:`Var` or plain constants.  Constants are vertex
+names / label names as they appear in the graph (prefixed-name spelling);
+the parser shortens full IRIs into this spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = ["Var", "Term", "TriplePattern", "SelectQuery", "AskQuery", "Query"]
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A SPARQL variable, e.g. ``?x`` (name stored without the ``?``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A term in a triple pattern: variable or constant vertex/label name.
+Term = Union[Var, str]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One pattern ``subject predicate object``.
+
+    Predicates may also be variables, although the paper's constraints
+    always use constant predicates (``l ∈ 𝕃`` in Definition 2.2).
+    """
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def variables(self) -> tuple[Var, ...]:
+        """The distinct variables of this pattern, in position order."""
+        seen: list[Var] = []
+        for term in (self.subject, self.predicate, self.object):
+            if isinstance(term, Var) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        def fmt(term: Term) -> str:
+            return str(term) if isinstance(term, Var) else f"<{term}>"
+
+        return f"{fmt(self.subject)} {fmt(self.predicate)} {fmt(self.object)} ."
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """``SELECT [DISTINCT] ?v... WHERE { patterns }``.
+
+    An empty ``projection`` means ``SELECT *`` (all variables).
+    """
+
+    projection: tuple[Var, ...]
+    patterns: tuple[TriplePattern, ...]
+    distinct: bool = False
+
+    def variables(self) -> tuple[Var, ...]:
+        """All distinct variables appearing in the patterns."""
+        seen: list[Var] = []
+        for pattern in self.patterns:
+            for var in pattern.variables():
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    def effective_projection(self) -> tuple[Var, ...]:
+        """The projected variables (pattern variables for ``SELECT *``)."""
+        return self.projection if self.projection else self.variables()
+
+    def __str__(self) -> str:
+        head = "SELECT "
+        if self.distinct:
+            head += "DISTINCT "
+        head += " ".join(str(v) for v in self.projection) if self.projection else "*"
+        body = " ".join(str(p) for p in self.patterns)
+        return f"{head} WHERE {{ {body} }}"
+
+
+@dataclass(frozen=True)
+class AskQuery:
+    """``ASK WHERE { patterns }`` — satisfiability only."""
+
+    patterns: tuple[TriplePattern, ...]
+
+    def variables(self) -> tuple[Var, ...]:
+        """All distinct variables appearing in the patterns."""
+        seen: list[Var] = []
+        for pattern in self.patterns:
+            for var in pattern.variables():
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        body = " ".join(str(p) for p in self.patterns)
+        return f"ASK WHERE {{ {body} }}"
+
+
+Query = Union[SelectQuery, AskQuery]

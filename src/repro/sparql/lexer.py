@@ -1,0 +1,103 @@
+"""Tokeniser for the embedded SPARQL subset.
+
+Token kinds::
+
+    KEYWORD   SELECT | ASK | WHERE | DISTINCT   (case-insensitive)
+    VAR       ?name
+    IRI       <http://...>            (angle-bracketed IRI)
+    PNAME     ub:Course, rdf:type     (prefixed name)
+    STRING    'Research12', "x y"     (quoted literal)
+    STAR      *
+    LBRACE    {
+    RBRACE    }
+    DOT       .
+    EOF
+
+The grammar is small enough that a hand-rolled scanner is clearer than a
+regex table, and it reports exact offsets on bad input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SparqlSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset({"SELECT", "ASK", "WHERE", "DISTINCT"})
+
+_PUNCT = {"{": "LBRACE", "}": "RBRACE", ".": "DOT", "*": "STAR"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise ``text``; raises :class:`SparqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "#":  # comment to end of line
+            newline = text.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+        if char in _PUNCT:
+            tokens.append(Token(_PUNCT[char], char, index))
+            index += 1
+            continue
+        if char == "?" or char == "$":
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] in "_"):
+                end += 1
+            if end == index + 1:
+                raise SparqlSyntaxError("empty variable name", index)
+            tokens.append(Token("VAR", text[index + 1 : end], index))
+            index = end
+            continue
+        if char == "<":
+            close = text.find(">", index)
+            if close == -1:
+                raise SparqlSyntaxError("unterminated IRI", index)
+            tokens.append(Token("IRI", text[index + 1 : close], index))
+            index = close + 1
+            continue
+        if char in "'\"":
+            close = text.find(char, index + 1)
+            if close == -1:
+                raise SparqlSyntaxError("unterminated string literal", index)
+            tokens.append(Token("STRING", text[index + 1 : close], index))
+            index = close + 1
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] in "_:.-"):
+                end += 1
+            # A trailing '.' is the triple terminator, not part of the name.
+            while end > index and text[end - 1] == ".":
+                end -= 1
+            word = text[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, index))
+            elif ":" in word:
+                tokens.append(Token("PNAME", word, index))
+            else:
+                # Bare identifier: treated as a plain vertex/label name.
+                tokens.append(Token("PNAME", word, index))
+            index = end
+            continue
+        raise SparqlSyntaxError(f"unexpected character {char!r}", index)
+    tokens.append(Token("EOF", "", length))
+    return tokens

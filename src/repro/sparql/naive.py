@@ -1,0 +1,89 @@
+"""Brute-force BGP matcher — the reference oracle for evaluator tests.
+
+Enumerates the full cross product of vertex (and label) assignments for
+all variables and filters by edge membership.  Exponential, only usable
+on tiny graphs, deliberately written with no shared code with the real
+evaluator so that agreement between the two is meaningful evidence.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.exceptions import SparqlEvaluationError
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.sparql.ast import TriplePattern, Var
+
+__all__ = ["bruteforce_bgp"]
+
+
+def bruteforce_bgp(
+    graph: KnowledgeGraph,
+    patterns: list[TriplePattern] | tuple[TriplePattern, ...],
+    bindings: dict[str, int] | None = None,
+) -> list[dict[str, int]]:
+    """All solutions of the BGP by exhaustive enumeration (sorted)."""
+    vertex_vars: list[str] = []
+    label_vars: list[str] = []
+    for pattern in patterns:
+        for term, is_label in (
+            (pattern.subject, False),
+            (pattern.predicate, True),
+            (pattern.object, False),
+        ):
+            if not isinstance(term, Var):
+                continue
+            bucket = label_vars if is_label else vertex_vars
+            other = vertex_vars if is_label else label_vars
+            if term.name in other:
+                raise SparqlEvaluationError(
+                    f"variable ?{term.name} used as vertex and label"
+                )
+            if term.name not in bucket:
+                bucket.append(term.name)
+
+    fixed = dict(bindings) if bindings else {}
+    free_vertex_vars = [v for v in vertex_vars if v not in fixed]
+    free_label_vars = [v for v in label_vars if v not in fixed]
+
+    solutions: list[dict[str, int]] = []
+    vertex_ids = list(graph.vertices())
+    label_ids = list(range(graph.num_labels))
+    vertex_choices = product(vertex_ids, repeat=len(free_vertex_vars))
+    for vertex_assignment in vertex_choices:
+        for label_assignment in product(label_ids, repeat=len(free_label_vars)):
+            assignment = dict(fixed)
+            assignment.update(zip(free_vertex_vars, vertex_assignment))
+            assignment.update(zip(free_label_vars, label_assignment))
+            if _satisfies(graph, patterns, assignment):
+                solutions.append(assignment)
+    solutions.sort(key=lambda s: sorted(s.items()))
+    return solutions
+
+
+def _satisfies(
+    graph: KnowledgeGraph,
+    patterns,
+    assignment: dict[str, int],
+) -> bool:
+    for pattern in patterns:
+        s = _resolve(graph, pattern.subject, assignment, is_label=False)
+        p = _resolve(graph, pattern.predicate, assignment, is_label=True)
+        o = _resolve(graph, pattern.object, assignment, is_label=False)
+        if s is None or p is None or o is None:
+            return False
+        if not graph.has_edge(s, p, o):
+            return False
+    return True
+
+
+def _resolve(graph: KnowledgeGraph, term, assignment: dict[str, int], is_label: bool):
+    if isinstance(term, Var):
+        return assignment.get(term.name)
+    if is_label:
+        if term in graph.labels:
+            return graph.labels.id_of(term)
+        return None
+    if graph.has_vertex(term):
+        return graph.vid(term)
+    return None

@@ -1,0 +1,13 @@
+"""Small shared utilities: deterministic RNG plumbing, timers, validation."""
+
+from repro.utils.rng import derive_rng, make_rng
+from repro.utils.timing import Stopwatch, Timer
+from repro.utils.validation import require
+
+__all__ = [
+    "Stopwatch",
+    "Timer",
+    "derive_rng",
+    "make_rng",
+    "require",
+]

@@ -1,0 +1,54 @@
+"""Wall-clock measurement helpers used by the index builders and benches."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer", "Stopwatch"]
+
+
+class Timer:
+    """Context manager measuring the wall-clock time of a block.
+
+    >>> with Timer() as timer:
+    ...     sum(range(10))
+    45
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+class Stopwatch:
+    """Resumable stopwatch with an optional budget.
+
+    The traditional landmark index (Table 2 comparator) polls
+    :meth:`over_budget` between landmarks so that runaway builds abort
+    the way the paper's eight-hour cut-off does.
+    """
+
+    def __init__(self, budget_seconds: float | None = None) -> None:
+        self.budget_seconds = budget_seconds
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self._start
+
+    def over_budget(self) -> bool:
+        """True once the elapsed time exceeds the configured budget."""
+        if self.budget_seconds is None:
+            return False
+        return self.elapsed > self.budget_seconds

@@ -1,0 +1,20 @@
+"""Uniform precondition checking."""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+__all__ = ["require"]
+
+
+def require(
+    condition: bool,
+    message: str,
+    exc_type: type[Exception] = ReproError,
+) -> None:
+    """Raise ``exc_type(message)`` unless ``condition`` holds.
+
+    Used at public API boundaries; internal invariants use ``assert``.
+    """
+    if not condition:
+        raise exc_type(message)

@@ -1,0 +1,25 @@
+"""Evaluation workload generation (Sections 6.1.1 and 6.2)."""
+
+from repro.workloads.constraints import (
+    MagnitudeConstraint,
+    random_constraint_with_magnitude,
+)
+from repro.workloads.generator import (
+    FALSE_TYPES,
+    Workload,
+    WorkloadQuery,
+    generate_workload,
+    label_bucket_bounds,
+    tree_size_window,
+)
+
+__all__ = [
+    "FALSE_TYPES",
+    "MagnitudeConstraint",
+    "Workload",
+    "WorkloadQuery",
+    "generate_workload",
+    "label_bucket_bounds",
+    "random_constraint_with_magnitude",
+    "tree_size_window",
+]

@@ -1,0 +1,215 @@
+"""Random substructure constraints with controlled ``|V(S, G)|`` —
+the Section 6.2 protocol for the YAGO experiments (Figure 15).
+
+The paper generates constraints whose satisfying-vertex count lands in a
+target order of magnitude: ``|V(S, G)| ∈ [0.8m, 1.2m]`` for
+``m ∈ {10¹, 10², ...}``.  The construction mirrors the paper's
+description: start from a random instance vertex and one of its incident
+edges (a selective single-pattern constraint with that vertex in
+``V(S, G)``), then *gradually and randomly adjust* the parts —
+
+* **too small** → relax: replace a constant endpoint with a fresh
+  variable, or drop a surplus pattern;
+* **too large** → tighten: anchor a new pattern on an edge incident to a
+  current satisfying vertex (keeping it satisfying, shrinking the set).
+
+Each step re-evaluates ``|V(S, G)|`` exactly.  If a walk stalls, it
+restarts from a different seed vertex; after ``max_restarts`` the best
+constraint found is returned (or :class:`WorkloadError` under
+``strict``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.constraints.substructure import SubstructureConstraint
+from repro.exceptions import ConstraintError, WorkloadError
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.sparql.ast import TriplePattern, Var
+from repro.utils.rng import make_rng
+
+__all__ = ["MagnitudeConstraint", "random_constraint_with_magnitude"]
+
+
+@dataclass(frozen=True)
+class MagnitudeConstraint:
+    """A generated constraint with its measured ``|V(S, G)|``."""
+
+    constraint: SubstructureConstraint
+    cardinality: int
+    magnitude: int
+    in_window: bool
+
+
+def random_constraint_with_magnitude(
+    graph: KnowledgeGraph,
+    magnitude: int,
+    rng: int | random.Random | None = 0,
+    tolerance: float = 0.2,
+    max_steps: int = 40,
+    max_restarts: int = 8,
+    strict: bool = False,
+) -> MagnitudeConstraint:
+    """Generate a constraint with ``|V(S,G)| ∈ [(1-tol)·m, (1+tol)·m]``."""
+    rng = make_rng(rng)
+    low = max(1, int((1.0 - tolerance) * magnitude))
+    high = max(low, int((1.0 + tolerance) * magnitude))
+
+    best: tuple[int, SubstructureConstraint, int] | None = None  # (gap, S, |V|)
+    for _restart in range(max_restarts):
+        candidate = _seed_constraint(graph, rng)
+        if candidate is None:
+            continue
+        patterns, fresh_counter = candidate
+        for _step in range(max_steps):
+            constraint = _try_build(patterns)
+            if constraint is None:
+                break
+            cardinality = len(constraint.satisfying_vertices(graph))
+            gap = abs(cardinality - magnitude)
+            if best is None or gap < best[0]:
+                best = (gap, constraint, cardinality)
+            if low <= cardinality <= high:
+                return MagnitudeConstraint(
+                    constraint=constraint,
+                    cardinality=cardinality,
+                    magnitude=magnitude,
+                    in_window=True,
+                )
+            if cardinality < low:
+                changed = _relax(patterns, fresh_counter, rng)
+            else:
+                changed = _tighten(graph, constraint, patterns, rng)
+            if not changed:
+                break
+    if best is None or strict:
+        raise WorkloadError(
+            f"could not generate a constraint with |V(S,G)| ≈ {magnitude} "
+            f"after {max_restarts} restarts"
+            + ("" if best is None else f" (closest: {best[2]})")
+        )
+    return MagnitudeConstraint(
+        constraint=best[1],
+        cardinality=best[2],
+        magnitude=magnitude,
+        in_window=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# walk steps
+# ----------------------------------------------------------------------
+
+
+def _seed_constraint(
+    graph: KnowledgeGraph, rng: random.Random
+) -> tuple[list[TriplePattern], list[int]] | None:
+    """One pattern built from a random vertex's random incident edge."""
+    for _ in range(30):
+        vertex = rng.randrange(graph.num_vertices)
+        out_edges = list(graph.out_edges(vertex))
+        in_edges = list(graph.in_edges(vertex))
+        if not out_edges and not in_edges:
+            continue
+        use_out = bool(out_edges) and (not in_edges or rng.random() < 0.5)
+        if use_out:
+            label_id, other = rng.choice(out_edges)
+            pattern = TriplePattern(
+                Var("x"), graph.label_name(label_id), str(graph.name_of(other))
+            )
+        else:
+            label_id, other = rng.choice(in_edges)
+            pattern = TriplePattern(
+                str(graph.name_of(other)), graph.label_name(label_id), Var("x")
+            )
+        return [pattern], [0]
+    return None
+
+
+def _try_build(patterns: list[TriplePattern]) -> SubstructureConstraint | None:
+    try:
+        return SubstructureConstraint(patterns)
+    except ConstraintError:
+        return None
+
+
+def _relax(
+    patterns: list[TriplePattern],
+    fresh_counter: list[int],
+    rng: random.Random,
+) -> bool:
+    """Loosen the constraint: drop a pattern or variable-ise a constant."""
+    # Prefer dropping a surplus pattern (keeping ?x present).
+    if len(patterns) > 1:
+        droppable = [
+            i
+            for i in range(len(patterns))
+            if _keeps_designated(patterns, skip=i)
+        ]
+        if droppable:
+            del patterns[rng.choice(droppable)]
+            return True
+    # Otherwise replace a constant endpoint with a fresh variable.
+    candidates = [
+        (i, position)
+        for i, pattern in enumerate(patterns)
+        for position in ("subject", "object")
+        if not isinstance(getattr(pattern, position), Var)
+    ]
+    if not candidates:
+        return False
+    i, position = rng.choice(candidates)
+    fresh_counter[0] += 1
+    fresh = Var(f"r{fresh_counter[0]}")
+    pattern = patterns[i]
+    if position == "subject":
+        patterns[i] = TriplePattern(fresh, pattern.predicate, pattern.object)
+    else:
+        patterns[i] = TriplePattern(pattern.subject, pattern.predicate, fresh)
+    return True
+
+
+def _tighten(
+    graph: KnowledgeGraph,
+    constraint: SubstructureConstraint,
+    patterns: list[TriplePattern],
+    rng: random.Random,
+) -> bool:
+    """Shrink ``V(S, G)`` by anchoring a new pattern on a satisfier."""
+    satisfying = constraint.satisfying_vertices(graph)
+    if not satisfying:
+        return False
+    existing = set(patterns)
+    for _ in range(20):
+        anchor = rng.choice(satisfying)
+        out_edges = list(graph.out_edges(anchor))
+        in_edges = list(graph.in_edges(anchor))
+        if not out_edges and not in_edges:
+            continue
+        use_out = bool(out_edges) and (not in_edges or rng.random() < 0.5)
+        if use_out:
+            label_id, other = rng.choice(out_edges)
+            pattern = TriplePattern(
+                Var("x"), graph.label_name(label_id), str(graph.name_of(other))
+            )
+        else:
+            label_id, other = rng.choice(in_edges)
+            pattern = TriplePattern(
+                str(graph.name_of(other)), graph.label_name(label_id), Var("x")
+            )
+        if pattern not in existing:
+            patterns.append(pattern)
+            return True
+    return False
+
+
+def _keeps_designated(patterns: list[TriplePattern], skip: int) -> bool:
+    """Would ``?x`` still occur after removing pattern ``skip``?"""
+    target = Var("x")
+    return any(
+        target in pattern.variables()
+        for i, pattern in enumerate(patterns)
+        if i != skip
+    )

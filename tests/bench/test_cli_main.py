@@ -1,0 +1,21 @@
+"""Tests for the ``python -m repro.bench`` entry point."""
+
+from repro.bench.__main__ import main
+
+
+class TestBenchCli:
+    def test_single_experiment_smoke(self, capsys):
+        assert main(["fig5", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5(a)" in out
+        assert "completed in" in out
+
+    def test_seed_flag(self, capsys):
+        assert main(["fig5", "--smoke", "--seed", "3"]) == 0
+        assert "Figure 5(b)" in capsys.readouterr().out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["fig5", "table2", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Figure 5(a)" in out

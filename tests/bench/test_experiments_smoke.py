@@ -1,0 +1,93 @@
+"""Smoke tests: every table/figure runner executes at SMOKE scale.
+
+These are the CI guarantee that the benchmark harness — the deliverable
+that regenerates every table and figure — actually runs end-to-end.
+"""
+
+import pytest
+
+from repro.bench.experiments import SMOKE
+from repro.bench.harness import EXPERIMENTS, render_results, run_experiment
+from repro.exceptions import BenchmarkError
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table2",
+            "fig5",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "ablation",  # extension beyond the paper
+        }
+
+    def test_ablation_runs(self):
+        results = run_experiment("ablation", SMOKE, seed=0)
+        assert results[0].rows
+        variants = {row[1] for row in results[0].rows}
+        assert "INS" in variants
+        assert "INS-noprune" in variants
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(BenchmarkError, match="unknown experiment"):
+            run_experiment("fig99", SMOKE)
+
+
+class TestTable2:
+    def test_runs_and_reports_both_indexes(self):
+        results = run_experiment("table2", SMOKE, seed=0)
+        assert len(results) == 1
+        table = results[0]
+        assert table.experiment_id == "table2"
+        assert len(table.rows) == len(SMOKE.indexing_datasets)
+        for row in table.rows:
+            assert row[3] > 0  # local index time
+            assert row[4] > 0  # local index size
+
+
+class TestFig5:
+    def test_two_panels(self):
+        results = run_experiment("fig5", SMOKE, seed=0)
+        assert [r.experiment_id for r in results] == ["fig5a", "fig5b"]
+        for result in results:
+            for row in result.rows:
+                assert row[2] > 0  # indexing time
+
+    def test_vertex_scaling_is_increasing(self):
+        results = run_experiment("fig5", SMOKE, seed=0)
+        times = [row[2] for row in results[1].rows]
+        assert times == sorted(times)
+
+
+@pytest.mark.parametrize("figure", ["fig10", "fig14"])
+class TestConstraintFigures:
+    def test_four_panels(self, figure):
+        results = run_experiment(figure, SMOKE, seed=0)
+        assert [r.experiment_id for r in results] == [
+            f"{figure}a",
+            f"{figure}b",
+            f"{figure}c",
+            f"{figure}d",
+        ]
+        for result in results:
+            assert len(result.rows) == len(SMOKE.datasets)
+            assert result.headers == ("Dataset", "#q", "UIS", "UIS*", "INS")
+
+
+class TestFig15:
+    def test_runs_with_magnitude_rows(self):
+        results = run_experiment("fig15", SMOKE, seed=0)
+        assert len(results) == 4
+        assert len(results[0].rows) == len(SMOKE.yago_magnitudes)
+
+
+class TestRendering:
+    def test_render_results_printable(self):
+        results = run_experiment("fig5", SMOKE, seed=0)
+        text = render_results(results)
+        assert "Figure 5(a)" in text
+        assert "Figure 5(b)" in text

@@ -1,0 +1,53 @@
+"""Tests for the query-group measurement runner."""
+
+import pytest
+
+from repro.bench.measure import MeasurementError, run_query_group
+from repro.constraints.label_constraint import LabelConstraint
+from repro.core.naive import NaiveTwoProcedure
+from repro.core.query import LSCRQuery
+from repro.core.uis import UIS
+from repro.datasets.toy import figure3_constraint, figure3_graph
+from repro.workloads.generator import WorkloadQuery
+
+
+def make_item(source, target, labels, expected):
+    query = LSCRQuery(
+        source=source,
+        target=target,
+        labels=LabelConstraint(labels),
+        constraint=figure3_constraint(),
+    )
+    return WorkloadQuery(query=query, expected=expected, tree_size=1, label_bucket=0)
+
+
+class TestRunQueryGroup:
+    def test_aggregates_per_algorithm(self):
+        g = figure3_graph()
+        items = [
+            make_item("v0", "v4", ["likes", "follows"], True),
+            make_item("v0", "v3", ["likes", "follows"], False),
+        ]
+        aggregates = run_query_group([UIS(g), NaiveTwoProcedure(g)], items)
+        assert set(aggregates) == {"UIS", "Naive"}
+        assert aggregates["UIS"].count == 2
+        assert aggregates["UIS"].true_answers == 1
+        assert aggregates["UIS"].mean_seconds > 0
+
+    def test_wrong_expectation_raises(self):
+        g = figure3_graph()
+        items = [make_item("v0", "v4", ["likes", "follows"], False)]  # wrong!
+        with pytest.raises(MeasurementError):
+            run_query_group([UIS(g)], items)
+
+    def test_verify_can_be_disabled(self):
+        g = figure3_graph()
+        items = [make_item("v0", "v4", ["likes", "follows"], False)]
+        aggregates = run_query_group([UIS(g)], items, verify=False)
+        assert aggregates["UIS"].count == 1
+
+    def test_mean_passed_vertices(self):
+        g = figure3_graph()
+        items = [make_item("v0", "v4", ["likes", "follows"], True)]
+        aggregates = run_query_group([UIS(g)], items)
+        assert aggregates["UIS"].mean_passed_vertices >= 1

@@ -1,0 +1,49 @@
+"""Tests for the bench table renderer."""
+
+from repro.bench.reporting import format_number, format_table, render_experiment
+
+
+class TestFormatNumber:
+    def test_none_is_dash(self):
+        assert format_number(None) == "-"
+
+    def test_strings_pass_through(self):
+        assert format_number("-") == "-"
+
+    def test_bools(self):
+        assert format_number(True) == "yes"
+        assert format_number(False) == "no"
+
+    def test_ints_with_separators(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_floats_by_magnitude(self):
+        assert format_number(0.0) == "0"
+        assert format_number(1234.5) == "1,234"
+        assert format_number(3.14159) == "3.14"
+        assert format_number(0.00123) == "0.0012"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["A", "Bee"], [["x", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # all rows equal width
+        assert len({len(line.rstrip()) for line in lines[2:]}) <= 2
+        assert lines[0].startswith("A")
+
+    def test_header_separator(self):
+        table = format_table(["H"], [["v"]])
+        assert "-" in table.splitlines()[1]
+
+
+class TestRenderExperiment:
+    def test_title_and_notes(self):
+        text = render_experiment("My Title", ["H"], [["v"]], notes=["a note"])
+        assert "== My Title ==" in text
+        assert "note: a note" in text
+
+    def test_no_notes(self):
+        text = render_experiment("T", ["H"], [["v"]])
+        assert "note" not in text

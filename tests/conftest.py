@@ -1,0 +1,28 @@
+"""Shared fixtures for the whole test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.substructure import SubstructureConstraint
+from repro.datasets.lubm import generate_dataset
+from repro.datasets.toy import figure3_constraint, figure3_graph
+from repro.graph.labeled_graph import KnowledgeGraph
+
+
+@pytest.fixture()
+def g0() -> KnowledgeGraph:
+    """The Figure 3 running-example graph."""
+    return figure3_graph()
+
+
+@pytest.fixture()
+def s0() -> SubstructureConstraint:
+    """The Figure 3 substructure constraint S0."""
+    return figure3_constraint()
+
+
+@pytest.fixture(scope="session")
+def lubm_d0() -> KnowledgeGraph:
+    """A small LUBM-like dataset shared across tests (read-only)."""
+    return generate_dataset("D0", rng=0)

@@ -1,0 +1,118 @@
+"""Tests for substructure constraints and SCck."""
+
+import pytest
+
+from repro.constraints.substructure import SubstructureChecker, SubstructureConstraint
+from repro.datasets.toy import figure3_constraint, figure3_graph
+from repro.exceptions import ConstraintError
+from repro.sparql.ast import TriplePattern, Var
+from tests.helpers import graph_from_edges
+
+
+class TestConstruction:
+    def test_from_sparql_infers_variable(self):
+        constraint = SubstructureConstraint.from_sparql(
+            "SELECT ?x WHERE { ?x <likes> ?y . }"
+        )
+        assert constraint.variable == "x"
+
+    def test_from_sparql_explicit_variable(self):
+        constraint = SubstructureConstraint.from_sparql(
+            "SELECT ?a ?b WHERE { ?a <likes> ?b . }", variable="b"
+        )
+        assert constraint.variable == "b"
+
+    def test_from_sparql_ambiguous_projection_rejected(self):
+        with pytest.raises(ConstraintError, match="exactly one"):
+            SubstructureConstraint.from_sparql("SELECT ?a ?b WHERE { ?a <p> ?b . }")
+
+    def test_variable_must_occur(self):
+        with pytest.raises(ConstraintError, match="does not occur"):
+            SubstructureConstraint([TriplePattern(Var("y"), "p", "v")], variable="x")
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(ConstraintError, match="at least one"):
+            SubstructureConstraint([])
+
+    def test_from_parts(self):
+        constraint = SubstructureConstraint.from_parts(
+            concrete_edges=[("v3", "likes", "v4")],
+            variable_edges=[TriplePattern(Var("x"), "friendOf", "v3")],
+        )
+        assert constraint.size == 2
+
+    def test_equality_and_hash(self):
+        a = figure3_constraint()
+        b = figure3_constraint()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_sparql_roundtrip(self):
+        constraint = figure3_constraint()
+        again = SubstructureConstraint.from_sparql(constraint.to_sparql())
+        assert again == SubstructureConstraint(constraint.patterns, constraint.variable)
+
+    def test_variables_designated_first(self):
+        constraint = SubstructureConstraint.from_sparql(
+            "SELECT ?x WHERE { ?y <p> ?x . ?y <q> ?z . }", variable="x"
+        )
+        assert constraint.variables()[0] == Var("x")
+
+
+class TestEvaluation:
+    def test_figure3_satisfying_vertices(self):
+        g = figure3_graph()
+        constraint = figure3_constraint()
+        names = sorted(g.name_of(v) for v in constraint.satisfying_vertices(g))
+        assert names == ["v1", "v2"]  # the paper's V(S0, G0)
+
+    def test_satisfied_by_individual_vertices(self):
+        g = figure3_graph()
+        constraint = figure3_constraint()
+        assert constraint.satisfied_by(g, g.vid("v1"))
+        assert constraint.satisfied_by(g, g.vid("v2"))
+        assert not constraint.satisfied_by(g, g.vid("v0"))
+        assert not constraint.satisfied_by(g, g.vid("v3"))
+
+    def test_every_pattern_must_match(self):
+        # E_? semantics (DESIGN.md §5.2): v3 with no likes-edge fails S0.
+        g = graph_from_edges([("v1", "friendOf", "v3")])
+        constraint = figure3_constraint()
+        assert constraint.satisfying_vertices(g) == []
+
+    def test_constraint_on_unrelated_graph_is_empty(self):
+        g = graph_from_edges([("a", "other", "b")])
+        assert figure3_constraint().satisfying_vertices(g) == []
+
+
+class TestChecker:
+    def test_counts_calls(self):
+        g = figure3_graph()
+        checker = SubstructureChecker(g, figure3_constraint())
+        checker(g.vid("v1"))
+        checker(g.vid("v1"))
+        checker(g.vid("v0"))
+        assert checker.calls == 3
+
+    def test_memoises_verdicts(self):
+        g = figure3_graph()
+        checker = SubstructureChecker(g, figure3_constraint())
+        assert checker(g.vid("v1")) is True
+        assert checker(g.vid("v1")) is True
+        assert len(checker._cache) == 1
+
+    def test_unsatisfiable_constraint_short_circuits(self):
+        g = graph_from_edges([("a", "p", "b")])
+        constraint = SubstructureConstraint.from_sparql(
+            "SELECT ?x WHERE { ?x <nonexistent> ?y . }"
+        )
+        checker = SubstructureChecker(g, constraint)
+        assert checker(g.vid("a")) is False
+        assert checker._unsatisfiable
+
+    def test_checker_matches_satisfied_by(self):
+        g = figure3_graph()
+        constraint = figure3_constraint()
+        checker = SubstructureChecker(g, constraint)
+        for v in g.vertices():
+            assert checker(v) == constraint.satisfied_by(g, v)

@@ -1,0 +1,139 @@
+"""Property-based cross-algorithm agreement.
+
+The library's central correctness property: UIS, UIS* and INS are exact
+algorithms for the same problem, so on any graph, any constraint and any
+query they must agree with the naive two-procedure oracle (whose
+correctness is immediate from Theorem 2.1).  Hypothesis drives random
+graphs, random anchored constraints and all-pairs queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.label_constraint import LabelConstraint
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.ins import INS
+from repro.core.naive import NaiveTwoProcedure
+from repro.core.query import LSCRQuery
+from repro.core.uis import UIS
+from repro.core.uis_star import UISStar
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.index.local_index import build_local_index
+from repro.sparql.ast import TriplePattern, Var
+
+VERTICES = [f"v{i}" for i in range(9)]
+LABELS = ["a", "b", "c"]
+
+
+@st.composite
+def agreement_cases(draw):
+    graph = KnowledgeGraph("agree")
+    for vertex in VERTICES:
+        graph.add_vertex(vertex)
+    for label in LABELS:
+        graph.labels.intern(label)
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(VERTICES),
+                st.sampled_from(LABELS),
+                st.sampled_from(VERTICES),
+            ),
+            max_size=20,
+        )
+    )
+    for source, label, target in edges:
+        graph.add_edge(source, label, target)
+
+    # Anchored constraint: ?x --label--> anchor (plus optional extra leg).
+    anchor = draw(st.sampled_from(VERTICES))
+    label = draw(st.sampled_from(LABELS))
+    outward = draw(st.booleans())
+    patterns = [
+        TriplePattern(Var("x"), label, anchor)
+        if outward
+        else TriplePattern(anchor, label, Var("x"))
+    ]
+    if draw(st.booleans()):
+        patterns.append(
+            TriplePattern(
+                draw(st.sampled_from(VERTICES)),
+                draw(st.sampled_from(LABELS)),
+                Var("y"),
+            )
+        )
+    constraint = SubstructureConstraint(patterns)
+
+    label_count = draw(st.integers(min_value=1, max_value=len(LABELS)))
+    labels = draw(
+        st.lists(
+            st.sampled_from(LABELS),
+            min_size=label_count,
+            max_size=label_count,
+            unique=True,
+        )
+    )
+    source = draw(st.sampled_from(VERTICES))
+    target = draw(st.sampled_from(VERTICES))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return graph, constraint, labels, source, target, seed
+
+
+class TestCrossAlgorithmAgreement:
+    @settings(max_examples=120, deadline=None)
+    @given(agreement_cases())
+    def test_all_algorithms_agree_with_oracle(self, case):
+        graph, constraint, labels, source, target, seed = case
+        query = LSCRQuery(
+            source=source,
+            target=target,
+            labels=LabelConstraint(labels),
+            constraint=constraint,
+        )
+        expected = NaiveTwoProcedure(graph).decide(query)
+        index = build_local_index(graph, k=3, rng=seed)
+        algorithms = [
+            UIS(graph),
+            UISStar(graph, rng=random.Random(seed)),
+            INS(graph, index, rng=random.Random(seed)),
+        ]
+        for algorithm in algorithms:
+            assert algorithm.decide(query) == expected, algorithm.name
+
+    @settings(max_examples=40, deadline=None)
+    @given(agreement_cases())
+    def test_passed_vertices_bounded_by_v(self, case):
+        graph, constraint, labels, source, target, seed = case
+        query = LSCRQuery(
+            source=source,
+            target=target,
+            labels=LabelConstraint(labels),
+            constraint=constraint,
+        )
+        index = build_local_index(graph, k=3, rng=seed)
+        for algorithm in (
+            UIS(graph),
+            UISStar(graph),
+            INS(graph, index),
+        ):
+            result = algorithm.answer(query)
+            assert 0 <= result.passed_vertices <= graph.num_vertices
+
+    @settings(max_examples=40, deadline=None)
+    @given(agreement_cases())
+    def test_answers_stable_across_repeats(self, case):
+        graph, constraint, labels, source, target, seed = case
+        query = LSCRQuery(
+            source=source,
+            target=target,
+            labels=LabelConstraint(labels),
+            constraint=constraint,
+        )
+        star = UISStar(graph, rng=random.Random(seed))
+        first = star.decide(query)
+        second = star.decide(query)
+        assert first == second

@@ -1,0 +1,66 @@
+"""Tests for the close surjection (Definition 3.1)."""
+
+import pytest
+
+from repro.core.close import CloseMap, F, N, T
+
+
+class TestCloseMap:
+    def test_initial_state_is_n(self):
+        close = CloseMap(4)
+        assert all(close[v] == N for v in range(4))
+        assert close.passed_count == 0
+
+    def test_upgrade_n_to_f_to_t(self):
+        close = CloseMap(2)
+        close[0] = F
+        assert close[0] == F
+        close[0] = T
+        assert close[0] == T
+
+    def test_direct_n_to_t(self):
+        close = CloseMap(1)
+        close[0] = T
+        assert close[0] == T
+
+    def test_downgrade_rejected(self):
+        close = CloseMap(1)
+        close[0] = T
+        with pytest.raises(ValueError, match="downgrade"):
+            close[0] = F
+
+    def test_same_state_reassignment_allowed(self):
+        close = CloseMap(1)
+        close[0] = F
+        close[0] = F
+        assert close.passed_count == 1
+
+    def test_passed_count_counts_non_n(self):
+        close = CloseMap(5)
+        close[0] = F
+        close[1] = T
+        close[0] = T  # upgrade does not double-count
+        assert close.passed_count == 2
+
+    def test_len(self):
+        assert len(CloseMap(7)) == 7
+
+    def test_state_name(self):
+        close = CloseMap(3)
+        close[1] = F
+        close[2] = T
+        assert close.state_name(0) == "N"
+        assert close.state_name(1) == "F"
+        assert close.state_name(2) == "T"
+
+    def test_vertices_in_state(self):
+        close = CloseMap(4)
+        close[1] = F
+        close[3] = F
+        close[3] = T
+        assert close.vertices_in_state(N) == [0, 2]
+        assert close.vertices_in_state(F) == [1]
+        assert close.vertices_in_state(T) == [3]
+
+    def test_state_ordering_matches_information_content(self):
+        assert N < F < T

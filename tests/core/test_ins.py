@@ -1,0 +1,143 @@
+"""Tests specific to INS (Algorithm 4)."""
+
+import random
+
+import pytest
+
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.ins import INS, _LazyPriorityQueue
+from repro.core.query import LSCRQuery
+from repro.datasets.synthetic import cycle_graph, line_graph
+from repro.datasets.toy import figure3_constraint, figure3_graph
+from repro.exceptions import IndexingError
+from repro.index.local_index import build_local_index
+from tests.helpers import graph_from_edges
+
+
+def anchor(label: str, target: str) -> SubstructureConstraint:
+    return SubstructureConstraint.from_sparql(
+        f"SELECT ?x WHERE {{ ?x <{label}> {target} . }}"
+    )
+
+
+class TestLazyPriorityQueue:
+    def test_orders_by_key(self):
+        q = _LazyPriorityQueue()
+        q.push(1, (2,))
+        q.push(2, (1,))
+        q.push(3, (3,))
+        assert q.pop() == 2
+        assert q.pop() == 1
+        assert q.pop() == 3
+        assert q.pop() is None
+
+    def test_repush_deletes_first_added(self):
+        q = _LazyPriorityQueue()
+        q.push(1, (0,))
+        q.push(1, (5,))  # re-push: old entry lazily deleted
+        assert q.pop() == 1
+        assert q.pop() is None
+
+    def test_peek_skips_dead_entries(self):
+        q = _LazyPriorityQueue()
+        q.push(1, (0,))
+        q.push(1, (9,))
+        assert q.peek() == 1
+        assert bool(q)
+        q.pop()
+        assert q.peek() is None
+        assert not q
+
+    def test_fifo_tiebreak(self):
+        q = _LazyPriorityQueue()
+        q.push(7, (1,))
+        q.push(8, (1,))
+        assert q.pop() == 7
+        assert q.pop() == 8
+
+
+class TestConstruction:
+    def test_index_built_on_demand(self):
+        g = figure3_graph()
+        ins = INS(g)  # no index passed
+        query = LSCRQuery.create("v0", "v4", ["likes", "follows"], figure3_constraint())
+        assert ins.decide(query) is True
+
+    def test_foreign_index_rejected(self):
+        g1 = figure3_graph()
+        g2 = figure3_graph()
+        index = build_local_index(g1, k=2, rng=0)
+        with pytest.raises(IndexingError, match="different graph"):
+            INS(g2, index)
+
+
+class TestIndexPruning:
+    def test_landmark_check_short_circuit(self):
+        # A landmark whose region contains the target answers via II.
+        g = line_graph(6)
+        g.add_edge("n0", "mark", "flag")
+        index = build_local_index(g, landmarks=[g.vid("n2")])
+        ins = INS(g, index)
+        query = LSCRQuery.create("n0", "n6", ["next"], anchor("mark", "flag"))
+        result = ins.answer(query)
+        assert result.answer is True
+        assert result.index_resolutions > 0
+
+    def test_cut_and_push_preserve_completeness(self):
+        # Paths that leave and re-enter a landmark region must still be
+        # found even though Cut marks interior vertices without enqueue.
+        g = graph_from_edges(
+            [
+                ("s", "l", "L1"),
+                ("L1", "l", "inner"),
+                ("inner", "l", "outside"),
+                ("outside", "l", "t"),
+                ("s", "mark", "flag"),
+            ]
+        )
+        index = build_local_index(g, landmarks=[g.vid("L1")])
+        ins = INS(g, index)
+        query = LSCRQuery.create("s", "t", ["l"], anchor("mark", "flag"))
+        assert ins.decide(query) is True
+
+    def test_push_detects_target(self):
+        # The target is a border vertex delivered by Push (DESIGN §5.5).
+        g = graph_from_edges(
+            [
+                ("s", "l", "L1"),
+                ("L1", "l", "t"),       # t outside L1's region? ensure via landmarks
+                ("s", "mark", "flag"),
+            ]
+        )
+        index = build_local_index(g, landmarks=[g.vid("L1"), g.vid("t")])
+        ins = INS(g, index)
+        query = LSCRQuery.create("s", "t", ["l"], anchor("mark", "flag"))
+        assert ins.decide(query) is True
+
+
+class TestParityWithFigure3:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_orders_agree(self, seed):
+        g = figure3_graph()
+        index = build_local_index(g, k=2, rng=seed)
+        ins = INS(g, index, rng=random.Random(seed))
+        cases = [
+            ("v0", "v4", ["likes", "follows"], True),
+            ("v0", "v3", ["likes", "follows"], False),
+            ("v3", "v4", ["likes", "hates", "friendOf"], True),
+        ]
+        for source, target, labels, expected in cases:
+            query = LSCRQuery.create(source, target, labels, figure3_constraint())
+            assert ins.decide(query) == expected
+
+    def test_telemetry_fields(self):
+        g = cycle_graph(8)
+        g.add_edge("n3", "mark", "flag")
+        index = build_local_index(g, k=2, rng=0)
+        ins = INS(g, index)
+        query = LSCRQuery.create("n0", "n7", ["next"], anchor("mark", "flag"))
+        result = ins.answer(query)
+        assert result.answer is True
+        assert result.algorithm == "INS"
+        assert result.vsg_size == 1
+        assert result.lcs_calls >= 1

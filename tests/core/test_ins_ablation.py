@@ -1,0 +1,128 @@
+"""Tests for the INS ablation switches (design-choice isolation).
+
+The two mechanisms Section 5 credits for INS's speed — index pruning
+(Check/Cut/Push) and the informed orderings — can be disabled
+independently.  Correctness must be unaffected (they are accelerators,
+not semantics); only the work done may change.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.label_constraint import LabelConstraint
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.ins import INS
+from repro.core.naive import NaiveTwoProcedure
+from repro.core.query import LSCRQuery
+from repro.datasets.toy import figure3_constraint, figure3_graph
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.index.local_index import build_local_index
+from repro.sparql.ast import TriplePattern, Var
+
+
+class TestNames:
+    def test_variant_names(self):
+        g = figure3_graph()
+        index = build_local_index(g, k=2, rng=0)
+        assert INS(g, index).name == "INS"
+        assert INS(g, index, use_index_pruning=False).name == "INS-noprune"
+        assert INS(g, index, use_priorities=False).name == "INS-noprio"
+        assert (
+            INS(g, index, use_index_pruning=False, use_priorities=False).name
+            == "INS-noprune-noprio"
+        )
+
+
+class TestAblatedCorrectness:
+    CASES = [
+        ("v0", "v4", ["likes", "follows"], True),
+        ("v0", "v3", ["likes", "follows"], False),
+        ("v3", "v4", ["likes", "hates", "friendOf"], True),
+        ("v4", "v4", ["hates", "friendOf", "likes"], True),
+    ]
+
+    def test_figure3_cases_for_all_variants(self):
+        g = figure3_graph()
+        index = build_local_index(g, k=2, rng=0)
+        for pruning in (True, False):
+            for priorities in (True, False):
+                ins = INS(
+                    g,
+                    index,
+                    use_index_pruning=pruning,
+                    use_priorities=priorities,
+                )
+                for source, target, labels, expected in self.CASES:
+                    query = LSCRQuery.create(
+                        source, target, labels, figure3_constraint()
+                    )
+                    assert ins.decide(query) == expected, (pruning, priorities)
+
+    def test_no_pruning_does_no_index_resolutions(self):
+        g = figure3_graph()
+        index = build_local_index(g, k=2, rng=0)
+        ins = INS(g, index, use_index_pruning=False)
+        query = LSCRQuery.create("v0", "v4", ["likes", "follows"], figure3_constraint())
+        result = ins.answer(query)
+        assert result.answer is True
+        assert result.index_resolutions == 0
+
+
+VERTICES = [f"v{i}" for i in range(8)]
+LABELS = ["a", "b"]
+
+
+@st.composite
+def ablation_cases(draw):
+    g = KnowledgeGraph("abl")
+    for v in VERTICES:
+        g.add_vertex(v)
+    for label in LABELS:
+        g.labels.intern(label)
+    for s, l, t in draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(VERTICES),
+                st.sampled_from(LABELS),
+                st.sampled_from(VERTICES),
+            ),
+            max_size=16,
+        )
+    ):
+        g.add_edge(s, l, t)
+    anchor = draw(st.sampled_from(VERTICES))
+    constraint = SubstructureConstraint(
+        [TriplePattern(Var("x"), draw(st.sampled_from(LABELS)), anchor)]
+    )
+    labels = draw(st.lists(st.sampled_from(LABELS), min_size=1, max_size=2, unique=True))
+    return (
+        g,
+        LSCRQuery(
+            source=draw(st.sampled_from(VERTICES)),
+            target=draw(st.sampled_from(VERTICES)),
+            labels=LabelConstraint(labels),
+            constraint=constraint,
+        ),
+        draw(st.integers(min_value=0, max_value=999)),
+    )
+
+
+class TestAblationAgreement:
+    @settings(max_examples=100, deadline=None)
+    @given(ablation_cases())
+    def test_all_variants_agree_with_oracle(self, case):
+        graph, query, seed = case
+        expected = NaiveTwoProcedure(graph).decide(query)
+        index = build_local_index(graph, k=3, rng=seed)
+        for pruning in (True, False):
+            for priorities in (True, False):
+                ins = INS(
+                    graph,
+                    index,
+                    rng=random.Random(seed),
+                    use_index_pruning=pruning,
+                    use_priorities=priorities,
+                )
+                assert ins.decide(query) == expected, (pruning, priorities)

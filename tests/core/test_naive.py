@@ -1,0 +1,85 @@
+"""Tests for the naive two-procedure baseline (the oracle itself)."""
+
+from repro.core.naive import NaiveTwoProcedure
+from repro.core.query import LSCRQuery
+from repro.constraints.substructure import SubstructureConstraint
+from repro.datasets.synthetic import cycle_graph, line_graph
+from tests.helpers import graph_from_edges
+
+
+def anchor_constraint(label: str, target: str) -> SubstructureConstraint:
+    return SubstructureConstraint.from_sparql(
+        f"SELECT ?x WHERE {{ ?x <{label}> {target} . }}"
+    )
+
+
+class TestNaive:
+    def test_satisfying_vertex_midway(self):
+        g = graph_from_edges(
+            [("a", "n", "b"), ("b", "n", "c"), ("b", "mark", "flag")]
+        )
+        naive = NaiveTwoProcedure(g)
+        query = LSCRQuery.create("a", "c", ["n"], anchor_constraint("mark", "flag"))
+        assert naive.decide(query)
+
+    def test_no_satisfying_vertex_on_path(self):
+        g = graph_from_edges(
+            [("a", "n", "b"), ("b", "n", "c"), ("d", "mark", "flag")]
+        )
+        naive = NaiveTwoProcedure(g)
+        query = LSCRQuery.create("a", "c", ["n"], anchor_constraint("mark", "flag"))
+        assert not naive.decide(query)
+
+    def test_source_satisfies(self):
+        g = graph_from_edges([("a", "mark", "flag"), ("a", "n", "b")])
+        naive = NaiveTwoProcedure(g)
+        query = LSCRQuery.create("a", "b", ["n"], anchor_constraint("mark", "flag"))
+        assert naive.decide(query)
+
+    def test_target_satisfies(self):
+        g = graph_from_edges([("a", "n", "b"), ("b", "mark", "flag")])
+        naive = NaiveTwoProcedure(g)
+        query = LSCRQuery.create("a", "b", ["n"], anchor_constraint("mark", "flag"))
+        assert naive.decide(query)
+
+    def test_satisfying_vertex_unreachable_under_label(self):
+        g = graph_from_edges(
+            [("a", "n", "c"), ("a", "blocked", "b"), ("b", "mark", "flag"), ("b", "n", "c")]
+        )
+        naive = NaiveTwoProcedure(g)
+        query = LSCRQuery.create("a", "c", ["n"], anchor_constraint("mark", "flag"))
+        assert not naive.decide(query)
+
+    def test_second_leg_must_also_hold(self):
+        # b satisfies but cannot continue to the target under L.
+        g = graph_from_edges(
+            [("a", "n", "b"), ("b", "mark", "flag"), ("b", "blocked", "c")]
+        )
+        naive = NaiveTwoProcedure(g)
+        query = LSCRQuery.create("a", "c", ["n"], anchor_constraint("mark", "flag"))
+        assert not naive.decide(query)
+
+    def test_long_line(self):
+        g = line_graph(30)
+        g.add_edge("n15", "mark", "flag")
+        naive = NaiveTwoProcedure(g)
+        query = LSCRQuery.create("n0", "n30", ["next"], anchor_constraint("mark", "flag"))
+        assert naive.decide(query)
+
+    def test_cycle_revisit(self):
+        g = cycle_graph(6)
+        g.add_edge("n3", "mark", "flag")
+        naive = NaiveTwoProcedure(g)
+        # target "behind" the source on the cycle: must go around.
+        query = LSCRQuery.create("n4", "n2", ["next"], anchor_constraint("mark", "flag"))
+        assert naive.decide(query)
+
+    def test_telemetry_counts(self):
+        g = line_graph(5)
+        naive = NaiveTwoProcedure(g)
+        query = LSCRQuery.create("n0", "n5", ["next"], anchor_constraint("missing", "x"))
+        result = naive.answer(query)
+        assert result.answer is False
+        assert result.passed_vertices == 6  # the whole line is explored
+        assert result.scck_calls == 6
+        assert result.algorithm == "Naive"

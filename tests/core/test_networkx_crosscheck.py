@@ -1,0 +1,102 @@
+"""Cross-validation against networkx — a third-party reachability oracle.
+
+All in-repo oracles share this codebase's graph structure; networkx is
+an entirely independent implementation.  LSCR truth is reconstructed
+from first principles on the networkx side: build the two-layer product
+multigraph (layer 0 = no satisfying vertex passed yet, layer 1 = one
+passed) restricted to the constraint labels, and test
+``nx.has_path(product, (s, start_layer), (t, 1))``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.constraints.label_constraint import LabelConstraint
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.ins import INS
+from repro.core.naive import NaiveTwoProcedure
+from repro.core.query import LSCRQuery
+from repro.core.uis import UIS
+from repro.core.uis_star import UISStar
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.index.local_index import build_local_index
+from repro.sparql.ast import TriplePattern, Var
+
+
+def lscr_truth_via_networkx(
+    graph: KnowledgeGraph, query: LSCRQuery
+) -> bool:
+    mask = query.labels.mask_for(graph)
+    satisfying = set(query.constraint.satisfying_vertices(graph))
+    product = nx.DiGraph()
+    for v in graph.vertices():
+        product.add_node((v, 0))
+        product.add_node((v, 1))
+    for s, label_id, t in graph.edges():
+        if not mask >> label_id & 1:
+            continue
+        for layer in (0, 1):
+            target_layer = 1 if (layer == 1 or t in satisfying) else 0
+            product.add_edge((s, layer), (t, target_layer))
+    source = graph.vid(query.source)
+    target = graph.vid(query.target)
+    start_layer = 1 if source in satisfying else 0
+    return nx.has_path(product, (source, start_layer), (target, 1))
+
+
+def random_case(seed: int):
+    rng = random.Random(seed)
+    n = rng.randint(3, 14)
+    labels = [f"l{i}" for i in range(rng.randint(1, 4))]
+    graph = KnowledgeGraph(f"nx{seed}")
+    names = [f"v{i}" for i in range(n)]
+    for name in names:
+        graph.add_vertex(name)
+    for label in labels:
+        graph.labels.intern(label)
+    for _ in range(rng.randint(0, n * 3)):
+        graph.add_edge(rng.choice(names), rng.choice(labels), rng.choice(names))
+    anchor = rng.choice(names)
+    constraint = SubstructureConstraint(
+        [TriplePattern(Var("x"), rng.choice(labels), anchor)]
+    )
+    query = LSCRQuery(
+        source=rng.choice(names),
+        target=rng.choice(names),
+        labels=LabelConstraint(rng.sample(labels, rng.randint(1, len(labels)))),
+        constraint=constraint,
+    )
+    return graph, query
+
+
+class TestNetworkxAgreement:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_all_algorithms_match_networkx(self, seed):
+        graph, query = random_case(seed)
+        expected = lscr_truth_via_networkx(graph, query)
+        index = build_local_index(graph, k=3, rng=seed)
+        algorithms = [
+            NaiveTwoProcedure(graph),
+            UIS(graph),
+            UISStar(graph, rng=random.Random(seed)),
+            INS(graph, index, rng=random.Random(seed)),
+        ]
+        for algorithm in algorithms:
+            assert algorithm.decide(query) == expected, algorithm.name
+
+    def test_networkx_oracle_on_figure3(self):
+        from repro.datasets.toy import figure3_constraint, figure3_graph
+
+        graph = figure3_graph()
+        cases = [
+            ("v0", "v4", ["likes", "follows"], True),
+            ("v0", "v3", ["likes", "follows"], False),
+            ("v3", "v4", ["likes", "hates", "friendOf"], True),
+        ]
+        for source, target, labels, expected in cases:
+            query = LSCRQuery.create(source, target, labels, figure3_constraint())
+            assert lscr_truth_via_networkx(graph, query) == expected

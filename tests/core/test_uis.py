@@ -1,0 +1,86 @@
+"""Tests specific to UIS (Algorithm 1)."""
+
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.query import LSCRQuery
+from repro.core.uis import UIS
+from repro.datasets.synthetic import cycle_graph, line_graph
+from repro.datasets.toy import figure3_constraint, figure3_graph
+from tests.helpers import graph_from_edges
+
+
+def anchor(label: str, target: str) -> SubstructureConstraint:
+    return SubstructureConstraint.from_sparql(
+        f"SELECT ?x WHERE {{ ?x <{label}> {target} . }}"
+    )
+
+
+class TestRecall:
+    def test_section3_recall_walk(self):
+        """The paper's motivating example: UIS must walk
+        v3 → v4 → v1 → v3 → v4, revisiting v3 and v4 after v1 upgrades
+        the state to T (plain DFS/BFS cannot answer this)."""
+        graph = figure3_graph()
+        query = LSCRQuery.create(
+            "v3", "v4", ["likes", "hates", "friendOf"], figure3_constraint()
+        )
+        result = UIS(graph).answer(query)
+        assert result.answer is True
+
+    def test_revisit_bounded_by_two_passes(self):
+        # Theorem 3.3: UIS traverses the graph at most twice.
+        graph = cycle_graph(10)
+        graph.add_edge("n5", "mark", "flag")
+        query = LSCRQuery.create("n0", "n9", ["next"], anchor("mark", "flag"))
+        result = UIS(graph).answer(query)
+        assert result.answer is True
+        # every vertex enters close at most once; the count is bounded by |V|
+        assert result.passed_vertices <= graph.num_vertices
+
+
+class TestScckAccounting:
+    def test_scck_called_at_most_once_per_vertex(self):
+        graph = line_graph(20)
+        query = LSCRQuery.create("n0", "n20", ["next"], anchor("missing", "x"))
+        result = UIS(graph).answer(query)
+        assert result.scck_calls <= graph.num_vertices
+
+    def test_case1_skips_scck(self):
+        # once the search is in T-state, newly explored vertices are
+        # upgraded without an SCck call (case 1 of Algorithm 1).
+        graph = line_graph(10)
+        graph.add_edge("n0", "mark", "flag")
+        query = LSCRQuery.create("n0", "n10", ["next"], anchor("mark", "flag"))
+        result = UIS(graph).answer(query)
+        assert result.answer is True
+        # only the source needed a check
+        assert result.scck_calls == 1
+
+
+class TestEdgeCases:
+    def test_unreachable_target(self):
+        graph = graph_from_edges([("a", "x", "b")], vertices=["c"])
+        query = LSCRQuery.create("a", "c", ["x"], anchor("x", "b"))
+        assert not UIS(graph).decide(query)
+
+    def test_empty_label_constraint_mask(self):
+        graph = graph_from_edges([("a", "x", "b")])
+        query = LSCRQuery.create("a", "b", ["unknown"], anchor("x", "b"))
+        assert not UIS(graph).decide(query)
+
+    def test_labels_outside_constraint_never_traversed(self):
+        graph = graph_from_edges(
+            [("a", "x", "m"), ("m", "secret", "t"), ("m", "mark", "flag")]
+        )
+        query = LSCRQuery.create("a", "t", ["x", "mark"], anchor("mark", "flag"))
+        result = UIS(graph).answer(query)
+        assert result.answer is False
+        # t was never reached, so it never entered close
+        assert result.passed_vertices < graph.num_vertices
+
+    def test_result_metadata(self):
+        graph = figure3_graph()
+        query = LSCRQuery.create("v0", "v4", ["likes", "follows"], figure3_constraint())
+        result = UIS(graph).answer(query)
+        assert result.algorithm == "UIS"
+        assert result.seconds >= 0.0
+        assert result.vsg_size == -1  # UIS never materialises V(S, G)

@@ -1,0 +1,122 @@
+"""Tests specific to UIS* (Algorithm 2)."""
+
+import random
+
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.query import LSCRQuery
+from repro.core.uis_star import UISStar
+from repro.datasets.synthetic import cycle_graph, line_graph
+from repro.datasets.toy import figure3_constraint, figure3_graph
+from tests.helpers import graph_from_edges
+
+
+def anchor(label: str, target: str) -> SubstructureConstraint:
+    return SubstructureConstraint.from_sparql(
+        f"SELECT ?x WHERE {{ ?x <{label}> {target} . }}"
+    )
+
+
+class TestSharedFrontier:
+    def test_frontier_survives_early_return(self):
+        """Regression for the shared-stack bug: when LCS(B=F) finds its
+        candidate mid-way through a vertex's edge list, the remaining
+        edges must stay available to later invocations."""
+        g = graph_from_edges(
+            [
+                # v1's first edge reaches candidate c1 (dead end);
+                # its second edge leads to the real path via c2.
+                ("v1", "l", "c1"),
+                ("v1", "l", "m"),
+                ("m", "l", "c2"),
+                ("c2", "l", "t"),
+                # both c1 and c2 satisfy the constraint
+                ("c1", "mark", "flag"),
+                ("c2", "mark", "flag"),
+            ]
+        )
+        query = LSCRQuery.create("v1", "t", ["l"], anchor("mark", "flag"))
+        # try every candidate order
+        for seed in range(6):
+            assert UISStar(g, rng=random.Random(seed)).decide(query) is True
+
+    def test_vertices_visited_at_most_twice(self):
+        # Theorem 4.5: O(|V| + |E|) via the shared close map.
+        g = cycle_graph(12)
+        g.add_edge("n6", "mark", "flag")
+        query = LSCRQuery.create("n0", "n11", ["next"], anchor("mark", "flag"))
+        result = UISStar(g).answer(query)
+        assert result.answer is True
+        assert result.passed_vertices <= g.num_vertices
+
+
+class TestVsgHandling:
+    def test_vsg_size_reported(self):
+        g = figure3_graph()
+        query = LSCRQuery.create("v0", "v4", ["likes", "follows"], figure3_constraint())
+        result = UISStar(g).answer(query)
+        assert result.vsg_size == 2  # V(S0, G0) = {v1, v2}
+        assert result.vsg_seconds >= 0.0
+
+    def test_empty_vsg_is_false(self):
+        g = graph_from_edges([("a", "x", "b")])
+        query = LSCRQuery.create("a", "b", ["x"], anchor("mark", "flag"))
+        result = UISStar(g).answer(query)
+        assert result.answer is False
+        assert result.vsg_size == 0
+        assert result.lcs_calls == 0
+
+    def test_candidate_order_does_not_change_answer(self):
+        g = figure3_graph()
+        queries = [
+            LSCRQuery.create("v0", "v4", ["likes", "follows"], figure3_constraint()),
+            LSCRQuery.create("v0", "v3", ["likes", "follows"], figure3_constraint()),
+            LSCRQuery.create("v3", "v4", ["likes", "hates", "friendOf"], figure3_constraint()),
+        ]
+        for query in queries:
+            answers = {
+                UISStar(g, rng=random.Random(seed)).decide(query) for seed in range(8)
+            }
+            assert len(answers) == 1
+
+    def test_target_in_vsg_short_circuit(self):
+        # t satisfies S: the answer collapses to plain LCR reachability.
+        g = graph_from_edges([("a", "n", "b"), ("b", "mark", "flag")])
+        query = LSCRQuery.create("a", "b", ["n"], anchor("mark", "flag"))
+        result = UISStar(g).answer(query)
+        assert result.answer is True
+        assert result.lcs_calls == 1  # single LCS(s, t, F)
+
+
+class TestLcsBehaviour:
+    def test_second_leg_reuses_first_leg_marks(self):
+        g = line_graph(8)
+        g.add_edge("n4", "mark", "flag")
+        query = LSCRQuery.create("n0", "n8", ["next"], anchor("mark", "flag"))
+        result = UISStar(g).answer(query)
+        assert result.answer is True
+        # close states: n0..n4 marked F by the first leg, n4..n8 T by the
+        # second; the count never exceeds |V|.
+        assert result.passed_vertices <= g.num_vertices
+
+    def test_empty_vsg_skips_search_entirely(self):
+        g = line_graph(8)
+        query = LSCRQuery.create("n0", "n8", ["next"], anchor("missing", "x"))
+        result = UISStar(g).answer(query)
+        assert result.answer is False
+        assert result.passed_vertices == 1  # only close[s] = F was set
+
+    def test_false_query_explores_reachable_space_once(self):
+        # An unreachable satisfying vertex forces the F-leg to exhaust
+        # the whole space s reaches under L — exactly once (Lemma 4.2).
+        g = line_graph(8)
+        g.add_edge("island", "mark", "flag")
+        query = LSCRQuery.create("n0", "n8", ["mark"], anchor("mark", "flag"))
+        result = UISStar(g).answer(query)
+        assert result.answer is False
+        assert result.passed_vertices == 1  # n0 has no mark-edges
+        g2 = line_graph(8)
+        g2.add_edge("island", "mark", "flag")
+        query2 = LSCRQuery.create("n0", "n8", ["next", "mark"], anchor("mark", "flag"))
+        result2 = UISStar(g2).answer(query2)
+        assert result2.answer is False
+        assert result2.passed_vertices == 9  # the whole line, island excluded

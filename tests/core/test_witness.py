@@ -1,0 +1,170 @@
+"""Tests for witness-path extraction."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.label_constraint import LabelConstraint
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.naive import NaiveTwoProcedure
+from repro.core.query import LSCRQuery
+from repro.core.witness import find_witness, verify_witness
+from repro.datasets.toy import figure3_constraint, figure3_graph
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.sparql.ast import TriplePattern, Var
+from tests.helpers import graph_from_edges
+
+
+class TestFigure3Witnesses:
+    def test_true_query_yields_valid_witness(self):
+        g = figure3_graph()
+        query = LSCRQuery.create("v0", "v4", ["likes", "follows"], figure3_constraint())
+        witness = find_witness(g, query)
+        assert witness is not None
+        assert verify_witness(g, query, witness)
+        # the only April path runs v0 -likes-> v2 -follows-> v4
+        assert witness.vertices() == ("v0", "v2", "v4")
+        assert witness.satisfying_vertex == "v2"
+
+    def test_false_query_yields_none(self):
+        g = figure3_graph()
+        query = LSCRQuery.create("v0", "v3", ["likes", "follows"], figure3_constraint())
+        assert find_witness(g, query) is None
+
+    def test_recall_case_witness_revisits_vertices(self):
+        # Section 3: the witness must walk v3 likes v4 hates v1 friendOf
+        # v3 likes v4 — a non-simple path.
+        g = figure3_graph()
+        query = LSCRQuery.create(
+            "v3", "v4", ["likes", "hates", "friendOf"], figure3_constraint()
+        )
+        witness = find_witness(g, query)
+        assert witness is not None
+        assert verify_witness(g, query, witness)
+        vertices = witness.vertices()
+        assert len(vertices) != len(set(vertices))  # genuinely revisits
+        assert witness.satisfying_vertex == "v1"
+
+    def test_trivial_path_witness(self):
+        g = figure3_graph()
+        query = LSCRQuery.create("v2", "v2", ["likes"], figure3_constraint())
+        witness = find_witness(g, query)
+        assert witness is not None
+        assert witness.edges == ()
+        assert witness.satisfying_vertex == "v2"
+        assert verify_witness(g, query, witness)
+
+    def test_witness_is_shortest(self):
+        g = graph_from_edges(
+            [
+                ("s", "l", "mid"),
+                ("mid", "l", "t"),
+                ("s", "l", "a"),
+                ("a", "l", "b"),
+                ("b", "l", "t"),
+                ("mid", "mark", "flag"),
+                ("b", "mark", "flag"),
+            ]
+        )
+        constraint = SubstructureConstraint.from_sparql(
+            "SELECT ?x WHERE { ?x <mark> flag . }"
+        )
+        query = LSCRQuery.create("s", "t", ["l"], constraint)
+        witness = find_witness(g, query)
+        assert witness is not None
+        assert len(witness) == 2  # via mid, not via a-b
+
+
+class TestVerifyWitnessRejects:
+    def test_rejects_wrong_endpoints(self):
+        g = figure3_graph()
+        query = LSCRQuery.create("v0", "v4", ["likes", "follows"], figure3_constraint())
+        witness = find_witness(g, query)
+        bad_query = LSCRQuery.create("v1", "v4", ["likes", "follows"], figure3_constraint())
+        assert not verify_witness(g, bad_query, witness)
+
+    def test_rejects_label_outside_constraint(self):
+        g = figure3_graph()
+        query = LSCRQuery.create("v0", "v4", ["likes", "follows"], figure3_constraint())
+        witness = find_witness(g, query)
+        narrow = LSCRQuery.create("v0", "v4", ["follows"], figure3_constraint())
+        assert not verify_witness(g, narrow, witness)
+
+    def test_rejects_non_satisfying_vertex(self):
+        from repro.core.witness import WitnessPath
+
+        g = figure3_graph()
+        query = LSCRQuery.create("v0", "v4", ["likes", "follows"], figure3_constraint())
+        forged = WitnessPath(
+            edges=(("v0", "likes", "v2"), ("v2", "follows", "v4")),
+            satisfying_vertex="v4",  # v4 does not satisfy S0
+        )
+        assert not verify_witness(g, query, forged)
+
+    def test_rejects_fake_edge(self):
+        from repro.core.witness import WitnessPath
+
+        g = figure3_graph()
+        query = LSCRQuery.create("v0", "v4", ["likes", "follows"], figure3_constraint())
+        forged = WitnessPath(
+            edges=(("v0", "follows", "v4"),),  # edge does not exist
+            satisfying_vertex="v0",
+        )
+        assert not verify_witness(g, query, forged)
+
+
+VERTICES = [f"v{i}" for i in range(8)]
+LABELS = ["a", "b", "c"]
+
+
+@st.composite
+def witness_cases(draw):
+    g = KnowledgeGraph("w")
+    for v in VERTICES:
+        g.add_vertex(v)
+    for label in LABELS:
+        g.labels.intern(label)
+    for s, l, t in draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(VERTICES),
+                st.sampled_from(LABELS),
+                st.sampled_from(VERTICES),
+            ),
+            max_size=18,
+        )
+    ):
+        g.add_edge(s, l, t)
+    anchor = draw(st.sampled_from(VERTICES))
+    label = draw(st.sampled_from(LABELS))
+    constraint = SubstructureConstraint([TriplePattern(Var("x"), label, anchor)])
+    labels = draw(
+        st.lists(st.sampled_from(LABELS), min_size=1, max_size=3, unique=True)
+    )
+    source = draw(st.sampled_from(VERTICES))
+    target = draw(st.sampled_from(VERTICES))
+    return g, LSCRQuery(
+        source=source,
+        target=target,
+        labels=LabelConstraint(labels),
+        constraint=constraint,
+    )
+
+
+class TestWitnessProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(witness_cases())
+    def test_witness_existence_equals_oracle_answer(self, case):
+        graph, query = case
+        expected = NaiveTwoProcedure(graph).decide(query)
+        witness = find_witness(graph, query)
+        assert (witness is not None) == expected
+
+    @settings(max_examples=120, deadline=None)
+    @given(witness_cases())
+    def test_every_witness_verifies(self, case):
+        graph, query = case
+        witness = find_witness(graph, query)
+        if witness is not None:
+            assert verify_witness(graph, query, witness)

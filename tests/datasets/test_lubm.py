@@ -1,0 +1,107 @@
+"""Tests for the LUBM-like generator and the S1-S5 selectivities."""
+
+import pytest
+
+from repro.datasets.lubm import (
+    SCALED_DATASETS,
+    LubmConfig,
+    constraint,
+    generate_dataset,
+    generate_lubm,
+)
+from repro.datasets.lubm import ontology as ub
+
+
+@pytest.fixture(scope="module")
+def d1():
+    return generate_dataset("D1", rng=0)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_lubm(2, rng=7)
+        b = generate_lubm(2, rng=7)
+        assert set(a.edges_named()) == set(b.edges_named())
+
+    def test_different_seeds_differ(self):
+        a = generate_lubm(2, rng=1)
+        b = generate_lubm(2, rng=2)
+        assert set(a.edges_named()) != set(b.edges_named())
+
+    def test_scale_grows_linearly(self):
+        sizes = [generate_lubm(d, rng=0).num_vertices for d in (2, 4, 8)]
+        assert sizes[0] < sizes[1] < sizes[2]
+        # roughly proportional to departments
+        assert sizes[2] / sizes[1] == pytest.approx(2.0, rel=0.25)
+
+    def test_density_near_paper(self, d1):
+        # the paper's D = |E|/|V| is ~3.55 on LUBM
+        assert 2.5 <= d1.density() <= 5.0
+
+    def test_schema_populated(self, d1):
+        schema = d1.schema
+        assert schema.is_instance("University0", ub.UNIVERSITY)
+        assert "ub:Professor" in schema.superclasses(ub.FULL_PROFESSOR)
+        assert schema.domain_of(ub.P_TAKES_COURSE) == "ub:Student"
+
+    def test_department_structure(self, d1):
+        assert d1.has_edge_named(
+            "Department0.University0", ub.P_SUB_ORGANIZATION_OF, "University0"
+        )
+        prof = "Department0.University0/FullProfessor0"
+        assert d1.has_edge_named(prof, ub.P_WORKS_FOR, "Department0.University0")
+        assert d1.has_edge_named(
+            prof, ub.P_EMAIL, "FullProfessor0@Department0.University0.edu"
+        )
+
+    def test_every_graduate_has_advisor(self, d1):
+        advisor = d1.label_id(ub.P_ADVISOR)
+        for instance in d1.schema.instances_of(ub.GRADUATE_STUDENT, False):
+            assert d1.out_by_label(d1.vid(instance), advisor)
+
+    def test_alumni_close_cycles(self, d1):
+        assert d1.label_frequency(d1.label_id("ub:hasAlumnus")) > 0
+
+    def test_dataset_names(self):
+        assert list(SCALED_DATASETS) == ["D0", "D1", "D2", "D3", "D4", "D5"]
+        with pytest.raises(KeyError):
+            generate_dataset("D9")
+
+
+class TestSelectivities:
+    """The Table 3 constraint selectivity ratios (Section 6.1)."""
+
+    @pytest.fixture(scope="class")
+    def counts(self):
+        graph = generate_dataset("D2", rng=0)
+        return graph, {
+            name: len(constraint(name).satisfying_vertices(graph))
+            for name in ("S1", "S2", "S3", "S4", "S5")
+        }
+
+    def test_s1_about_one_per_department(self, counts):
+        _graph, c = counts
+        departments = SCALED_DATASETS["D2"]
+        assert 0.3 * departments <= c["S1"] <= 3 * departments
+
+    def test_s2_about_half_of_s1(self, counts):
+        _graph, c = counts
+        assert 0 < c["S2"] <= c["S1"]
+
+    def test_s3_much_larger_than_s1(self, counts):
+        _graph, c = counts
+        assert c["S3"] >= 10 * c["S1"]
+
+    def test_s4_one_per_department(self, counts):
+        _graph, c = counts
+        assert c["S4"] == SCALED_DATASETS["D2"]
+
+    def test_s5_exactly_one(self, counts):
+        _graph, c = counts
+        assert c["S5"] == 1
+
+    def test_custom_config_respected(self):
+        config = LubmConfig(undergraduates=5, graduates=5, publications=2)
+        graph = generate_lubm(1, rng=0, config=config)
+        undergrads = graph.schema.instances_of("ub:UndergraduateStudent", False)
+        assert len(undergrads) == 5

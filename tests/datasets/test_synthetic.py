@@ -1,0 +1,64 @@
+"""Tests for the plain random-graph generators."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    cycle_graph,
+    line_graph,
+    random_labeled_graph,
+    star_graph,
+)
+from repro.exceptions import GraphError
+
+
+class TestRandomLabeledGraph:
+    def test_hits_target_density(self):
+        g = random_labeled_graph(100, 2.5, 4, rng=0)
+        assert g.num_edges == 250
+        assert g.num_vertices == 100
+
+    def test_deterministic(self):
+        a = random_labeled_graph(50, 2.0, 3, rng=9)
+        b = random_labeled_graph(50, 2.0, 3, rng=9)
+        assert set(a.edges_named()) == set(b.edges_named())
+
+    def test_labels_bounded(self):
+        g = random_labeled_graph(30, 1.5, 2, rng=0)
+        assert set(g.labels) <= {"l0", "l1"}
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            random_labeled_graph(0, 1.0, 1)
+
+    def test_impossible_density_rejected(self):
+        with pytest.raises(GraphError, match="density"):
+            random_labeled_graph(2, 100.0, 1)
+
+
+class TestFixedShapes:
+    def test_line(self):
+        g = line_graph(4)
+        assert g.num_vertices == 5
+        assert g.num_edges == 4
+
+    def test_cycle(self):
+        g = cycle_graph(4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        assert g.has_edge_named("n3", "next", "n0")
+
+    def test_cycle_length_one(self):
+        g = cycle_graph(1)
+        assert g.has_edge_named("n0", "next", "n0")
+
+    def test_cycle_invalid(self):
+        with pytest.raises(GraphError):
+            cycle_graph(0)
+
+    def test_star_outward(self):
+        g = star_graph(3)
+        assert g.out_degree(g.vid("hub")) == 3
+
+    def test_star_inward(self):
+        g = star_graph(3, inward=True)
+        assert g.in_degree(g.vid("hub")) == 3

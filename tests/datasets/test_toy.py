@@ -1,0 +1,45 @@
+"""Tests for the paper-example fixtures."""
+
+from repro.datasets.toy import (
+    FIGURE3_EDGES,
+    figure1_financial_graph,
+    figure3_constraint,
+    figure3_graph,
+)
+
+
+class TestFigure3:
+    def test_edge_set(self):
+        g = figure3_graph()
+        assert set(g.edges_named()) == set(FIGURE3_EDGES)
+        assert g.num_vertices == 5
+
+    def test_labels(self):
+        g = figure3_graph()
+        assert set(g.labels) == {"friendOf", "advisorOf", "likes", "follows", "hates"}
+
+    def test_constraint_designates_x(self):
+        c = figure3_constraint()
+        assert c.variable == "x"
+        assert c.size == 2
+
+
+class TestFigure1:
+    def test_people_are_typed(self):
+        g = figure1_financial_graph()
+        assert g.schema.is_instance("C", "Person")
+        assert g.schema.is_instance("Amy", "Person")
+
+    def test_criminal_chain_exists(self):
+        g = figure1_financial_graph()
+        assert g.has_edge_named("C", "2019-04", "m1")
+        assert g.has_edge_named("m1", "2019-04", "m2")
+        assert g.has_edge_named("m2", "2019-04", "P")
+        assert g.has_edge_named("m2", "marriedTo", "Amy")
+
+    def test_decoys_break_the_pattern(self):
+        g = figure1_financial_graph()
+        # the m3 decoy leaves April
+        assert g.has_edge_named("m3", "2019-03", "P")
+        # the m4 decoy has no married middleman
+        assert not g.has_edge_named("m4", "marriedTo", "Amy")

@@ -1,0 +1,69 @@
+"""Tests for the YAGO-like scale-free generator."""
+
+import pytest
+
+from repro.datasets.yago import YagoConfig, generate_yago_like
+from repro.graph.stats import graph_stats
+
+
+@pytest.fixture(scope="module")
+def yago():
+    return generate_yago_like(YagoConfig(num_entities=600), rng=0)
+
+
+class TestShape:
+    def test_size_near_target(self, yago):
+        config = YagoConfig(num_entities=600)
+        # entities + class vertices; relation edges + rdf:type edges
+        assert yago.num_vertices >= config.num_entities
+        relation_edges = sum(
+            yago.label_frequency(yago.label_id(r))
+            for r in config.relations
+            if r in yago.labels
+        )
+        assert relation_edges == pytest.approx(
+            config.density * config.num_entities, rel=0.05
+        )
+
+    def test_deterministic(self):
+        a = generate_yago_like(YagoConfig(num_entities=200), rng=5)
+        b = generate_yago_like(YagoConfig(num_entities=200), rng=5)
+        assert set(a.edges_named()) == set(b.edges_named())
+
+    def test_scale_free_profile(self, yago):
+        # preferential attachment must beat a uniform random graph's
+        # concentration: heavy-tailed in-degree
+        stats = graph_stats(yago)
+        assert stats.degree_gini > 0.25
+        assert stats.max_in_degree > 20
+
+    def test_no_self_loops_in_relations(self, yago):
+        for s, label, t in yago.edges_named():
+            if str(label).startswith("yago:"):
+                assert s != t
+
+
+class TestSchemaLayer:
+    def test_entities_typed(self, yago):
+        typed = list(yago.schema.typed_instances())
+        entity_typed = [e for e in typed if str(e).startswith("yago:e")]
+        assert len(entity_typed) == 600
+
+    def test_taxonomy_present(self, yago):
+        assert "yago:Entity" in yago.schema.superclasses("yago:City")
+        assert "yago:Person" in yago.schema.superclasses("yago:Artist")
+
+    def test_type_edges_materialised(self, yago):
+        # rdf:type edges exist in the graph itself (needed by constraints)
+        assert yago.label_frequency(yago.label_id("rdf:type")) >= 600
+
+    def test_zipf_label_frequencies(self, yago):
+        config = YagoConfig()
+        first = yago.label_frequency(yago.label_id(config.relations[0]))
+        last_label = config.relations[-1]
+        last = (
+            yago.label_frequency(yago.label_id(last_label))
+            if last_label in yago.labels
+            else 0
+        )
+        assert first > last

@@ -1,0 +1,51 @@
+"""Tests for the schema-synchronised graph builder."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.rdf import RDF_TYPE, RDFS_SUBCLASS_OF
+
+
+class TestGraphBuilder:
+    def test_edge_and_vertex(self):
+        g = GraphBuilder().vertex("lonely").edge("a", "x", "b").build()
+        assert "lonely" in g
+        assert g.has_edge_named("a", "x", "b")
+
+    def test_edges_bulk(self):
+        g = GraphBuilder().edges([("a", "x", "b"), ("b", "x", "c")]).build()
+        assert g.num_edges == 2
+
+    def test_typed_materialises_edge_and_schema(self):
+        g = GraphBuilder().typed("alice", "Person").build()
+        assert g.has_edge_named("alice", RDF_TYPE, "Person")
+        assert g.schema.is_instance("alice", "Person")
+
+    def test_subclass_materialises_edge_and_schema(self):
+        g = GraphBuilder().subclass("Cat", "Animal").build()
+        assert g.has_edge_named("Cat", RDFS_SUBCLASS_OF, "Animal")
+        assert "Animal" in g.schema.superclasses("Cat")
+
+    def test_no_materialisation_mode(self):
+        builder = GraphBuilder(materialise_type_edges=False)
+        g = builder.typed("alice", "Person").subclass("Cat", "Animal").build()
+        assert g.num_edges == 0
+        assert g.schema.is_instance("alice", "Person")
+
+    def test_declare_class_adds_vertex(self):
+        g = GraphBuilder().declare_class("Person").build()
+        assert "Person" in g
+        assert g.schema.has_class("Person")
+
+    def test_domain_range_registered(self):
+        builder = GraphBuilder().domain("teaches", "Faculty").range("teaches", "Course")
+        assert builder.schema.domain_of("teaches") == "Faculty"
+        assert builder.schema.range_of("teaches") == "Course"
+
+    def test_builder_is_fluent(self):
+        builder = GraphBuilder()
+        assert builder.edge("a", "x", "b") is builder
+        assert builder.typed("a", "T") is builder
+
+    def test_schema_attached_to_graph(self):
+        builder = GraphBuilder()
+        g = builder.build()
+        assert g.schema is builder.schema

@@ -1,0 +1,101 @@
+"""Tests for graph serialisation (TSV and N-Triples)."""
+
+import io
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.io import (
+    dump_ntriples,
+    dump_tsv,
+    dumps_tsv,
+    load_ntriples,
+    load_tsv,
+    loads_tsv,
+)
+from tests.helpers import graph_from_edges
+
+EDGES = [
+    ("alice", "rdf:type", "Person"),
+    ("Cat", "rdfs:subClassOf", "Animal"),
+    ("alice", "knows", "bob"),
+]
+
+
+class TestTsv:
+    def test_roundtrip_string(self):
+        g = graph_from_edges(EDGES)
+        text = dumps_tsv(g)
+        back = loads_tsv(text)
+        assert set(back.edges_named()) == set(g.edges_named())
+
+    def test_roundtrip_file(self, tmp_path):
+        g = graph_from_edges(EDGES)
+        path = tmp_path / "g.tsv"
+        dump_tsv(g, path)
+        back = load_tsv(path, name="reloaded")
+        assert back.name == "reloaded"
+        assert set(back.edges_named()) == set(g.edges_named())
+
+    def test_roundtrip_handles(self):
+        g = graph_from_edges(EDGES)
+        buffer = io.StringIO()
+        dump_tsv(g, buffer)
+        back = load_tsv(io.StringIO(buffer.getvalue()))
+        assert back.num_edges == g.num_edges
+
+    def test_schema_rebuilt(self):
+        back = loads_tsv(dumps_tsv(graph_from_edges(EDGES)))
+        assert back.schema.is_instance("alice", "Person")
+        assert "Animal" in back.schema.superclasses("Cat")
+
+    def test_schema_rebuild_disabled(self):
+        back = loads_tsv(dumps_tsv(graph_from_edges(EDGES)), rebuild_schema=False)
+        assert not back.schema.is_instance("alice", "Person")
+
+    def test_comments_and_blank_lines_skipped(self):
+        back = loads_tsv("# comment\n\na\tx\tb\n")
+        assert back.num_edges == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphError, match="line 1"):
+            loads_tsv("only two\tfields\n")
+
+
+class TestNTriples:
+    def test_roundtrip(self, tmp_path):
+        g = graph_from_edges(EDGES)
+        path = tmp_path / "g.nt"
+        dump_ntriples(g, path)
+        back = load_ntriples(path)
+        assert set(back.edges_named()) == set(g.edges_named())
+
+    def test_iris_expanded_on_disk(self, tmp_path):
+        g = graph_from_edges([("a", "rdf:type", "b")])
+        path = tmp_path / "g.nt"
+        dump_ntriples(g, path)
+        content = path.read_text()
+        assert "22-rdf-syntax-ns#type" in content
+
+    def test_schema_rebuilt(self, tmp_path):
+        g = graph_from_edges(EDGES)
+        path = tmp_path / "g.nt"
+        dump_ntriples(g, path)
+        back = load_ntriples(path)
+        assert back.schema.is_instance("alice", "Person")
+
+    def test_literal_terms_parsed(self):
+        back = load_ntriples(io.StringIO('<a> <p> "some literal" .\n'))
+        assert back.has_edge_named("a", "p", "some literal")
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(GraphError, match="does not end"):
+            load_ntriples(io.StringIO("<a> <p> <b>\n"))
+
+    def test_unterminated_iri_raises(self):
+        with pytest.raises(GraphError, match="unterminated IRI"):
+            load_ntriples(io.StringIO("<a> <p <b .\n"))
+
+    def test_wrong_term_count_raises(self):
+        with pytest.raises(GraphError, match="expected 3 terms"):
+            load_ntriples(io.StringIO("<a> <b> .\n"))

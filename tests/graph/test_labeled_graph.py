@@ -1,0 +1,159 @@
+"""Tests for the core knowledge-graph structure."""
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.labeled_graph import KnowledgeGraph
+from tests.helpers import graph_from_edges
+
+
+@pytest.fixture()
+def small() -> KnowledgeGraph:
+    return graph_from_edges(
+        [
+            ("a", "x", "b"),
+            ("a", "y", "b"),
+            ("b", "x", "c"),
+            ("c", "z", "a"),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_add_vertex_is_idempotent(self):
+        g = KnowledgeGraph()
+        first = g.add_vertex("v")
+        assert g.add_vertex("v") == first
+        assert g.num_vertices == 1
+
+    def test_vertex_ids_are_dense(self):
+        g = KnowledgeGraph()
+        ids = [g.add_vertex(f"v{i}") for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_edge_set_semantics(self):
+        g = KnowledgeGraph()
+        assert g.add_edge("a", "x", "b") is True
+        assert g.add_edge("a", "x", "b") is False  # E is a set
+        assert g.num_edges == 1
+
+    def test_parallel_edges_with_distinct_labels(self, small):
+        assert small.has_edge_named("a", "x", "b")
+        assert small.has_edge_named("a", "y", "b")
+        assert small.num_edges == 4
+
+    def test_self_loop_allowed(self):
+        g = KnowledgeGraph()
+        assert g.add_edge("a", "x", "a") is True
+        assert g.has_edge_named("a", "x", "a")
+
+    def test_add_edge_interns_vertices_and_labels(self):
+        g = KnowledgeGraph()
+        g.add_edge("s", "l", "t")
+        assert g.num_vertices == 2
+        assert g.num_labels == 1
+
+    def test_repr_mentions_sizes(self, small):
+        text = repr(small)
+        assert "|V|=3" in text
+        assert "|E|=4" in text
+
+
+class TestLookup:
+    def test_vid_roundtrip(self, small):
+        for name in ("a", "b", "c"):
+            assert small.name_of(small.vid(name)) == name
+
+    def test_vid_unknown_raises(self, small):
+        with pytest.raises(VertexNotFoundError):
+            small.vid("zz")
+
+    def test_name_of_out_of_range_raises(self, small):
+        with pytest.raises(VertexNotFoundError):
+            small.name_of(99)
+
+    def test_contains(self, small):
+        assert "a" in small
+        assert "zz" not in small
+
+    def test_label_mask(self, small):
+        mask = small.label_mask(["x", "z"])
+        assert mask == (1 << small.label_id("x")) | (1 << small.label_id("z"))
+
+
+class TestIteration:
+    def test_edges_cover_everything(self, small):
+        edges = set(small.edges_named())
+        assert edges == {
+            ("a", "x", "b"),
+            ("a", "y", "b"),
+            ("b", "x", "c"),
+            ("c", "z", "a"),
+        }
+
+    def test_out_edges(self, small):
+        a = small.vid("a")
+        targets = sorted(
+            (small.label_name(l), small.name_of(t)) for l, t in small.out_edges(a)
+        )
+        assert targets == [("x", "b"), ("y", "b")]
+
+    def test_in_edges(self, small):
+        b = small.vid("b")
+        sources = sorted(
+            (small.label_name(l), small.name_of(s)) for l, s in small.in_edges(b)
+        )
+        assert sources == [("x", "a"), ("y", "a")]
+
+    def test_out_masked_filters_labels(self, small):
+        a = small.vid("a")
+        mask = small.label_mask(["y"])
+        edges = [(l, t) for l, t in small.out_masked(a, mask)]
+        assert edges == [(small.label_id("y"), small.vid("b"))]
+
+    def test_out_masked_empty_mask(self, small):
+        assert list(small.out_masked(small.vid("a"), 0)) == []
+
+    def test_in_masked(self, small):
+        a = small.vid("a")
+        mask = small.label_mask(["z"])
+        assert [s for _l, s in small.in_masked(a, mask)] == [small.vid("c")]
+
+    def test_edges_with_label(self, small):
+        x = small.label_id("x")
+        pairs = {(small.name_of(s), small.name_of(t)) for s, t in small.edges_with_label(x)}
+        assert pairs == {("a", "b"), ("b", "c")}
+
+    def test_out_labels(self, small):
+        a = small.vid("a")
+        names = {small.label_name(l) for l in small.out_labels(a)}
+        assert names == {"x", "y"}
+
+
+class TestDegreesAndStats:
+    def test_degrees(self, small):
+        a, b = small.vid("a"), small.vid("b")
+        assert small.out_degree(a) == 2
+        assert small.in_degree(a) == 1
+        assert small.degree(b) == 3
+
+    def test_label_frequency(self, small):
+        assert small.label_frequency(small.label_id("x")) == 2
+        assert small.label_frequency(small.label_id("z")) == 1
+
+    def test_density(self, small):
+        assert small.density() == pytest.approx(4 / 3)
+
+    def test_density_of_empty_graph(self):
+        assert KnowledgeGraph().density() == 0.0
+
+    def test_labels_between(self, small):
+        a, b = small.vid("a"), small.vid("b")
+        mask = small.labels_between(a, b)
+        assert set(small.mask_labels(mask)) == {"x", "y"}
+        assert small.labels_between(b, a) == 0
+
+    def test_has_edge_named_unknown_parts(self, small):
+        assert not small.has_edge_named("zz", "x", "b")
+        assert not small.has_edge_named("a", "nope", "b")
+        assert not small.has_edge_named("a", "x", "zz")

@@ -1,0 +1,52 @@
+"""Tests for RDF vocabulary helpers."""
+
+from repro.graph.rdf import (
+    PREFIXES,
+    RDF_TYPE,
+    RDF_VOCABULARY,
+    expand,
+    is_rdf_vocabulary,
+    shorten,
+)
+
+
+class TestVocabulary:
+    def test_core_terms_are_vocabulary(self):
+        assert is_rdf_vocabulary(RDF_TYPE)
+        assert is_rdf_vocabulary("rdfs:subClassOf")
+
+    def test_domain_labels_are_not_vocabulary(self):
+        assert not is_rdf_vocabulary("ub:takesCourse")
+        assert not is_rdf_vocabulary("likes")
+
+    def test_vocabulary_is_consistent(self):
+        for term in RDF_VOCABULARY:
+            assert is_rdf_vocabulary(term)
+
+
+class TestExpandShorten:
+    def test_expand_known_prefix(self):
+        assert expand("rdf:type") == PREFIXES["rdf"] + "type"
+        assert expand("ub:Course") == PREFIXES["ub"] + "Course"
+
+    def test_expand_unknown_prefix_unchanged(self):
+        assert expand("foo:bar") == "foo:bar"
+
+    def test_expand_plain_name_unchanged(self):
+        assert expand("Research12") == "Research12"
+
+    def test_shorten_inverts_expand(self):
+        for name in ("rdf:type", "rdfs:range", "ub:advisor", "eg:Person"):
+            assert shorten(expand(name)) == name
+
+    def test_shorten_unknown_iri_unchanged(self):
+        assert shorten("http://unknown.org/x") == "http://unknown.org/x"
+
+    def test_shorten_prefers_longest_namespace(self):
+        prefixes = {"a": "http://x.org/", "b": "http://x.org/deep/"}
+        assert shorten("http://x.org/deep/name", prefixes) == "b:name"
+
+    def test_custom_prefix_table(self):
+        table = {"z": "http://z.example/"}
+        assert expand("z:item", table) == "http://z.example/item"
+        assert shorten("http://z.example/item", table) == "z:item"

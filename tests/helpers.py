@@ -1,0 +1,75 @@
+"""Shared test utilities: independent oracles and tiny graph builders.
+
+Everything here is deliberately *simple and slow* and shares no code
+with the implementations under test, so agreement between the two is
+meaningful evidence:
+
+* :func:`ground_truth_cms` enumerates simple paths by DFS (any path's
+  label set contains a simple path's label set, so minimal sets are
+  preserved) and reduces to the minimal antichain — the oracle for
+  Definition 2.3 / Definition 5.1 used against the index builders;
+* :func:`graph_from_edges` builds graphs from edge triples concisely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.labeled_graph import KnowledgeGraph
+
+__all__ = ["graph_from_edges", "ground_truth_cms", "minimal_masks"]
+
+
+def graph_from_edges(
+    edges: Iterable[tuple[str, str, str]],
+    name: str = "test",
+    vertices: Iterable[str] = (),
+) -> KnowledgeGraph:
+    """Build a graph from ``(source, label, target)`` triples."""
+    graph = KnowledgeGraph(name)
+    for vertex in vertices:
+        graph.add_vertex(vertex)
+    for source, label, target in edges:
+        graph.add_edge(source, label, target)
+    return graph
+
+
+def minimal_masks(masks: Iterable[int]) -> set[int]:
+    """Reduce a collection of label masks to its minimal antichain."""
+    unique = set(masks)
+    return {
+        m
+        for m in unique
+        if not any(other != m and other & ~m == 0 for other in unique)
+    }
+
+
+def ground_truth_cms(
+    graph: KnowledgeGraph,
+    source: int,
+    allowed: set[int] | None = None,
+) -> dict[int, set[int]]:
+    """CMS from ``source`` to every vertex, by simple-path enumeration.
+
+    ``allowed`` restricts paths to a vertex subset (the region-limited
+    ``M(u, v | F(u))`` of Definition 5.1).  The result maps each
+    reachable target (including ``source`` with ``{∅}``) to its set of
+    minimal label masks.  Exponential — only call on tiny graphs.
+    """
+    collected: dict[int, set[int]] = {source: {0}}
+    on_path = {source}
+
+    def dfs(vertex: int, mask: int) -> None:
+        for label_id, target in graph.out_edges(vertex):
+            if allowed is not None and target not in allowed:
+                continue
+            if target in on_path:
+                continue
+            new_mask = mask | (1 << label_id)
+            collected.setdefault(target, set()).add(new_mask)
+            on_path.add(target)
+            dfs(target, new_mask)
+            on_path.remove(target)
+
+    dfs(source, 0)
+    return {target: minimal_masks(masks) for target, masks in collected.items()}

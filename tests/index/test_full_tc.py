@@ -1,0 +1,63 @@
+"""Tests for the full-transitive-closure strawman (Section 3.2)."""
+
+import pytest
+
+from repro.core.lcr import lcr_reachable
+from repro.datasets.synthetic import line_graph, random_labeled_graph
+from repro.exceptions import IndexingBudgetExceeded
+from repro.index.full_tc import build_full_tc
+from tests.helpers import graph_from_edges, ground_truth_cms
+
+
+class TestCorrectness:
+    def test_reaches_agrees_with_bfs(self):
+        g = random_labeled_graph(20, 2.0, 3, rng=0)
+        tc = build_full_tc(g)
+        masks = [g.labels.full_mask(), g.label_mask(["l0"]), g.label_mask(["l1", "l2"])]
+        for s in g.vertices():
+            for t in range(0, g.num_vertices, 3):
+                for mask in masks:
+                    assert tc.reaches(s, t, mask) == lcr_reachable(g, s, t, mask)
+
+    def test_cms_matches_ground_truth(self):
+        g = graph_from_edges(
+            [
+                ("a", "x", "b"),
+                ("b", "y", "c"),
+                ("a", "z", "c"),
+                ("c", "x", "a"),
+            ]
+        )
+        tc = build_full_tc(g)
+        for source in g.vertices():
+            truth = ground_truth_cms(g, source)
+            for target, masks in truth.items():
+                if target == source:
+                    continue
+                assert set(tc.cms(source, target)) == masks
+
+    def test_self_reachability(self):
+        g = line_graph(2)
+        tc = build_full_tc(g)
+        assert tc.reaches(0, 0, 0)
+
+
+class TestSpaceBlowup:
+    def test_entries_grow_quadratically_on_cliquelike_graphs(self):
+        # complete-ish graphs store Θ(|V|²) pairs — the paper's argument.
+        small = build_full_tc(random_labeled_graph(8, 4.0, 2, rng=1))
+        large = build_full_tc(random_labeled_graph(16, 4.0, 2, rng=1))
+        assert large.stats()["pairs"] > 3 * small.stats()["pairs"]
+
+    def test_budget_enforced(self):
+        g = random_labeled_graph(300, 3.0, 5, rng=2)
+        with pytest.raises(IndexingBudgetExceeded):
+            build_full_tc(g, budget_seconds=1e-9)
+
+    def test_stats_fields(self):
+        g = line_graph(3)
+        tc = build_full_tc(g)
+        stats = tc.stats()
+        assert stats["pairs"] >= 4
+        assert stats["entries"] >= stats["pairs"]
+        assert stats["build_seconds"] > 0

@@ -1,0 +1,126 @@
+"""Tests for landmark selection and the region partition."""
+
+import pytest
+
+from repro.datasets.lubm import generate_dataset
+from repro.graph.builder import GraphBuilder
+from repro.index.landmarks import (
+    NO_REGION,
+    bfs_traverse,
+    default_landmark_count,
+    select_landmarks,
+)
+from tests.helpers import graph_from_edges
+
+
+class TestDefaultCount:
+    def test_formula(self):
+        # k = log2(|V|) * sqrt(|V|)
+        assert default_landmark_count(1024) == round(10 * 32)
+
+    def test_clamped_to_vertices(self):
+        assert default_landmark_count(1) == 1
+        assert default_landmark_count(0) == 0
+        assert default_landmark_count(2) <= 2
+
+    def test_at_least_one(self):
+        for n in (2, 3, 5, 10):
+            assert 1 <= default_landmark_count(n) <= n
+
+
+class TestSelectLandmarks:
+    def test_schema_driven_selection_prefers_instances(self):
+        builder = GraphBuilder()
+        for i in range(10):
+            builder.typed(f"inst{i}", "Thing")
+            builder.edge(f"inst{i}", "p", f"other{i}")
+        graph = builder.build()
+        landmarks = select_landmarks(graph, k=4, rng=0)
+        assert len(landmarks) == 4
+        names = {graph.name_of(v) for v in landmarks}
+        # schema instances are preferred over untyped vertices
+        assert all(name.startswith("inst") for name in names)
+
+    def test_fallback_to_degree_without_schema(self):
+        graph = graph_from_edges(
+            [("hub", "p", f"leaf{i}") for i in range(6)] + [("a", "p", "b")]
+        )
+        landmarks = select_landmarks(graph, k=1, rng=0)
+        assert graph.name_of(landmarks[0]) == "hub"
+
+    def test_k_clamped(self):
+        graph = graph_from_edges([("a", "p", "b")])
+        assert len(select_landmarks(graph, k=99, rng=0)) == 2
+
+    def test_deterministic_per_seed(self):
+        graph = generate_dataset("D0", rng=0)
+        first = select_landmarks(graph, k=10, rng=7)
+        second = select_landmarks(graph, k=10, rng=7)
+        assert first == second
+
+    def test_no_duplicates(self):
+        graph = generate_dataset("D0", rng=0)
+        landmarks = select_landmarks(graph, k=40, rng=3)
+        assert len(landmarks) == len(set(landmarks))
+
+    def test_empty_graph(self):
+        from repro.graph.labeled_graph import KnowledgeGraph
+
+        assert select_landmarks(KnowledgeGraph(), rng=0) == []
+
+
+class TestBfsTraverse:
+    def test_landmarks_own_their_regions(self):
+        graph = graph_from_edges([("a", "p", "b"), ("c", "p", "d")])
+        landmarks = [graph.vid("a"), graph.vid("c")]
+        partition = bfs_traverse(graph, landmarks)
+        assert partition.region_of(graph.vid("a")) == graph.vid("a")
+        assert partition.region_of(graph.vid("c")) == graph.vid("c")
+
+    def test_every_region_member_reachable_from_landmark(self):
+        graph = generate_dataset("D0", rng=0)
+        landmarks = select_landmarks(graph, k=8, rng=1)
+        partition = bfs_traverse(graph, landmarks)
+        from repro.core.lcr import lcr_reachable
+
+        full = graph.labels.full_mask()
+        for landmark, members in partition.members.items():
+            for member in members[:20]:  # sample for speed
+                assert lcr_reachable(graph, landmark, member, full)
+
+    def test_unreached_vertices_have_no_region(self):
+        graph = graph_from_edges([("a", "p", "b")], vertices=["isolated"])
+        partition = bfs_traverse(graph, [graph.vid("a")])
+        assert partition.region_of(graph.vid("isolated")) == NO_REGION
+
+    def test_fairness_balances_regions(self):
+        # two landmarks expanding into a shared line must split it.
+        edges = [(f"m{i}", "p", f"m{i+1}") for i in range(10)]
+        edges += [("L1", "p", "m0"), ("L2", "p", "m10")]
+        edges += [(f"m{i+1}", "q", f"m{i}") for i in range(10)]
+        graph = graph_from_edges(edges)
+        partition = bfs_traverse(graph, [graph.vid("L1"), graph.vid("L2")])
+        sizes = sorted(len(m) for m in partition.members.values())
+        assert sizes[0] >= 4  # neither landmark starves
+
+    def test_first_landmark_wins_duplicates(self):
+        graph = graph_from_edges([("a", "p", "b")])
+        partition = bfs_traverse(graph, [graph.vid("a"), graph.vid("a")])
+        assert partition.landmarks == [graph.vid("a")]
+
+    def test_assigned_count(self):
+        graph = graph_from_edges([("a", "p", "b")], vertices=["x"])
+        partition = bfs_traverse(graph, [graph.vid("a")])
+        assert partition.assigned_count() == 2
+
+    def test_partition_disjoint_and_covering(self):
+        graph = generate_dataset("D0", rng=0)
+        landmarks = select_landmarks(graph, k=12, rng=2)
+        partition = bfs_traverse(graph, landmarks)
+        seen = set()
+        for landmark, members in partition.members.items():
+            for member in members:
+                assert member not in seen
+                seen.add(member)
+                assert partition.region_of(member) == landmark
+        assert len(seen) == partition.assigned_count()

@@ -1,0 +1,225 @@
+"""Tests for the local index (Algorithm 3), including Theorem 5.2.
+
+The consistency theorem says the built ``II[u]`` equals the defined
+``M(u, v | F(u))`` for every region vertex ``v``; the ground truth comes
+from independent simple-path enumeration (tests/helpers.py).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lcr import lcr_closure
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.index.landmarks import NO_REGION, bfs_traverse
+from repro.index.local_index import RHO_UNKNOWN, build_local_index
+from tests.helpers import graph_from_edges, ground_truth_cms
+
+
+def small_two_region_graph() -> KnowledgeGraph:
+    return graph_from_edges(
+        [
+            ("L1", "a", "p"),
+            ("p", "b", "q"),
+            ("q", "a", "L1"),
+            ("p", "c", "r"),       # r belongs to L2's region via the race
+            ("L2", "a", "r"),
+            ("r", "b", "s"),
+            ("s", "c", "L2"),
+            ("q", "c", "s"),       # border edge region1 -> region2
+        ]
+    )
+
+
+class TestBuildStructure:
+    def test_every_landmark_gets_tables(self):
+        g = small_two_region_graph()
+        index = build_local_index(g, landmarks=[g.vid("L1"), g.vid("L2")])
+        assert set(index.ii) == {g.vid("L1"), g.vid("L2")}
+        assert set(index.eit) == {g.vid("L1"), g.vid("L2")}
+        assert set(index.d) == {g.vid("L1"), g.vid("L2")}
+
+    def test_landmark_self_entry_is_empty_set(self):
+        g = small_two_region_graph()
+        index = build_local_index(g, landmarks=[g.vid("L1")])
+        assert index.ii[g.vid("L1")].get(g.vid("L1")) == [0]
+
+    def test_ii_covers_exactly_the_region(self):
+        g = small_two_region_graph()
+        L1, L2 = g.vid("L1"), g.vid("L2")
+        index = build_local_index(g, landmarks=[L1, L2])
+        for landmark in (L1, L2):
+            members = set(index.partition.members[landmark])
+            indexed = set(index.ii[landmark])
+            # ii may omit unreachable members, never include outsiders
+            assert indexed <= members
+
+    def test_all_tables_are_antichains(self):
+        g = small_two_region_graph()
+        index = build_local_index(g, landmarks=[g.vid("L1"), g.vid("L2")], keep_ei=True)
+        for table in index.ii.values():
+            assert table.verify_antichains()
+        for table in index.ei.values():
+            assert table.verify_antichains()
+
+    def test_build_seconds_recorded(self):
+        g = small_two_region_graph()
+        index = build_local_index(g, k=2, rng=0)
+        assert index.build_seconds > 0.0
+
+
+class TestTheorem52Consistency:
+    """II[u] == ground-truth M(u, v | F(u)) by simple-path enumeration."""
+
+    def check_graph(self, g: KnowledgeGraph, landmarks: list[int]) -> None:
+        index = build_local_index(g, landmarks=landmarks, keep_ei=True)
+        for u in index.partition.landmarks:
+            region = set(index.partition.members[u])
+            truth = ground_truth_cms(g, u, allowed=region)
+            built = {v: set(masks) for v, masks in index.ii[u].items()}
+            assert built == truth, f"landmark {g.name_of(u)}"
+
+    def test_two_region_graph(self):
+        g = small_two_region_graph()
+        self.check_graph(g, [g.vid("L1"), g.vid("L2")])
+
+    def test_figure3_graph(self):
+        from repro.datasets.toy import figure3_graph
+
+        g = figure3_graph()
+        self.check_graph(g, [g.vid("v0"), g.vid("v4")])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_graphs(self, data):
+        vertices = [f"v{i}" for i in range(8)]
+        labels = ["a", "b", "c"]
+        g = KnowledgeGraph("t52")
+        for v in vertices:
+            g.add_vertex(v)
+        edges = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(vertices),
+                    st.sampled_from(labels),
+                    st.sampled_from(vertices),
+                ),
+                max_size=16,
+            )
+        )
+        for s, l, t in edges:
+            g.add_edge(s, l, t)
+        count = data.draw(st.integers(min_value=1, max_value=3))
+        landmark_names = data.draw(
+            st.lists(st.sampled_from(vertices), min_size=count, max_size=count, unique=True)
+        )
+        self.check_graph(g, [g.vid(n) for n in landmark_names])
+
+
+class TestEitTransposition:
+    def test_eit_is_lossless_transpose_of_ei(self):
+        g = small_two_region_graph()
+        index = build_local_index(g, landmarks=[g.vid("L1"), g.vid("L2")], keep_ei=True)
+        for u, ei_table in index.ei.items():
+            rebuilt = set()
+            for mask, vertices in index.eit[u].items():
+                for v in vertices:
+                    rebuilt.add((v, mask))
+            original = {
+                (v, mask) for v, masks in ei_table.items() for mask in masks
+            }
+            assert rebuilt == original
+
+
+class TestTheorem51Soundness:
+    """EIT pairs (L_u, V_u) with L_u ⊆ L imply u ⇝_L v for all v ∈ V_u."""
+
+    def test_push_targets_are_reachable(self):
+        g = small_two_region_graph()
+        L1 = g.vid("L1")
+        index = build_local_index(g, landmarks=[L1, g.vid("L2")])
+        full = g.labels.full_mask()
+        closure = lcr_closure(g, L1, full)
+        for target in index.push_targets(L1, full):
+            assert target in closure
+
+    def test_cut_targets_are_reachable_under_constraint(self):
+        g = small_two_region_graph()
+        L1 = g.vid("L1")
+        index = build_local_index(g, landmarks=[L1, g.vid("L2")])
+        mask = g.label_mask(["a", "b"])
+        closure = lcr_closure(g, L1, mask)
+        for target in index.cut_targets(L1, mask):
+            assert target in closure
+
+    def test_check_agrees_with_region_reachability(self):
+        g = small_two_region_graph()
+        L1 = g.vid("L1")
+        index = build_local_index(g, landmarks=[L1, g.vid("L2")])
+        mask = g.label_mask(["a", "b"])
+        region = set(index.partition.members[L1])
+        truth = ground_truth_cms(g, L1, allowed=region)
+        for v in region:
+            expected = any(m & ~mask == 0 for m in truth.get(v, set()))
+            assert index.check(L1, v, mask) == expected
+
+
+class TestRhoAndCorrelation:
+    def test_same_region_rho_is_zero(self):
+        g = small_two_region_graph()
+        index = build_local_index(g, landmarks=[g.vid("L1"), g.vid("L2")])
+        p = g.vid("p")
+        assert index.rho(g.vid("L1"), p) == 0.0
+
+    def test_cross_region_rho_decreases_with_correlation(self):
+        g = small_two_region_graph()
+        index = build_local_index(g, landmarks=[g.vid("L1"), g.vid("L2")])
+        L1, L2 = g.vid("L1"), g.vid("L2")
+        d = index.correlation(L1, L2)
+        assert index.rho(L1, L2) == 1.0 / (1.0 + d)
+
+    def test_unassigned_vertex_rho_is_max(self):
+        g = graph_from_edges([("L1", "a", "b")], vertices=["isolated"])
+        index = build_local_index(g, landmarks=[g.vid("L1")])
+        assert index.partition.region_of(g.vid("isolated")) == NO_REGION
+        assert index.rho(g.vid("isolated"), g.vid("L1")) == RHO_UNKNOWN
+
+    def test_d_counts_border_targets_by_region(self):
+        g = small_two_region_graph()
+        L1, L2 = g.vid("L1"), g.vid("L2")
+        index = build_local_index(g, landmarks=[L1, L2], keep_ei=True)
+        counted = index.d[L1].get(L2, 0)
+        manual = sum(
+            1
+            for border in index.ei[L1]
+            if index.partition.region_of(border) == L2
+        )
+        assert counted == manual
+
+
+class TestStats:
+    def test_stats_counts(self):
+        g = small_two_region_graph()
+        index = build_local_index(g, landmarks=[g.vid("L1"), g.vid("L2")])
+        stats = index.stats()
+        assert stats.num_landmarks == 2
+        assert stats.ii_entries > 0
+        assert stats.total_entries == (
+            stats.ii_entries + stats.eit_entries + stats.d_entries
+        )
+
+    def test_estimated_size_positive(self):
+        g = small_two_region_graph()
+        index = build_local_index(g, k=2, rng=0)
+        assert index.estimated_size_bytes() > 0
+
+    def test_deterministic_build(self):
+        g = small_two_region_graph()
+        a = build_local_index(g, k=2, rng=5)
+        b = build_local_index(g, k=2, rng=5)
+        assert a.partition.landmarks == b.partition.landmarks
+        for u in a.ii:
+            assert {v: sorted(m) for v, m in a.ii[u].items()} == {
+                v: sorted(m) for v, m in b.ii[u].items()
+            }

@@ -1,0 +1,103 @@
+"""Tests for the sampling-tree LCR index ([6]-style, Figure 5)."""
+
+import pytest
+
+from repro.core.lcr import lcr_reachable
+from repro.datasets.synthetic import line_graph, random_labeled_graph
+from repro.exceptions import IndexingBudgetExceeded
+from repro.index.spanning_tree import build_sampling_tree_index
+from tests.helpers import graph_from_edges
+
+
+class TestForest:
+    def test_tree_covers_reachable_vertices(self):
+        g = line_graph(5)
+        index = build_sampling_tree_index(g, rng=0)
+        roots = set(index.roots)
+        for v in g.vertices():
+            assert index.parent[v] != -1 or v in roots
+
+    def test_parents_are_real_edges(self):
+        g = random_labeled_graph(20, 2.0, 3, rng=1)
+        index = build_sampling_tree_index(g, rng=1)
+        for v in g.vertices():
+            p = index.parent[v]
+            if p != -1:
+                assert g.has_edge(p, index.parent_label[v], v)
+
+    def test_tree_path_mask_along_parent_edges(self):
+        g = random_labeled_graph(20, 2.0, 3, rng=7)
+        index = build_sampling_tree_index(g, rng=7)
+        for v in g.vertices():
+            p = index.parent[v]
+            if p != -1:
+                assert index.tree_path_mask(p, v) == 1 << index.parent_label[v]
+
+    def test_tree_path_mask_accumulates_labels(self):
+        g = line_graph(4)
+        index = build_sampling_tree_index(g, rng=0)
+        # whichever root owns n4, the path to n4 uses only "next"
+        root = g.vid("n4")
+        while index.parent[root] != -1:
+            root = index.parent[root]
+        mask = index.tree_path_mask(root, g.vid("n4"))
+        if root != g.vid("n4"):
+            assert mask == g.label_mask(["next"])
+
+    def test_tree_path_mask_none_for_non_ancestor(self):
+        g = graph_from_edges([("a", "p", "b"), ("c", "p", "d")])
+        index = build_sampling_tree_index(g, rng=0)
+        assert index.tree_path_mask(g.vid("a"), g.vid("d")) is None
+
+
+class TestClosure:
+    def test_reaches_agrees_with_bfs(self):
+        g = random_labeled_graph(22, 2.0, 3, rng=3)
+        index = build_sampling_tree_index(g, rng=3)
+        masks = [g.labels.full_mask(), g.label_mask(["l0"]), g.label_mask(["l1", "l2"])]
+        for s in range(0, g.num_vertices, 3):
+            for t in range(0, g.num_vertices, 2):
+                for mask in masks:
+                    assert index.reaches(s, t, mask) == lcr_reachable(g, s, t, mask)
+
+    def test_tree_covered_entries_bounded(self):
+        g = line_graph(4)
+        index = build_sampling_tree_index(g, rng=0)
+        covered = index.tree_covered_entries()
+        # every parent->child pair is covered, so at least |tree edges|
+        assert index.stats()["tree_edges"] <= covered
+        assert covered <= index.stats()["closure_entries"]
+
+    def test_stats(self):
+        g = line_graph(3)
+        index = build_sampling_tree_index(g, rng=0)
+        stats = index.stats()
+        # a forest: |V| = tree edges + roots
+        assert stats["tree_edges"] == g.num_vertices - len(index.roots)
+        assert stats["closure_entries"] >= 3
+        assert stats["build_seconds"] > 0
+
+    def test_budget_exceeded_raises(self):
+        g = random_labeled_graph(300, 3.0, 5, rng=4)
+        with pytest.raises(IndexingBudgetExceeded):
+            build_sampling_tree_index(g, rng=0, budget_seconds=1e-9)
+
+
+class TestScalingShape:
+    """The Figure 5 argument: denser or larger graphs index slower."""
+
+    def test_denser_graphs_take_longer(self):
+        times = []
+        for density in (1.0, 4.0):
+            g = random_labeled_graph(60, density, 3, rng=5)
+            index = build_sampling_tree_index(g, rng=5)
+            times.append(index.build_seconds)
+        assert times[1] > times[0]
+
+    def test_larger_graphs_take_longer(self):
+        times = []
+        for n in (30, 120):
+            g = random_labeled_graph(n, 1.5, 3, rng=6)
+            index = build_sampling_tree_index(g, rng=6)
+            times.append(index.build_seconds)
+        assert times[1] > times[0]

@@ -1,0 +1,80 @@
+"""Tests for the traditional landmark index ([19]-style comparator)."""
+
+import pytest
+
+from repro.core.lcr import lcr_reachable
+from repro.datasets.synthetic import random_labeled_graph
+from repro.exceptions import IndexingBudgetExceeded
+from repro.index.traditional import (
+    build_traditional_index,
+    paper_landmark_count,
+)
+from tests.helpers import graph_from_edges
+
+
+class TestLandmarkCount:
+    def test_paper_formula_capped(self):
+        # 1250 + sqrt(|V|), capped at |V|/4
+        assert paper_landmark_count(100) == 25
+        assert paper_landmark_count(10_000_000) == 1250 + round(10_000_000**0.5)
+
+    def test_degenerate_sizes(self):
+        assert paper_landmark_count(0) == 0
+        assert paper_landmark_count(1) == 1
+
+
+class TestBuild:
+    def test_landmarks_are_highest_degree(self):
+        g = graph_from_edges(
+            [("hub", "p", f"x{i}") for i in range(5)] + [("a", "p", "b")]
+        )
+        index = build_traditional_index(g, k=1)
+        assert g.name_of(index.landmarks[0]) == "hub"
+
+    def test_partial_entries_bounded_by_b(self):
+        g = random_labeled_graph(30, 2.0, 3, rng=0)
+        index = build_traditional_index(g, k=3, b=4)
+        for table in index.partial.values():
+            assert len(table) <= 4 + 1  # b targets (+1 for the final insert)
+
+    def test_budget_exceeded_raises(self):
+        g = random_labeled_graph(200, 3.0, 6, rng=1)
+        with pytest.raises(IndexingBudgetExceeded) as exc_info:
+            build_traditional_index(g, budget_seconds=0.000001)
+        assert exc_info.value.elapsed_seconds > 0
+
+    def test_stats(self):
+        g = random_labeled_graph(20, 1.5, 2, rng=0)
+        index = build_traditional_index(g, k=2)
+        stats = index.stats()
+        assert stats["num_landmarks"] == 2
+        assert stats["build_seconds"] > 0
+        assert index.estimated_size_bytes() > 0
+
+
+class TestQueries:
+    def test_reaches_agrees_with_bfs(self):
+        g = random_labeled_graph(25, 2.0, 3, rng=2)
+        index = build_traditional_index(g, k=4)
+        full = g.labels.full_mask()
+        half = g.label_mask(["l0", "l1"])
+        for s in range(0, g.num_vertices, 3):
+            for t in range(0, g.num_vertices, 4):
+                for mask in (full, half):
+                    assert index.reaches(s, t, mask) == lcr_reachable(g, s, t, mask), (
+                        g.name_of(s),
+                        g.name_of(t),
+                        bin(mask),
+                    )
+
+    def test_reaches_self(self):
+        g = graph_from_edges([("a", "p", "b")])
+        index = build_traditional_index(g, k=1)
+        assert index.reaches(g.vid("a"), g.vid("a"), 0)
+
+    def test_landmark_source_answers_from_table(self):
+        g = graph_from_edges([("hub", "p", "x"), ("x", "q", "y")])
+        index = build_traditional_index(g, k=1)
+        hub = g.vid("hub")
+        assert index.reaches(hub, g.vid("y"), g.labels.full_mask())
+        assert not index.reaches(hub, g.vid("y"), g.label_mask(["p"]))

@@ -1,0 +1,103 @@
+"""Tests for the SPARQL engine facade."""
+
+import pytest
+
+from repro.exceptions import SparqlEvaluationError
+from repro.sparql.engine import SparqlEngine
+from tests.helpers import graph_from_edges
+
+
+@pytest.fixture()
+def engine():
+    graph = graph_from_edges(
+        [
+            ("v0", "friendOf", "v1"),
+            ("v1", "friendOf", "v3"),
+            ("v2", "friendOf", "v3"),
+            ("v3", "likes", "v4"),
+            ("v3", "likes", "v5"),
+        ]
+    )
+    return SparqlEngine(graph)
+
+
+class TestSelect:
+    def test_select_names(self, engine):
+        rows = engine.select("SELECT ?x WHERE { ?x <friendOf> v3 . }")
+        assert sorted(r["x"] for r in rows) == ["v1", "v2"]
+
+    def test_select_ids(self, engine):
+        rows = engine.select_ids("SELECT ?x WHERE { ?x <friendOf> v3 . }")
+        names = sorted(engine.graph.name_of(r["x"]) for r in rows)
+        assert names == ["v1", "v2"]
+
+    def test_select_distinct_deduplicates(self, engine):
+        # without DISTINCT, v3's two likes-edges produce two ?x rows
+        plain = engine.select("SELECT ?x WHERE { ?x <likes> ?y . }")
+        distinct = engine.select("SELECT DISTINCT ?x WHERE { ?x <likes> ?y . }")
+        assert len(plain) == 2
+        assert len(distinct) == 1
+
+    def test_select_projects_multiple_variables(self, engine):
+        rows = engine.select("SELECT ?a ?b WHERE { ?a <likes> ?b . }")
+        assert {tuple(sorted(r.items())) for r in rows} == {
+            (("a", "v3"), ("b", "v4")),
+            (("a", "v3"), ("b", "v5")),
+        }
+
+    def test_select_with_limit(self, engine):
+        rows = engine.select("SELECT ?x WHERE { ?x <likes> ?y . }", limit=1)
+        assert len(rows) == 1
+
+    def test_label_variable_decoded_through_label_table(self, engine):
+        rows = engine.select("SELECT ?p WHERE { v3 ?p v4 . }")
+        assert rows == [{"p": "likes"}]
+
+    def test_select_rejects_ask(self, engine):
+        with pytest.raises(SparqlEvaluationError):
+            engine.select("ASK { ?x <likes> ?y }")
+
+    def test_parse_cache_reuses_ast(self, engine):
+        text = "SELECT ?x WHERE { ?x <friendOf> v3 . }"
+        engine.select(text)
+        cached = engine._parse_cache[text]
+        engine.select(text)
+        assert engine._parse_cache[text] is cached
+
+
+class TestAsk:
+    def test_ask_query_text(self, engine):
+        assert engine.ask("ASK { v0 <friendOf> v1 . }")
+        assert not engine.ask("ASK { v1 <friendOf> v0 . }")
+
+    def test_ask_select_text(self, engine):
+        assert engine.ask("SELECT ?x WHERE { ?x <likes> ?y . }")
+
+    def test_ask_pattern_list_with_bindings(self, engine):
+        from repro.sparql.ast import TriplePattern, Var
+
+        patterns = [TriplePattern(Var("x"), "friendOf", "v3")]
+        v1 = engine.graph.vid("v1")
+        v0 = engine.graph.vid("v0")
+        assert engine.ask(patterns, {"x": v1})
+        assert not engine.ask(patterns, {"x": v0})
+
+
+class TestSatisfyingVertices:
+    def test_returns_distinct_ids(self, engine):
+        ids = engine.satisfying_vertices("SELECT ?x WHERE { ?x <likes> ?y . }")
+        assert [engine.graph.name_of(v) for v in ids] == ["v3"]
+
+    def test_order_is_first_seen(self, engine):
+        ids = engine.satisfying_vertices("SELECT ?x WHERE { ?x <friendOf> ?y . }")
+        assert len(ids) == len(set(ids))
+
+    def test_missing_variable_raises(self, engine):
+        with pytest.raises(SparqlEvaluationError, match="not projected"):
+            engine.satisfying_vertices(
+                "SELECT ?y WHERE { ?y <likes> ?z . }", variable="x"
+            )
+
+    def test_needs_select(self, engine):
+        with pytest.raises(SparqlEvaluationError):
+            engine.satisfying_vertices("ASK { ?x <likes> ?y }")

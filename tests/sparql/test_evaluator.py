@@ -1,0 +1,147 @@
+"""Tests for the BGP evaluator."""
+
+import pytest
+
+from repro.exceptions import SparqlEvaluationError
+from repro.sparql.ast import TriplePattern, Var
+from repro.sparql.evaluator import bgp_is_satisfiable, compile_patterns, evaluate_bgp
+from tests.helpers import graph_from_edges
+
+
+@pytest.fixture()
+def g():
+    return graph_from_edges(
+        [
+            ("alice", "knows", "bob"),
+            ("bob", "knows", "carol"),
+            ("carol", "knows", "alice"),
+            ("alice", "likes", "pizza"),
+            ("bob", "likes", "pizza"),
+            ("carol", "likes", "pasta"),
+            ("dave", "selfie", "dave"),
+        ]
+    )
+
+
+def solutions(graph, patterns, bindings=None):
+    return sorted(
+        tuple(sorted(s.items())) for s in evaluate_bgp(graph, patterns, bindings)
+    )
+
+
+class TestSinglePattern:
+    def test_fully_bound_existing(self, g):
+        patterns = [TriplePattern("alice", "knows", "bob")]
+        assert len(solutions(g, patterns)) == 1
+
+    def test_fully_bound_missing(self, g):
+        patterns = [TriplePattern("alice", "knows", "carol")]
+        assert solutions(g, patterns) == []
+
+    def test_subject_var(self, g):
+        patterns = [TriplePattern(Var("who"), "likes", "pizza")]
+        names = {g.name_of(dict(s)["who"]) for s in evaluate_bgp(g, patterns)}
+        assert names == {"alice", "bob"}
+
+    def test_object_var(self, g):
+        patterns = [TriplePattern("alice", "likes", Var("what"))]
+        names = {g.name_of(dict(s)["what"]) for s in evaluate_bgp(g, patterns)}
+        assert names == {"pizza"}
+
+    def test_predicate_var(self, g):
+        patterns = [TriplePattern("alice", Var("p"), "pizza")]
+        labels = {g.label_name(dict(s)["p"]) for s in evaluate_bgp(g, patterns)}
+        assert labels == {"likes"}
+
+    def test_subject_object_vars(self, g):
+        patterns = [TriplePattern(Var("a"), "knows", Var("b"))]
+        assert len(solutions(g, patterns)) == 3
+
+    def test_all_vars(self, g):
+        patterns = [TriplePattern(Var("a"), Var("p"), Var("b"))]
+        assert len(solutions(g, patterns)) == g.num_edges
+
+    def test_repeated_var_matches_self_loop_only(self, g):
+        patterns = [TriplePattern(Var("v"), Var("p"), Var("v"))]
+        results = list(evaluate_bgp(g, patterns))
+        assert len(results) == 1
+        assert g.name_of(results[0]["v"]) == "dave"
+
+    def test_repeated_var_with_constant_label(self, g):
+        patterns = [TriplePattern(Var("v"), "selfie", Var("v"))]
+        assert len(solutions(g, patterns)) == 1
+        patterns = [TriplePattern(Var("v"), "knows", Var("v"))]
+        assert solutions(g, patterns) == []
+
+
+class TestJoins:
+    def test_chain_join(self, g):
+        patterns = [
+            TriplePattern(Var("a"), "knows", Var("b")),
+            TriplePattern(Var("b"), "knows", Var("c")),
+        ]
+        assert len(solutions(g, patterns)) == 3  # the triangle rotates
+
+    def test_star_join(self, g):
+        patterns = [
+            TriplePattern(Var("a"), "knows", Var("b")),
+            TriplePattern(Var("a"), "likes", "pizza"),
+        ]
+        names = {g.name_of(dict(s)["a"]) for s in evaluate_bgp(g, patterns)}
+        assert names == {"alice", "bob"}
+
+    def test_cycle_join(self, g):
+        patterns = [
+            TriplePattern(Var("a"), "knows", Var("b")),
+            TriplePattern(Var("b"), "knows", Var("c")),
+            TriplePattern(Var("c"), "knows", Var("a")),
+        ]
+        assert len(solutions(g, patterns)) == 3
+
+    def test_unsatisfiable_join(self, g):
+        patterns = [
+            TriplePattern(Var("a"), "likes", "pasta"),
+            TriplePattern(Var("a"), "likes", "pizza"),
+        ]
+        assert solutions(g, patterns) == []
+
+
+class TestBindingsAndLimits:
+    def test_pre_bound_variable(self, g):
+        patterns = [TriplePattern(Var("who"), "likes", Var("what"))]
+        bound = {"who": g.vid("carol")}
+        results = list(evaluate_bgp(g, patterns, bound))
+        assert len(results) == 1
+        assert g.name_of(results[0]["what"]) == "pasta"
+
+    def test_limit(self, g):
+        patterns = [TriplePattern(Var("a"), Var("p"), Var("b"))]
+        assert len(list(evaluate_bgp(g, patterns, limit=2))) == 2
+
+    def test_satisfiable_short_circuits(self, g):
+        assert bgp_is_satisfiable(g, [TriplePattern(Var("a"), "knows", Var("b"))])
+        assert not bgp_is_satisfiable(g, [TriplePattern("pizza", "knows", Var("b"))])
+
+    def test_yielded_bindings_are_copies(self, g):
+        patterns = [TriplePattern(Var("a"), "knows", Var("b"))]
+        results = list(evaluate_bgp(g, patterns))
+        assert len({id(r) for r in results}) == len(results)
+
+
+class TestCompilation:
+    def test_missing_constant_vertex_is_unsatisfiable(self, g):
+        patterns = [TriplePattern("nobody", "knows", Var("b"))]
+        assert compile_patterns(g, patterns) is None
+        assert solutions(g, patterns) == []
+
+    def test_missing_label_is_unsatisfiable(self, g):
+        patterns = [TriplePattern(Var("a"), "hates", Var("b"))]
+        assert compile_patterns(g, patterns) is None
+
+    def test_variable_in_both_roles_rejected(self, g):
+        patterns = [
+            TriplePattern(Var("v"), "knows", Var("b")),
+            TriplePattern(Var("a"), Var("v"), Var("c")),
+        ]
+        with pytest.raises(SparqlEvaluationError, match="vertex and as a label"):
+            compile_patterns(g, patterns)

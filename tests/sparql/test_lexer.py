@@ -1,0 +1,103 @@
+"""Tests for the SPARQL tokeniser."""
+
+import pytest
+
+from repro.exceptions import SparqlSyntaxError
+from repro.sparql.lexer import Token, tokenize
+
+
+def kinds(text: str) -> list[str]:
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text: str) -> list[str]:
+    return [t.value for t in tokenize(text) if t.kind != "EOF"]
+
+
+class TestTokenKinds:
+    def test_keywords_case_insensitive(self):
+        for text in ("SELECT", "select", "Select"):
+            token = tokenize(text)[0]
+            assert token.kind == "KEYWORD"
+            assert token.value == "SELECT"
+
+    def test_variable(self):
+        token = tokenize("?x")[0]
+        assert (token.kind, token.value) == ("VAR", "x")
+
+    def test_dollar_variable(self):
+        token = tokenize("$y1")[0]
+        assert (token.kind, token.value) == ("VAR", "y1")
+
+    def test_iri(self):
+        token = tokenize("<http://example.org/x>")[0]
+        assert (token.kind, token.value) == ("IRI", "http://example.org/x")
+
+    def test_pname(self):
+        token = tokenize("ub:Course")[0]
+        assert (token.kind, token.value) == ("PNAME", "ub:Course")
+
+    def test_bare_identifier_is_pname(self):
+        token = tokenize("Research12")[0]
+        assert (token.kind, token.value) == ("PNAME", "Research12")
+
+    def test_string_single_and_double_quotes(self):
+        assert tokenize("'abc'")[0].value == "abc"
+        assert tokenize('"a b"')[0].value == "a b"
+
+    def test_punctuation(self):
+        assert kinds("{ } . *")[:4] == ["LBRACE", "RBRACE", "DOT", "STAR"]
+
+    def test_eof_always_last(self):
+        assert kinds("")[-1] == "EOF"
+        assert kinds("?x")[-1] == "EOF"
+
+
+class TestTrickyInputs:
+    def test_trailing_dot_not_part_of_name(self):
+        tokens = tokenize("v3.")
+        assert [t.kind for t in tokens] == ["PNAME", "DOT", "EOF"]
+        assert tokens[0].value == "v3"
+
+    def test_dotted_name_inside_kept(self):
+        # LUBM names contain dots: Department0.University0
+        tokens = tokenize("Department0.University0 .")
+        assert tokens[0].value == "Department0.University0"
+        assert tokens[1].kind == "DOT"
+
+    def test_comment_skipped(self):
+        assert values("?x # comment here\n?y") == ["x", "y"]
+
+    def test_whitespace_and_newlines(self):
+        assert values("  ?x\n\t?y  ") == ["x", "y"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("?x ?y")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestErrors:
+    def test_empty_variable(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("? x")
+
+    def test_unterminated_iri(self):
+        with pytest.raises(SparqlSyntaxError, match="unterminated IRI"):
+            tokenize("<http://x.org")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SparqlSyntaxError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SparqlSyntaxError, match="unexpected character"):
+            tokenize("@@@")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("?x @")
+        except SparqlSyntaxError as error:
+            assert error.position == 3
+        else:  # pragma: no cover
+            pytest.fail("expected SparqlSyntaxError")

@@ -1,0 +1,150 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import dump_tsv
+from repro.datasets.toy import figure3_graph
+
+
+@pytest.fixture()
+def g0_path(tmp_path):
+    path = tmp_path / "g0.tsv"
+    dump_tsv(figure3_graph(), path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_lubm(self, tmp_path, capsys):
+        out = str(tmp_path / "d0.tsv")
+        assert main(["generate", "--lubm", "D0", "--output", out]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert (tmp_path / "d0.tsv").stat().st_size > 0
+
+    def test_yago(self, tmp_path, capsys):
+        out = str(tmp_path / "y.tsv")
+        assert main(["generate", "--yago", "100", "--output", out]) == 0
+        assert "vertices" in capsys.readouterr().out
+
+    def test_random(self, tmp_path):
+        out = str(tmp_path / "r.tsv")
+        assert main(["generate", "--random", "30", "1.5", "3", "--output", out]) == 0
+
+    def test_generate_requires_kind(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--output", str(tmp_path / "x.tsv")])
+
+
+class TestStats:
+    def test_basic(self, g0_path, capsys):
+        assert main(["stats", g0_path]) == 0
+        out = capsys.readouterr().out
+        assert "|V|=5" in out
+
+    def test_label_histogram(self, g0_path, capsys):
+        assert main(["stats", g0_path, "--labels"]) == 0
+        assert "friendOf" in capsys.readouterr().out
+
+
+class TestIndex:
+    def test_build_and_save(self, g0_path, tmp_path, capsys):
+        out = str(tmp_path / "idx.json")
+        assert main(["index", g0_path, "--output", out, "--k", "2"]) == 0
+        assert "landmarks" in capsys.readouterr().out
+        assert (tmp_path / "idx.json").stat().st_size > 0
+
+
+class TestQuery:
+    CONSTRAINT = "SELECT ?x WHERE { ?x <friendOf> v3 . v3 <likes> ?y . }"
+
+    def test_true_query_exit_zero(self, g0_path, capsys):
+        code = main(
+            [
+                "query",
+                g0_path,
+                "--source", "v0",
+                "--target", "v4",
+                "--labels", "likes,follows",
+                "--constraint", self.CONSTRAINT,
+            ]
+        )
+        assert code == 0
+        assert "answer=True" in capsys.readouterr().out
+
+    def test_false_query_exit_one(self, g0_path, capsys):
+        code = main(
+            [
+                "query",
+                g0_path,
+                "--source", "v0",
+                "--target", "v3",
+                "--labels", "likes,follows",
+                "--constraint", self.CONSTRAINT,
+            ]
+        )
+        assert code == 1
+        assert "answer=False" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algorithm", ["uis", "uis*", "ins", "naive"])
+    def test_all_algorithms(self, g0_path, algorithm, capsys):
+        code = main(
+            [
+                "query",
+                g0_path,
+                "--source", "v0",
+                "--target", "v4",
+                "--labels", "likes,follows",
+                "--constraint", self.CONSTRAINT,
+                "--algorithm", algorithm,
+            ]
+        )
+        assert code == 0
+
+    def test_witness_printed(self, g0_path, capsys):
+        code = main(
+            [
+                "query",
+                g0_path,
+                "--source", "v0",
+                "--target", "v4",
+                "--labels", "likes,follows",
+                "--constraint", self.CONSTRAINT,
+                "--witness",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "witness" in out
+        assert "--likes-->" in out
+
+    def test_ins_with_saved_index(self, g0_path, tmp_path, capsys):
+        index_path = str(tmp_path / "idx.json")
+        main(["index", g0_path, "--output", index_path, "--k", "2"])
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                g0_path,
+                "--source", "v0",
+                "--target", "v4",
+                "--labels", "likes,follows",
+                "--constraint", self.CONSTRAINT,
+                "--algorithm", "ins",
+                "--index", index_path,
+            ]
+        )
+        assert code == 0
+
+    def test_bad_vertex_reports_error(self, g0_path, capsys):
+        code = main(
+            [
+                "query",
+                g0_path,
+                "--source", "nope",
+                "--target", "v4",
+                "--labels", "likes",
+                "--constraint", self.CONSTRAINT,
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

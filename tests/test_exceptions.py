@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy contracts."""
+
+import pytest
+
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(exc):
+            obj = getattr(exc, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not exc.ReproError:
+                    assert issubclass(obj, exc.ReproError), name
+
+    def test_lookup_errors_are_also_key_errors(self):
+        # callers can catch either the library type or the builtin
+        assert issubclass(exc.VertexNotFoundError, KeyError)
+        assert issubclass(exc.LabelNotFoundError, KeyError)
+
+    def test_vertex_not_found_carries_vertex(self):
+        error = exc.VertexNotFoundError("v99")
+        assert error.vertex == "v99"
+        assert "v99" in str(error)
+
+    def test_label_not_found_carries_label(self):
+        error = exc.LabelNotFoundError("knows")
+        assert error.label == "knows"
+
+    def test_sparql_syntax_error_position(self):
+        error = exc.SparqlSyntaxError("bad token", position=7)
+        assert error.position == 7
+        assert "offset 7" in str(error)
+
+    def test_sparql_syntax_error_without_position(self):
+        error = exc.SparqlSyntaxError("bad token")
+        assert error.position is None
+        assert "offset" not in str(error)
+
+    def test_budget_exceeded_carries_both_times(self):
+        error = exc.IndexingBudgetExceeded(12.5, 10.0)
+        assert error.elapsed_seconds == 12.5
+        assert error.budget_seconds == 10.0
+        assert "12.5" in str(error)
+
+
+class TestCatchability:
+    def test_single_catch_point(self):
+        with pytest.raises(exc.ReproError):
+            raise exc.WorkloadError("nope")
+        with pytest.raises(exc.ReproError):
+            raise exc.SparqlEvaluationError("nope")
+        with pytest.raises(exc.ReproError):
+            raise exc.IndexingBudgetExceeded(1.0, 0.5)

@@ -1,0 +1,47 @@
+"""The README quickstart and public-API surface, pinned."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_readme_quickstart(self):
+        g = (
+            repro.GraphBuilder("example")
+            .edge("v0", "friendOf", "v1")
+            .edge("v1", "friendOf", "v3")
+            .edge("v3", "likes", "v4")
+            .build()
+        )
+        query = repro.LSCRQuery.create(
+            "v0",
+            "v4",
+            ["friendOf", "likes"],
+            "SELECT ?x WHERE { ?x <friendOf> v3 . v3 <likes> ?y . }",
+        )
+        result = repro.UIS(g).answer(query)
+        assert result.answer is True
+        assert result.passed_vertices >= 1
+
+    def test_all_algorithms_importable_from_root(self):
+        for cls in (repro.UIS, repro.UISStar, repro.INS, repro.NaiveTwoProcedure):
+            assert issubclass(cls, repro.LSCRAlgorithm)
+
+    def test_exception_hierarchy(self):
+        from repro import exceptions
+
+        for name in (
+            "GraphError",
+            "SparqlError",
+            "ConstraintError",
+            "IndexingError",
+            "WorkloadError",
+            "BenchmarkError",
+        ):
+            assert issubclass(getattr(exceptions, name), exceptions.ReproError)

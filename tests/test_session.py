@@ -1,0 +1,79 @@
+"""Tests for the LSCRSession facade."""
+
+import pytest
+
+from repro.datasets.toy import figure3_constraint, figure3_graph
+from repro.exceptions import ReproError
+from repro.session import LSCRSession
+
+S0 = "SELECT ?x WHERE { ?x <friendOf> v3 . v3 <likes> ?y . }"
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("algorithm", ["uis", "uis*", "ins", "naive"])
+    def test_every_algorithm_constructs(self, algorithm):
+        session = LSCRSession(figure3_graph(), algorithm=algorithm, seed=0)
+        assert session.ask("v0", "v4", ["likes", "follows"], S0) is True
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ReproError, match="unknown algorithm"):
+            LSCRSession(figure3_graph(), algorithm="dijkstra")
+
+    def test_ins_builds_index_once(self):
+        session = LSCRSession(figure3_graph(), algorithm="ins", seed=0)
+        assert session.index is not None
+        first = session.index
+        session.ask("v0", "v4", ["likes", "follows"], S0)
+        assert session.index is first
+
+    def test_non_ins_has_no_index(self):
+        session = LSCRSession(figure3_graph(), algorithm="uis")
+        assert session.index is None
+
+
+class TestQuerying:
+    @pytest.fixture()
+    def session(self):
+        return LSCRSession(figure3_graph(), algorithm="uis")
+
+    def test_ask_true_false(self, session):
+        assert session.ask("v0", "v4", ["likes", "follows"], S0) is True
+        assert session.ask("v0", "v3", ["likes", "follows"], S0) is False
+
+    def test_constraint_text_cached(self, session):
+        session.ask("v0", "v4", ["likes", "follows"], S0)
+        cached = session._constraint_cache[S0]
+        session.ask("v0", "v3", ["likes", "follows"], S0)
+        assert session._constraint_cache[S0] is cached
+
+    def test_constraint_object_accepted(self, session):
+        assert session.ask(
+            "v0", "v4", ["likes", "follows"], figure3_constraint()
+        ) is True
+
+    def test_answer_many(self, session):
+        queries = [
+            session.make_query("v0", "v4", ["likes", "follows"], S0),
+            session.make_query("v0", "v3", ["likes", "follows"], S0),
+        ]
+        results = session.answer_many(queries)
+        assert [r.answer for r in results] == [True, False]
+
+    def test_explain_true_query(self, session):
+        query = session.make_query("v0", "v4", ["likes", "follows"], S0)
+        witness = session.explain(query)
+        assert witness is not None
+        assert witness.satisfying_vertex == "v2"
+
+    def test_explain_false_query(self, session):
+        query = session.make_query("v0", "v3", ["likes", "follows"], S0)
+        assert session.explain(query) is None
+
+    def test_answer_telemetry(self, session):
+        query = session.make_query("v0", "v4", ["likes", "follows"], S0)
+        result = session.answer(query)
+        assert result.algorithm == "UIS"
+        assert result.passed_vertices >= 1
+
+    def test_repr(self, session):
+        assert "uis" in repr(session)

@@ -1,0 +1,70 @@
+"""Tests for the utility helpers."""
+
+import random
+import time
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.utils.rng import derive_rng, make_rng
+from repro.utils.timing import Stopwatch, Timer
+from repro.utils.validation import require
+
+
+class TestRng:
+    def test_make_rng_from_int_is_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_make_rng_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_none_works(self):
+        assert 0.0 <= make_rng(None).random() < 1.0
+
+    def test_derive_rng_deterministic(self):
+        a = derive_rng(7, "landmarks").random()
+        b = derive_rng(7, "landmarks").random()
+        assert a == b
+
+    def test_derive_rng_salts_decorrelate(self):
+        a = derive_rng(7, "landmarks").random()
+        b = derive_rng(7, "queries").random()
+        assert a != b
+
+    def test_derive_advances_parent_once(self):
+        parent = random.Random(3)
+        derive_rng(parent, "x")
+        after_one = random.Random(3)
+        after_one.getrandbits(64)
+        assert parent.random() == after_one.random()
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_stopwatch_no_budget_never_over(self):
+        watch = Stopwatch()
+        assert not watch.over_budget()
+
+    def test_stopwatch_budget(self):
+        watch = Stopwatch(budget_seconds=0.001)
+        time.sleep(0.01)
+        assert watch.over_budget()
+        assert watch.elapsed >= 0.009
+
+
+class TestValidation:
+    def test_passes_silently(self):
+        require(True, "fine")
+
+    def test_raises_default(self):
+        with pytest.raises(ReproError, match="broken"):
+            require(False, "broken")
+
+    def test_raises_custom_type(self):
+        with pytest.raises(ValueError):
+            require(False, "broken", ValueError)

@@ -1,0 +1,57 @@
+"""Tests for the Section 6.2 magnitude-controlled constraint generator."""
+
+import pytest
+
+from repro.datasets.yago import YagoConfig, generate_yago_like
+from repro.exceptions import WorkloadError
+from repro.workloads.constraints import random_constraint_with_magnitude
+
+
+@pytest.fixture(scope="module")
+def yago():
+    return generate_yago_like(YagoConfig(num_entities=500), rng=0)
+
+
+class TestMagnitudeControl:
+    @pytest.mark.parametrize("magnitude", [10, 40, 100])
+    def test_cardinality_lands_in_window(self, yago, magnitude):
+        result = random_constraint_with_magnitude(yago, magnitude, rng=magnitude)
+        if result.in_window:
+            assert 0.8 * magnitude <= result.cardinality <= 1.2 * magnitude + 1
+        # even out-of-window best-effort results must be measured honestly
+        measured = len(result.constraint.satisfying_vertices(yago))
+        assert measured == result.cardinality
+
+    def test_deterministic(self, yago):
+        a = random_constraint_with_magnitude(yago, 20, rng=3)
+        b = random_constraint_with_magnitude(yago, 20, rng=3)
+        assert a.constraint == b.constraint
+        assert a.cardinality == b.cardinality
+
+    def test_constraint_designates_x(self, yago):
+        result = random_constraint_with_magnitude(yago, 15, rng=1)
+        assert result.constraint.variable == "x"
+
+    def test_magnitude_one(self, yago):
+        result = random_constraint_with_magnitude(yago, 1, rng=2)
+        assert result.cardinality >= 0
+
+    def test_strict_raises_when_unreachable(self):
+        from tests.helpers import graph_from_edges
+
+        # a 3-vertex graph cannot produce |V(S,G)| ≈ 1000
+        g = graph_from_edges([("a", "p", "b"), ("b", "p", "c")])
+        with pytest.raises(WorkloadError):
+            random_constraint_with_magnitude(
+                g, 1000, rng=0, max_steps=5, max_restarts=2, strict=True
+            )
+
+    def test_best_effort_returns_closest(self):
+        from tests.helpers import graph_from_edges
+
+        g = graph_from_edges([("a", "p", "b"), ("b", "p", "c"), ("c", "p", "a")])
+        result = random_constraint_with_magnitude(
+            g, 1000, rng=0, max_steps=5, max_restarts=2, strict=False
+        )
+        assert not result.in_window
+        assert result.cardinality <= 3

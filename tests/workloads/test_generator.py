@@ -1,0 +1,113 @@
+"""Tests for the Section 6.1.1 workload generator."""
+
+import pytest
+
+from repro.core.naive import NaiveTwoProcedure
+from repro.datasets.lubm import constraint, generate_dataset
+from repro.exceptions import WorkloadError
+from repro.workloads.generator import (
+    FALSE_TYPES,
+    generate_workload,
+    label_bucket_bounds,
+    tree_size_window,
+)
+
+
+@pytest.fixture(scope="module")
+def d1():
+    return generate_dataset("D1", rng=0)
+
+
+@pytest.fixture(scope="module")
+def workload(d1):
+    return generate_workload(d1, constraint("S1"), num_true=6, num_false=6, rng=1)
+
+
+class TestBucketBounds:
+    def test_paper_ranges_for_large_universe(self):
+        # t = 100: buckets [20,39], [40,59], [60,80]
+        assert label_bucket_bounds(100, 0) == (20, 39)
+        assert label_bucket_bounds(100, 1) == (40, 59)
+        assert label_bucket_bounds(100, 2) == (60, 80)
+
+    def test_small_universe_never_empty(self):
+        for t in (1, 2, 3, 5):
+            for bucket in range(3):
+                low, high = label_bucket_bounds(t, bucket)
+                assert 1 <= low <= high <= t
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            label_bucket_bounds(10, 3)
+
+
+class TestTreeSizeWindow:
+    def test_paper_regime(self):
+        # |V| = 10^6: low = 10*log2(10^6) ≈ 199, high ≈ 5017
+        low, high = tree_size_window(10**6)
+        assert low == 199
+        assert high == 5017
+
+    def test_inverted_window_collapses(self):
+        low, high = tree_size_window(500)
+        assert 1 <= low <= high
+
+    def test_tiny_graph(self):
+        assert tree_size_window(1) == (1, 1)
+
+
+class TestGeneratedQueries:
+    def test_counts_requested(self, workload):
+        assert 1 <= len(workload.true_queries) <= 6
+        assert 1 <= len(workload.false_queries) <= 6
+
+    def test_expected_answers_verified_by_oracle(self, d1, workload):
+        naive = NaiveTwoProcedure(d1)
+        for item in workload.all_queries():
+            assert naive.decide(item.query) == item.expected
+
+    def test_label_sizes_inside_buckets(self, d1, workload):
+        universe = d1.num_labels
+        for item in workload.all_queries():
+            low, high = label_bucket_bounds(universe, item.label_bucket)
+            assert low <= len(item.query.labels) <= high
+
+    def test_false_queries_classified(self, workload):
+        for item in workload.false_queries:
+            assert item.false_type in FALSE_TYPES + ("conjunction_blocked",)
+
+    def test_true_queries_have_no_false_type(self, workload):
+        for item in workload.true_queries:
+            assert item.false_type is None
+
+    def test_tree_sizes_recorded(self, workload):
+        for item in workload.all_queries():
+            assert item.tree_size >= 1
+
+    def test_deterministic(self, d1):
+        a = generate_workload(d1, constraint("S1"), 3, 3, rng=5, max_attempts=2000)
+        b = generate_workload(d1, constraint("S1"), 3, 3, rng=5, max_attempts=2000)
+        assert [q.query for q in a.all_queries()] == [q.query for q in b.all_queries()]
+
+    def test_strict_raises_on_shortfall(self, d1):
+        with pytest.raises(WorkloadError):
+            generate_workload(
+                d1, constraint("S1"), 500, 500, rng=0, max_attempts=20, strict=True
+            )
+
+    def test_tiny_graph_rejected(self):
+        from repro.graph.labeled_graph import KnowledgeGraph
+
+        g = KnowledgeGraph()
+        g.add_vertex("only")
+        with pytest.raises(WorkloadError):
+            generate_workload(g, constraint("S1"), 1, 1, rng=0)
+
+    def test_unlabelled_graph_rejected(self):
+        from repro.graph.labeled_graph import KnowledgeGraph
+
+        g = KnowledgeGraph()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        with pytest.raises(WorkloadError, match="no edge labels"):
+            generate_workload(g, constraint("S1"), 1, 1, rng=0)

@@ -11,8 +11,10 @@ INS query algorithms and the local index — together with every substrate
 they depend on: an edge-labeled knowledge-graph store with an RDFS
 schema, an exact SPARQL basic-graph-pattern engine, comparator indexes
 ([19]-style traditional landmarks, [6]-style tree index), LUBM-like and
-YAGO-like dataset generators, the Section 6 workload generators, and a
-benchmark harness regenerating every table and figure of the evaluation.
+YAGO-like dataset generators, the Section 6 workload generators, a
+benchmark harness regenerating every table and figure of the evaluation,
+and a concurrent query service (:mod:`repro.service`) with planning,
+caching and batch execution over HTTP (``python -m repro serve``).
 
 Quickstart::
 
@@ -46,11 +48,19 @@ from repro.core import (
 from repro.graph import GraphBuilder, KnowledgeGraph, RDFSchema
 from repro.index import LocalIndex, build_local_index
 from repro.session import LSCRSession
+from repro.service.app import QueryService
+from repro.service.cache import ConstraintCache, ResultCache
+from repro.service.executor import BatchExecutor
+from repro.service.http import create_server
+from repro.service.planner import QueryPlan, QueryPlanner
+from repro.service.stats import ServiceStats
 from repro.sparql import SparqlEngine
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchExecutor",
+    "ConstraintCache",
     "GraphBuilder",
     "INS",
     "KnowledgeGraph",
@@ -60,9 +70,14 @@ __all__ = [
     "LabelConstraint",
     "LocalIndex",
     "NaiveTwoProcedure",
+    "QueryPlan",
+    "QueryPlanner",
     "QueryResult",
+    "QueryService",
     "RDFSchema",
     "ResultAggregate",
+    "ResultCache",
+    "ServiceStats",
     "SparqlEngine",
     "SubstructureChecker",
     "SubstructureConstraint",
@@ -71,6 +86,7 @@ __all__ = [
     "WitnessPath",
     "__version__",
     "build_local_index",
+    "create_server",
     "find_witness",
     "verify_witness",
 ]

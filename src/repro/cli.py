@@ -1,12 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the end-to-end workflow on TSV-serialised graphs
+Five subcommands cover the end-to-end workflow on TSV-serialised graphs
 (see :mod:`repro.graph.io` for the format):
 
 * ``generate`` — produce a LUBM-like / YAGO-like / random dataset;
 * ``stats``    — describe a graph (sizes, degrees, label histogram);
 * ``index``    — build and persist a local index (Algorithm 3);
-* ``query``    — answer one LSCR query, optionally with a witness path.
+* ``query``    — answer one LSCR query, optionally with a witness path;
+* ``serve``    — serve LSCR queries over HTTP (:mod:`repro.service`).
 
 Examples::
 
@@ -19,6 +20,7 @@ Examples::
         --labels ub:worksFor,ub:subOrganizationOf \
         --constraint "SELECT ?x WHERE { ?x <ub:headOf> ?y . }" \
         --algorithm ins --index d1.index.json --witness
+    python -m repro serve --graph d1.tsv --index d1.index.json --port 8080
 """
 
 from __future__ import annotations
@@ -41,6 +43,8 @@ from repro.graph.io import dump_tsv, load_tsv
 from repro.graph.stats import graph_stats, label_histogram
 from repro.index.local_index import build_local_index
 from repro.index.storage import load_local_index, save_local_index
+from repro.service.app import QueryService
+from repro.service.http import create_server
 
 __all__ = ["main", "build_parser"]
 
@@ -109,6 +113,34 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--witness", action="store_true", help="also print a witness path"
     )
+
+    serve = commands.add_parser(
+        "serve", help="serve LSCR queries over HTTP (POST /query, /batch)"
+    )
+    serve.add_argument("--graph", required=True, help="TSV graph file to load")
+    serve.add_argument(
+        "--index",
+        default=None,
+        help="local index JSON (built and saved there if missing; "
+        "omit to serve index-free with the fallback algorithm)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--algorithm",
+        choices=sorted(_ALGORITHMS),
+        default=None,
+        help="force one algorithm (default: ins with an index, uis* without)",
+    )
+    serve.add_argument("--workers", type=int, default=None, help="batch thread count")
+    serve.add_argument("--cache-size", type=int, default=1024, help="result-cache LRU size")
+    serve.add_argument(
+        "--cache-ttl", type=float, default=None, help="result-cache TTL in seconds"
+    )
+    serve.add_argument("--k", type=int, default=None, help="landmark count when building")
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -125,6 +157,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_index(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -201,3 +235,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
         for source, label, target in witness.edges:
             print(f"  {source} --{label}--> {target}")
     return 0 if result.answer else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = QueryService.from_files(
+        args.graph,
+        args.index,
+        landmark_count=args.k,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        cache_size=args.cache_size,
+        cache_ttl=args.cache_ttl,
+        max_workers=args.workers,
+    )
+    server = create_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    graph = service.graph
+    index_note = (
+        f"{len(service.index.partition.landmarks)} landmarks"
+        if service.index is not None
+        else "none"
+    )
+    print(
+        f"loaded {graph.name}: |V|={graph.num_vertices} |E|={graph.num_edges} "
+        f"|L|={graph.num_labels}; index: {index_note}; "
+        f"default algorithm: {service.default_algorithm}",
+        flush=True,
+    )
+    # Machine-readable ready line: tooling (and the tests) parse the port
+    # from it, which is how --port 0 ephemeral binding stays usable.
+    print(f"listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

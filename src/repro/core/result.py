@@ -80,3 +80,30 @@ class ResultAggregate:
     def mean_passed_vertices(self) -> float:
         """Average passed-vertex number (the paper's second metric)."""
         return self.total_passed / self.count if self.count else 0.0
+
+    def merge(self, other: "ResultAggregate") -> None:
+        """Fold another aggregate in.
+
+        Used to combine aggregates accumulated independently — per
+        worker thread in the service, per shard in the bench harness —
+        into one cell without replaying individual results.
+        """
+        if not self.algorithm:
+            self.algorithm = other.algorithm
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        self.total_passed += other.total_passed
+        self.true_answers += other.true_answers
+        if self.keep_results and other.results:
+            self.results.extend(other.results)
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """JSON-ready summary (the service's ``GET /stats`` payload)."""
+        return {
+            "algorithm": self.algorithm,
+            "count": self.count,
+            "true_answers": self.true_answers,
+            "total_seconds": self.total_seconds,
+            "mean_milliseconds": self.mean_milliseconds,
+            "mean_passed_vertices": self.mean_passed_vertices,
+        }

@@ -9,7 +9,8 @@ their own branch of the hierarchy:
 * :class:`ConstraintError` — label / substructure constraint validation;
 * :class:`IndexingError` — local-index and comparator index construction;
 * :class:`WorkloadError` — evaluation-query generation (Section 6.1.1/6.2);
-* :class:`BenchmarkError` — the table/figure benchmark harness.
+* :class:`BenchmarkError` — the table/figure benchmark harness;
+* :class:`ServiceError` — the concurrent query service (:mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -94,3 +95,24 @@ class WorkloadError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark experiment was mis-configured or failed to run."""
+
+
+class ServiceError(ReproError):
+    """Base class for failures of the query service (:mod:`repro.service`)."""
+
+
+class ServiceConfigError(ServiceError):
+    """The service was mis-configured at startup (bad paths, bad options)."""
+
+
+class BadRequestError(ServiceError):
+    """A client request was malformed or semantically invalid.
+
+    Carries the HTTP status the JSON front end should answer with, so
+    the handler can turn any :class:`BadRequestError` into a structured
+    error payload without per-site status tables.
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status

@@ -11,7 +11,12 @@ from repro.index.landmarks import (
 )
 from repro.index.local_index import LocalIndex, LocalIndexStats, build_local_index
 from repro.index.spanning_tree import SamplingTreeIndex, build_sampling_tree_index
-from repro.index.storage import index_file_size, load_local_index, save_local_index
+from repro.index.storage import (
+    index_file_size,
+    load_local_index,
+    load_or_build_index,
+    save_local_index,
+)
 from repro.index.traditional import (
     TraditionalLandmarkIndex,
     build_traditional_index,
@@ -37,6 +42,7 @@ __all__ = [
     "index_file_size",
     "insert_minimal",
     "load_local_index",
+    "load_or_build_index",
     "minimal_antichain",
     "paper_landmark_count",
     "save_local_index",

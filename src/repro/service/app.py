@@ -1,0 +1,393 @@
+"""The query service: planner + caches + session pool + batch executor.
+
+:class:`QueryService` is the object the HTTP front end (and any
+embedding application) talks to.  It owns everything shared between
+requests:
+
+* one immutable :class:`KnowledgeGraph` (and optionally one
+  :class:`LocalIndex`), loaded once at startup — *never mutated after*,
+  which is what makes lock-free concurrent answering sound;
+* a :class:`QueryPlanner` with a process-wide
+  :class:`ConstraintCache`;
+* a :class:`ResultCache` keyed on canonical queries;
+* a lazily populated pool of per-algorithm :class:`LSCRSession`\\ s, all
+  sharing the graph, index and constraint cache (per-query search state
+  lives inside each ``answer`` call, so one session per algorithm
+  serves every thread; the only shared mutable piece is the shuffle
+  rng, whose interleaving affects traversal-order telemetry, never
+  answers);
+* a :class:`BatchExecutor` for ``POST /batch`` fan-out and a
+  :class:`ServiceStats` ledger for ``GET /stats``.
+
+Two API levels are exposed.  :meth:`query` / :meth:`query_batch` take
+Python values and return ``(QueryResult, meta)`` pairs;
+:meth:`handle_query` / :meth:`handle_batch` / :meth:`health` /
+:meth:`stats_snapshot` speak JSON-ready dicts and raise
+:class:`~repro.exceptions.BadRequestError` for anything a client got
+wrong, which the HTTP layer maps to structured 4xx responses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from pathlib import Path
+from threading import Lock
+from typing import Any
+
+from repro.constraints.label_constraint import LabelConstraint
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.result import QueryResult
+from repro.exceptions import (
+    BadRequestError,
+    ConstraintError,
+    ServiceConfigError,
+    SparqlError,
+)
+from repro.graph.io import load_tsv
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.index.local_index import LocalIndex
+from repro.index.storage import load_or_build_index
+from repro.service.cache import ConstraintCache, ResultCache
+from repro.service.executor import BatchExecutor
+from repro.service.planner import QueryPlan, QueryPlanner
+from repro.service.stats import ServiceStats
+from repro.session import LSCRSession
+
+__all__ = ["QueryService", "DEFAULT_MAX_BATCH"]
+
+#: Refuse larger ``POST /batch`` bodies (memory guard, not a tuning knob).
+DEFAULT_MAX_BATCH = 4096
+
+_SPEC_FIELDS = ("source", "target", "labels", "constraint")
+
+
+class QueryService:
+    """A shared, thread-safe LSCR answering engine for one graph."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        index: LocalIndex | None = None,
+        *,
+        algorithm: str | None = None,
+        cache_size: int = 1024,
+        cache_ttl: float | None = None,
+        max_workers: int | None = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        seed: int = 0,
+    ) -> None:
+        if max_batch < 1:
+            raise ServiceConfigError(f"max_batch must be >= 1, got {max_batch}")
+        self.graph = graph
+        self.index = index
+        self.seed = seed
+        self.max_batch = max_batch
+        self.constraints = ConstraintCache()
+        self.planner = QueryPlanner(
+            graph,
+            self.constraints,
+            has_index=index is not None,
+            fallback_algorithm=algorithm or "uis*",
+        )
+        self._forced_algorithm = algorithm
+        self.results = ResultCache(max_size=cache_size, ttl_seconds=cache_ttl)
+        self.executor = BatchExecutor(max_workers=max_workers, persistent=True)
+        self.stats = ServiceStats()
+        self._sessions: dict[str, LSCRSession] = {}
+        self._session_lock = Lock()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_files(
+        cls,
+        graph_path: str | Path,
+        index_path: str | Path | None = None,
+        *,
+        landmark_count: int | None = None,
+        seed: int = 0,
+        **kwargs: Any,
+    ) -> "QueryService":
+        """Warm-start a service from a TSV graph and a persisted index.
+
+        ``index_path=None`` serves index-free (UIS*/UIS fallback).  A
+        given-but-missing ``index_path`` builds the index at startup and
+        persists it there, so the *next* start is warm — the service
+        counterpart of ``python -m repro index``.
+        """
+        graph_path = Path(graph_path)
+        if not graph_path.is_file():
+            raise ServiceConfigError(f"graph file not found: {graph_path}")
+        graph = load_tsv(graph_path, name=graph_path.stem)
+        index = None
+        if index_path is not None:
+            index = load_or_build_index(
+                graph, index_path, k=landmark_count, rng=seed, save_if_built=True
+            )
+        return cls(graph, index, seed=seed, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService({self.graph.name!r}, "
+            f"default={self.planner.default_algorithm!r}, "
+            f"index={'loaded' if self.index is not None else 'none'})"
+        )
+
+    @property
+    def default_algorithm(self) -> str:
+        """The algorithm requests run on when they don't name one."""
+        return self._forced_algorithm or self.planner.default_algorithm
+
+    # ------------------------------------------------------------------
+    # Python-level API
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        source: Hashable,
+        target: Hashable,
+        labels: Iterable[str] | LabelConstraint,
+        constraint: str | SubstructureConstraint,
+        algorithm: str | None = None,
+        use_cache: bool = True,
+        _batch: bool = False,
+    ) -> tuple[QueryResult, dict]:
+        """Answer one query; returns ``(result, meta)``.
+
+        ``meta`` reports how the answer was produced: ``cached``,
+        ``trivial`` and the planner's ``reason``.  With ``use_cache``
+        off the result cache is neither consulted nor populated.
+        """
+        if algorithm is None:
+            algorithm = self._forced_algorithm
+        plan = self.planner.plan(source, target, labels, constraint, algorithm)
+        return self._finish(plan, use_cache=use_cache, batch=_batch)
+
+    def query_batch(
+        self,
+        specs: Iterable[dict],
+        use_cache: bool = True,
+    ) -> list[tuple[QueryResult, dict]]:
+        """Answer a homogeneous batch concurrently, preserving order.
+
+        Planning runs serially first — that is where constraint parsing
+        happens, so the batch is effectively grouped by constraint text
+        and each distinct text is parsed once — then execution fans out
+        over the :class:`BatchExecutor`.  A per-spec ``use_cache`` key
+        overrides the batch-level flag for that query only.
+        """
+        specs = list(specs)
+        if len(specs) > self.max_batch:
+            raise BadRequestError(
+                f"batch of {len(specs)} queries exceeds the limit of "
+                f"{self.max_batch}"
+            )
+        plans = [
+            (
+                self.planner.plan(
+                    spec["source"],
+                    spec["target"],
+                    spec["labels"],
+                    spec["constraint"],
+                    spec.get("algorithm") or self._forced_algorithm,
+                ),
+                use_cache and spec.get("use_cache", True),
+            )
+            for spec in specs
+        ]
+        self.stats.record_batch()
+        return self.executor.map(
+            lambda item: self._finish(item[0], use_cache=item[1], batch=True), plans
+        )
+
+    # ------------------------------------------------------------------
+
+    def _finish(
+        self, plan: QueryPlan, *, use_cache: bool, batch: bool
+    ) -> tuple[QueryResult, dict]:
+        """Execute (or short-circuit) one plan and record telemetry."""
+        meta = {"cached": False, "trivial": False, "reason": plan.reason}
+        if plan.is_trivial:
+            result = QueryResult(
+                answer=bool(plan.trivial_answer),
+                algorithm="planner",
+                seconds=0.0,
+                passed_vertices=0,
+            )
+            meta["trivial"] = True
+            self.stats.record_query(result, trivial=True, batch=batch)
+            return result, meta
+        if use_cache:
+            cached = self.results.get(plan.key)
+            if cached is not None:
+                meta["cached"] = True
+                self.stats.record_query(cached, cached=True, batch=batch)
+                return cached, meta
+        assert plan.query is not None
+        result = self._session(plan.algorithm).answer(plan.query)
+        if use_cache:
+            self.results.put(plan.key, result)
+        self.stats.record_query(result, batch=batch)
+        return result, meta
+
+    def _session(self, algorithm: str) -> LSCRSession:
+        """The shared session for ``algorithm`` (created on first use)."""
+        session = self._sessions.get(algorithm)
+        if session is not None:
+            return session
+        with self._session_lock:
+            session = self._sessions.get(algorithm)
+            if session is None:
+                session = LSCRSession(
+                    self.graph,
+                    algorithm=algorithm,
+                    index=self.index if algorithm == "ins" else None,
+                    seed=self.seed,
+                    constraint_cache=self.constraints,
+                )
+                self._sessions[algorithm] = session
+        return session
+
+    # ------------------------------------------------------------------
+    # JSON-level API (used by the HTTP front end)
+    # ------------------------------------------------------------------
+
+    def handle_query(self, payload: object) -> dict:
+        """``POST /query``: validate a JSON payload and answer it."""
+        spec = self._validate_spec(payload, where="query")
+        try:
+            result, meta = self.query(
+                spec["source"],
+                spec["target"],
+                spec["labels"],
+                spec["constraint"],
+                algorithm=spec.get("algorithm"),
+                use_cache=spec.get("use_cache", True),
+            )
+        except (ConstraintError, SparqlError) as error:
+            raise BadRequestError(f"invalid query: {error}") from error
+        return self._result_payload(result, meta)
+
+    def handle_batch(self, payload: object) -> dict:
+        """``POST /batch``: validate and answer a batch payload."""
+        if not isinstance(payload, dict) or "queries" not in payload:
+            raise BadRequestError(
+                "batch body must be a JSON object with a 'queries' array"
+            )
+        raw = payload["queries"]
+        if not isinstance(raw, list) or not raw:
+            raise BadRequestError("'queries' must be a non-empty array")
+        use_cache = payload.get("use_cache", True)
+        if not isinstance(use_cache, bool):
+            raise BadRequestError("'use_cache' must be a boolean")
+        specs = [
+            self._validate_spec(item, where=f"queries[{position}]")
+            for position, item in enumerate(raw)
+        ]
+        try:
+            answered = self.query_batch(specs, use_cache=use_cache)
+        except (ConstraintError, SparqlError) as error:
+            raise BadRequestError(f"invalid query in batch: {error}") from error
+        return {
+            "count": len(answered),
+            "results": [self._result_payload(r, m) for r, m in answered],
+        }
+
+    def health(self) -> dict:
+        """``GET /healthz``: liveness plus what is loaded."""
+        return {
+            "status": "ok",
+            "graph": self.graph.name,
+            "vertices": self.graph.num_vertices,
+            "edges": self.graph.num_edges,
+            "labels": self.graph.num_labels,
+            "index_loaded": self.index is not None,
+            "default_algorithm": self.default_algorithm,
+        }
+
+    def stats_snapshot(self) -> dict:
+        """``GET /stats``: the full telemetry document."""
+        index_info: dict[str, Any] = {"loaded": self.index is not None}
+        if self.index is not None:
+            index_info["landmarks"] = len(self.index.partition.landmarks)
+        return {
+            "service": self.stats.snapshot(),
+            "result_cache": self.results.stats().as_dict(),
+            "constraint_cache": self.constraints.stats().as_dict(),
+            "graph": {
+                "name": self.graph.name,
+                "vertices": self.graph.num_vertices,
+                "edges": self.graph.num_edges,
+                "labels": self.graph.num_labels,
+            },
+            "index": index_info,
+            "config": {
+                "default_algorithm": self.default_algorithm,
+                "cache_size": self.results.max_size,
+                "cache_ttl": self.results.ttl_seconds,
+                "max_workers": self.executor.max_workers,
+                "max_batch": self.max_batch,
+                "seed": self.seed,
+            },
+        }
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate_spec(payload: object, *, where: str) -> dict:
+        """Shape-check one JSON query spec into :meth:`query` kwargs."""
+        if not isinstance(payload, dict):
+            raise BadRequestError(f"{where}: expected a JSON object")
+        missing = [field for field in _SPEC_FIELDS if field not in payload]
+        if missing:
+            raise BadRequestError(f"{where}: missing field(s) {', '.join(missing)}")
+        source = payload["source"]
+        target = payload["target"]
+        if not isinstance(source, str) or not isinstance(target, str):
+            raise BadRequestError(f"{where}: 'source' and 'target' must be strings")
+        labels = payload["labels"]
+        if isinstance(labels, str):
+            labels = [piece for piece in labels.split(",") if piece]
+        if (
+            not isinstance(labels, list)
+            or not labels
+            or not all(isinstance(label, str) for label in labels)
+        ):
+            raise BadRequestError(
+                f"{where}: 'labels' must be a non-empty array of strings "
+                "(or a comma-separated string)"
+            )
+        constraint = payload["constraint"]
+        if not isinstance(constraint, str) or not constraint.strip():
+            raise BadRequestError(
+                f"{where}: 'constraint' must be a non-empty SPARQL string"
+            )
+        algorithm = payload.get("algorithm")
+        if algorithm is not None and not isinstance(algorithm, str):
+            raise BadRequestError(f"{where}: 'algorithm' must be a string")
+        use_cache = payload.get("use_cache", True)
+        if not isinstance(use_cache, bool):
+            raise BadRequestError(f"{where}: 'use_cache' must be a boolean")
+        return {
+            "source": source,
+            "target": target,
+            "labels": labels,
+            "constraint": constraint,
+            "algorithm": algorithm,
+            "use_cache": use_cache,
+        }
+
+    @staticmethod
+    def _result_payload(result: QueryResult, meta: dict) -> dict:
+        """One query's JSON response body."""
+        return {
+            "answer": result.answer,
+            "algorithm": result.algorithm,
+            "seconds": result.seconds,
+            "passed_vertices": result.passed_vertices,
+            "cached": meta["cached"],
+            "trivial": meta["trivial"],
+            "reason": meta["reason"],
+        }

@@ -1,0 +1,231 @@
+"""Shared caches of the query service.
+
+Two caches make repeated traffic cheap, mirroring the two costs a
+one-shot ``LSCRSession.ask`` pays on every call:
+
+* :class:`ResultCache` — an LRU cache with optional TTL over *answered*
+  queries, keyed on the planner's canonical query key, so the second
+  arrival of an equivalent query skips the search entirely;
+* :class:`ConstraintCache` — parsed :class:`SubstructureConstraint`
+  objects keyed on their SPARQL text, shared across every session and
+  worker thread, so each distinct constraint is parsed exactly once per
+  process (the paper's Table 3 workloads reuse five constraint texts
+  across thousands of queries).
+
+Both are thread-safe (one lock per cache; all critical sections are
+O(1) dict/OrderedDict operations plus, for the constraint cache, the
+one-time parse) and expose hit/miss counters for ``GET /stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.constraints.substructure import SubstructureConstraint
+
+__all__ = ["CacheStats", "ResultCache", "ConstraintCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    size: int
+    max_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-ready rendering for the ``/stats`` endpoint."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "size": self.size,
+            "max_size": self.max_size,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Thread-safe LRU + TTL cache for answered queries.
+
+    ``max_size=0`` disables storage (every lookup misses), which lets
+    the service keep one code path for cached and uncached modes.
+    ``ttl_seconds=None`` disables expiry.  ``clock`` is injectable so
+    tests can step time deterministically; it must be monotonic.
+    """
+
+    def __init__(
+        self,
+        max_size: int = 1024,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_size < 0:
+            raise ValueError(f"max_size must be >= 0, got {max_size}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self.max_size = max_size
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (value, expiry deadline or None); insertion order is
+        #: recency order (move_to_end on hit).
+        self._entries: OrderedDict[Hashable, tuple[Any, float | None]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, or None on miss/expiry (counted)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, deadline = entry
+            if deadline is not None and self._clock() >= deadline:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting least-recently-used overflow."""
+        if self.max_size == 0:
+            return
+        deadline = (
+            self._clock() + self.ttl_seconds if self.ttl_seconds is not None else None
+        )
+        with self._lock:
+            self._entries[key] = (value, deadline)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Non-promoting, non-counting membership test (for tests/UIs)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            _, deadline = entry
+            return deadline is None or self._clock() < deadline
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                size=len(self._entries),
+                max_size=self.max_size,
+            )
+
+
+class ConstraintCache:
+    """Parse-once cache of substructure constraints, shared across sessions.
+
+    Keys are the raw SPARQL texts *and* their canonical re-rendering
+    (:meth:`SubstructureConstraint.to_sparql`), so differently formatted
+    spellings of one constraint share a single parsed object after the
+    first encounter of each spelling.  Bounded LRU like the result
+    cache; parsing happens under the lock, which deliberately serialises
+    the first parse of a constraint arriving on many threads at once —
+    exactly the "parse once per batch" amortisation the batch executor
+    relies on.
+    """
+
+    def __init__(self, max_size: int = 4096) -> None:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self.max_size = max_size
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, SubstructureConstraint] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, text: str) -> SubstructureConstraint:
+        """The parsed constraint for ``text`` (parsing on first use).
+
+        Raises whatever :meth:`SubstructureConstraint.from_sparql`
+        raises on invalid text (nothing is cached in that case).
+        """
+        with self._lock:
+            cached = self._entries.get(text)
+            if cached is not None:
+                self._entries.move_to_end(text)
+                self._hits += 1
+                return cached
+            self._misses += 1
+            constraint = SubstructureConstraint.from_sparql(text)
+            canonical = constraint.to_sparql()
+            # Prefer an already-cached equivalent object so equal
+            # constraints stay identical (`is`) across spellings.
+            existing = self._entries.get(canonical)
+            if existing is not None:
+                constraint = existing
+            self._entries[text] = constraint
+            self._entries[canonical] = constraint
+            self._entries.move_to_end(text)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return constraint
+
+    def __getitem__(self, text: str) -> SubstructureConstraint:
+        """An already-cached constraint; KeyError when absent (no parse)."""
+        with self._lock:
+            return self._entries[text]
+
+    def __contains__(self, text: str) -> bool:
+        with self._lock:
+            return text in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the counters (no TTL, so expirations is 0)."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=0,
+                size=len(self._entries),
+                max_size=self.max_size,
+            )

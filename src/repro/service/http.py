@@ -1,0 +1,143 @@
+"""Stdlib HTTP front end: JSON endpoints over ``ThreadingHTTPServer``.
+
+Endpoints (all JSON, UTF-8):
+
+* ``POST /query``  — answer one LSCR query
+  (``{"source", "target", "labels", "constraint", "algorithm"?,
+  "use_cache"?}``);
+* ``POST /batch``  — answer a batch (``{"queries": [spec, ...],
+  "use_cache"?}``), order-preserving and concurrent;
+* ``GET /stats``   — the :class:`ServiceStats` / cache telemetry;
+* ``GET /healthz`` — liveness and what is loaded.
+
+Errors are structured: every failure body is
+``{"error": {"type": ..., "message": ...}}`` with a matching 4xx/5xx
+status.  ``ThreadingHTTPServer`` gives one thread per connection; the
+shared :class:`~repro.service.app.QueryService` is safe for that by
+construction (immutable graph/index, locked caches and counters).
+
+Binding ``port=0`` asks the OS for an ephemeral port — the bound
+address is on ``server.server_address`` — which is how the integration
+tests and ``python -m repro serve --port 0`` avoid collisions.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import BadRequestError, ReproError
+from repro.service.app import QueryService
+
+__all__ = ["ServiceHTTPServer", "ServiceRequestHandler", "create_server"]
+
+#: Refuse request bodies larger than this many bytes (memory guard).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the shared service."""
+
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+    #: Quiet by default — a query service would log via real telemetry,
+    #: and the test suite starts dozens of servers.
+    verbose = False
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if self.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server's naming)
+        if self.path == "/healthz":
+            self._send_json(200, self.server.service.health())
+        elif self.path == "/stats":
+            self._send_json(200, self.server.service.stats_snapshot())
+        else:
+            self._send_error(404, "not-found", f"no such endpoint: GET {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        service = self.server.service
+        if self.path not in ("/query", "/batch"):
+            self._send_error(404, "not-found", f"no such endpoint: POST {self.path}")
+            return
+        try:
+            payload = self._read_json_body()
+            if self.path == "/query":
+                self._send_json(200, service.handle_query(payload))
+            else:
+                self._send_json(200, service.handle_batch(payload))
+        except BadRequestError as error:
+            service.stats.record_error("bad-request")
+            self._send_error(error.status, "bad-request", str(error))
+        except ReproError as error:
+            # Anything else the library rejected is still the client's
+            # query (bad constraint text reaching a deeper layer, ...).
+            service.stats.record_error("bad-request")
+            self._send_error(400, type(error).__name__, str(error))
+        except Exception as error:  # noqa: BLE001 — last-resort boundary
+            service.stats.record_error("internal-error")
+            self._send_error(500, "internal-error", f"{type(error).__name__}: {error}")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._send_error(405, "method-not-allowed", "use GET or POST")
+
+    do_DELETE = do_PUT  # noqa: N815
+
+    # ------------------------------------------------------------------
+
+    def _read_json_body(self) -> object:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise BadRequestError("missing or invalid Content-Length") from None
+        if length <= 0:
+            raise BadRequestError("request body is empty; send a JSON object")
+        if length > MAX_BODY_BYTES:
+            raise BadRequestError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+                status=413,
+            )
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequestError(f"request body is not valid JSON: {error}") from None
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, kind: str, message: str) -> None:
+        self._send_json(status, {"error": {"type": kind, "message": message}})
+
+
+def create_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+) -> ServiceHTTPServer:
+    """Bind (but do not start) a server for ``service``.
+
+    Callers run ``server.serve_forever()`` — typically on a dedicated
+    thread — and stop with ``server.shutdown()`` + ``server.server_close()``.
+    """
+    return ServiceHTTPServer((host, port), service)

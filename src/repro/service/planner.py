@@ -1,0 +1,189 @@
+"""Query planning: canonicalisation, trivial answers, algorithm choice.
+
+Every request entering the service passes through :class:`QueryPlanner`
+before any algorithm runs.  Planning does three jobs:
+
+* **canonicalise** — reduce the request to a canonical cache key:
+  stringified endpoints, the sorted label set, and the constraint's
+  canonical SPARQL re-rendering, so formatting variants of one query
+  share a single :class:`~repro.service.cache.ResultCache` entry.  The
+  key deliberately excludes the algorithm: all four algorithms answer
+  the same Boolean question (Definition 2.4), so an answer computed by
+  one is valid for all;
+* **trivially answer** — degenerate queries are decided without a
+  search: endpoints missing from the graph, a label set disjoint from
+  the graph's label universe (no edge can ever be expanded, so only the
+  trivial path ``<s>`` with ``s = t`` remains), a structurally
+  unsatisfiable constraint (``V(S, G) = ∅`` implies every answer is
+  false), and ``s = t`` with ``s`` satisfying ``S`` (the trivial path
+  answers true, DESIGN.md §5.1).  Note ``s = t`` alone is *not* trivial
+  — a cycle through a satisfying vertex may still exist;
+* **pick an algorithm** — INS when a local index is loaded, the
+  configured fallback (UIS* by default) otherwise; an explicit
+  per-request override wins after validation.
+
+Planners are stateless apart from the shared
+:class:`~repro.service.cache.ConstraintCache`, hence safe to call from
+any number of threads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from repro.constraints.label_constraint import LabelConstraint
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.query import LSCRQuery
+from repro.exceptions import BadRequestError, ServiceConfigError
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.service.cache import ConstraintCache
+from repro.sparql.evaluator import compile_patterns
+
+__all__ = ["CanonicalKey", "QueryPlan", "QueryPlanner", "TRIVIAL", "PLANNABLE_ALGORITHMS"]
+
+#: ``(source, target, sorted labels, canonical constraint SPARQL)``.
+CanonicalKey = tuple[str, str, tuple[str, ...], str]
+
+#: Algorithm names a plan may carry for execution.
+PLANNABLE_ALGORITHMS = ("uis", "uis*", "ins", "naive")
+
+#: Pseudo-algorithm name carried by plans the planner answered itself.
+TRIVIAL = "trivial"
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's verdict for one request.
+
+    Either a *trivial* plan (``trivial_answer`` set, ``query`` None —
+    nothing to execute) or an *execution* plan (``query`` set,
+    ``algorithm`` naming the session to run it on).  ``reason`` is a
+    short human-readable account surfaced in responses and logs.
+    """
+
+    key: CanonicalKey
+    algorithm: str
+    reason: str
+    query: LSCRQuery | None = None
+    trivial_answer: bool | None = None
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the planner already decided the answer."""
+        return self.trivial_answer is not None
+
+
+class QueryPlanner:
+    """Normalise requests into :class:`QueryPlan`\\ s for one graph."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        constraints: ConstraintCache | None = None,
+        *,
+        has_index: bool = False,
+        fallback_algorithm: str = "uis*",
+    ) -> None:
+        if fallback_algorithm not in PLANNABLE_ALGORITHMS:
+            raise ServiceConfigError(
+                f"unknown fallback algorithm {fallback_algorithm!r}; "
+                f"choose from {PLANNABLE_ALGORITHMS}"
+            )
+        if fallback_algorithm == "ins" and not has_index:
+            raise ServiceConfigError("fallback algorithm 'ins' requires a loaded index")
+        self.graph = graph
+        self.constraints = constraints if constraints is not None else ConstraintCache()
+        self.has_index = has_index
+        self.fallback_algorithm = fallback_algorithm
+
+    @property
+    def default_algorithm(self) -> str:
+        """What runs when the request does not name an algorithm."""
+        return "ins" if self.has_index else self.fallback_algorithm
+
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        source: Hashable,
+        target: Hashable,
+        labels: Iterable[str] | LabelConstraint,
+        constraint: str | SubstructureConstraint,
+        algorithm: str | None = None,
+    ) -> QueryPlan:
+        """Canonicalise one request and decide how to answer it.
+
+        Raises :class:`~repro.exceptions.BadRequestError` for unusable
+        algorithm choices and lets constraint/label parsing errors
+        (``ConstraintError``, ``SparqlError``) propagate — callers map
+        all of these to 4xx responses.
+        """
+        if not isinstance(labels, LabelConstraint):
+            labels = LabelConstraint(labels)
+        if not isinstance(constraint, SubstructureConstraint):
+            constraint = self.constraints.get(constraint)
+        key: CanonicalKey = (
+            str(source),
+            str(target),
+            tuple(sorted(labels.labels)),
+            constraint.to_sparql(),
+        )
+        chosen = self._choose_algorithm(algorithm)
+
+        graph = self.graph
+        if not graph.has_vertex(source) or not graph.has_vertex(target):
+            return QueryPlan(
+                key=key,
+                algorithm=TRIVIAL,
+                reason="source or target vertex not in the graph",
+                trivial_answer=False,
+            )
+        if compile_patterns(graph, constraint.patterns) is None:
+            return QueryPlan(
+                key=key,
+                algorithm=TRIVIAL,
+                reason="no vertex can satisfy the substructure constraint",
+                trivial_answer=False,
+            )
+        mask = labels.mask_for(graph)
+        if source == target and constraint.satisfied_by(graph, graph.vid(source)):
+            return QueryPlan(
+                key=key,
+                algorithm=TRIVIAL,
+                reason="source equals target and satisfies the constraint",
+                trivial_answer=True,
+            )
+        if mask == 0:
+            return QueryPlan(
+                key=key,
+                algorithm=TRIVIAL,
+                reason="no requested label occurs in the graph",
+                trivial_answer=False,
+            )
+        query = LSCRQuery(
+            source=source, target=target, labels=labels, constraint=constraint
+        )
+        if algorithm is not None:
+            reason = f"requested algorithm {chosen!r}"
+        elif chosen == "ins":
+            reason = "local index loaded"
+        else:
+            reason = f"no index loaded; falling back to {chosen!r}"
+        return QueryPlan(key=key, algorithm=chosen, reason=reason, query=query)
+
+    # ------------------------------------------------------------------
+
+    def _choose_algorithm(self, requested: str | None) -> str:
+        if requested is None:
+            return self.default_algorithm
+        if requested not in PLANNABLE_ALGORITHMS:
+            raise BadRequestError(
+                f"unknown algorithm {requested!r}; choose from {PLANNABLE_ALGORITHMS}"
+            )
+        if requested == "ins" and not self.has_index:
+            raise BadRequestError(
+                "algorithm 'ins' requires a loaded index; "
+                "start the service with an index or drop the override"
+            )
+        return requested

@@ -1,0 +1,122 @@
+"""Service telemetry: thread-safe counters behind ``GET /stats``.
+
+:class:`ServiceStats` is the service-wide ledger.  Per-query telemetry
+already exists (:class:`~repro.core.result.QueryResult` carries the
+paper's two metrics); this module folds those into per-algorithm
+:class:`~repro.core.result.ResultAggregate` cells — the same streaming
+means the bench harness reports — plus request-level counters the paper
+has no use for but a server does: cache hits, trivial answers, batch
+sizes, error kinds, uptime.
+
+One lock guards every mutation; :meth:`snapshot` returns plain dicts so
+the HTTP layer can serialise without touching live state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.core.result import QueryResult, ResultAggregate
+
+__all__ = ["ServiceStats"]
+
+
+class ServiceStats:
+    """Counters for one service instance."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        self._queries_total = 0
+        self._queries_cached = 0
+        self._queries_trivial = 0
+        self._queries_executed = 0
+        self._true_answers = 0
+        self._batches = 0
+        self._batch_queries = 0
+        self._errors: dict[str, int] = {}
+        self._by_algorithm: dict[str, ResultAggregate] = {}
+
+    # ------------------------------------------------------------------
+
+    def record_query(
+        self,
+        result: QueryResult,
+        *,
+        cached: bool = False,
+        trivial: bool = False,
+        batch: bool = False,
+    ) -> None:
+        """Fold one answered query into the ledger.
+
+        Cached and trivial answers count toward traffic totals but not
+        the per-algorithm aggregates — those track *work performed*, so
+        their means stay comparable with the paper's tables.
+        """
+        with self._lock:
+            self._queries_total += 1
+            if result.answer:
+                self._true_answers += 1
+            if batch:
+                self._batch_queries += 1
+            if cached:
+                self._queries_cached += 1
+            elif trivial:
+                self._queries_trivial += 1
+            else:
+                self._queries_executed += 1
+                cell = self._by_algorithm.get(result.algorithm)
+                if cell is None:
+                    cell = self._by_algorithm[result.algorithm] = ResultAggregate()
+                cell.add(result)
+
+    def record_batch(self) -> None:
+        """Count one batch request (its queries count via ``batch=True``)."""
+        with self._lock:
+            self._batches += 1
+
+    def record_error(self, kind: str) -> None:
+        """Count one failed request by error kind (e.g. ``bad-request``)."""
+        with self._lock:
+            self._errors[kind] = self._errors.get(kind, 0) + 1
+
+    def merge_aggregate(self, aggregate: ResultAggregate) -> None:
+        """Fold an externally accumulated aggregate (e.g. a warm-up run)."""
+        with self._lock:
+            cell = self._by_algorithm.get(aggregate.algorithm)
+            if cell is None:
+                cell = self._by_algorithm[aggregate.algorithm] = ResultAggregate()
+            cell.merge(aggregate)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since this stats object (≈ the service) was created."""
+        return self._clock() - self._started
+
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot of every counter."""
+        with self._lock:
+            return {
+                "uptime_seconds": self._clock() - self._started,
+                "queries": {
+                    "total": self._queries_total,
+                    "executed": self._queries_executed,
+                    "cached": self._queries_cached,
+                    "trivial": self._queries_trivial,
+                    "true_answers": self._true_answers,
+                },
+                "batches": {
+                    "requests": self._batches,
+                    "queries": self._batch_queries,
+                },
+                "errors": dict(self._errors),
+                "algorithms": {
+                    name: aggregate.as_dict()
+                    for name, aggregate in sorted(self._by_algorithm.items())
+                },
+            }

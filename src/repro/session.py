@@ -31,6 +31,8 @@ from repro.core.witness import WitnessPath, find_witness
 from repro.exceptions import ReproError
 from repro.graph.labeled_graph import KnowledgeGraph
 from repro.index.local_index import LocalIndex, build_local_index
+from repro.service.cache import ConstraintCache
+from repro.service.executor import BatchExecutor
 
 __all__ = ["LSCRSession"]
 
@@ -47,6 +49,7 @@ class LSCRSession:
         index: LocalIndex | None = None,
         seed: int | None = None,
         landmark_count: int | None = None,
+        constraint_cache: ConstraintCache | None = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ReproError(
@@ -54,12 +57,25 @@ class LSCRSession:
             )
         self.graph = graph
         self.algorithm_name = algorithm
-        rng = random.Random(seed) if seed is not None else None
-        self._constraint_cache: dict[str, SubstructureConstraint] = {}
+        # Seed rule: every source of randomness in the session — landmark
+        # selection for the INS index build and candidate shuffling in
+        # UIS*/INS — derives from the single ``seed`` argument, with
+        # ``None`` meaning the deterministic default 0.  Two sessions
+        # constructed with equal arguments therefore build identical
+        # indexes and return identical Boolean answers.  The shuffle rng
+        # is shared across queries, so traversal-order telemetry
+        # (passed_vertices and friends) is reproducible only for serial
+        # execution: under answer_many's concurrency, thread scheduling
+        # decides which query consumes which rng draws.
+        self.seed: int = 0 if seed is None else seed
+        rng = random.Random(self.seed)
+        self._constraint_cache = (
+            constraint_cache if constraint_cache is not None else ConstraintCache()
+        )
         self._algorithm: LSCRAlgorithm
         if algorithm == "ins":
             if index is None:
-                index = build_local_index(graph, k=landmark_count, rng=seed or 0)
+                index = build_local_index(graph, k=landmark_count, rng=self.seed)
             self.index: LocalIndex | None = index
             self._algorithm = INS(graph, index, rng=rng)
         else:
@@ -81,11 +97,7 @@ class LSCRSession:
     ) -> SubstructureConstraint:
         if isinstance(constraint, SubstructureConstraint):
             return constraint
-        cached = self._constraint_cache.get(constraint)
-        if cached is None:
-            cached = SubstructureConstraint.from_sparql(constraint)
-            self._constraint_cache[constraint] = cached
-        return cached
+        return self._constraint_cache.get(constraint)
 
     def make_query(
         self,
@@ -120,9 +132,23 @@ class LSCRSession:
         """One-shot Boolean answer."""
         return self.answer(self.make_query(source, target, labels, constraint)).answer
 
-    def answer_many(self, queries: Iterable[LSCRQuery]) -> list[QueryResult]:
-        """Answer a batch of prepared queries."""
-        return [self.answer(query) for query in queries]
+    def answer_many(
+        self,
+        queries: Iterable[LSCRQuery],
+        max_workers: int | None = None,
+    ) -> list[QueryResult]:
+        """Answer a batch of prepared queries, results in input order.
+
+        Delegates to :class:`~repro.service.executor.BatchExecutor`,
+        which fans the batch over a thread pool (the old serial loop is
+        deprecated; pass ``max_workers=1`` to force serial execution).
+        Boolean answers are independent of execution order — per-query
+        state is created inside each ``answer`` call and the graph and
+        index are read-only — so this is a drop-in speedup; only
+        shuffle-order telemetry can vary run to run (see the seed rule
+        in :meth:`__init__`).
+        """
+        return BatchExecutor(max_workers=max_workers).run(self, queries)
 
     def explain(self, query: LSCRQuery) -> WitnessPath | None:
         """A witness path for a true query (None when false)."""

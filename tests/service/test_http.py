@@ -1,0 +1,274 @@
+"""Integration tests: the service over real HTTP on an ephemeral port.
+
+These exercise the acceptance criteria end to end: /query, /batch,
+/stats and /healthz over actual sockets, structured JSON errors with
+4xx statuses, cache hits visible in /stats, a 64-query batch identical
+to serial execution, a threaded stress run identical to serial
+execution, and `python -m repro serve --port 0` starting from the CLI.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.datasets.toy import figure3_graph
+from repro.graph.io import dump_tsv
+from repro.index.local_index import build_local_index
+from repro.service.app import QueryService
+from repro.service.http import create_server
+from repro.session import LSCRSession
+
+S0 = "SELECT ?x WHERE { ?x <friendOf> v3 . v3 <likes> ?y . }"
+S1 = "SELECT ?x WHERE { ?x <likes> ?y . }"
+LABELS = ["likes", "follows"]
+
+
+@pytest.fixture()
+def service():
+    graph = figure3_graph()
+    return QueryService(graph, build_local_index(graph, k=2, rng=0), seed=0)
+
+
+@pytest.fixture()
+def base_url(service):
+    server = create_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def http_get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def http_post(url, payload, raw_body=None):
+    body = raw_body if raw_body is not None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def spec(source, target, labels=LABELS, constraint=S0, **extra):
+    return {"source": source, "target": target, "labels": labels,
+            "constraint": constraint, **extra}
+
+
+class TestEndpoints:
+    def test_healthz(self, base_url):
+        status, document = http_get(f"{base_url}/healthz")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert document["index_loaded"] is True
+
+    def test_query_true_and_false(self, base_url):
+        status, document = http_post(f"{base_url}/query", spec("v0", "v4"))
+        assert status == 200
+        assert document["answer"] is True
+        assert document["algorithm"] == "INS"
+        status, document = http_post(f"{base_url}/query", spec("v0", "v3"))
+        assert status == 200
+        assert document["answer"] is False
+
+    def test_trivial_answer_over_http(self, base_url):
+        status, document = http_post(f"{base_url}/query", spec("v0", "no-such"))
+        assert status == 200
+        assert document["answer"] is False
+        assert document["trivial"] is True
+
+    def test_cached_repeat_visible_in_stats(self, base_url):
+        http_post(f"{base_url}/query", spec("v0", "v4"))
+        status, document = http_post(f"{base_url}/query", spec("v0", "v4"))
+        assert status == 200
+        assert document["cached"] is True
+        status, stats = http_get(f"{base_url}/stats")
+        assert status == 200
+        assert stats["service"]["queries"]["cached"] >= 1
+        assert stats["result_cache"]["hits"] >= 1
+
+    def test_batch_64_matches_serial(self, base_url, service):
+        # The acceptance batch: 64 mixed queries, answers must come back
+        # in input order and agree with serial execution on one session.
+        pairs = [("v0", "v4"), ("v0", "v3"), ("v3", "v4"), ("v1", "v4"),
+                 ("v0", "v0"), ("v2", "v2"), ("v4", "v0"), ("v1", "v3")] * 8
+        payload = {"queries": [spec(s, t) for s, t in pairs], "use_cache": False}
+        status, document = http_post(f"{base_url}/batch", payload)
+        assert status == 200
+        assert document["count"] == 64
+        session = LSCRSession(service.graph, "ins", index=service.index, seed=0)
+        expected = [
+            session.answer(session.make_query(s, t, LABELS, S0)).answer
+            for s, t in pairs
+        ]
+        assert [entry["answer"] for entry in document["results"]] == expected
+
+    def test_stats_shape(self, base_url):
+        status, stats = http_get(f"{base_url}/stats")
+        assert status == 200
+        assert {"service", "result_cache", "constraint_cache", "graph",
+                "index", "config"} <= set(stats)
+        assert stats["service"]["uptime_seconds"] >= 0
+
+
+class TestErrors:
+    def test_missing_fields_400(self, base_url):
+        status, document = http_post(f"{base_url}/query", {"source": "v0"})
+        assert status == 400
+        assert document["error"]["type"] == "bad-request"
+        assert "missing field" in document["error"]["message"]
+
+    def test_invalid_json_400(self, base_url):
+        status, document = http_post(
+            f"{base_url}/query", None, raw_body=b"{not json"
+        )
+        assert status == 400
+        assert "not valid JSON" in document["error"]["message"]
+
+    def test_empty_body_400(self, base_url):
+        status, document = http_post(f"{base_url}/query", None, raw_body=b"")
+        assert status == 400
+        assert "empty" in document["error"]["message"]
+
+    def test_bad_sparql_400(self, base_url):
+        status, document = http_post(
+            f"{base_url}/query", spec("v0", "v4", constraint="SELECT garbage")
+        )
+        assert status == 400
+
+    def test_unknown_algorithm_400(self, base_url):
+        status, document = http_post(
+            f"{base_url}/query", spec("v0", "v4", algorithm="dijkstra")
+        )
+        assert status == 400
+        assert "unknown algorithm" in document["error"]["message"]
+
+    def test_unknown_endpoint_404(self, base_url):
+        status, document = http_get(f"{base_url}/nope")
+        assert status == 404
+        assert document["error"]["type"] == "not-found"
+        status, document = http_post(f"{base_url}/nope", {})
+        assert status == 404
+
+    def test_errors_counted_in_stats(self, base_url):
+        http_post(f"{base_url}/query", {"source": "v0"})
+        _, stats = http_get(f"{base_url}/stats")
+        assert stats["service"]["errors"].get("bad-request", 0) >= 1
+
+
+class TestConcurrency:
+    def test_threaded_stress_matches_serial(self, base_url, service):
+        # >= 8 workers x >= 50 mixed queries (two constraints, varying
+        # label sets and endpoints), every HTTP answer must equal the
+        # serial in-process answer for the same query.
+        vertices = ["v0", "v1", "v2", "v3", "v4"]
+        cases = []
+        for i in range(64):
+            source = vertices[i % 5]
+            target = vertices[(i * 3 + 1) % 5]
+            labels = (LABELS, ["likes", "follows", "friendOf"], ["hates"])[i % 3]
+            constraint = (S0, S1)[i % 2]
+            cases.append((source, target, list(labels), constraint))
+
+        session = LSCRSession(service.graph, "ins", index=service.index, seed=0)
+        expected = [
+            session.answer(session.make_query(s, t, labels, c)).answer
+            for s, t, labels, c in cases
+        ]
+
+        def ask(case):
+            source, target, labels, constraint = case
+            status, document = http_post(
+                f"{base_url}/query",
+                spec(source, target, labels, constraint, use_cache=False),
+            )
+            assert status == 200
+            return document["answer"]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            answers = list(pool.map(ask, cases))
+        assert answers == expected
+
+        _, stats = http_get(f"{base_url}/stats")
+        assert stats["service"]["queries"]["total"] >= 64
+
+
+class TestCliServe:
+    def test_serve_subprocess_ephemeral_port(self, tmp_path):
+        graph_path = tmp_path / "g0.tsv"
+        index_path = tmp_path / "g0.index.json"
+        dump_tsv(figure3_graph(), graph_path)
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--graph", str(graph_path), "--index", str(index_path),
+             "--port", "0", "--k", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            port = self._await_ready_line(process)
+            status, document = http_get(f"http://127.0.0.1:{port}/healthz")
+            assert status == 200
+            assert document["status"] == "ok"
+            status, document = http_post(
+                f"http://127.0.0.1:{port}/query", spec("v0", "v4")
+            )
+            assert status == 200
+            assert document["answer"] is True
+            assert index_path.is_file()        # built and persisted at startup
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    @staticmethod
+    def _await_ready_line(process, timeout=30.0):
+        """Read stdout until the 'listening on' line; return the port."""
+        lines: list[str] = []
+        found: list[int] = []
+
+        def reader():
+            for line in process.stdout:
+                lines.append(line)
+                if "listening on" in line:
+                    found.append(int(line.rsplit(":", 1)[1]))
+                    return
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if found:
+                return found[0]
+            if process.poll() is not None:
+                break
+            time.sleep(0.05)
+        raise AssertionError(
+            f"server never became ready; exit={process.poll()} output={lines!r}"
+        )

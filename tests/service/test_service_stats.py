@@ -1,0 +1,106 @@
+"""Tests for service telemetry and the ResultAggregate extensions."""
+
+import threading
+
+from repro.core.result import QueryResult, ResultAggregate
+from repro.service.stats import ServiceStats
+
+
+def result(answer=True, algorithm="UIS", seconds=0.5, passed=10):
+    return QueryResult(
+        answer=answer, algorithm=algorithm, seconds=seconds, passed_vertices=passed
+    )
+
+
+class TestResultAggregateExtensions:
+    def test_merge_folds_counters(self):
+        left = ResultAggregate()
+        right = ResultAggregate()
+        left.add(result(answer=True, seconds=1.0, passed=4))
+        right.add(result(answer=False, seconds=3.0, passed=8))
+        right.add(result(answer=True, seconds=2.0, passed=0))
+        left.merge(right)
+        assert left.count == 3
+        assert left.total_seconds == 6.0
+        assert left.total_passed == 12
+        assert left.true_answers == 2
+        assert left.algorithm == "UIS"
+
+    def test_merge_into_empty_takes_algorithm(self):
+        empty = ResultAggregate()
+        other = ResultAggregate()
+        other.add(result(algorithm="INS"))
+        empty.merge(other)
+        assert empty.algorithm == "INS"
+        assert empty.count == 1
+
+    def test_merge_keeps_results_when_requested(self):
+        keeper = ResultAggregate(keep_results=True)
+        other = ResultAggregate(keep_results=True)
+        other.add(result())
+        keeper.merge(other)
+        assert len(keeper.results) == 1
+
+    def test_as_dict_is_json_ready(self):
+        aggregate = ResultAggregate()
+        aggregate.add(result(seconds=0.002, passed=7))
+        document = aggregate.as_dict()
+        assert document["count"] == 1
+        assert document["mean_milliseconds"] == 2.0
+        assert document["mean_passed_vertices"] == 7.0
+
+
+class TestServiceStats:
+    def test_counters_split_by_outcome(self):
+        stats = ServiceStats()
+        stats.record_query(result(answer=True))
+        stats.record_query(result(answer=False), cached=True)
+        stats.record_query(result(answer=False), trivial=True)
+        stats.record_query(result(answer=True, algorithm="INS"), batch=True)
+        snapshot = stats.snapshot()
+        assert snapshot["queries"]["total"] == 4
+        assert snapshot["queries"]["executed"] == 2
+        assert snapshot["queries"]["cached"] == 1
+        assert snapshot["queries"]["trivial"] == 1
+        assert snapshot["queries"]["true_answers"] == 2
+        assert snapshot["batches"]["queries"] == 1
+
+    def test_aggregates_track_work_only(self):
+        stats = ServiceStats()
+        stats.record_query(result(algorithm="UIS"))
+        stats.record_query(result(algorithm="UIS"), cached=True)
+        stats.record_query(result(algorithm="INS"))
+        snapshot = stats.snapshot()
+        assert snapshot["algorithms"]["UIS"]["count"] == 1       # cached not folded
+        assert snapshot["algorithms"]["INS"]["count"] == 1
+
+    def test_errors_and_batches(self):
+        stats = ServiceStats()
+        stats.record_batch()
+        stats.record_error("bad-request")
+        stats.record_error("bad-request")
+        snapshot = stats.snapshot()
+        assert snapshot["batches"]["requests"] == 1
+        assert snapshot["errors"] == {"bad-request": 2}
+
+    def test_uptime_advances(self):
+        ticks = iter([100.0, 100.0, 107.5])
+        stats = ServiceStats(clock=lambda: next(ticks))
+        assert stats.uptime_seconds == 0.0
+        assert stats.snapshot()["uptime_seconds"] == 7.5
+
+    def test_thread_safety_totals(self):
+        stats = ServiceStats()
+
+        def worker():
+            for _ in range(500):
+                stats.record_query(result())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = stats.snapshot()
+        assert snapshot["queries"]["total"] == 4000
+        assert snapshot["algorithms"]["UIS"]["count"] == 4000

@@ -148,3 +148,31 @@ class TestQuery:
         )
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestServe:
+    """Parser-level serve tests; real serving is covered in tests/service."""
+
+    def test_parser_accepts_serve(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--graph", "g.tsv", "--index", "g.json", "--port", "0"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.index == "g.json"
+        assert args.algorithm is None
+
+    def test_serve_requires_graph(self):
+        import pytest
+
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_missing_graph_reports_error(self, tmp_path, capsys):
+        code = main(["serve", "--graph", str(tmp_path / "missing.tsv")])
+        assert code == 2
+        assert "graph file not found" in capsys.readouterr().err

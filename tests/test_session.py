@@ -31,6 +31,55 @@ class TestConstruction:
         assert session.index is None
 
 
+class TestSeedRule:
+    """One rule: all session randomness derives from seed; None means 0."""
+
+    def test_none_is_equivalent_to_zero(self):
+        graph = figure3_graph()
+        default = LSCRSession(graph, algorithm="ins")
+        explicit = LSCRSession(graph, algorithm="ins", seed=0)
+        assert default.seed == explicit.seed == 0
+        assert (
+            default.index.partition.landmarks
+            == explicit.index.partition.landmarks
+        )
+
+    def test_same_seed_same_index(self):
+        graph = figure3_graph()
+        first = LSCRSession(graph, algorithm="ins", seed=7)
+        second = LSCRSession(graph, algorithm="ins", seed=7)
+        assert first.index.partition.landmarks == second.index.partition.landmarks
+        assert first.index.eit == second.index.eit
+
+    def test_equal_arguments_agree_on_answers(self):
+        graph = figure3_graph()
+        cases = [
+            ("v0", "v4", ["likes", "follows"]),
+            ("v0", "v3", ["likes", "follows"]),
+            ("v3", "v4", ["likes", "hates", "friendOf"]),
+        ]
+        for seed in (None, 0, 3):
+            a = LSCRSession(graph, algorithm="ins", seed=seed)
+            b = LSCRSession(graph, algorithm="ins", seed=seed)
+            for source, target, labels in cases:
+                assert a.ask(source, target, labels, S0) == b.ask(
+                    source, target, labels, S0
+                )
+
+    def test_shared_constraint_cache(self):
+        from repro.service.cache import ConstraintCache
+
+        graph = figure3_graph()
+        shared = ConstraintCache()
+        first = LSCRSession(graph, algorithm="uis", constraint_cache=shared)
+        second = LSCRSession(graph, algorithm="uis", constraint_cache=shared)
+        first.ask("v0", "v4", ["likes", "follows"], S0)
+        second.ask("v0", "v3", ["likes", "follows"], S0)
+        stats = shared.stats()
+        assert stats.misses == 1        # parsed once across both sessions
+        assert stats.hits == 1
+
+
 class TestQuerying:
     @pytest.fixture()
     def session(self):
@@ -58,6 +107,18 @@ class TestQuerying:
         ]
         results = session.answer_many(queries)
         assert [r.answer for r in results] == [True, False]
+
+    def test_answer_many_concurrent_matches_serial(self, session):
+        queries = [
+            session.make_query(s, t, ["likes", "follows", "friendOf"], S0)
+            for s, t in [("v0", "v4"), ("v0", "v3"), ("v3", "v4"), ("v1", "v4")] * 8
+        ]
+        serial = [session.answer(query).answer for query in queries]
+        concurrent = session.answer_many(queries, max_workers=8)
+        assert [result.answer for result in concurrent] == serial
+
+    def test_answer_many_empty(self, session):
+        assert session.answer_many([]) == []
 
     def test_explain_true_query(self, session):
         query = session.make_query("v0", "v4", ["likes", "follows"], S0)

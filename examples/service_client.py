@@ -1,11 +1,15 @@
-"""End-to-end demo of the LSCR query service over real HTTP.
+"""End-to-end demo of the multi-tenant LSCR query service over real HTTP.
 
-Generates a LUBM-like dataset, warm-starts a :class:`QueryService` from
-TSV + persisted index files (building and saving the index on first
-run), binds the stdlib HTTP server to an ephemeral port, and exercises
-every endpoint the way an external client would — ``GET /healthz``,
-``POST /query`` (twice, to show the result cache), ``POST /batch``, and
-``GET /stats``.
+Generates two datasets — a LUBM-like graph and a small random graph —
+hosts both in one process behind a :class:`TenantRegistry` (the LUBM
+graph as the default tenant, warm-started from TSV + persisted index
+files; the random graph registered lazily by path), binds the stdlib
+HTTP server to an ephemeral port, and exercises every endpoint the way
+an external client would: ``GET /healthz`` and ``GET /tenants`` for the
+cross-tenant view, ``POST /query`` (twice, to show the result cache),
+``POST /t/<tenant>/query`` for the second tenant, a third tenant
+registered at runtime via ``POST /tenants``, ``POST /batch``, and
+``GET /stats`` with its aggregated totals.
 
 Run:  python examples/service_client.py
 """
@@ -20,9 +24,11 @@ from pathlib import Path
 
 from repro.datasets.lubm import generate_dataset
 from repro.datasets.lubm.queries import S1
+from repro.datasets.synthetic import random_labeled_graph
 from repro.graph.io import dump_tsv
 from repro.service.app import QueryService
 from repro.service.http import create_server
+from repro.service.registry import TenantRegistry
 
 PROFESSOR = "Department0.University0/FullProfessor0"
 UNIVERSITY = "University0"
@@ -50,20 +56,30 @@ def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="repro-service-"))
     graph_path = workdir / "d0.tsv"
     index_path = workdir / "d0.index.json"
+    random_path = workdir / "random.tsv"
+    extra_path = workdir / "extra.tsv"
 
-    print("generating LUBM-like dataset D0 ...")
-    graph = generate_dataset("D0", rng=0)
-    dump_tsv(graph, graph_path)
+    print("generating LUBM-like dataset D0 + a random tenant graph ...")
+    dump_tsv(generate_dataset("D0", rng=0), graph_path)
+    dump_tsv(random_labeled_graph(60, 2.0, 4, rng=1, name="random"), random_path)
+    dump_tsv(random_labeled_graph(40, 1.5, 3, rng=2, name="extra"), extra_path)
 
-    print(f"warm-starting service from {graph_path.name} (+ building index) ...")
-    service = QueryService.from_files(graph_path, index_path, seed=0)
-    server = create_server(service, "127.0.0.1", 0)  # ephemeral port
+    print(f"warm-starting default tenant from {graph_path.name} (+ index) ...")
+    registry = TenantRegistry()
+    registry.add("default", QueryService.from_files(graph_path, index_path, seed=0))
+    # The second tenant is registered by path only: the graph loads and
+    # its index builds lazily, on the first request that names it.
+    registry.register_files("random", random_path, seed=0)
+    server = create_server(registry, "127.0.0.1", 0)  # ephemeral port
     threading.Thread(target=server.serve_forever, daemon=True).start()
     base = f"http://127.0.0.1:{server.server_address[1]}"
     print(f"service listening on {base}\n")
 
-    health = get(base, "/healthz")
-    print(f"GET /healthz -> {health}\n")
+    tenants = get(base, "/tenants")
+    print(f"GET /tenants -> {tenants['count']} tenant(s), "
+          f"default={tenants['default_tenant']}")
+    for name, entry in tenants["tenants"].items():
+        print(f"  {name}: loaded={entry['loaded']}")
 
     query = {
         "source": PROFESSOR,
@@ -72,11 +88,29 @@ def main() -> None:
         "constraint": HEAD_OF,
     }
     first = post(base, "/query", query)
-    print(f"POST /query  {PROFESSOR} -> {UNIVERSITY}")
+    print(f"\nPOST /query  {PROFESSOR} -> {UNIVERSITY}   (default tenant)")
     print(f"  answer={first['answer']} algorithm={first['algorithm']} "
           f"cached={first['cached']} ({first['seconds'] * 1000:.2f} ms)")
     second = post(base, "/query", query)
-    print(f"  repeated:  answer={second['answer']} cached={second['cached']}\n")
+    print(f"  repeated:  answer={second['answer']} cached={second['cached']}")
+
+    # The same process answers for a completely different graph, with a
+    # different label alphabet, behind /t/random/ — first query triggers
+    # the lazy warm start.
+    random_query = {
+        "source": "n0", "target": "n1",
+        "labels": ["l0", "l1", "l2", "l3"],
+        "constraint": "SELECT ?x WHERE { ?x <l0> ?y . }",
+    }
+    entry = post(base, "/t/random/query", random_query)
+    print(f"\nPOST /t/random/query  n0 -> n1   (lazy tenant)")
+    print(f"  answer={entry['answer']} algorithm={entry['algorithm']} "
+          f"({entry['reason']})")
+
+    registered = post(base, "/tenants", {"name": "extra", "graph": str(extra_path)})
+    print(f"\nPOST /tenants -> registered {registered['registered']!r} at runtime")
+    entry = post(base, "/t/extra/query", {**random_query, "labels": ["l0", "l1"]})
+    print(f"  POST /t/extra/query -> answer={entry['answer']}")
 
     batch = post(base, "/batch", {
         "queries": [
@@ -89,20 +123,29 @@ def main() -> None:
             {**query, "source": "Nowhere0"},
         ]
     })
-    print(f"POST /batch ({batch['count']} queries)")
-    for position, entry in enumerate(batch["results"]):
-        print(f"  [{position}] answer={entry['answer']} cached={entry['cached']} "
-              f"trivial={entry['trivial']} ({entry['reason']})")
+    print(f"\nPOST /batch ({batch['count']} queries, default tenant)")
+    for position, item in enumerate(batch["results"]):
+        print(f"  [{position}] answer={item['answer']} cached={item['cached']} "
+              f"trivial={item['trivial']} ({item['reason']})")
+
+    health = get(base, "/healthz")
+    print(f"\nGET /healthz -> status={health['status']} "
+          f"tenants={health['tenant_count']} loaded={health['tenants_loaded']} "
+          f"total |V|={health['totals']['vertices']}")
 
     stats = get(base, "/stats")
-    queries = stats["service"]["queries"]
+    queries = stats["service"]["queries"]            # the default tenant
+    totals = stats["totals"]["queries"]              # every tenant merged
     cache = stats["result_cache"]
-    print("\nGET /stats")
-    print(f"  queries: total={queries['total']} executed={queries['executed']} "
-          f"cached={queries['cached']} trivial={queries['trivial']}")
+    print("GET /stats")
+    print(f"  default tenant: total={queries['total']} "
+          f"executed={queries['executed']} cached={queries['cached']} "
+          f"trivial={queries['trivial']}")
+    print(f"  cross-tenant totals: total={totals['total']} "
+          f"executed={totals['executed']}")
     print(f"  result cache: hits={cache['hits']} misses={cache['misses']} "
           f"hit_rate={cache['hit_rate']:.2f}")
-    for name, cell in stats["service"]["algorithms"].items():
+    for name, cell in stats["totals"]["algorithms"].items():
         print(f"  {name}: {cell['count']} queries, "
               f"mean {cell['mean_milliseconds']:.2f} ms")
 

@@ -53,6 +53,7 @@ from repro.service.cache import ConstraintCache, ResultCache
 from repro.service.executor import BatchExecutor
 from repro.service.http import create_server
 from repro.service.planner import QueryPlan, QueryPlanner
+from repro.service.registry import TenantRegistry
 from repro.service.stats import ServiceStats
 from repro.sparql import SparqlEngine
 
@@ -81,6 +82,7 @@ __all__ = [
     "SparqlEngine",
     "SubstructureChecker",
     "SubstructureConstraint",
+    "TenantRegistry",
     "UIS",
     "UISStar",
     "WitnessPath",

@@ -21,6 +21,12 @@ Examples::
         --constraint "SELECT ?x WHERE { ?x <ub:headOf> ?y . }" \
         --algorithm ins --index d1.index.json --witness
     python -m repro serve --graph d1.tsv --index d1.index.json --port 8080
+    python -m repro serve --graph d1.tsv \
+        --tenant yago=y.tsv:y.index.json --tenant toy=toy.tsv
+
+The second ``serve`` form hosts three graphs in one process: ``d1`` as
+the default tenant behind the un-prefixed routes, the others behind
+``/t/yago/...`` and ``/t/toy/...`` (lazy warm start on first query).
 """
 
 from __future__ import annotations
@@ -38,13 +44,14 @@ from repro.core.witness import find_witness
 from repro.datasets.lubm import SCALED_DATASETS, generate_dataset
 from repro.datasets.synthetic import random_labeled_graph
 from repro.datasets.yago import YagoConfig, generate_yago_like
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ServiceConfigError
 from repro.graph.io import dump_tsv, load_tsv
 from repro.graph.stats import graph_stats, label_histogram
 from repro.index.local_index import build_local_index
 from repro.index.storage import load_local_index, save_local_index
 from repro.service.app import QueryService
 from repro.service.http import create_server
+from repro.service.registry import DEFAULT_TENANT, TenantRegistry
 
 __all__ = ["main", "build_parser"]
 
@@ -117,12 +124,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="serve LSCR queries over HTTP (POST /query, /batch)"
     )
-    serve.add_argument("--graph", required=True, help="TSV graph file to load")
+    serve.add_argument(
+        "--graph",
+        default=None,
+        help="TSV graph file served as the default tenant "
+        "(un-prefixed /query routes)",
+    )
     serve.add_argument(
         "--index",
         default=None,
-        help="local index JSON (built and saved there if missing; "
+        help="local index JSON for --graph (built and saved there if missing; "
         "omit to serve index-free with the fallback algorithm)",
+    )
+    serve.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME=GRAPH[:INDEX]",
+        help="host an extra graph under /t/NAME/... (repeatable; warm-started "
+        "lazily on its first query; without --graph the first --tenant also "
+        "backs the un-prefixed routes)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -237,10 +258,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0 if result.answer else 1
 
 
+def _parse_tenant_spec(spec: str) -> tuple[str, str, str | None]:
+    """``NAME=GRAPH[:INDEX]`` → (name, graph path, index path or None)."""
+    name, separator, paths = spec.partition("=")
+    if not separator or not name or not paths:
+        raise ServiceConfigError(
+            f"invalid --tenant {spec!r}: expected NAME=GRAPH[:INDEX]"
+        )
+    graph_path, _, index_path = paths.partition(":")
+    return name, graph_path, index_path or None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    service = QueryService.from_files(
-        args.graph,
-        args.index,
+    tenants = [_parse_tenant_spec(spec) for spec in args.tenant]
+    if args.graph is None and not tenants:
+        raise ServiceConfigError(
+            "serve needs at least one graph: pass --graph and/or --tenant"
+        )
+    options = dict(
         landmark_count=args.k,
         seed=args.seed,
         algorithm=args.algorithm,
@@ -248,8 +283,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl=args.cache_ttl,
         max_workers=args.workers,
     )
-    server = create_server(service, args.host, args.port)
+    # The default tenant (the one the un-prefixed PR 1 routes alias to)
+    # is --graph when given, else the first --tenant; it loads eagerly so
+    # the ready line below reports real sizes, the rest warm-start lazily.
+    default_name = DEFAULT_TENANT if args.graph is not None else tenants[0][0]
+    registry = TenantRegistry(default_tenant=default_name)
+    if args.graph is not None:
+        registry.add(
+            DEFAULT_TENANT, QueryService.from_files(args.graph, args.index, **options)
+        )
+    for name, graph_path, index_path in tenants:
+        registry.register_files(name, graph_path, index_path, **options)
+
+    server = create_server(registry, args.host, args.port)
     host, port = server.server_address[:2]
+    service = registry.get(default_name)
     graph = service.graph
     index_note = (
         f"{len(service.index.partition.landmarks)} landmarks"
@@ -262,6 +310,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"default algorithm: {service.default_algorithm}",
         flush=True,
     )
+    if len(registry) > 1:
+        print(
+            f"tenants: {', '.join(registry.names())} "
+            f"(default: {default_name}; routes: /t/<tenant>/query)",
+            flush=True,
+        )
     # Machine-readable ready line: tooling (and the tests) parse the port
     # from it, which is how --port 0 ephemeral binding stays usable.
     print(f"listening on http://{host}:{port}", flush=True)

@@ -116,3 +116,19 @@ class BadRequestError(ServiceError):
     def __init__(self, message: str, status: int = 400):
         super().__init__(message)
         self.status = status
+
+
+class UnknownTenantError(BadRequestError):
+    """A request named a tenant the registry does not host (HTTP 404)."""
+
+    def __init__(self, tenant: object):
+        super().__init__(f"unknown tenant: {tenant!r}", status=404)
+        self.tenant = tenant
+
+
+class TenantExistsError(BadRequestError):
+    """A registration reused a tenant id already in the registry (HTTP 409)."""
+
+    def __init__(self, tenant: object):
+        super().__init__(f"tenant already registered: {tenant!r}", status=409)
+        self.tenant = tenant

@@ -16,6 +16,8 @@ passing that graph and verifies basic shape (vertex count).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import random
@@ -59,8 +61,21 @@ def save_local_index(index: LocalIndex, path: str | Path) -> int:
         "build_seconds": index.build_seconds,
     }
     path = Path(path)
-    with open(path, "w", encoding="ascii") as handle:
-        json.dump(document, handle, separators=(",", ":"))
+    # Write-then-rename so a concurrent reader (or a second tenant lazily
+    # warm-starting against the same index path) never sees a partial
+    # file: os.replace is atomic on POSIX within one filesystem, and
+    # mkstemp gives every writer — thread or process — its own scratch.
+    descriptor, scratch_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    scratch = Path(scratch_name)
+    try:
+        with os.fdopen(descriptor, "w", encoding="ascii") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+        os.replace(scratch, path)
+    finally:
+        if scratch.exists():
+            scratch.unlink()
     return path.stat().st_size
 
 

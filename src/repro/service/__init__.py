@@ -14,18 +14,25 @@ one direction:
 :mod:`~.stats`            thread-safe service telemetry
 :mod:`~.app`              :class:`QueryService` — planner + caches +
                           session pool + executor + stats
+:mod:`~.registry`         :class:`TenantRegistry` — many tenants
+                          (graph+index pairs), lazy warm start,
+                          cross-tenant aggregation
 :mod:`~.http`             stdlib JSON endpoints (``POST /query``,
                           ``POST /batch``, ``GET /stats``,
-                          ``GET /healthz``)
+                          ``GET /healthz``, ``/t/<tenant>/...``,
+                          ``GET|POST /tenants``)
 ========================  =============================================
 
 Start one from the CLI with ``python -m repro serve --graph g.tsv
---index g.index.json`` or embed it::
+--index g.index.json`` (add ``--tenant name=g2.tsv:g2.index.json`` for
+more graphs) or embed it::
 
-    from repro.service import QueryService, create_server
+    from repro.service import QueryService, TenantRegistry, create_server
 
-    service = QueryService.from_files("g.tsv", "g.index.json")
-    server = create_server(service, port=0)        # ephemeral port
+    registry = TenantRegistry()
+    registry.add("default", QueryService.from_files("g.tsv", "g.index.json"))
+    registry.register_files("yago", "yago.tsv")    # lazy warm start
+    server = create_server(registry, port=0)       # ephemeral port
     server.serve_forever()
 
 Attribute access is lazy (PEP 562): :mod:`repro.session` imports the
@@ -49,7 +56,9 @@ _EXPORTS = {
     "ResultCache": "repro.service.cache",
     "ServiceHTTPServer": "repro.service.http",
     "ServiceStats": "repro.service.stats",
+    "TenantRegistry": "repro.service.registry",
     "create_server": "repro.service.http",
+    "merge_snapshots": "repro.service.stats",
 }
 
 __all__ = sorted(_EXPORTS)

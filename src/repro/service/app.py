@@ -140,6 +140,17 @@ class QueryService:
         """The algorithm requests run on when they don't name one."""
         return self._forced_algorithm or self.planner.default_algorithm
 
+    def close(self) -> None:
+        """Release pooled resources (the persistent batch thread pool).
+
+        Called when a tenant is removed from a
+        :class:`~repro.service.registry.TenantRegistry`.  Idempotent,
+        and safe with stragglers: a request still holding this service
+        keeps answering — a fresh pool is created on demand if one more
+        batch arrives.
+        """
+        self.executor.shutdown()
+
     # ------------------------------------------------------------------
     # Python-level API
     # ------------------------------------------------------------------

@@ -1,20 +1,33 @@
 """Stdlib HTTP front end: JSON endpoints over ``ThreadingHTTPServer``.
 
-Endpoints (all JSON, UTF-8):
+The server routes onto a :class:`~repro.service.registry.TenantRegistry`
+— one process hosting any number of (graph, index) pairs.  Endpoints
+(all JSON, UTF-8):
 
-* ``POST /query``  — answer one LSCR query
+* ``POST /t/<tenant>/query``  — answer one LSCR query on a tenant
   (``{"source", "target", "labels", "constraint", "algorithm"?,
   "use_cache"?}``);
-* ``POST /batch``  — answer a batch (``{"queries": [spec, ...],
-  "use_cache"?}``), order-preserving and concurrent;
-* ``GET /stats``   — the :class:`ServiceStats` / cache telemetry;
-* ``GET /healthz`` — liveness and what is loaded.
+* ``POST /t/<tenant>/batch``  — answer a batch (``{"queries":
+  [spec, ...], "use_cache"?}``), order-preserving and concurrent;
+* ``GET /t/<tenant>/stats``   — that tenant's telemetry;
+* ``GET /t/<tenant>/healthz`` — that tenant's liveness and load state;
+* ``POST /query``, ``POST /batch`` — un-prefixed PR 1 aliases for the
+  registry's **default tenant**, so single-graph clients keep working;
+* ``GET /stats``, ``GET /healthz`` — the default tenant's documents
+  *plus* cross-tenant aggregation (per-tenant load state, graph sizes,
+  merged counters);
+* ``GET /tenants``    — list every tenant and its load state;
+* ``POST /tenants``   — register a tenant at runtime from file paths
+  (``{"name", "graph", "index"?, "seed"?, "algorithm"?, ...}``), warm
+  started lazily on its first query;
+* ``DELETE /t/<tenant>`` — deregister a tenant.
 
 Errors are structured: every failure body is
 ``{"error": {"type": ..., "message": ...}}`` with a matching 4xx/5xx
-status.  ``ThreadingHTTPServer`` gives one thread per connection; the
-shared :class:`~repro.service.app.QueryService` is safe for that by
-construction (immutable graph/index, locked caches and counters).
+status — unknown tenant ids give 404, duplicate registrations 409.
+``ThreadingHTTPServer`` gives one thread per connection; the registry
+and each :class:`~repro.service.app.QueryService` are safe for that by
+construction (immutable graphs/indexes, locked caches and counters).
 
 Binding ``port=0`` asks the OS for an ephemeral port — the bound
 address is on ``server.server_address`` — which is how the integration
@@ -25,29 +38,68 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
 
-from repro.exceptions import BadRequestError, ReproError
+from repro.exceptions import BadRequestError, ReproError, UnknownTenantError
 from repro.service.app import QueryService
+from repro.service.planner import PLANNABLE_ALGORITHMS
+from repro.service.registry import TenantRegistry, valid_tenant_name
 
 __all__ = ["ServiceHTTPServer", "ServiceRequestHandler", "create_server"]
 
 #: Refuse request bodies larger than this many bytes (memory guard).
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
+#: Options ``POST /tenants`` forwards to :meth:`QueryService.from_files`,
+#: with the predicate each value must satisfy.  Validated here so a bad
+#: registration fails the POST with a 400, not every later query with a
+#: 500 once the lazy warm start trips over it (bool is excluded from the
+#: int checks — JSON ``true`` must not pass as a seed).
+_TENANT_OPTION_FIELDS = {
+    "seed": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "algorithm": lambda v: v in PLANNABLE_ALGORITHMS,
+    "cache_size": lambda v: isinstance(v, int) and not isinstance(v, bool)
+    and v >= 0,
+    "cache_ttl": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v > 0,
+    "max_workers": lambda v: isinstance(v, int) and not isinstance(v, bool)
+    and v >= 1,
+    "max_batch": lambda v: isinstance(v, int) and not isinstance(v, bool)
+    and v >= 1,
+    "landmark_count": lambda v: isinstance(v, int) and not isinstance(v, bool)
+    and v >= 1,
+}
+
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`QueryService`."""
+    """A threading HTTP server bound to one :class:`TenantRegistry`.
+
+    A bare :class:`QueryService` is accepted too and wrapped as the
+    registry's default tenant — the PR 1 embedding API unchanged.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: tuple[str, int], service: QueryService) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService | TenantRegistry,
+    ) -> None:
         super().__init__(address, ServiceRequestHandler)
-        self.service = service
+        if isinstance(service, TenantRegistry):
+            self.registry = service
+        else:
+            self.registry = TenantRegistry.for_service(service)
+
+    @property
+    def service(self) -> QueryService:
+        """The default tenant's service (back-compat convenience)."""
+        return self.registry.get()
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes the four endpoints onto the shared service."""
+    """Routes tenant and admin endpoints onto the shared registry."""
 
     server: ServiceHTTPServer
     protocol_version = "HTTP/1.1"
@@ -62,42 +114,151 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server's naming)
-        if self.path == "/healthz":
-            self._send_json(200, self.server.service.health())
-        elif self.path == "/stats":
-            self._send_json(200, self.server.service.stats_snapshot())
-        else:
-            self._send_error(404, "not-found", f"no such endpoint: GET {self.path}")
+        registry = self.server.registry
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, registry.health())
+            elif self.path == "/stats":
+                self._send_json(200, registry.stats_snapshot())
+            elif self.path == "/tenants":
+                self._send_json(200, registry.describe())
+            else:
+                tenant, endpoint = self._split_tenant_path()
+                if endpoint == "stats":
+                    self._send_json(200, registry.tenant_stats(tenant))
+                elif endpoint == "healthz":
+                    self._send_json(200, registry.tenant_health(tenant))
+                else:
+                    raise BadRequestError(
+                        f"no such endpoint: GET {self.path}", status=404
+                    )
+        except BadRequestError as error:
+            registry.record_error(self._error_kind(error))
+            self._send_error(error.status, self._error_kind(error), str(error))
 
     def do_POST(self) -> None:  # noqa: N802
-        service = self.server.service
-        if self.path not in ("/query", "/batch"):
-            self._send_error(404, "not-found", f"no such endpoint: POST {self.path}")
-            return
+        registry = self.server.registry
+        service: QueryService | None = None
         try:
+            # Read the body before any routing verdict: an early 404 on
+            # a keep-alive connection must not leave body bytes behind
+            # to corrupt the next request.
             payload = self._read_json_body()
-            if self.path == "/query":
+            if self.path == "/tenants":
+                self._send_json(201, self._register_tenant(payload))
+                return
+            if self.path in ("/query", "/batch"):
+                tenant, endpoint = None, self.path[1:]
+            else:
+                tenant, endpoint = self._split_tenant_path()
+                if endpoint not in ("query", "batch"):
+                    raise BadRequestError(
+                        f"no such endpoint: POST {self.path}", status=404
+                    )
+            service = registry.get(tenant)
+            if endpoint == "query":
                 self._send_json(200, service.handle_query(payload))
             else:
                 self._send_json(200, service.handle_batch(payload))
         except BadRequestError as error:
-            service.stats.record_error("bad-request")
-            self._send_error(error.status, "bad-request", str(error))
+            kind = self._error_kind(error)
+            if service is not None:
+                service.stats.record_error(kind)
+            else:
+                registry.record_error(kind)
+            self._send_error(error.status, kind, str(error))
         except ReproError as error:
             # Anything else the library rejected is still the client's
             # query (bad constraint text reaching a deeper layer, ...).
-            service.stats.record_error("bad-request")
+            if service is not None:
+                service.stats.record_error("bad-request")
+            else:
+                registry.record_error("bad-request")
             self._send_error(400, type(error).__name__, str(error))
         except Exception as error:  # noqa: BLE001 — last-resort boundary
-            service.stats.record_error("internal-error")
+            if service is not None:
+                service.stats.record_error("internal-error")
+            else:
+                registry.record_error("internal-error")
             self._send_error(500, "internal-error", f"{type(error).__name__}: {error}")
 
-    def do_PUT(self) -> None:  # noqa: N802
-        self._send_error(405, "method-not-allowed", "use GET or POST")
+    def do_DELETE(self) -> None:  # noqa: N802
+        registry = self.server.registry
+        self._drain_body()
+        try:
+            parts = self.path.strip("/").split("/")
+            if len(parts) != 2 or parts[0] != "t":
+                raise BadRequestError(
+                    f"no such endpoint: DELETE {self.path}", status=404
+                )
+            registry.remove(parts[1])
+            self._send_json(200, {"removed": parts[1]})
+        except BadRequestError as error:
+            registry.record_error(self._error_kind(error))
+            self._send_error(error.status, self._error_kind(error), str(error))
 
-    do_DELETE = do_PUT  # noqa: N815
+    def do_PUT(self) -> None:  # noqa: N802
+        self._drain_body()
+        self._send_error(405, "method-not-allowed", "use GET, POST or DELETE")
 
     # ------------------------------------------------------------------
+
+    def _drain_body(self) -> None:
+        """Discard any request body so keep-alive connections stay in
+        sync — unread bytes would be parsed as the next request line."""
+        try:
+            remaining = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            return
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 65536))
+            if not chunk:
+                return
+            remaining -= len(chunk)
+
+    def _split_tenant_path(self) -> tuple[str, str]:
+        """``/t/<tenant>/<endpoint>`` → (tenant, endpoint), or 404."""
+        parts = self.path.strip("/").split("/")
+        if len(parts) == 3 and parts[0] == "t" and valid_tenant_name(parts[1]):
+            return parts[1], parts[2]
+        raise BadRequestError(
+            f"no such endpoint: {self.command} {self.path}", status=404
+        )
+
+    def _register_tenant(self, payload: object) -> dict:
+        """``POST /tenants``: validate and register a lazy tenant."""
+        if not isinstance(payload, dict):
+            raise BadRequestError("tenant registration must be a JSON object")
+        name = payload.get("name")
+        if not valid_tenant_name(name):
+            raise BadRequestError(
+                "'name' must be 1-128 characters from [A-Za-z0-9._-], "
+                "not starting with a dot"
+            )
+        graph = payload.get("graph")
+        if not isinstance(graph, str) or not graph:
+            raise BadRequestError("'graph' must be a TSV file path")
+        index = payload.get("index")
+        if index is not None and not isinstance(index, str):
+            raise BadRequestError("'index' must be a file path string")
+        options: dict[str, Any] = {}
+        for field, acceptable in _TENANT_OPTION_FIELDS.items():
+            if field not in payload or payload[field] is None:
+                continue
+            value = payload[field]
+            if not acceptable(value):
+                raise BadRequestError(
+                    f"invalid value for {field!r}: {value!r}"
+                )
+            options[field] = value
+        self.server.registry.register_files(name, graph, index, **options)
+        return {"registered": name, "loaded": False}
+
+    @staticmethod
+    def _error_kind(error: BadRequestError) -> str:
+        if isinstance(error, UnknownTenantError):
+            return "unknown-tenant"
+        return "not-found" if error.status == 404 else "bad-request"
 
     def _read_json_body(self) -> object:
         try:
@@ -131,11 +292,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
 
 def create_server(
-    service: QueryService,
+    service: QueryService | TenantRegistry,
     host: str = "127.0.0.1",
     port: int = 8080,
 ) -> ServiceHTTPServer:
-    """Bind (but do not start) a server for ``service``.
+    """Bind (but do not start) a server for a service or registry.
 
     Callers run ``server.serve_forever()`` — typically on a dedicated
     thread — and stop with ``server.shutdown()`` + ``server.server_close()``.

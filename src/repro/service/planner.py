@@ -122,6 +122,13 @@ class QueryPlanner:
         if not isinstance(labels, LabelConstraint):
             labels = LabelConstraint(labels)
         if not isinstance(constraint, SubstructureConstraint):
+            # Catch the blank-text case before the SPARQL parser does:
+            # clients get one stable message instead of a lexer error,
+            # and nothing is cached for it.
+            if not constraint.strip():
+                raise BadRequestError(
+                    "'constraint' must be a non-empty SPARQL string"
+                )
             constraint = self.constraints.get(constraint)
         key: CanonicalKey = (
             str(source),

@@ -10,17 +10,19 @@ sizes, error kinds, uptime.
 
 One lock guards every mutation; :meth:`snapshot` returns plain dicts so
 the HTTP layer can serialise without touching live state.
+:func:`merge_snapshots` folds many tenants' snapshots into the
+cross-tenant ``totals`` section of the registry's top-level ``/stats``.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 
 from repro.core.result import QueryResult, ResultAggregate
 
-__all__ = ["ServiceStats"]
+__all__ = ["ServiceStats", "merge_snapshots"]
 
 
 class ServiceStats:
@@ -120,3 +122,53 @@ class ServiceStats:
                     for name, aggregate in sorted(self._by_algorithm.items())
                 },
             }
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Fold :meth:`ServiceStats.snapshot` documents into one total.
+
+    Counters sum; per-algorithm cells merge the way
+    :meth:`ResultAggregate.merge` does (totals add, means recomputed),
+    reconstructing ``total_passed`` from ``mean_passed_vertices × count``
+    since the JSON cell carries only the mean.  ``uptime_seconds`` is
+    the maximum — tenants share the process, so the oldest tenant's
+    uptime is the service's.
+    """
+    queries = {"total": 0, "executed": 0, "cached": 0, "trivial": 0,
+               "true_answers": 0}
+    batches = {"requests": 0, "queries": 0}
+    errors: dict[str, int] = {}
+    cells: dict[str, dict] = {}
+    uptime = 0.0
+    for snapshot in snapshots:
+        uptime = max(uptime, snapshot.get("uptime_seconds", 0.0))
+        for key in queries:
+            queries[key] += snapshot["queries"][key]
+        for key in batches:
+            batches[key] += snapshot["batches"][key]
+        for kind, count in snapshot["errors"].items():
+            errors[kind] = errors.get(kind, 0) + count
+        for name, cell in snapshot["algorithms"].items():
+            into = cells.setdefault(
+                name,
+                {"algorithm": cell["algorithm"], "count": 0, "true_answers": 0,
+                 "total_seconds": 0.0, "_total_passed": 0.0},
+            )
+            into["count"] += cell["count"]
+            into["true_answers"] += cell["true_answers"]
+            into["total_seconds"] += cell["total_seconds"]
+            into["_total_passed"] += cell["mean_passed_vertices"] * cell["count"]
+    for cell in cells.values():
+        count = cell["count"]
+        total_passed = cell.pop("_total_passed")
+        cell["mean_milliseconds"] = (
+            cell["total_seconds"] / count * 1000.0 if count else 0.0
+        )
+        cell["mean_passed_vertices"] = total_passed / count if count else 0.0
+    return {
+        "uptime_seconds": uptime,
+        "queries": queries,
+        "batches": batches,
+        "errors": errors,
+        "algorithms": {name: cells[name] for name in sorted(cells)},
+    }

@@ -1,0 +1,394 @@
+"""Multi-tenant HTTP integration: /t/<tenant> routes over real sockets.
+
+Covers the tenancy acceptance criteria end to end: two graphs with
+different label alphabets served from one process, un-prefixed PR 1
+routes still answering for the default tenant, runtime registration via
+``POST /tenants`` with lazy warm start, structured 404s for unknown
+tenant ids, aggregate ``/healthz``/``/stats`` documents, tenant removal
+over ``DELETE``, and `python -m repro serve --tenant` from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.datasets.toy import figure3_graph
+from repro.graph.io import dump_tsv
+from repro.index.local_index import build_local_index
+from repro.service.app import QueryService
+from repro.service.http import create_server
+from repro.service.registry import TenantRegistry
+from tests.helpers import graph_from_edges
+
+S0 = "SELECT ?x WHERE { ?x <friendOf> v3 . v3 <likes> ?y . }"
+LABELS = ["likes", "follows"]
+
+#: Tenant "beta"'s graph: a different shape and label alphabet entirely.
+BETA_EDGES = [
+    ("s", "hop", "m"),
+    ("m", "hop", "t"),
+    ("m", "flag", "m"),
+]
+BETA_SPEC = {
+    "source": "s", "target": "t", "labels": ["hop"],
+    "constraint": "SELECT ?x WHERE { ?x <flag> ?y . }",
+}
+
+
+def http_get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def http_request(url, payload, method="POST"):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode() if payload is not None else None,
+        headers={"Content-Type": "application/json"},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def spec(source, target, labels=LABELS, constraint=S0, **extra):
+    return {"source": source, "target": target, "labels": labels,
+            "constraint": constraint, **extra}
+
+
+@pytest.fixture()
+def registry():
+    alpha = figure3_graph()
+    registry = TenantRegistry(default_tenant="alpha")
+    registry.add(
+        "alpha", QueryService(alpha, build_local_index(alpha, k=2, rng=0), seed=0)
+    )
+    registry.add(
+        "beta", QueryService(graph_from_edges(BETA_EDGES, name="beta"), seed=0)
+    )
+    return registry
+
+
+@pytest.fixture()
+def base_url(registry):
+    server = create_server(registry, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestTenantRoutes:
+    def test_two_tenants_answer_from_their_own_graphs(self, base_url):
+        status, document = http_request(f"{base_url}/t/alpha/query", spec("v0", "v4"))
+        assert status == 200
+        assert document["answer"] is True
+        assert document["algorithm"] == "INS"
+        status, document = http_request(f"{base_url}/t/beta/query", BETA_SPEC)
+        assert status == 200
+        assert document["answer"] is True
+        assert document["algorithm"] == "UIS*"       # beta has no index
+        # alpha's vertices mean nothing to beta: trivially false there.
+        status, document = http_request(
+            f"{base_url}/t/beta/query", spec("v0", "v4")
+        )
+        assert status == 200
+        assert document["answer"] is False
+        assert document["trivial"] is True
+
+    def test_unprefixed_routes_alias_default_tenant(self, base_url, registry):
+        status, document = http_request(f"{base_url}/query", spec("v0", "v4"))
+        assert status == 200
+        assert document["answer"] is True
+        # The alias hit the same cache the /t/alpha/ route uses.
+        status, document = http_request(f"{base_url}/t/alpha/query", spec("v0", "v4"))
+        assert document["cached"] is True
+        assert registry.get("beta").results.stats().hits == 0
+
+    def test_tenant_batch(self, base_url):
+        payload = {"queries": [BETA_SPEC, {**BETA_SPEC, "labels": ["flag"]}]}
+        status, document = http_request(f"{base_url}/t/beta/batch", payload)
+        assert status == 200
+        assert document["count"] == 2
+        assert [entry["answer"] for entry in document["results"]] == [True, False]
+
+    def test_tenant_stats_and_healthz(self, base_url):
+        http_request(f"{base_url}/t/beta/query", BETA_SPEC)
+        status, document = http_get(f"{base_url}/t/beta/stats")
+        assert status == 200
+        assert document["tenant"] == "beta"
+        assert document["service"]["queries"]["total"] == 1
+        status, document = http_get(f"{base_url}/t/beta/healthz")
+        assert status == 200
+        assert document["tenant"] == "beta"
+        assert document["loaded"] is True
+        assert document["vertices"] == 3
+
+    def test_unknown_tenant_404_structured(self, base_url):
+        for method, url, payload in (
+            ("POST", f"{base_url}/t/nope/query", spec("v0", "v4")),
+            ("POST", f"{base_url}/t/nope/batch", {"queries": [spec("v0", "v4")]}),
+            ("GET", f"{base_url}/t/nope/stats", None),
+            ("GET", f"{base_url}/t/nope/healthz", None),
+            ("DELETE", f"{base_url}/t/nope", None),
+        ):
+            if method == "GET":
+                status, document = http_get(url)
+            else:
+                status, document = http_request(url, payload, method=method)
+            assert status == 404, url
+            assert document["error"]["type"] == "unknown-tenant"
+            assert "nope" in document["error"]["message"]
+
+    def test_unknown_tenant_errors_counted_in_registry(self, base_url):
+        http_request(f"{base_url}/t/nope/query", spec("v0", "v4"))
+        _, stats = http_get(f"{base_url}/stats")
+        assert stats["registry"]["errors"].get("unknown-tenant", 0) >= 1
+
+    def test_malformed_tenant_paths_404(self, base_url):
+        for path in ("/t/alpha", "/t//query", "/t/alpha/query/extra",
+                     "/t/bad%20name/query"):
+            status, document = http_request(f"{base_url}{path}", spec("v0", "v4"))
+            assert status == 404, path
+            assert document["error"]["type"] in ("not-found", "unknown-tenant")
+
+
+class TestAggregateEndpoints:
+    def test_healthz_reports_per_tenant_state(self, base_url):
+        status, document = http_get(f"{base_url}/healthz")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert document["tenant_count"] == 2
+        assert document["tenants_loaded"] == 2
+        tenants = document["tenants"]
+        assert tenants["alpha"]["loaded"] and tenants["beta"]["loaded"]
+        assert tenants["alpha"]["vertices"] == 5
+        assert tenants["beta"]["vertices"] == 3
+        assert document["totals"]["vertices"] == 8
+        # Default-tenant (alpha) keys are still at top level for PR 1
+        # monitoring.
+        assert document["index_loaded"] is True
+
+    def test_stats_aggregates_across_tenants(self, base_url):
+        http_request(f"{base_url}/t/alpha/query", spec("v0", "v4"))
+        http_request(f"{base_url}/t/beta/query", BETA_SPEC)
+        http_request(f"{base_url}/t/beta/query", BETA_SPEC)
+        status, document = http_get(f"{base_url}/stats")
+        assert status == 200
+        assert document["service"]["queries"]["total"] == 1          # alpha
+        assert document["tenants"]["beta"]["queries"]["total"] == 2
+        assert document["totals"]["queries"]["total"] == 3
+        assert document["totals"]["queries"]["cached"] == 1
+        algorithms = document["totals"]["algorithms"]
+        assert algorithms["INS"]["count"] == 1
+        assert algorithms["UIS*"]["count"] == 1
+
+    def test_tenants_listing(self, base_url):
+        status, document = http_get(f"{base_url}/tenants")
+        assert status == 200
+        assert document["count"] == 2
+        assert document["default_tenant"] == "alpha"
+        assert set(document["tenants"]) == {"alpha", "beta"}
+
+
+class TestTenantAdmin:
+    def test_register_then_query_lazy_tenant(self, base_url, tmp_path):
+        graph_path = tmp_path / "gamma.tsv"
+        dump_tsv(figure3_graph(), graph_path)
+        status, document = http_request(
+            f"{base_url}/tenants",
+            {"name": "gamma", "graph": str(graph_path), "seed": 0},
+        )
+        assert status == 201
+        assert document == {"registered": "gamma", "loaded": False}
+        _, listing = http_get(f"{base_url}/tenants")
+        assert listing["tenants"]["gamma"]["loaded"] is False
+        # First query triggers the warm start.
+        status, document = http_request(f"{base_url}/t/gamma/query", spec("v0", "v4"))
+        assert status == 200
+        assert document["answer"] is True
+        _, listing = http_get(f"{base_url}/tenants")
+        assert listing["tenants"]["gamma"]["loaded"] is True
+
+    def test_duplicate_registration_409(self, base_url, tmp_path):
+        graph_path = tmp_path / "g.tsv"
+        dump_tsv(figure3_graph(), graph_path)
+        status, document = http_request(
+            f"{base_url}/tenants", {"name": "alpha", "graph": str(graph_path)}
+        )
+        assert status == 409
+        assert "already registered" in document["error"]["message"]
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ("not a dict", "JSON object"),
+            ({}, "'name'"),
+            ({"name": "bad name", "graph": "g.tsv"}, "'name'"),
+            ({"name": "ok"}, "'graph'"),
+            ({"name": "ok", "graph": 7}, "'graph'"),
+            ({"name": "ok", "graph": "g.tsv", "index": 7}, "'index'"),
+        ],
+    )
+    def test_bad_registration_payloads_400(self, base_url, payload, fragment):
+        status, document = http_request(f"{base_url}/tenants", payload)
+        assert status == 400
+        assert fragment in document["error"]["message"]
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("seed", "zero"), ("seed", True), ("algorithm", "dijkstra"),
+            ("cache_size", -1), ("cache_ttl", 0), ("max_workers", 0),
+            ("max_batch", "lots"), ("landmark_count", -3),
+        ],
+    )
+    def test_bad_option_values_fail_registration_not_queries(
+        self, base_url, tmp_path, field, value
+    ):
+        # Option values are validated at POST /tenants time: a bad one
+        # must 400 here, never register a tenant that 500s on first use.
+        graph_path = tmp_path / "g.tsv"
+        dump_tsv(figure3_graph(), graph_path)
+        status, document = http_request(
+            f"{base_url}/tenants",
+            {"name": "opts", "graph": str(graph_path), field: value},
+        )
+        assert status == 400
+        assert field in document["error"]["message"]
+        _, listing = http_get(f"{base_url}/tenants")
+        assert "opts" not in listing["tenants"]
+
+    def test_registration_with_missing_graph_file_400(self, base_url, tmp_path):
+        status, document = http_request(
+            f"{base_url}/tenants",
+            {"name": "ok", "graph": str(tmp_path / "absent.tsv")},
+        )
+        assert status == 400
+        assert "not found" in document["error"]["message"]
+
+    def test_delete_tenant(self, base_url):
+        status, document = http_request(
+            f"{base_url}/t/beta", None, method="DELETE"
+        )
+        assert status == 200
+        assert document == {"removed": "beta"}
+        status, document = http_request(f"{base_url}/t/beta/query", BETA_SPEC)
+        assert status == 404
+        _, listing = http_get(f"{base_url}/tenants")
+        assert listing["count"] == 1
+
+    def test_put_still_405(self, base_url):
+        status, document = http_request(
+            f"{base_url}/t/alpha/query", spec("v0", "v4"), method="PUT"
+        )
+        assert status == 405
+
+    def test_delete_with_body_keeps_connection_in_sync(self, base_url):
+        # DELETE must drain an unexpected request body, or the next
+        # request on the same keep-alive connection reads garbage.
+        import http.client
+
+        host_port = base_url.removeprefix("http://")
+        connection = http.client.HTTPConnection(host_port, timeout=10)
+        try:
+            connection.request(
+                "DELETE", "/t/beta", body=b'{"why": "not"}',
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read()) == {"removed": "beta"}
+            # Same socket, second request: still a clean HTTP exchange.
+            connection.request("GET", "/tenants")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["count"] == 1
+        finally:
+            connection.close()
+
+
+class TestCliServeTenants:
+    def test_serve_tenant_flags_subprocess(self, tmp_path):
+        alpha_path = tmp_path / "alpha.tsv"
+        beta_path = tmp_path / "beta.tsv"
+        dump_tsv(figure3_graph(), alpha_path)
+        dump_tsv(graph_from_edges(BETA_EDGES, name="beta"), beta_path)
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--tenant", f"alpha={alpha_path}",
+             "--tenant", f"beta={beta_path}",
+             "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            port = _await_ready_line(process)
+            base = f"http://127.0.0.1:{port}"
+            # First --tenant backs the un-prefixed routes when --graph
+            # is absent.
+            status, document = http_request(f"{base}/query", spec("v0", "v4"))
+            assert status == 200
+            assert document["answer"] is True
+            status, document = http_request(f"{base}/t/beta/query", BETA_SPEC)
+            assert status == 200
+            assert document["answer"] is True
+            status, document = http_get(f"{base}/tenants")
+            assert status == 200
+            assert set(document["tenants"]) == {"alpha", "beta"}
+            assert document["default_tenant"] == "alpha"
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+
+def _await_ready_line(process, timeout=30.0):
+    """Read stdout until the 'listening on' line; return the port."""
+    lines: list[str] = []
+    found: list[int] = []
+
+    def reader():
+        for line in process.stdout:
+            lines.append(line)
+            if "listening on" in line:
+                found.append(int(line.rsplit(":", 1)[1]))
+                return
+
+    thread = threading.Thread(target=reader, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if found:
+            return found[0]
+        if process.poll() is not None:
+            break
+        time.sleep(0.05)
+    raise AssertionError(
+        f"server never became ready; exit={process.poll()} output={lines!r}"
+    )

@@ -2,6 +2,8 @@
 
 import threading
 
+import pytest
+
 from repro.core.result import QueryResult, ResultAggregate
 from repro.service.stats import ServiceStats
 
@@ -104,3 +106,64 @@ class TestServiceStats:
         snapshot = stats.snapshot()
         assert snapshot["queries"]["total"] == 4000
         assert snapshot["algorithms"]["UIS"]["count"] == 4000
+
+
+class TestMergeSnapshots:
+    def test_empty_iterable(self):
+        from repro.service.stats import merge_snapshots
+
+        merged = merge_snapshots([])
+        assert merged["queries"]["total"] == 0
+        assert merged["algorithms"] == {}
+        assert merged["errors"] == {}
+
+    def test_counters_sum_and_means_reweight(self):
+        from repro.service.stats import merge_snapshots
+
+        a, b = ServiceStats(), ServiceStats()
+        a.record_query(result(algorithm="UIS", seconds=1.0, passed=10))
+        a.record_query(result(algorithm="UIS", seconds=1.0, passed=10))
+        a.record_query(result(algorithm="INS", seconds=0.5, passed=4))
+        a.record_query(result(), cached=True)
+        a.record_error("bad-request")
+        b.record_query(result(algorithm="UIS", seconds=4.0, passed=40,
+                              answer=False))
+        b.record_batch()
+        b.record_error("bad-request")
+        b.record_error("unknown-tenant")
+
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["queries"]["total"] == 5
+        assert merged["queries"]["executed"] == 4
+        assert merged["queries"]["cached"] == 1
+        assert merged["batches"]["requests"] == 1
+        assert merged["errors"] == {"bad-request": 2, "unknown-tenant": 1}
+        uis = merged["algorithms"]["UIS"]
+        assert uis["count"] == 3
+        assert uis["true_answers"] == 2
+        # Means are re-weighted over the merged population, not averaged
+        # per tenant: (1 + 1 + 4) / 3 seconds, (10 + 10 + 40) / 3 vertices.
+        assert uis["mean_milliseconds"] == pytest.approx(2000.0)
+        assert uis["mean_passed_vertices"] == pytest.approx(20.0)
+        assert merged["algorithms"]["INS"]["count"] == 1
+
+    def test_merge_matches_single_ledger(self):
+        # Splitting traffic across two ledgers and merging must agree
+        # with recording everything on one ledger.
+        from repro.service.stats import merge_snapshots
+
+        combined, left, right = ServiceStats(), ServiceStats(), ServiceStats()
+        for position in range(20):
+            item = result(seconds=0.1 * position, passed=position,
+                          answer=position % 3 == 0)
+            combined.record_query(item)
+            (left if position % 2 == 0 else right).record_query(item)
+        merged = merge_snapshots([left.snapshot(), right.snapshot()])
+        single = combined.snapshot()
+        assert merged["queries"] == single["queries"]
+        uis_merged = merged["algorithms"]["UIS"]
+        uis_single = single["algorithms"]["UIS"]
+        for key in ("count", "true_answers"):
+            assert uis_merged[key] == uis_single[key]
+        for key in ("total_seconds", "mean_milliseconds", "mean_passed_vertices"):
+            assert uis_merged[key] == pytest.approx(uis_single[key])

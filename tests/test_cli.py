@@ -164,15 +164,42 @@ class TestServe:
         assert args.index == "g.json"
         assert args.algorithm is None
 
-    def test_serve_requires_graph(self):
-        import pytest
-
-        from repro.cli import build_parser
-
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve"])
+    def test_serve_requires_some_graph(self, capsys):
+        # --graph is optional now (a --tenant list can stand alone), but
+        # serving nothing at all is a config error.
+        code = main(["serve"])
+        assert code == 2
+        assert "--graph and/or --tenant" in capsys.readouterr().err
 
     def test_serve_missing_graph_reports_error(self, tmp_path, capsys):
         code = main(["serve", "--graph", str(tmp_path / "missing.tsv")])
         assert code == 2
         assert "graph file not found" in capsys.readouterr().err
+
+    def test_parser_accepts_tenants(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--tenant", "a=a.tsv", "--tenant", "b=b.tsv:b.json"]
+        )
+        assert args.tenant == ["a=a.tsv", "b=b.tsv:b.json"]
+        assert args.graph is None
+
+    def test_tenant_spec_parsing(self):
+        from repro.cli import _parse_tenant_spec
+
+        assert _parse_tenant_spec("a=g.tsv") == ("a", "g.tsv", None)
+        assert _parse_tenant_spec("a=g.tsv:i.json") == ("a", "g.tsv", "i.json")
+
+    @pytest.mark.parametrize("spec", ["noequals", "=g.tsv", "name="])
+    def test_tenant_spec_rejected(self, spec):
+        from repro.cli import _parse_tenant_spec
+        from repro.exceptions import ServiceConfigError
+
+        with pytest.raises(ServiceConfigError, match="NAME=GRAPH"):
+            _parse_tenant_spec(spec)
+
+    def test_serve_bad_tenant_spec_reports_error(self, capsys):
+        code = main(["serve", "--tenant", "broken"])
+        assert code == 2
+        assert "NAME=GRAPH" in capsys.readouterr().err

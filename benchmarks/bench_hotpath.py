@@ -1,0 +1,291 @@
+"""Hot-path throughput benchmark: the frozen serving stack vs the seed's.
+
+Measures the two serving shapes that matter for the ROADMAP's "as fast
+as the hardware allows" north star:
+
+* **single-query throughput** — INS and UIS* answered serially through
+  an :class:`~repro.session.LSCRSession` (result cache out of the
+  picture), in up to three configurations per algorithm:
+
+  - ``baseline`` — the dict-backed :class:`KnowledgeGraph` with no
+    ``V(S, G)`` memoisation: how every query executed before this
+    optimisation pass;
+  - ``dict_cached`` — dict-backed graph plus the
+    :class:`~repro.service.cache.CandidateCache` the service now wires
+    into its sessions (isolates the cache's contribution);
+  - ``frozen`` — the :class:`~repro.graph.csr.FrozenGraph` CSR snapshot
+    plus the candidate cache: the serving default after this pass.
+
+  Each cell reports q/s; ``speedup`` is frozen vs baseline (the gate
+  number) and ``csr_speedup`` is frozen vs dict_cached (the layout's
+  isolated contribution).  Same graph, same local index, same query
+  stream everywhere, and the harness asserts all configurations return
+  identical answers;
+
+* **batched service throughput** — the full
+  :class:`~repro.service.app.QueryService` path (planner → sessions →
+  batch executor) with the result cache bypassed, ``freeze=True`` vs
+  ``freeze=False`` (the candidate cache is part of the service in both,
+  so this compares graph layouts under real batch fan-out).
+
+The workload mixes the paper's two Table 3 constraint shapes — anchored
+patterns (small, cheap ``V(S, G)``) and star patterns (expensive
+``V(S, G)`` joins) — over a dense random graph whose label alphabet is
+several times larger than any one constraint.
+
+The report is written as JSON (default: ``BENCH_hotpath.json`` at the
+repo root) so successive PRs accumulate a perf trajectory.  Without
+``--compare`` only the frozen numbers are measured (fast enough for a
+tracking run); with ``--compare`` the baselines and speedups are
+included in the same run — that is the mode whose output is committed.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --compare
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.query import LSCRQuery  # noqa: E402
+from repro.datasets.synthetic import random_labeled_graph  # noqa: E402
+from repro.index.local_index import build_local_index  # noqa: E402
+from repro.service.app import QueryService  # noqa: E402
+from repro.service.cache import CandidateCache  # noqa: E402
+from repro.session import LSCRSession  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: (vertices, density, labels, queries, rounds) per mode.  Density and
+#: label-alphabet size follow the paper's KG-shaped datasets: high-degree
+#: vertices and a label universe several times larger than any one
+#: constraint, so the per-vertex mask pre-test has something to reject.
+FULL = dict(vertices=2000, density=6.0, labels=10, queries=120, rounds=3)
+QUICK = dict(vertices=300, density=4.0, labels=8, queries=24, rounds=2)
+
+ALGORITHMS = ("ins", "uis*")
+
+
+def build_workload(config: dict, seed: int):
+    """One random graph, its local index, and a query stream."""
+    graph = random_labeled_graph(
+        config["vertices"], config["density"], config["labels"], rng=seed,
+        name="hotpath",
+    )
+    index = build_local_index(graph, rng=seed)
+    rng = random.Random(seed * 7919 + 11)
+    label_names = [f"l{i}" for i in range(config["labels"])]
+    # Table 3's two constraint shapes: anchored (selective, cheap
+    # V(S,G)) and star-joined (expensive V(S,G) the candidate cache
+    # amortises).  Four texts over the whole stream, like the paper's
+    # workloads reusing a handful of constraints across thousands of
+    # queries.
+    constraints = [
+        "SELECT ?x WHERE { ?x <l0> ?y . ?x <l1> ?z . ?x <l2> ?w . }",
+        "SELECT ?x WHERE { ?x <l1> ?y . ?y <l0> n42 . }",
+        "SELECT ?x WHERE { ?x <l3> ?y . ?x <l4> ?z . ?x <l0> ?w . }",
+        "SELECT ?x WHERE { ?x <l1> n7 . ?x <l0> ?z . }",
+    ]
+    specs = []
+    for _ in range(config["queries"]):
+        specs.append(
+            {
+                "source": f"n{rng.randrange(config['vertices'])}",
+                "target": f"n{rng.randrange(config['vertices'])}",
+                "labels": rng.sample(label_names, rng.randint(2, 3)),
+                "constraint": rng.choice(constraints),
+            }
+        )
+    return graph, index, specs
+
+
+def prepared_queries(specs) -> list[LSCRQuery]:
+    """Specs parsed once up front — the bench times search, not parsing."""
+    return [
+        LSCRQuery.create(
+            spec["source"], spec["target"], spec["labels"], spec["constraint"]
+        )
+        for spec in specs
+    ]
+
+
+def bench_single(
+    graph, index, queries, algorithm: str, rounds: int, *, cached: bool
+) -> dict:
+    """Serial per-query throughput for one algorithm on one configuration."""
+    session = LSCRSession(
+        graph,
+        algorithm=algorithm,
+        index=index if algorithm == "ins" else None,
+        seed=0,
+        candidate_cache=CandidateCache() if cached else None,
+    )
+    answers = [session.answer(query).answer for query in queries]  # warm-up
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for query in queries:
+            session.answer(query)
+        best = min(best, time.perf_counter() - started)
+    return {
+        "queries": len(queries),
+        "true_answers": sum(answers),
+        "best_seconds": best,
+        "qps": len(queries) / best,
+        "answers": answers,
+    }
+
+
+def bench_service(graph, index, specs, *, freeze: bool, rounds: int) -> dict:
+    """Batched throughput through the full QueryService path."""
+    service = QueryService(graph, index, seed=0, freeze=freeze)
+    try:
+        service.query_batch(specs, use_cache=False)  # warm-up
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            answered = service.query_batch(specs, use_cache=False)
+            best = min(best, time.perf_counter() - started)
+        return {
+            "queries": len(specs),
+            "true_answers": sum(result.answer for result, _ in answered),
+            "best_seconds": best,
+            "qps": len(specs) / best,
+            "answers": [result.answer for result, _ in answered],
+        }
+    finally:
+        service.close()
+
+
+def run(quick: bool, compare: bool, seed: int) -> dict:
+    config = QUICK if quick else FULL
+    graph, index, specs = build_workload(config, seed)
+    frozen = graph.freeze()
+
+    report = {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "benchmarks/bench_hotpath.py",
+        "mode": {"quick": quick, "compare": compare, "seed": seed},
+        "workload": {
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "labels": graph.num_labels,
+            "queries": len(specs),
+            "rounds": config["rounds"],
+            "landmarks": len(index.partition.landmarks),
+        },
+        "single_query": {},
+        "service_batch": {},
+    }
+
+    queries = prepared_queries(specs)
+    rounds = config["rounds"]
+    combined: dict[str, float] = {"baseline": 0.0, "frozen": 0.0}
+    for algorithm in ALGORITHMS:
+        cell: dict = {}
+        frozen_result = bench_single(
+            frozen, index, queries, algorithm, rounds, cached=True
+        )
+        cell["frozen"] = frozen_result
+        combined["frozen"] += frozen_result["best_seconds"]
+        print(f"single/{algorithm:5s} frozen:     {frozen_result['qps']:9.1f} q/s")
+        if compare:
+            baseline = bench_single(
+                graph, index, queries, algorithm, rounds, cached=False
+            )
+            dict_cached = bench_single(
+                graph, index, queries, algorithm, rounds, cached=True
+            )
+            cell["baseline"] = baseline
+            cell["dict_cached"] = dict_cached
+            cell["speedup"] = frozen_result["qps"] / baseline["qps"]
+            cell["csr_speedup"] = frozen_result["qps"] / dict_cached["qps"]
+            combined["baseline"] += baseline["best_seconds"]
+            print(
+                f"single/{algorithm:5s} baseline:   {baseline['qps']:9.1f} q/s   "
+                f"speedup {cell['speedup']:.2f}x"
+            )
+            print(
+                f"single/{algorithm:5s} dict+cache: {dict_cached['qps']:9.1f} q/s   "
+                f"csr alone {cell['csr_speedup']:.2f}x"
+            )
+            # Per-query agreement: a wrong-answer regression must fail
+            # the run even if true/false flips happen to cancel out.
+            if not (
+                baseline["answers"]
+                == dict_cached["answers"]
+                == frozen_result["answers"]
+            ):
+                raise SystemExit(
+                    f"{algorithm}: configurations disagree on per-query "
+                    "answers (baseline vs dict+cache vs frozen)"
+                )
+        for result in cell.values():
+            if isinstance(result, dict):
+                result.pop("answers", None)
+        report["single_query"][algorithm] = cell
+    if compare:
+        report["single_query"]["ins_uis_star_combined"] = {
+            "speedup": combined["baseline"] / combined["frozen"],
+        }
+        print(
+            "single/combined INS+UIS* speedup "
+            f"{combined['baseline'] / combined['frozen']:.2f}x"
+        )
+
+    cell = {}
+    frozen_result = bench_service(graph, index, specs, freeze=True,
+                                  rounds=config["rounds"])
+    cell["frozen"] = frozen_result
+    print(f"service/batch frozen: {frozen_result['qps']:9.1f} q/s")
+    if compare:
+        dict_result = bench_service(graph, index, specs, freeze=False,
+                                    rounds=config["rounds"])
+        cell["dict"] = dict_result
+        cell["speedup"] = frozen_result["qps"] / dict_result["qps"]
+        print(
+            f"service/batch dict:   {dict_result['qps']:9.1f} q/s "
+            f"(frozen speedup {cell['speedup']:.2f}x)"
+        )
+        if frozen_result["answers"] != dict_result["answers"]:
+            raise SystemExit(
+                "service batch: frozen and dict services disagree on "
+                "per-query answers"
+            )
+    for result in (cell.get("frozen"), cell.get("dict")):
+        if result is not None:
+            result.pop("answers", None)
+    report["service_batch"] = cell
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--compare", action="store_true",
+                        help="also measure the dict-backed baseline and speedups")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_hotpath.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    report = run(args.quick, args.compare, args.seed)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ Run:  python examples/service_client.py
 from __future__ import annotations
 
 import json
+import math
 import tempfile
 import threading
 import urllib.request
@@ -34,6 +35,13 @@ PROFESSOR = "Department0.University0/FullProfessor0"
 UNIVERSITY = "University0"
 LABELS = ["ub:worksFor", "ub:subOrganizationOf"]
 HEAD_OF = "SELECT ?x WHERE { ?x <ub:headOf> ?y . }"
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (fraction in (0, 1])."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
 
 
 def get(base: str, path: str) -> dict:
@@ -127,6 +135,24 @@ def main() -> None:
     for position, item in enumerate(batch["results"]):
         print(f"  [{position}] answer={item['answer']} cached={item['cached']} "
               f"trivial={item['trivial']} ({item['reason']})")
+
+    # Manual load probe: a larger batch cycling the specs above with the
+    # result cache bypassed, so every answer is a real execution and the
+    # per-query `seconds` telemetry gives a latency distribution.
+    probe_specs = [
+        spec
+        for _ in range(12)
+        for spec in (query, {**query, "constraint": S1})
+    ]
+    probe = post(base, "/batch", {"queries": probe_specs, "use_cache": False})
+    latencies = [item["seconds"] * 1000.0 for item in probe["results"]]
+    print(f"\nPOST /batch load probe ({probe['count']} uncached queries)")
+    print(
+        f"  per-query latency: p50={percentile(latencies, 0.50):.2f} ms  "
+        f"p90={percentile(latencies, 0.90):.2f} ms  "
+        f"p99={percentile(latencies, 0.99):.2f} ms  "
+        f"max={max(latencies):.2f} ms"
+    )
 
     health = get(base, "/healthz")
     print(f"\nGET /healthz -> status={health['status']} "

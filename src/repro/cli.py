@@ -162,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--k", type=int, default=None, help="landmark count when building")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--no-freeze",
+        action="store_true",
+        help="serve the dict-backed graph instead of the frozen CSR snapshot "
+        "(A/B escape hatch; see benchmarks/bench_hotpath.py)",
+    )
     return parser
 
 
@@ -224,7 +230,9 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    graph = load_tsv(args.graph)
+    # One-shot queries still freeze: the O(|V| + |E|) snapshot build is
+    # minor next to TSV parsing, and the search runs on the CSR layout.
+    graph = load_tsv(args.graph).freeze()
     constraint = SubstructureConstraint.from_sparql(args.constraint)
     query = LSCRQuery.create(
         args.source,
@@ -282,6 +290,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         cache_ttl=args.cache_ttl,
         max_workers=args.workers,
+        freeze=not args.no_freeze,
     )
     # The default tenant (the one the un-prefixed PR 1 routes alias to)
     # is --graph when given, else the first --tenant; it loads eagerly so

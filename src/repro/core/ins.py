@@ -37,18 +37,26 @@ from repro.core.base import LSCRAlgorithm
 from repro.core.close import CloseMap, F, N, T
 from repro.core.query import LSCRQuery
 from repro.exceptions import IndexingError
+from repro.graph.csr import base_graph
 from repro.graph.labeled_graph import KnowledgeGraph
 from repro.index.local_index import LocalIndex, build_local_index
 
 __all__ = ["INS"]
 
+#: Heaps smaller than this are never compacted — rebuild overhead would
+#: exceed the cost of just draining the stale entries.
+_COMPACT_MIN_HEAP = 64
+
 
 class _LazyPriorityQueue:
-    """Min-heap with per-vertex lazy deletion.
+    """Min-heap with per-vertex lazy deletion and periodic compaction.
 
     "For two elements x and y in Q, if x and y represent a same vertex
     in G, Q deletes the first added element" — re-pushing a vertex
-    invalidates its previous entry.
+    invalidates its previous entry.  Stale entries are dropped lazily on
+    pop; when they outnumber the live ones (long multi-leg LCS searches
+    re-push frontier vertices constantly) the heap is rebuilt from the
+    live entries alone, so memory stays proportional to the frontier.
     """
 
     __slots__ = ("_heap", "_live", "_seq")
@@ -66,6 +74,15 @@ class _LazyPriorityQueue:
         self._seq += 1
         self._live[vertex] = entry
         heapq.heappush(self._heap, entry)
+        if len(self._heap) > _COMPACT_MIN_HEAP and len(self._heap) > 2 * len(
+            self._live
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live entries only (O(live))."""
+        self._heap = [entry for entry in self._heap if entry[2] is not None]
+        heapq.heapify(self._heap)
 
     def peek(self) -> int | None:
         while self._heap:
@@ -100,16 +117,22 @@ class INS(LSCRAlgorithm):
         rng: random.Random | None = None,
         use_index_pruning: bool = True,
         use_priorities: bool = True,
+        candidate_cache: object | None = None,
     ) -> None:
         super().__init__(graph)
         if index is None:
             index = build_local_index(graph)
-        if index.graph is not graph:
+        if base_graph(index.graph) is not base_graph(graph):
+            # A graph and its frozen CSR snapshots intern identically, so
+            # an index built against either answers for both.
             raise IndexingError("the local index was built for a different graph")
         self.index = index
         #: Optional shuffler applied to V(S,G) *before* heap ordering, so
         #: ties break randomly as with a real engine's disordered output.
         self.rng = rng
+        #: Optional :class:`~repro.service.cache.CandidateCache`; when
+        #: set, repeated constraints skip the SPARQL engine entirely.
+        self.candidate_cache = candidate_cache
         #: Ablation switch: disable Check/Cut/Push (landmarks become
         #: ordinary vertices; only the orderings remain).
         self.use_index_pruning = use_index_pruning
@@ -138,7 +161,10 @@ class INS(LSCRAlgorithm):
         index = self.index
 
         vsg_started = time.perf_counter()
-        candidates = query.constraint.satisfying_vertices(graph)   # SPARQL engine
+        if self.candidate_cache is not None:               # cache / SPARQL engine
+            candidates = list(self.candidate_cache.get(query.constraint, graph))
+        else:
+            candidates = query.constraint.satisfying_vertices(graph)
         vsg_seconds = time.perf_counter() - vsg_started
         if self.rng is not None:
             self.rng.shuffle(candidates)
@@ -150,9 +176,12 @@ class INS(LSCRAlgorithm):
         }
         lcs_calls = 0
         index_resolutions = 0
+        # Vertices first marked by the inlined per-edge writes in lcs()
+        # below; CloseMap counts the rest (Cut/Push resolutions, seeds).
+        inline_passed = 0
 
         def finish(verdict: bool) -> tuple[bool, dict[str, float]]:
-            telemetry["passed_vertices"] = close.passed_count
+            telemetry["passed_vertices"] = close.passed_count + inline_passed
             telemetry["lcs_calls"] = lcs_calls
             telemetry["index_resolutions"] = index_resolutions
             return verdict, telemetry
@@ -181,24 +210,31 @@ class INS(LSCRAlgorithm):
         # (rule vi, insertion order, is the queue's sequence tiebreak).
         region_of = index.partition.region
         landmark_set = index._landmark_set
-        states = close._states  # read-only fast path; writes go via close
+        # Fast path over CloseMap: reads everywhere, plus the inlined
+        # per-edge writes in lcs() (monotone by branch structure; their
+        # passed count is tracked in inline_passed).  All other writes
+        # go via close.
+        states = close._states
         current_target = [target]
         current_target_region = [index.region_of(target)]
-        rho_cache: dict[int, int] = {}
+        # Memoises the whole region-dependent key portion — rule (ii)'s
+        # bit plus the quantised ρ field — so a push re-computes only the
+        # three state-dependent bits.  Cleared when t* changes.
+        region_bits_cache: dict[int, int] = {}
 
-        def cached_rho_q(region: int) -> int:
-            value = rho_cache.get(region)
-            if value is None:
-                target_region = current_target_region[0]
-                if region < 0 or target_region < 0:
-                    rho = 2.0
-                elif region == target_region:
-                    rho = 0.0
-                else:
-                    rho = 1.0 / (1.0 + index.correlation(region, target_region))
-                value = min(32767, int(rho * 16383.5))
-                rho_cache[region] = value
-            return value
+        def region_bits(region: int) -> int:
+            target_region = current_target_region[0]
+            if region < 0 or target_region < 0:
+                rho = 2.0
+            elif region == target_region:
+                rho = 0.0
+            else:
+                rho = 1.0 / (1.0 + index.correlation(region, target_region))
+            bits = min(32767, int(rho * 16383.5)) << 1            # rule (iv)
+            if region < 0 or region != target_region:             # rule (ii)
+                bits |= 1 << 17
+            region_bits_cache[region] = bits
+            return bits
 
         use_priorities = self.use_priorities
 
@@ -211,9 +247,8 @@ class INS(LSCRAlgorithm):
                 # class via the queue's sequence tiebreak.
                 return key
             region = region_of[vertex]
-            key |= cached_rho_q(region) << 1                      # rule (iv)
-            if region < 0 or region != current_target_region[0]:  # rule (ii)
-                key |= 1 << 17
+            bits = region_bits_cache.get(region)
+            key |= bits if bits is not None else region_bits(region)
             if vertex not in landmark_set:                        # rule (iii)
                 key |= 1 << 16
             if region < 0 or states[region] != N:                 # rule (v)
@@ -224,38 +259,33 @@ class INS(LSCRAlgorithm):
         close[source] = F                                         # line 3
 
         # Landmark regions already resolved through the index, per mode;
-        # Cut/Push are idempotent so each (landmark, mode) runs once, and
-        # the filtered target lists (mask is query-constant) are cached
-        # for the one possible F→T re-resolution.
+        # Cut/Push are idempotent so each (landmark, mode) runs once.
+        # The filtered target lists are memoised inside the index itself
+        # (per landmark and mask), shared across queries and sessions.
         resolved_f: set[int] = set()
         resolved_t: set[int] = set()
-        cut_cache: dict[int, list[int]] = {}
-        push_cache: dict[int, list[int]] = {}
 
         def resolve_landmark(w: int, mode: int, t_star: int) -> bool:
             """Lines 24-25: Cut(II[w]) and Push(EIT[w]); True if t* found."""
-            nonlocal index_resolutions
+            nonlocal index_resolutions, inline_passed
             done = resolved_t if mode == T else resolved_f
             if w in done or w in resolved_t:
                 return False
             done.add(w)
-            cut = cut_cache.get(w)
-            if cut is None:
-                cut = index.cut_targets(w, mask)
-                cut_cache[w] = cut
-            for x in cut:                                 # Cut: mark, no enqueue
-                if close[x] != T and (mode == T or close[x] == N):
-                    close[x] = mode
+            for x in index.cut_targets(w, mask):          # Cut: mark, no enqueue
+                state_x = states[x]
+                if state_x != T and (mode == T or state_x == N):
+                    states[x] = mode
+                    if state_x == N:
+                        inline_passed += 1
                     index_resolutions += 1
-            push = push_cache.get(w)
-            if push is None:
-                push = index.push_targets(w, mask)
-                push_cache[w] = push
             found = False
-            for x in push:                                # Push: mark + enqueue
-                state_x = close[x]
+            for x in index.push_targets(w, mask):         # Push: mark + enqueue
+                state_x = states[x]
                 if (mode == T and state_x != T) or (mode == F and state_x == N):
-                    close[x] = mode
+                    states[x] = mode
+                    if state_x == N:
+                        inline_passed += 1
                     frontier.push(x, frontier_key(x))
                     index_resolutions += 1
                     if x == t_star:
@@ -268,13 +298,18 @@ class INS(LSCRAlgorithm):
             # and must not lose part of a half-expanded frontier vertex.
             nonlocal index_resolutions
             nonlocal lcs_calls
+            nonlocal inline_passed
             lcs_calls += 1
             current_target[0] = t_star
             current_target_region[0] = region_of[t_star]
-            rho_cache.clear()
+            region_bits_cache.clear()
             target_region = current_target_region[0]
             resolved = resolved_t if mode == T else resolved_f
-            adjacency = graph._out  # hottest loop: inlined masked expansion
+            # Hottest loop of the whole system: expansion iterates flat
+            # target sequences — on a frozen graph, one vertex-mask AND
+            # rejects label-infeasible vertices outright and contiguous
+            # CSR label-slices replace the per-vertex dict walk.
+            out_targets = graph.out_targets_masked
             prune = self.use_index_pruning
             if mode == T:                                         # lines 17-18
                 if s_star == t_star:
@@ -289,31 +324,30 @@ class INS(LSCRAlgorithm):
                     break
                 u = frontier.pop()
                 found = False
-                for label_id, targets in adjacency[u].items():    # line 21
-                    if not mask >> label_id & 1:
-                        continue
-                    for w in targets:
-                        if prune and w in landmark_set:
-                            # Line 22: t*.AF = w implies w ∈ I, so the
-                            # Check shortcut lives inside the landmark
-                            # branch — and the landmark is still resolved
-                            # (Cut/Push) so its region stays in the shared
-                            # frontier for later LCS legs.
-                            if target_region == w and index.check(
-                                w, t_star, mask
-                            ):                                    # lines 22-23
-                                index_resolutions += 1
+                for w in out_targets(u, mask):                    # line 21
+                    if prune and w in landmark_set:
+                        # Line 22: t*.AF = w implies w ∈ I, so the
+                        # Check shortcut lives inside the landmark
+                        # branch — and the landmark is still resolved
+                        # (Cut/Push) so its region stays in the shared
+                        # frontier for later LCS legs.
+                        if target_region == w and index.check(
+                            w, t_star, mask
+                        ):                                        # lines 22-23
+                            index_resolutions += 1
+                            found = True
+                        if w not in resolved and w not in resolved_t:
+                            if resolve_landmark(w, mode, t_star):  # 24-25
                                 found = True
-                            if w not in resolved and w not in resolved_t:
-                                if resolve_landmark(w, mode, t_star):  # 24-25
-                                    found = True
-                        else:
-                            state_w = states[w]
-                            if state_w == N or (state_w == F and mode == T):  # 26
-                                close[w] = mode                   # line 27
-                                frontier.push(w, frontier_key(w))
-                                if w == t_star:                   # lines 28-29
-                                    found = True
+                    else:
+                        state_w = states[w]
+                        if state_w == N or (state_w == F and mode == T):  # 26
+                            states[w] = mode                      # line 27
+                            if state_w == N:
+                                inline_passed += 1
+                            frontier.push(w, frontier_key(w))
+                            if w == t_star:                       # lines 28-29
+                                found = True
                 if found:
                     return True
             return False                                          # line 30
@@ -323,21 +357,36 @@ class INS(LSCRAlgorithm):
         # rules; entries are re-keyed lazily when their close state has
         # advanced since they were pushed.
         # ------------------------------------------------------------------
+        # ρ depends only on the two endpoint regions and one endpoint is
+        # fixed per direction, so the H keys are memoised by region —
+        # |regions| computations instead of one per (re-)push.
+        heap_rho_target: dict[int, float] = {}
+        heap_rho_source: dict[int, float] = {}
+
         def heap_key(vertex: int, state: int) -> tuple:
             if not self.use_priorities:
                 return (0,)  # candidate insertion order only
+            region = region_of[vertex]
             if state == F:                       # known reachable: rule (i)-(ii)
-                return (0, index.rho(vertex, target), 0 if index.is_landmark(vertex) else 1)
-            return (1, index.rho(source, vertex), 0 if index.is_landmark(vertex) else 1)
+                rho = heap_rho_target.get(region)
+                if rho is None:
+                    rho = heap_rho_target[region] = index.rho(vertex, target)
+                return (0, rho, 0 if vertex in landmark_set else 1)
+            rho = heap_rho_source.get(region)
+            if rho is None:
+                rho = heap_rho_source[region] = index.rho(source, vertex)
+            return (1, rho, 0 if vertex in landmark_set else 1)
 
-        heap: list[tuple] = []
-        for order, v in enumerate(candidates):
-            state = close[v]
-            heapq.heappush(heap, (heap_key(v, state), order, v, state))
+        # Build-then-heapify is O(|V(S,G)|) against O(n log n) pushes.
+        heap: list[tuple] = [
+            (heap_key(v, states[v]), order, v, states[v])
+            for order, v in enumerate(candidates)
+        ]
+        heapq.heapify(heap)
 
         while heap:                                               # line 4
             key, order, v, pushed_state = heapq.heappop(heap)     # line 5
-            state = close[v]
+            state = states[v]
             if state == T:
                 # Already on a proved satisfying path whose T-search has
                 # been exhausted; nothing new can come from v.

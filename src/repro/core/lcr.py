@@ -28,12 +28,13 @@ def lcr_reachable(graph: KnowledgeGraph, source: int, target: int, mask: int) ->
     """
     if source == target:
         return True
+    out_targets = graph.out_targets_masked
     visited = bytearray(graph.num_vertices)
     visited[source] = 1
     queue = deque((source,))
     while queue:
         u = queue.popleft()
-        for _label, w in graph.out_masked(u, mask):
+        for w in out_targets(u, mask):
             if w == target:
                 return True
             if not visited[w]:
@@ -44,11 +45,12 @@ def lcr_reachable(graph: KnowledgeGraph, source: int, target: int, mask: int) ->
 
 def lcr_closure(graph: KnowledgeGraph, source: int, mask: int) -> set[int]:
     """All vertices ``v`` with ``source ⇝_L v`` (includes ``source``)."""
+    out_targets = graph.out_targets_masked
     visited: set[int] = {source}
     queue = deque((source,))
     while queue:
         u = queue.popleft()
-        for _label, w in graph.out_masked(u, mask):
+        for w in out_targets(u, mask):
             if w not in visited:
                 visited.add(w)
                 queue.append(w)
@@ -66,12 +68,13 @@ def lcr_closure_limited(
     Returns ``(visited, truncated)``.  Used by query generation to bail
     out of hub explosions early.
     """
+    out_targets = graph.out_targets_masked
     visited: set[int] = {source}
     queue = deque((source,))
     truncated = False
     while queue:
         u = queue.popleft()
-        for _label, w in graph.out_masked(u, mask):
+        for w in out_targets(u, mask):
             if w not in visited:
                 if len(visited) >= max_vertices:
                     truncated = True
@@ -94,12 +97,13 @@ def bfs_distance_ring(
     6.1.1 target-selection primitive: "start a BFS from s, and stop it
     after log |V| iterations, after which t is a BFS-unexplored vertex".
     """
+    out_targets = graph.out_targets_masked
     explored: set[int] = {source}
     frontier: list[int] = [source]
     for _ in range(rounds):
         next_frontier: list[int] = []
         for u in frontier:
-            for _label, w in graph.out_masked(u, mask):
+            for w in out_targets(u, mask):
                 if w not in explored:
                     explored.add(w)
                     next_frontier.append(w)

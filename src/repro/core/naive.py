@@ -39,6 +39,9 @@ class NaiveTwoProcedure(LSCRAlgorithm):
 
         # Procedure one: BFS over the label-feasible space from `source`,
         # testing every discovered vertex (including `source` itself).
+        # Expansion iterates flat target sequences (contiguous CSR slices
+        # behind a vertex-mask pre-test on frozen graphs).
+        out_targets = self.graph.out_targets_masked
         visited = bytearray(self.graph.num_vertices)
         visited[source] = 1
         passed = 1
@@ -47,7 +50,7 @@ class NaiveTwoProcedure(LSCRAlgorithm):
             return True, {"passed_vertices": passed, "scck_calls": checker.calls}
         while queue:
             u = queue.popleft()
-            for _label, w in self.graph.out_masked(u, mask):
+            for w in out_targets(u, mask):
                 if visited[w]:
                     continue
                 visited[w] = 1

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.constraints.substructure import SubstructureChecker
 from repro.core.base import LSCRAlgorithm
-from repro.core.close import CloseMap, F, N, T
+from repro.core.close import F, N, T
 from repro.core.query import LSCRQuery
 
 __all__ = ["UIS"]
@@ -39,37 +39,48 @@ class UIS(LSCRAlgorithm):
     ) -> tuple[bool, dict[str, float]]:
         graph = self.graph
         checker = SubstructureChecker(graph, query.constraint)
-        close = CloseMap(graph.num_vertices)
+        # Allocation-free hot-loop state: the close surjection lives in a
+        # bare bytearray (monotone by branch structure: case 1 only ever
+        # raises to T, case 2 only writes over N) with passed_vertices
+        # counted inline.  Expansion iterates flat target sequences —
+        # contiguous CSR slices behind a vertex-mask pre-test on frozen
+        # graphs.
+        states = bytearray(graph.num_vertices)
+        out_targets = graph.out_targets_masked
 
         stack = [source]                                   # line 1
-        close[source] = T if checker(source) else F        # line 2
+        states[source] = T if checker(source) else F       # line 2
+        passed = 1
 
         # Trivial path <s>: Q=(s,s,L,S) is true iff s satisfies S
         # (DESIGN.md §5.1); cycles through satisfying vertices are found
         # by the main loop below.
-        if source == target and close[source] == T:
-            return True, self._telemetry(close, checker)
+        if source == target and states[source] == T:
+            return True, self._telemetry(passed, checker)
 
         while stack:                                       # line 3
             u = stack.pop()                                # line 4
-            state_u = close[u]
-            for _label, v in graph.out_masked(u, mask):    # line 5
-                state_v = close[v]
+            state_u = states[u]
+            for v in out_targets(u, mask):                 # line 5
+                state_v = states[v]
                 if state_u == T and state_v != T:          # case 1 (line 6)
                     stack.append(v)
-                    close[v] = T                           # line 7
+                    states[v] = T                          # line 7
+                    if state_v == N:
+                        passed += 1
                 elif state_v == N:                         # case 2 (line 8)
                     stack.append(v)
-                    close[v] = T if checker(v) else F      # line 9
+                    states[v] = T if checker(v) else F     # line 9
+                    passed += 1
                 else:
                     continue
-                if v == target and close[v] == T:          # lines 10-11
-                    return True, self._telemetry(close, checker)
-        return False, self._telemetry(close, checker)      # line 12
+                if v == target and states[v] == T:         # lines 10-11
+                    return True, self._telemetry(passed, checker)
+        return False, self._telemetry(passed, checker)     # line 12
 
     @staticmethod
-    def _telemetry(close: CloseMap, checker: SubstructureChecker) -> dict[str, float]:
+    def _telemetry(passed: int, checker: SubstructureChecker) -> dict[str, float]:
         return {
-            "passed_vertices": close.passed_count,
+            "passed_vertices": passed,
             "scck_calls": checker.calls,
         }

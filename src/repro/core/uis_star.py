@@ -27,7 +27,7 @@ import random
 import time
 
 from repro.core.base import LSCRAlgorithm
-from repro.core.close import CloseMap, F, N, T
+from repro.core.close import F, N, T
 from repro.core.query import LSCRQuery
 from repro.graph.labeled_graph import KnowledgeGraph
 
@@ -43,10 +43,20 @@ class UISStar(LSCRAlgorithm):
         self,
         graph: KnowledgeGraph,
         rng: random.Random | None = None,
+        candidate_cache: object | None = None,
     ) -> None:
         super().__init__(graph)
         #: Optional shuffler for ``V(S, G)`` (paper: the set is disordered).
         self.rng = rng
+        #: Optional :class:`~repro.service.cache.CandidateCache`; when
+        #: set, repeated constraints skip the SPARQL engine entirely.
+        self.candidate_cache = candidate_cache
+
+    def _candidates(self, query: LSCRQuery) -> list[int]:
+        """``V(S, G)`` — through the shared candidate cache when present."""
+        if self.candidate_cache is not None:
+            return list(self.candidate_cache.get(query.constraint, self.graph))
+        return query.constraint.satisfying_vertices(self.graph)
 
     def _run(
         self,
@@ -58,14 +68,23 @@ class UISStar(LSCRAlgorithm):
         graph = self.graph
 
         vsg_started = time.perf_counter()
-        candidates = query.constraint.satisfying_vertices(graph)  # SPARQL engine
+        candidates = self._candidates(query)              # SPARQL engine / cache
         vsg_seconds = time.perf_counter() - vsg_started
         if self.rng is not None:
             self.rng.shuffle(candidates)
 
-        close = CloseMap(graph.num_vertices)
+        # Allocation-free hot-loop state: the close surjection lives in a
+        # bare bytearray (CloseMap's monotonicity is enforced here by the
+        # branch structure itself: F writes only over N, T writes only
+        # over N/F) and passed_vertices is counted inline, so the
+        # per-edge work is index reads/writes with zero method calls.
+        # Expansion iterates flat target sequences — contiguous CSR
+        # slices behind a vertex-mask pre-test on frozen graphs.
+        states = bytearray(graph.num_vertices)
+        out_targets = graph.out_targets_masked
         stack: list[int] = [source]                       # line 1
-        close[source] = F                                 # line 2
+        states[source] = F                                # line 2
+        passed = 1
         lcs_calls = 0
 
         telemetry = {
@@ -74,7 +93,7 @@ class UISStar(LSCRAlgorithm):
         }
 
         def finish(verdict: bool) -> tuple[bool, dict[str, float]]:
-            telemetry["passed_vertices"] = close.passed_count
+            telemetry["passed_vertices"] = passed
             telemetry["lcs_calls"] = lcs_calls
             return verdict, telemetry
 
@@ -92,25 +111,29 @@ class UISStar(LSCRAlgorithm):
             UIS* O(|V| + |E|)), and abandoning a half-expanded vertex
             would silently drop part of the frontier for later legs.
             """
-            nonlocal lcs_calls
+            nonlocal lcs_calls, passed
             lcs_calls += 1
             if mode == T:                                          # line 15
                 if s_star == t_star:
                     # s ⇝_L s* and s* satisfies S, so s* = t* answers Q
                     # (guard for close[t]=F candidates; DESIGN.md §5.1).
                     return True
-                close[s_star] = T
+                if states[s_star] == N:
+                    passed += 1
+                states[s_star] = T
                 stack.append(s_star)                               # line 16
-            while stack and (mode == F or close[stack[-1]] == T):  # line 17
+            while stack and (mode == F or states[stack[-1]] == T):  # line 17
                 u = stack.pop()                                    # line 18
                 found = False
-                for _label, w in graph.out_masked(u, mask):        # line 19
-                    state_w = close[w]
+                for w in out_targets(u, mask):                     # line 19
+                    state_w = states[w]
                     if (mode == T and state_w != T) or (
                         mode == F and state_w == N
                     ):                                             # line 20
                         stack.append(w)
-                        close[w] = mode                            # line 21
+                        states[w] = mode                           # line 21
+                        if state_w == N:
+                            passed += 1
                         if w == t_star:                            # lines 22-23
                             found = True
                 if found:
@@ -118,11 +141,11 @@ class UISStar(LSCRAlgorithm):
             if mode == T:
                 # Line 24: drop stale stack entries upgraded to T by this
                 # invocation so the F-frontier underneath is clean again.
-                stack[:] = [x for x in stack if close[x] != T]
+                stack[:] = [x for x in stack if states[x] != T]
             return False
 
         for v in candidates:                                       # line 3
-            state_v = close[v]
+            state_v = states[v]
             if state_v == N:                                       # line 4
                 # Line 5's `v = s` arm is unreachable: close[s] = F since
                 # line 2, so only `v = t` can occur here.

@@ -44,6 +44,14 @@ class SchemaError(GraphError):
     """An RDFS schema operation failed (unknown class, bad triple, ...)."""
 
 
+class FrozenGraphError(GraphError):
+    """A mutation was attempted on a frozen graph snapshot.
+
+    :class:`~repro.graph.csr.FrozenGraph` objects are immutable CSR
+    snapshots; mutate the source graph and ``freeze()`` again.
+    """
+
+
 class SparqlError(ReproError):
     """Base class for SPARQL engine failures."""
 

@@ -1,0 +1,351 @@
+"""Frozen CSR snapshots of a :class:`KnowledgeGraph` — the serving layout.
+
+The dict-backed :class:`~repro.graph.labeled_graph.KnowledgeGraph` is
+the right *build-time* representation (cheap interning, cheap edge
+insertion) and the wrong *query-time* one: every expansion step walks a
+``dict[label_id, list[int]]`` per vertex, paying a hash probe per label
+and a tuple allocation per yielded edge.  :class:`FrozenGraph` is the
+read-optimized twin the query service traverses instead:
+
+* **per-direction CSR** — one flat ``array('q')`` of edge labels and one
+  of edge targets, with an offsets array delimiting each vertex's
+  contiguous slice; within a slice edges are sorted by label id (stable,
+  so per-label target order matches the dict graph exactly), which makes
+  every ``(vertex, label)`` group one contiguous sub-slice, also cut as
+  a cached tuple at freeze time;
+* **per-vertex label-presence bitmasks** — ``out_label_mask(v)`` is the
+  set of labels on ``v``'s out-edges as one int, so the expansion step's
+  question "does ``v`` have any edge inside the constraint ``L``?" is a
+  single ``mask & query_mask`` AND: vertices whose labels all fall
+  outside the constraint are skipped without touching an edge, and
+  vertices whose labels all fall *inside* it hand back their whole
+  target slice as a zero-copy :class:`memoryview`;
+* **shared interning** — vertex ids, label ids, names, the schema, the
+  edge set and the per-label edge lists are the *same objects* as the
+  source graph's, so a frozen graph is drop-in compatible with every id
+  computed before freezing (indexes, cached constraints, planner keys).
+
+``FrozenGraph`` subclasses ``KnowledgeGraph``: read APIs not overridden
+here (degrees, id/name mapping, ``has_edge``, ``edges_with_label``, ...)
+run unchanged on the shared structures, while the mutation APIs raise
+:class:`~repro.exceptions.FrozenGraphError` — a snapshot answers for the
+graph as it was at :func:`freeze_graph` time.  The source graph must not
+be mutated while its snapshot serves (the service's existing
+immutability contract); re-freezing after mutations builds a fresh
+snapshot.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Hashable, Iterator
+
+from repro.exceptions import FrozenGraphError
+from repro.graph.labeled_graph import Edge, KnowledgeGraph
+from repro.graph.labels import iter_mask_bits
+
+__all__ = ["FrozenGraph", "CsrDirection", "freeze_graph", "base_graph"]
+
+#: Shared empty sequence for mask-rejected expansions (no per-call allocation).
+_EMPTY: tuple[int, ...] = ()
+
+#: Distinct query masks a direction will materialise adjacency views
+#: for; beyond this, lookups fall back to building per call (bounds
+#: memory under adversarial mask churn — real services see a handful).
+_MASK_VIEW_LIMIT = 64
+
+
+class CsrDirection:
+    """One direction's flat adjacency: offsets + label-sorted edge arrays.
+
+    ``offsets[v] : offsets[v + 1]`` delimits vertex ``v``'s slice of
+    ``labels`` / ``targets``; ``masks[v]`` is the bitmask of the distinct
+    labels inside that slice.  The three arrays are the canonical compact
+    layout (and the seam a future native kernel would consume); the hot
+    lookups are additionally served from slice caches cut at freeze
+    time, because in pure Python iterating a cached tuple is ~2x faster
+    than iterating a memoryview slice of the arrays and ~3x faster than
+    walking the source dicts:
+
+    * ``all_targets[v]`` — the whole target slice as one tuple, returned
+      allocation-free when the query mask covers every label on ``v``
+      (the overwhelmingly common case for 2-4-label constraints);
+    * ``groups[v]`` — ``(label_id, targets_tuple)`` pairs in ascending
+      label order, iterated (one step per *distinct label*, never per
+      edge) when the mask hits only part of the slice.
+    """
+
+    __slots__ = (
+        "offsets",
+        "labels",
+        "targets",
+        "masks",
+        "all_targets",
+        "groups",
+        "_mask_views",
+    )
+
+    def __init__(self, adjacency: list[dict[int, list[int]]]) -> None:
+        offsets = array("q", [0])
+        labels = array("q")
+        targets = array("q")
+        masks: list[int] = []
+        all_targets: list[tuple[int, ...]] = []
+        groups: list[tuple[tuple[int, tuple[int, ...]], ...]] = []
+        total = 0
+        for per_vertex in adjacency:
+            vertex_mask = 0
+            vertex_groups: list[tuple[int, tuple[int, ...]]] = []
+            flat: list[int] = []
+            for label_id in sorted(per_vertex):
+                vertex_mask |= 1 << label_id
+                vertex_targets = per_vertex[label_id]
+                labels.extend([label_id] * len(vertex_targets))
+                targets.extend(vertex_targets)
+                vertex_groups.append((label_id, tuple(vertex_targets)))
+                flat.extend(vertex_targets)
+                total += len(vertex_targets)
+            masks.append(vertex_mask)
+            offsets.append(total)
+            all_targets.append(tuple(flat))
+            groups.append(tuple(vertex_groups))
+        self.offsets = offsets
+        self.labels = labels
+        self.targets = targets
+        self.masks = masks
+        self.all_targets = all_targets
+        self.groups = groups
+        # Lazily materialised per-query-mask adjacency views; see
+        # targets_masked.  {mask: {vertex: cached tuple}} — keyed by the
+        # vertices a query actually touches, so memory is bounded by
+        # traffic, not |V| x distinct masks.
+        self._mask_views: dict[int, dict[int, tuple[int, ...]]] = {}
+
+    def by_label(self, vid: int, label_id: int) -> tuple[int, ...]:
+        """The ``(vid, label_id)`` target group (cached tuple; maybe empty)."""
+        if not self.masks[vid] >> label_id & 1:
+            return _EMPTY
+        for group_label, group_targets in self.groups[vid]:
+            if group_label == label_id:
+                return group_targets
+        return _EMPTY  # pragma: no cover - mask and groups always agree
+
+    def targets_masked(self, vid: int, mask: int) -> tuple[int, ...]:
+        """Neighbor ids of ``vid`` whose edge label is inside ``mask``.
+
+        The fast paths of every search hot loop, all allocation-free in
+        steady state:
+
+        * no vertex label in ``mask`` — the shared empty tuple after a
+          single ``vertex_mask & query_mask`` AND;
+        * every vertex label in ``mask`` — the cached full slice;
+        * otherwise — a per-``(mask, vertex)`` view concatenating one
+          cached group per allowed label, materialised on first touch
+          and reused for the rest of the query (and every later query
+          with the same constraint mask — services see few distinct
+          masks).  Distinct masks are capped; overflow traffic simply
+          rebuilds per call.
+
+        Concurrent readers are safe: view cells are only ever written
+        with the value any other thread would compute, and CPython
+        dict/list updates are atomic under the GIL.
+        """
+        vertex_mask = self.masks[vid]
+        hit = vertex_mask & mask
+        if not hit:
+            return _EMPTY
+        if not vertex_mask & ~mask:
+            return self.all_targets[vid]
+        views = self._mask_views.get(mask)
+        if views is None:
+            if len(self._mask_views) >= _MASK_VIEW_LIMIT:
+                return self._build_masked(vid, mask)
+            views = self._mask_views[mask] = {}
+        cached = views.get(vid)
+        if cached is None:
+            cached = views[vid] = self._build_masked(vid, mask)
+        return cached
+
+    def _build_masked(self, vid: int, mask: int) -> tuple[int, ...]:
+        result: list[int] = []
+        for label_id, group_targets in self.groups[vid]:
+            if mask >> label_id & 1:
+                result.extend(group_targets)
+        return tuple(result)
+
+
+class FrozenGraph(KnowledgeGraph):
+    """Read-only CSR snapshot of a :class:`KnowledgeGraph`.
+
+    Construct via :meth:`KnowledgeGraph.freeze` / :func:`freeze_graph`.
+    Ids, names, labels and the schema are shared with ``source``, so any
+    id-keyed structure built against the source (a local index, cached
+    candidate lists, planner keys) remains valid against the snapshot.
+
+    >>> g = KnowledgeGraph()
+    >>> _ = g.add_edge("a", "l", "b")
+    >>> fg = g.freeze()
+    >>> list(fg.out_targets_masked(fg.vid("a"), fg.label_mask(["l"])))
+    [1]
+    """
+
+    __slots__ = ("source", "_csr_out", "_csr_in")
+
+    def __init__(self, source: KnowledgeGraph) -> None:
+        if isinstance(source, FrozenGraph):
+            source = source.source
+        # Deliberately no super().__init__(): every base slot is bound to
+        # the *source's* structures so inherited read methods answer for
+        # the same graph, ids included.
+        self.source = source
+        self.name = source.name
+        self.schema = source.schema
+        self._labels = source._labels
+        self._vertex_ids = source._vertex_ids
+        self._vertex_names = source._vertex_names
+        self._out = source._out
+        self._in = source._in
+        self._out_degree = source._out_degree
+        self._in_degree = source._in_degree
+        self._edge_set = source._edge_set
+        self._by_label = source._by_label
+        self._label_edge_count = source._label_edge_count
+        self._frozen = None  # never consulted: freeze() returns self
+        self._csr_out = CsrDirection(source._out)
+        self._csr_in = CsrDirection(source._in)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrozenGraph({self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, |L|={self.num_labels})"
+        )
+
+    # ------------------------------------------------------------------
+    # snapshots are immutable
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, name: Hashable) -> int:
+        raise FrozenGraphError(
+            f"cannot add vertex {name!r}: this graph is a frozen snapshot; "
+            "mutate the source graph and freeze() again"
+        )
+
+    def add_edge(self, source: Hashable, label: str, target: Hashable) -> bool:
+        raise FrozenGraphError(
+            f"cannot add edge ({source!r}, {label!r}, {target!r}): this graph "
+            "is a frozen snapshot; mutate the source graph and freeze() again"
+        )
+
+    def add_edge_ids(self, s: int, label_id: int, t: int) -> bool:
+        raise FrozenGraphError(
+            f"cannot add edge ({s}, {label_id}, {t}): this graph is a frozen "
+            "snapshot; mutate the source graph and freeze() again"
+        )
+
+    def freeze(self) -> "FrozenGraph":
+        """A frozen graph is its own snapshot."""
+        return self
+
+    # ------------------------------------------------------------------
+    # label-presence masks (the pre-test of every rewritten hot loop)
+    # ------------------------------------------------------------------
+
+    def out_label_mask(self, vid: int) -> int:
+        """Bitmask of distinct labels on ``vid``'s out-edges (O(1))."""
+        return self._csr_out.masks[vid]
+
+    def in_label_mask(self, vid: int) -> int:
+        """Bitmask of distinct labels on ``vid``'s in-edges (O(1))."""
+        return self._csr_in.masks[vid]
+
+    def has_out_label(self, vid: int, label_id: int) -> bool:
+        """True iff ``vid`` has an out-edge labeled ``label_id`` (O(1))."""
+        return bool(self._csr_out.masks[vid] >> label_id & 1)
+
+    def has_in_label(self, vid: int, label_id: int) -> bool:
+        """True iff ``vid`` has an in-edge labeled ``label_id`` (O(1))."""
+        return bool(self._csr_in.masks[vid] >> label_id & 1)
+
+    # ------------------------------------------------------------------
+    # CSR-backed iteration (overrides of the dict-walking base methods)
+    # ------------------------------------------------------------------
+
+    def edges(self) -> Iterator[Edge]:
+        csr = self._csr_out
+        offsets, labels, targets = csr.offsets, csr.labels, csr.targets
+        for s in range(self.num_vertices):
+            for position in range(offsets[s], offsets[s + 1]):
+                yield (s, labels[position], targets[position])
+
+    def out_edges(self, vid: int) -> Iterator[tuple[int, int]]:
+        csr = self._csr_out
+        labels, targets = csr.labels, csr.targets
+        for position in range(csr.offsets[vid], csr.offsets[vid + 1]):
+            yield (labels[position], targets[position])
+
+    def in_edges(self, vid: int) -> Iterator[tuple[int, int]]:
+        csr = self._csr_in
+        labels, targets = csr.labels, csr.targets
+        for position in range(csr.offsets[vid], csr.offsets[vid + 1]):
+            yield (labels[position], targets[position])
+
+    def out_by_label(self, vid: int, label_id: int):
+        """The cached ``(vid, label_id)`` target group; ``()`` on O(1) miss."""
+        return self._csr_out.by_label(vid, label_id)
+
+    def in_by_label(self, vid: int, label_id: int):
+        """The cached ``(vid, label_id)`` source group; ``()`` on O(1) miss."""
+        return self._csr_in.by_label(vid, label_id)
+
+    def out_masked(self, vid: int, mask: int) -> Iterator[tuple[int, int]]:
+        csr = self._csr_out
+        if not csr.masks[vid] & mask:
+            return
+        for label_id, group_targets in csr.groups[vid]:
+            if mask >> label_id & 1:
+                for target in group_targets:
+                    yield (label_id, target)
+
+    def in_masked(self, vid: int, mask: int) -> Iterator[tuple[int, int]]:
+        csr = self._csr_in
+        if not csr.masks[vid] & mask:
+            return
+        for label_id, group_targets in csr.groups[vid]:
+            if mask >> label_id & 1:
+                for target in group_targets:
+                    yield (label_id, target)
+
+    def out_targets_masked(self, vid: int, mask: int):
+        """Targets of ``vid``'s out-edges with labels inside ``mask``."""
+        return self._csr_out.targets_masked(vid, mask)
+
+    def in_targets_masked(self, vid: int, mask: int):
+        """Sources of ``vid``'s in-edges with labels inside ``mask``."""
+        return self._csr_in.targets_masked(vid, mask)
+
+    def out_labels(self, vid: int) -> Iterator[int]:
+        """Distinct out-labels, ascending (decoded from the vertex mask)."""
+        return iter_mask_bits(self._csr_out.masks[vid])
+
+    def labels_between(self, s: int, t: int) -> int:
+        """Mask of labels on direct ``s -> t`` edges via O(1) set probes."""
+        mask = 0
+        edge_set = self._edge_set
+        for label_id in iter_mask_bits(self._csr_out.masks[s]):
+            if (s, label_id, t) in edge_set:
+                mask |= 1 << label_id
+        return mask
+
+
+def freeze_graph(graph: KnowledgeGraph) -> FrozenGraph:
+    """``graph.freeze()`` as a function (idempotent on snapshots)."""
+    return graph.freeze()
+
+
+def base_graph(graph: KnowledgeGraph) -> KnowledgeGraph:
+    """The mutable source under ``graph`` (itself when not frozen).
+
+    Identity checks like "was this index built for this graph?" must
+    treat a graph and its snapshots as one graph.
+    """
+    return getattr(graph, "source", graph)

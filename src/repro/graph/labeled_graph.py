@@ -65,6 +65,7 @@ class KnowledgeGraph:
         "_edge_set",
         "_by_label",
         "_label_edge_count",
+        "_frozen",
     )
 
     def __init__(self, name: str = "kg", schema: object | None = None) -> None:
@@ -81,6 +82,8 @@ class KnowledgeGraph:
         self._edge_set: set[Edge] = set()
         self._by_label: dict[int, list[tuple[int, int]]] = {}
         self._label_edge_count: dict[int, int] = {}
+        #: Cached CSR snapshot, keyed by the sizes it was taken at.
+        self._frozen: tuple[tuple[int, int, int], "KnowledgeGraph"] | None = None
 
     # ------------------------------------------------------------------
     # sizes and dunder conveniences
@@ -255,9 +258,56 @@ class KnowledgeGraph:
                 for s in sources:
                     yield (label_id, s)
 
+    def out_targets_masked(self, vid: int, mask: int) -> list[int]:
+        """Targets of ``vid``'s out-edges whose label is inside ``mask``.
+
+        The label-dropping form of :meth:`out_masked` — what the search
+        algorithms actually consume (none of UIS/UIS*/INS/naive uses the
+        label during expansion).  Returning a flat list instead of a
+        generator of tuples saves one tuple allocation and one generator
+        resumption per edge; :class:`~repro.graph.csr.FrozenGraph`
+        overrides this with contiguous CSR slices and an O(1) whole-vertex
+        mask pre-test.
+        """
+        result: list[int] = []
+        for label_id, targets in self._out[vid].items():
+            if mask >> label_id & 1:
+                result.extend(targets)
+        return result
+
+    def in_targets_masked(self, vid: int, mask: int) -> list[int]:
+        """Sources of ``vid``'s in-edges whose label is inside ``mask``."""
+        result: list[int] = []
+        for label_id, sources in self._in[vid].items():
+            if mask >> label_id & 1:
+                result.extend(sources)
+        return result
+
     def out_labels(self, vid: int) -> Iterator[int]:
         """Distinct label ids on ``vid``'s out-edges."""
         return iter(self._out[vid].keys())
+
+    def out_label_mask(self, vid: int) -> int:
+        """Bitmask of distinct labels on ``vid``'s out-edges."""
+        mask = 0
+        for label_id in self._out[vid]:
+            mask |= 1 << label_id
+        return mask
+
+    def in_label_mask(self, vid: int) -> int:
+        """Bitmask of distinct labels on ``vid``'s in-edges."""
+        mask = 0
+        for label_id in self._in[vid]:
+            mask |= 1 << label_id
+        return mask
+
+    def has_out_label(self, vid: int, label_id: int) -> bool:
+        """True iff ``vid`` has at least one out-edge labeled ``label_id``."""
+        return label_id in self._out[vid]
+
+    def has_in_label(self, vid: int, label_id: int) -> bool:
+        """True iff ``vid`` has at least one in-edge labeled ``label_id``."""
+        return label_id in self._in[vid]
 
     def edges_with_label(self, label_id: int) -> list[tuple[int, int]]:
         """All ``(source_id, target_id)`` pairs carrying ``label_id``."""
@@ -308,13 +358,43 @@ class KnowledgeGraph:
     # ------------------------------------------------------------------
 
     def labels_between(self, s: int, t: int) -> int:
-        """Mask of labels on direct edges from ``s`` to ``t``."""
+        """Mask of labels on direct edges from ``s`` to ``t``.
+
+        Answered from ``_edge_set`` with one O(1) membership probe per
+        distinct label on ``s`` — the per-label ``t in targets`` list
+        scans this used to do were quadratic on high-degree vertices.
+        """
         mask = 0
-        for label_id, targets in self._out[s].items():
-            if t in targets:
+        edge_set = self._edge_set
+        for label_id in self._out[s]:
+            if (s, label_id, t) in edge_set:
                 mask |= 1 << label_id
         return mask
 
     def mask_labels(self, mask: int) -> tuple[str, ...]:
         """Decode a label mask to names (ascending id order)."""
         return tuple(self._labels.name_of(bit) for bit in iter_mask_bits(mask))
+
+    # ------------------------------------------------------------------
+    # freezing
+    # ------------------------------------------------------------------
+
+    def freeze(self) -> "KnowledgeGraph":
+        """A read-optimized CSR snapshot of this graph.
+
+        Returns a :class:`~repro.graph.csr.FrozenGraph` sharing this
+        graph's interning, schema and edge set (vertex and label ids are
+        identical).  The snapshot is cached: repeated calls return the
+        same object until the graph's sizes change, after which a fresh
+        snapshot is built.  See :mod:`repro.graph.csr` for layout and
+        the immutability contract.
+        """
+        from repro.graph.csr import FrozenGraph  # deferred: csr imports us
+
+        sizes = (self.num_vertices, self.num_edges, self.num_labels)
+        cached = self._frozen
+        if cached is not None and cached[0] == sizes:
+            return cached[1]
+        snapshot = FrozenGraph(self)
+        self._frozen = (sizes, snapshot)
+        return snapshot

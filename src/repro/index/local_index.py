@@ -52,6 +52,9 @@ __all__ = ["LocalIndex", "LocalIndexStats", "build_local_index"]
 #: than any connected pair (connected pairs score in [0, 1]).
 RHO_UNKNOWN = 2.0
 
+#: Cap on memoised (landmark, constraint-mask) Cut/Push results.
+_TARGET_MEMO_LIMIT = 4096
+
 
 @dataclass(frozen=True)
 class LocalIndexStats:
@@ -88,6 +91,13 @@ class LocalIndex:
         self.ei: dict[int, CmsTable] | None = None
         self.build_seconds: float = 0.0
         self._landmark_set = partition.landmark_set
+        # Serving-time memos for Cut/Push under a given constraint mask.
+        # The tables are immutable once built/loaded, so entries never go
+        # stale; capped so adversarial mask churn cannot grow them
+        # unboundedly (overflow recomputes per call).  Benign races only
+        # under concurrent queries: competing writers store equal tuples.
+        self._cut_memo: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._push_memo: dict[tuple[int, int], tuple[int, ...]] = {}
 
     def __repr__(self) -> str:
         return (
@@ -133,40 +143,59 @@ class LocalIndex:
             return False
         return table.reaches_under(target, constraint_mask)
 
-    def cut_targets(self, landmark: int, constraint_mask: int) -> list[int]:
+    def cut_targets(self, landmark: int, constraint_mask: int) -> tuple[int, ...]:
         """Vertices of ``F(landmark)`` reachable under the constraint.
 
         The vertex set ``Cut(II[w])`` marks (INS line 25): every ``x``
-        with some ``L_i ∈ M(w, x | F(w))``, ``L_i ⊆ L``.
+        with some ``L_i ∈ M(w, x | F(w))``, ``L_i ⊆ L``.  Memoised per
+        ``(landmark, mask)`` — a workload reuses a handful of masks, so
+        each filter runs once per index lifetime, not once per query.
         """
+        key = (landmark, constraint_mask)
+        cached = self._cut_memo.get(key)
+        if cached is not None:
+            return cached
         table = self.ii.get(landmark)
         if table is None:
-            return []
-        return [
-            x
-            for x, masks in table.items()
-            if any(m & ~constraint_mask == 0 for m in masks)
-        ]
+            result: tuple[int, ...] = ()
+        else:
+            result = tuple(
+                x
+                for x, masks in table.items()
+                if any(m & ~constraint_mask == 0 for m in masks)
+            )
+        if len(self._cut_memo) < _TARGET_MEMO_LIMIT:
+            self._cut_memo[key] = result
+        return result
 
-    def push_targets(self, landmark: int, constraint_mask: int) -> list[int]:
+    def push_targets(self, landmark: int, constraint_mask: int) -> tuple[int, ...]:
         """Border vertices ``Push(EIT[w])`` enqueues (INS line 25).
 
         Every vertex in the value set of an ``EIT`` pair whose key label
         set is ⊆ the constraint, deduplicated in first-seen order.
+        Memoised like :meth:`cut_targets`.
         """
+        key = (landmark, constraint_mask)
+        cached = self._push_memo.get(key)
+        if cached is not None:
+            return cached
         transposed = self.eit.get(landmark)
         if not transposed:
-            return []
-        seen: set[int] = set()
-        ordered: list[int] = []
-        for mask, vertices in transposed.items():
-            if mask & ~constraint_mask != 0:
-                continue
-            for vertex in vertices:
-                if vertex not in seen:
-                    seen.add(vertex)
-                    ordered.append(vertex)
-        return ordered
+            result: tuple[int, ...] = ()
+        else:
+            seen: set[int] = set()
+            ordered: list[int] = []
+            for mask, vertices in transposed.items():
+                if mask & ~constraint_mask != 0:
+                    continue
+                for vertex in vertices:
+                    if vertex not in seen:
+                        seen.add(vertex)
+                        ordered.append(vertex)
+            result = tuple(ordered)
+        if len(self._push_memo) < _TARGET_MEMO_LIMIT:
+            self._push_memo[key] = result
+        return result
 
     # ------------------------------------------------------------------
     # accounting

@@ -135,6 +135,12 @@ def load_or_build_index(
 
     With a fixed ``rng`` seed the built and reloaded indexes answer
     identically, so callers never need to care which branch ran.
+
+    Long-lived callers should pass the graph *already frozen*
+    (:meth:`~repro.graph.labeled_graph.KnowledgeGraph.freeze`), the way
+    :meth:`~repro.service.app.QueryService.from_files` does: the index
+    build's BFS traversals then run on the CSR layout, and the loaded
+    index binds to the exact graph object the sessions will traverse.
     """
     if path is None:
         return build_local_index(graph, k=k, rng=rng)

@@ -6,10 +6,17 @@ requests:
 
 * one immutable :class:`KnowledgeGraph` (and optionally one
   :class:`LocalIndex`), loaded once at startup — *never mutated after*,
-  which is what makes lock-free concurrent answering sound;
+  which is what makes lock-free concurrent answering sound.  At
+  construction the graph is **frozen** into a read-optimized CSR
+  snapshot (:class:`~repro.graph.csr.FrozenGraph`, ``freeze=False``
+  opts out): every search and SPARQL evaluation then iterates
+  contiguous label-slices behind per-vertex label-mask pre-tests
+  instead of walking per-vertex dicts;
 * a :class:`QueryPlanner` with a process-wide
   :class:`ConstraintCache`;
-* a :class:`ResultCache` keyed on canonical queries;
+* a :class:`ResultCache` keyed on canonical queries, and a
+  :class:`CandidateCache` memoising ``V(S, G)`` per canonical
+  constraint so repeated constraints skip the SPARQL engine;
 * a lazily populated pool of per-algorithm :class:`LSCRSession`\\ s, all
   sharing the graph, index and constraint cache (per-query search state
   lives inside each ``answer`` call, so one session per algorithm
@@ -43,11 +50,12 @@ from repro.exceptions import (
     ServiceConfigError,
     SparqlError,
 )
+from repro.graph.csr import FrozenGraph, freeze_graph
 from repro.graph.io import load_tsv
 from repro.graph.labeled_graph import KnowledgeGraph
 from repro.index.local_index import LocalIndex
 from repro.index.storage import load_or_build_index
-from repro.service.cache import ConstraintCache, ResultCache
+from repro.service.cache import CandidateCache, ConstraintCache, ResultCache
 from repro.service.executor import BatchExecutor
 from repro.service.planner import QueryPlan, QueryPlanner
 from repro.service.stats import ServiceStats
@@ -75,16 +83,24 @@ class QueryService:
         max_workers: int | None = None,
         max_batch: int = DEFAULT_MAX_BATCH,
         seed: int = 0,
+        freeze: bool = True,
     ) -> None:
         if max_batch < 1:
             raise ServiceConfigError(f"max_batch must be >= 1, got {max_batch}")
-        self.graph = graph
+        # Freeze once at warm start: the service's immutability contract
+        # makes the CSR snapshot safe, and every session/planner below
+        # sees the frozen graph.  Ids are shared, so an index built (or
+        # loaded) against the source graph stays valid.
+        self.graph = freeze_graph(graph) if freeze else graph
         self.index = index
         self.seed = seed
         self.max_batch = max_batch
         self.constraints = ConstraintCache()
+        # Follows the result cache's knob: cache_size=0 disables V(S,G)
+        # memoisation too, so one flag yields a genuinely uncached service.
+        self.candidates = CandidateCache(max_size=cache_size)
         self.planner = QueryPlanner(
-            graph,
+            self.graph,
             self.constraints,
             has_index=index is not None,
             fallback_algorithm=algorithm or "uis*",
@@ -108,6 +124,7 @@ class QueryService:
         *,
         landmark_count: int | None = None,
         seed: int = 0,
+        freeze: bool = True,
         **kwargs: Any,
     ) -> "QueryService":
         """Warm-start a service from a TSV graph and a persisted index.
@@ -116,17 +133,23 @@ class QueryService:
         given-but-missing ``index_path`` builds the index at startup and
         persists it there, so the *next* start is warm — the service
         counterpart of ``python -m repro index``.
+
+        The graph is frozen *before* the index is touched, so a missing
+        index is built over the CSR snapshot (itself measurably faster)
+        and a loaded one binds to the graph the sessions will traverse.
         """
         graph_path = Path(graph_path)
         if not graph_path.is_file():
             raise ServiceConfigError(f"graph file not found: {graph_path}")
         graph = load_tsv(graph_path, name=graph_path.stem)
+        if freeze:
+            graph = freeze_graph(graph)
         index = None
         if index_path is not None:
             index = load_or_build_index(
                 graph, index_path, k=landmark_count, rng=seed, save_if_built=True
             )
-        return cls(graph, index, seed=seed, **kwargs)
+        return cls(graph, index, seed=seed, freeze=freeze, **kwargs)
 
     def __repr__(self) -> str:
         return (
@@ -257,6 +280,7 @@ class QueryService:
                     index=self.index if algorithm == "ins" else None,
                     seed=self.seed,
                     constraint_cache=self.constraints,
+                    candidate_cache=self.candidates,
                 )
                 self._sessions[algorithm] = session
         return session
@@ -314,6 +338,7 @@ class QueryService:
             "vertices": self.graph.num_vertices,
             "edges": self.graph.num_edges,
             "labels": self.graph.num_labels,
+            "graph_frozen": isinstance(self.graph, FrozenGraph),
             "index_loaded": self.index is not None,
             "default_algorithm": self.default_algorithm,
         }
@@ -327,6 +352,7 @@ class QueryService:
             "service": self.stats.snapshot(),
             "result_cache": self.results.stats().as_dict(),
             "constraint_cache": self.constraints.stats().as_dict(),
+            "candidate_cache": self.candidates.stats().as_dict(),
             "graph": {
                 "name": self.graph.name,
                 "vertices": self.graph.num_vertices,

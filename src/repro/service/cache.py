@@ -1,6 +1,6 @@
 """Shared caches of the query service.
 
-Two caches make repeated traffic cheap, mirroring the two costs a
+Three caches make repeated traffic cheap, mirroring the three costs a
 one-shot ``LSCRSession.ask`` pays on every call:
 
 * :class:`ResultCache` — an LRU cache with optional TTL over *answered*
@@ -10,11 +10,17 @@ one-shot ``LSCRSession.ask`` pays on every call:
   objects keyed on their SPARQL text, shared across every session and
   worker thread, so each distinct constraint is parsed exactly once per
   process (the paper's Table 3 workloads reuse five constraint texts
-  across thousands of queries).
+  across thousands of queries);
+* :class:`CandidateCache` — computed ``V(S, G)`` satisfying-vertex
+  tuples keyed on the constraint's canonical SPARQL, so UIS*/INS stop
+  re-running the SPARQL engine for every query that reuses a constraint
+  with different endpoints or labels — on workload-shaped traffic that
+  is almost all of them.
 
-Both are thread-safe (one lock per cache; all critical sections are
-O(1) dict/OrderedDict operations plus, for the constraint cache, the
-one-time parse) and expose hit/miss counters for ``GET /stats``.
+All are thread-safe (one lock per cache; critical sections are O(1)
+dict/OrderedDict operations plus, for the constraint and candidate
+caches, the one-time parse/evaluation) and expose hit/miss counters for
+``GET /stats``.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from typing import Any
 
 from repro.constraints.substructure import SubstructureConstraint
 
-__all__ = ["CacheStats", "ResultCache", "ConstraintCache"]
+__all__ = ["CacheStats", "ResultCache", "ConstraintCache", "CandidateCache"]
 
 
 @dataclass(frozen=True)
@@ -217,6 +223,120 @@ class ConstraintCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the counters (no TTL, so expirations is 0)."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=0,
+                size=len(self._entries),
+                max_size=self.max_size,
+            )
+
+
+class CandidateCache:
+    """Compute-once LRU cache of ``V(S, G)`` satisfying-vertex tuples.
+
+    Keyed on the constraint's canonical SPARQL rendering (the same
+    canonicalisation the planner's result-cache key uses), so formatting
+    variants of one constraint share an entry.  Values are immutable
+    tuples — UIS*/INS copy to a list before shuffling, and the tuple is
+    safe to hand to any number of threads.
+
+    Unlike the constraint cache's one-time parse, a ``V(S, G)``
+    evaluation can take real time, so a miss computes *outside* the
+    lock: the first thread to miss a key becomes its leader and
+    evaluates; concurrent requesters of the *same* key wait on the
+    leader's event (no duplicated SPARQL work), while lookups for other
+    keys — hits and misses alike — proceed unblocked.
+
+    ``max_size=0`` disables storage entirely (every lookup evaluates and
+    nothing is retained), mirroring :class:`ResultCache` so one
+    ``cache_size`` knob can switch the whole service to uncached mode.
+
+    A cache instance is tied to one graph snapshot; the service builds
+    it next to its frozen graph and never mutates either.
+    """
+
+    def __init__(self, max_size: int = 1024) -> None:
+        if max_size < 0:
+            raise ValueError(f"max_size must be >= 0, got {max_size}")
+        self.max_size = max_size
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[int, ...]] = OrderedDict()
+        #: key -> (event, [value or None]) for computations in flight.
+        self._pending: dict[str, tuple[threading.Event, list]] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(
+        self, constraint: SubstructureConstraint, graph: Any
+    ) -> tuple[int, ...]:
+        """The satisfying-vertex tuple for ``constraint`` on ``graph``."""
+        if self.max_size == 0:
+            with self._lock:
+                self._misses += 1
+            return tuple(constraint.satisfying_vertices(graph))
+        key = constraint.to_sparql()
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return cached
+            self._misses += 1
+            pending = self._pending.get(key)
+            if pending is None:
+                pending = self._pending[key] = (threading.Event(), [None])
+                leader = True
+            else:
+                leader = False
+        event, slot = pending
+        if not leader:
+            event.wait()
+            if slot[0] is not None:
+                return slot[0]
+            # Leader failed; evaluate independently (rare error path).
+            return tuple(constraint.satisfying_vertices(graph))
+        try:
+            candidates = tuple(constraint.satisfying_vertices(graph))
+        except BaseException:
+            with self._lock:
+                self._pending.pop(key, None)
+            event.set()  # wake followers onto their fallback path
+            raise
+        slot[0] = candidates
+        with self._lock:
+            self._entries[key] = candidates
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._pending.pop(key, None)
+        event.set()
+        return candidates
+
+    def __contains__(self, constraint: object) -> bool:
+        key = (
+            constraint.to_sparql()
+            if isinstance(constraint, SubstructureConstraint)
+            else constraint
+        )
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> CacheStats:
         """Snapshot of the counters (no TTL, so expirations is 0)."""

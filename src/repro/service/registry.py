@@ -12,7 +12,9 @@ map:
   and take a per-tenant lock instead, so one slow
   ``load_or_build_index`` warm start never blocks traffic to other
   tenants, and concurrent first requests build the service exactly
-  once;
+  once.  Warm start freezes each tenant's graph into its CSR snapshot
+  (:mod:`repro.graph.csr`) before any index work, so every tenant
+  serves from the read-optimized layout;
 * **the default tenant** backs the un-prefixed PR 1 routes
   (``POST /query`` etc.); ``/t/<tenant>/...`` routes name any other;
 * **aggregation** — :meth:`health` and :meth:`stats_snapshot` fold

@@ -31,7 +31,7 @@ from repro.core.witness import WitnessPath, find_witness
 from repro.exceptions import ReproError
 from repro.graph.labeled_graph import KnowledgeGraph
 from repro.index.local_index import LocalIndex, build_local_index
-from repro.service.cache import ConstraintCache
+from repro.service.cache import CandidateCache, ConstraintCache
 from repro.service.executor import BatchExecutor
 
 __all__ = ["LSCRSession"]
@@ -50,6 +50,7 @@ class LSCRSession:
         seed: int | None = None,
         landmark_count: int | None = None,
         constraint_cache: ConstraintCache | None = None,
+        candidate_cache: CandidateCache | None = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ReproError(
@@ -72,18 +73,25 @@ class LSCRSession:
         self._constraint_cache = (
             constraint_cache if constraint_cache is not None else ConstraintCache()
         )
+        #: Shared V(S,G) memo for UIS*/INS (the service passes its own so
+        #: every pooled session reuses one computation per constraint).
+        self._candidate_cache = candidate_cache
         self._algorithm: LSCRAlgorithm
         if algorithm == "ins":
             if index is None:
                 index = build_local_index(graph, k=landmark_count, rng=self.seed)
             self.index: LocalIndex | None = index
-            self._algorithm = INS(graph, index, rng=rng)
+            self._algorithm = INS(
+                graph, index, rng=rng, candidate_cache=candidate_cache
+            )
         else:
             self.index = None
             if algorithm == "uis":
                 self._algorithm = UIS(graph)
             elif algorithm == "uis*":
-                self._algorithm = UISStar(graph, rng=rng)
+                self._algorithm = UISStar(
+                    graph, rng=rng, candidate_cache=candidate_cache
+                )
             else:
                 self._algorithm = NaiveTwoProcedure(graph)
 

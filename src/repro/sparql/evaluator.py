@@ -22,6 +22,7 @@ from collections.abc import Iterator
 
 from repro.exceptions import SparqlEvaluationError
 from repro.graph.labeled_graph import KnowledgeGraph
+from repro.graph.labels import iter_mask_bits
 from repro.sparql.ast import TriplePattern, Var
 
 __all__ = ["CompiledPattern", "compile_patterns", "evaluate_bgp", "bgp_is_satisfiable"]
@@ -174,8 +175,15 @@ def _estimate_cost(
     if s is not None and p is not None and o is not None:
         return 0  # existence check
     if s is not None and p is not None:
+        # Label-presence pre-test: on a frozen graph this is one bitmask
+        # AND, so provably-empty patterns cost 0 and are picked first —
+        # the join backtracks immediately instead of expanding siblings.
+        if not graph.has_out_label(s, p):
+            return 0
         return len(graph.out_by_label(s, p))
     if o is not None and p is not None:
+        if not graph.has_in_label(o, p):
+            return 0
         return len(graph.in_by_label(o, p))
     if s is not None and o is not None:
         return graph.out_degree(s)  # enumerate labels between two vertices
@@ -232,6 +240,8 @@ def _pattern_candidates(
         return
 
     if s is not None and p is not None:  # o unbound
+        # On a frozen graph this is an O(1) mask reject or a contiguous
+        # CSR label-slice — the hottest shape SCck produces (?x bound).
         for t in graph.out_by_label(s, p):
             yield [(o_var, t)]  # type: ignore[list-item]
         return
@@ -242,9 +252,10 @@ def _pattern_candidates(
         return
 
     if s is not None and o is not None:  # p unbound
-        for label_id, t in graph.out_edges(s):
-            if t == o:
-                yield [(p_var, label_id)]  # type: ignore[list-item]
+        # One edge-set probe per distinct label on ``s`` instead of a
+        # scan of every out-edge.
+        for label_id in iter_mask_bits(graph.labels_between(s, o)):
+            yield [(p_var, label_id)]  # type: ignore[list-item]
         return
 
     if s is not None:  # p and o unbound

@@ -1,0 +1,188 @@
+"""FrozenGraph ↔ KnowledgeGraph agreement on every adjacency API.
+
+The CSR snapshot must be observationally identical to the dict-backed
+graph it was frozen from — same ids, same neighbors, same per-label
+groups (including order: freezing is stable within a label), same
+masks, same degrees — because every algorithm and the SPARQL evaluator
+treat the two interchangeably.  The suite sweeps randomized graphs and
+checks each API pairwise, plus the freeze-specific contracts: mutation
+refusal, snapshot caching, and re-freezing after source mutations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import random_labeled_graph
+from repro.exceptions import FrozenGraphError
+from repro.graph import FrozenGraph, KnowledgeGraph, base_graph, freeze_graph
+
+SEEDS = list(range(12))
+
+
+def make_pair(seed: int, num_vertices: int = 28, density: float = 2.2,
+              num_labels: int = 5):
+    graph = random_labeled_graph(
+        num_vertices, density, num_labels, rng=seed, name=f"frozen-{seed}"
+    )
+    return graph, graph.freeze()
+
+
+def interesting_masks(graph, rng: random.Random):
+    """Empty, full, single-label and random masks over the universe."""
+    full = graph.labels.full_mask()
+    masks = [0, full]
+    for label_id in range(graph.num_labels):
+        masks.append(1 << label_id)
+    for _ in range(6):
+        masks.append(rng.randrange(full + 1))
+    return masks
+
+
+class TestAdjacencyAgreement:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_masked_expansion_agrees(self, seed):
+        graph, frozen = make_pair(seed)
+        rng = random.Random(seed * 37 + 1)
+        for mask in interesting_masks(graph, rng):
+            for v in graph.vertices():
+                expected = sorted(w for _l, w in graph.out_masked(v, mask))
+                assert sorted(w for _l, w in frozen.out_masked(v, mask)) == expected
+                assert sorted(frozen.out_targets_masked(v, mask)) == expected
+                assert sorted(graph.out_targets_masked(v, mask)) == expected
+                expected_in = sorted(w for _l, w in graph.in_masked(v, mask))
+                assert sorted(w for _l, w in frozen.in_masked(v, mask)) == expected_in
+                assert sorted(frozen.in_targets_masked(v, mask)) == expected_in
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_masked_expansion_pairs_carry_correct_labels(self, seed):
+        graph, frozen = make_pair(seed)
+        rng = random.Random(seed * 41 + 3)
+        for mask in interesting_masks(graph, rng):
+            for v in graph.vertices():
+                assert sorted(graph.out_masked(v, mask)) == sorted(
+                    frozen.out_masked(v, mask)
+                )
+                assert sorted(graph.in_masked(v, mask)) == sorted(
+                    frozen.in_masked(v, mask)
+                )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_by_label_groups_agree_in_order(self, seed):
+        # Within one (vertex, label) group the CSR keeps the dict
+        # graph's insertion order — lists must be equal, not just
+        # equal-as-sets.
+        graph, frozen = make_pair(seed)
+        for v in graph.vertices():
+            for label_id in range(graph.num_labels):
+                assert list(frozen.out_by_label(v, label_id)) == list(
+                    graph.out_by_label(v, label_id)
+                )
+                assert list(frozen.in_by_label(v, label_id)) == list(
+                    graph.in_by_label(v, label_id)
+                )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_edges_and_edge_iterators_agree(self, seed):
+        graph, frozen = make_pair(seed)
+        assert sorted(frozen.edges()) == sorted(graph.edges())
+        assert sorted(frozen.edges_named()) == sorted(graph.edges_named())
+        for v in graph.vertices():
+            assert sorted(frozen.out_edges(v)) == sorted(graph.out_edges(v))
+            assert sorted(frozen.in_edges(v)) == sorted(graph.in_edges(v))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_degrees_masks_and_labels_between_agree(self, seed):
+        graph, frozen = make_pair(seed)
+        for v in graph.vertices():
+            assert frozen.out_degree(v) == graph.out_degree(v)
+            assert frozen.in_degree(v) == graph.in_degree(v)
+            assert frozen.degree(v) == graph.degree(v)
+            assert frozen.out_label_mask(v) == graph.out_label_mask(v)
+            assert frozen.in_label_mask(v) == graph.in_label_mask(v)
+            assert sorted(frozen.out_labels(v)) == sorted(graph.out_labels(v))
+            for label_id in range(graph.num_labels):
+                assert frozen.has_out_label(v, label_id) == graph.has_out_label(
+                    v, label_id
+                )
+                assert frozen.has_in_label(v, label_id) == graph.has_in_label(
+                    v, label_id
+                )
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert frozen.labels_between(s, t) == graph.labels_between(s, t)
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_membership_and_label_frequencies_agree(self, seed):
+        graph, frozen = make_pair(seed)
+        for s, label_id, t in graph.edges():
+            assert frozen.has_edge(s, label_id, t)
+        for label_id in range(graph.num_labels):
+            assert frozen.label_frequency(label_id) == graph.label_frequency(label_id)
+            assert frozen.edges_with_label(label_id) == graph.edges_with_label(label_id)
+
+
+class TestFreezeSemantics:
+    def test_shared_interning_and_schema(self):
+        graph, frozen = make_pair(0)
+        assert isinstance(frozen, FrozenGraph)
+        assert isinstance(frozen, KnowledgeGraph)
+        assert frozen.source is graph
+        assert base_graph(frozen) is graph
+        assert base_graph(graph) is graph
+        assert frozen.labels is graph.labels
+        assert frozen.schema is graph.schema
+        assert frozen.name == graph.name
+        for name in graph.vertex_names():
+            assert frozen.vid(name) == graph.vid(name)
+
+    def test_freeze_is_cached_and_idempotent(self):
+        graph, frozen = make_pair(1)
+        assert graph.freeze() is frozen
+        assert frozen.freeze() is frozen
+        assert freeze_graph(frozen) is frozen
+        assert freeze_graph(graph) is frozen
+
+    def test_refreeze_after_mutation_builds_fresh_snapshot(self):
+        graph, frozen = make_pair(2)
+        graph.add_edge("brand-new", "l0", "n0")
+        refrozen = graph.freeze()
+        assert refrozen is not frozen
+        assert refrozen.has_vertex("brand-new")
+        assert refrozen.num_edges == graph.num_edges
+
+    def test_mutation_raises(self):
+        _, frozen = make_pair(3)
+        with pytest.raises(FrozenGraphError):
+            frozen.add_vertex("nope")
+        with pytest.raises(FrozenGraphError):
+            frozen.add_edge("a", "l0", "b")
+        with pytest.raises(FrozenGraphError):
+            frozen.add_edge_ids(0, 0, 1)
+
+    def test_freezing_a_frozen_source_unwraps(self):
+        graph, frozen = make_pair(4)
+        rewrapped = FrozenGraph(frozen)
+        assert rewrapped.source is graph
+
+    def test_empty_graph_freezes(self):
+        empty = KnowledgeGraph("empty")
+        frozen = empty.freeze()
+        assert frozen.num_vertices == 0
+        assert list(frozen.edges()) == []
+
+    def test_masked_view_memo_bounded_and_correct(self):
+        # Hammer one direction with more distinct masks than the view
+        # cap: results stay correct even once materialisation stops.
+        graph, frozen = make_pair(5, num_vertices=12, num_labels=6)
+        from repro.graph import csr as csr_module
+
+        full = graph.labels.full_mask()
+        for mask in range(full + 1):
+            for v in graph.vertices():
+                assert sorted(frozen.out_targets_masked(v, mask)) == sorted(
+                    graph.out_targets_masked(v, mask)
+                )
+        assert len(frozen._csr_out._mask_views) <= csr_module._MASK_VIEW_LIMIT

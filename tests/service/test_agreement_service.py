@@ -1,8 +1,12 @@
 """Randomized agreement: the full service path vs. the naive oracle.
 
 The service stack adds planning, canonical cache keys, result caching,
-session pooling and batch fan-out on top of the paper's algorithms —
-none of which may change a single Boolean answer.  This suite generates
+``V(S, G)`` candidate caching, frozen CSR graph snapshots, session
+pooling and batch fan-out on top of the paper's algorithms — none of
+which may change a single Boolean answer.  QueryService freezes its
+graph at construction, so every run of this suite exercises the
+frozen-graph serving path (asserted in ``make_service``), including the
+two-tenant interleaved group.  This suite generates
 many random small graphs and query workloads from fixed seeds and
 answers every query twice through the full service path (planner →
 cache → session; the second pass exercises the cache-hit path) and once
@@ -26,6 +30,7 @@ from repro.constraints.substructure import SubstructureConstraint
 from repro.core.naive import NaiveTwoProcedure
 from repro.core.query import LSCRQuery
 from repro.datasets.synthetic import random_labeled_graph
+from repro.graph import FrozenGraph
 from repro.index.local_index import build_local_index
 from repro.service.app import QueryService
 from repro.service.registry import TenantRegistry
@@ -42,9 +47,16 @@ def make_graph(seed, num_labels=3, num_vertices=9, density=1.8):
 
 
 def make_service(graph, seed):
-    """Alternate indexed (INS) and index-free (UIS*) services by seed."""
+    """Alternate indexed (INS) and index-free (UIS*) services by seed.
+
+    The index is deliberately built on the *dict-backed* graph while the
+    service freezes at construction, so every agreement run also covers
+    the frozen-CSR serving path against an index bound to the source.
+    """
     index = build_local_index(graph, k=3, rng=seed) if seed % 2 == 0 else None
-    return QueryService(graph, index, seed=seed)
+    service = QueryService(graph, index, seed=seed)
+    assert isinstance(service.graph, FrozenGraph)  # the suite runs frozen
+    return service
 
 
 def constraint_pool(rng, num_labels, num_vertices):

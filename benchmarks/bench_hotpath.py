@@ -26,7 +26,13 @@ as the hardware allows" north star:
   :class:`~repro.service.app.QueryService` path (planner → sessions →
   batch executor) with the result cache bypassed, ``freeze=True`` vs
   ``freeze=False`` (the candidate cache is part of the service in both,
-  so this compares graph layouts under real batch fan-out).
+  so this compares graph layouts under real batch fan-out).  With
+  ``--shards N`` the same workload also runs through a
+  :class:`~repro.shard.ShardedQueryService` (scatter-gather over N
+  in-process slice workers), recorded as ``service_batch.sharded`` with
+  ``sharded_vs_unsharded`` — the coordination overhead / co-location
+  win tracked PR over PR; the harness asserts the sharded answers match
+  the unsharded ones per query.
 
 The workload mixes the paper's two Table 3 constraint shapes — anchored
 patterns (small, cheap ``V(S, G)``) and star patterns (expensive
@@ -63,6 +69,7 @@ from repro.index.local_index import build_local_index  # noqa: E402
 from repro.service.app import QueryService  # noqa: E402
 from repro.service.cache import CandidateCache  # noqa: E402
 from repro.session import LSCRSession  # noqa: E402
+from repro.shard import ShardedQueryService  # noqa: E402
 
 SCHEMA_VERSION = 1
 
@@ -146,9 +153,18 @@ def bench_single(
     }
 
 
-def bench_service(graph, index, specs, *, freeze: bool, rounds: int) -> dict:
-    """Batched throughput through the full QueryService path."""
-    service = QueryService(graph, index, seed=0, freeze=freeze)
+def bench_service(
+    graph, index, specs, *, freeze: bool, rounds: int, shards: int = 0
+) -> dict:
+    """Batched throughput through the full QueryService path.
+
+    ``shards > 0`` swaps in a :class:`ShardedQueryService` (always
+    frozen) so the same workload measures the scatter-gather topology.
+    """
+    if shards:
+        service = ShardedQueryService(graph, index, seed=0, shards=shards)
+    else:
+        service = QueryService(graph, index, seed=0, freeze=freeze)
     try:
         service.query_batch(specs, use_cache=False)  # warm-up
         best = float("inf")
@@ -167,7 +183,7 @@ def bench_service(graph, index, specs, *, freeze: bool, rounds: int) -> dict:
         service.close()
 
 
-def run(quick: bool, compare: bool, seed: int) -> dict:
+def run(quick: bool, compare: bool, seed: int, shards: int = 0) -> dict:
     config = QUICK if quick else FULL
     graph, index, specs = build_workload(config, seed)
     frozen = graph.freeze()
@@ -175,7 +191,8 @@ def run(quick: bool, compare: bool, seed: int) -> dict:
     report = {
         "schema": SCHEMA_VERSION,
         "generated_by": "benchmarks/bench_hotpath.py",
-        "mode": {"quick": quick, "compare": compare, "seed": seed},
+        "mode": {"quick": quick, "compare": compare, "seed": seed,
+                 "shards": shards},
         "workload": {
             "vertices": graph.num_vertices,
             "edges": graph.num_edges,
@@ -262,7 +279,26 @@ def run(quick: bool, compare: bool, seed: int) -> dict:
                 "service batch: frozen and dict services disagree on "
                 "per-query answers"
             )
-    for result in (cell.get("frozen"), cell.get("dict")):
+    if shards:
+        sharded_result = bench_service(
+            graph, index, specs, freeze=True, rounds=config["rounds"],
+            shards=shards,
+        )
+        sharded_result["shards"] = shards
+        cell["sharded"] = sharded_result
+        cell["sharded_vs_unsharded"] = (
+            sharded_result["qps"] / frozen_result["qps"]
+        )
+        print(
+            f"service/batch sharded({shards}): {sharded_result['qps']:9.1f} q/s "
+            f"(vs unsharded {cell['sharded_vs_unsharded']:.2f}x)"
+        )
+        if sharded_result["answers"] != frozen_result["answers"]:
+            raise SystemExit(
+                "service batch: sharded and unsharded services disagree on "
+                "per-query answers"
+            )
+    for result in (cell.get("frozen"), cell.get("dict"), cell.get("sharded")):
         if result is not None:
             result.pop("answers", None)
     report["service_batch"] = cell
@@ -277,11 +313,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="also measure the dict-backed baseline and speedups")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--shards", type=int, default=0,
+        help="also run the batched workload through a ShardedQueryService "
+        "with N in-process shard workers (0 = skip)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=REPO_ROOT / "BENCH_hotpath.json",
         help="where to write the JSON report (default: repo root)",
     )
     args = parser.parse_args(argv)
-    report = run(args.quick, args.compare, args.seed)
+    report = run(args.quick, args.compare, args.seed, args.shards)
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
     return 0

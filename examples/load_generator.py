@@ -1,0 +1,254 @@
+"""Configurable load driver for a running LSCR query service.
+
+Hammers an HTTP endpoint with ``--clients`` concurrent threads for
+``--duration`` seconds, then prints per-endpoint throughput and
+client-side latency percentiles (p50/p90/p99) — the numbers that size a
+thread pool (``serve --workers``) or a shard count (``serve --shards``).
+Each client alternates ``POST /query`` and ``POST /batch`` requests
+(ratio set by ``--batch-every``), cycling a workload of specs with the
+result cache bypassed so every request does real work.
+
+Two ways to point it at a server:
+
+* **self-contained** (default) — generates a random graph, starts an
+  in-process server on an ephemeral port, drives it, and shuts it down;
+  add ``--shards N`` to size the sharded topology instead:
+
+      python examples/load_generator.py --clients 8 --duration 5
+      python examples/load_generator.py --clients 8 --shards 4
+
+* **external** — drive an already-running server (the specs must match
+  its graph; ``--spec-file`` takes a JSON array of query specs, e.g.
+  written by your own tooling):
+
+      python -m repro serve --graph g.tsv --port 8080 &
+      python examples/load_generator.py --url http://127.0.0.1:8080 \\
+          --spec-file specs.json --clients 16 --duration 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import threading
+import time
+import urllib.request
+from collections import defaultdict
+
+PERCENTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (fraction in (0, 1])."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def post(base: str, path: str, payload: dict, timeout: float = 30.0) -> dict:
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def default_specs(num_vertices: int, num_labels: int) -> list[dict]:
+    """A mixed workload over the self-contained random graph."""
+    labels = [f"l{i}" for i in range(num_labels)]
+    constraints = [
+        "SELECT ?x WHERE { ?x <l0> ?y . }",
+        "SELECT ?x WHERE { ?x <l1> ?y . ?x <l0> ?z . }",
+        f"SELECT ?x WHERE {{ ?x <l0> n{num_vertices // 2} . }}",
+    ]
+    specs = []
+    for position in range(48):
+        specs.append(
+            {
+                "source": f"n{(position * 7) % num_vertices}",
+                "target": f"n{(position * 13 + 5) % num_vertices}",
+                "labels": labels[: 2 + position % (num_labels - 1)],
+                "constraint": constraints[position % len(constraints)],
+            }
+        )
+    return specs
+
+
+class LoadStats:
+    """Latency samples per endpoint, merged across client threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.latencies: dict[str, list[float]] = defaultdict(list)
+        self.requests: dict[str, int] = defaultdict(int)
+        self.queries: dict[str, int] = defaultdict(int)
+        self.errors = 0
+
+    def record(self, endpoint: str, seconds: float, queries: int) -> None:
+        with self._lock:
+            self.latencies[endpoint].append(seconds)
+            self.requests[endpoint] += 1
+            self.queries[endpoint] += queries
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+
+def client_loop(
+    base: str,
+    specs: list[dict],
+    stats: LoadStats,
+    stop_at: float,
+    batch_every: int,
+    batch_size: int,
+    offset: int,
+) -> None:
+    position = offset  # stagger clients so they don't lockstep the cache
+    while time.perf_counter() < stop_at:
+        if batch_every and position % batch_every == 0:
+            chunk = [
+                specs[(position + i) % len(specs)] for i in range(batch_size)
+            ]
+            payload = {"queries": chunk, "use_cache": False}
+            endpoint, path, count = "batch", "/batch", len(chunk)
+        else:
+            payload = {**specs[position % len(specs)], "use_cache": False}
+            endpoint, path, count = "query", "/query", 1
+        started = time.perf_counter()
+        try:
+            post(base, path, payload)
+        except Exception:
+            stats.record_error()
+        else:
+            stats.record(endpoint, time.perf_counter() - started, count)
+        position += 1
+
+
+def run_load(
+    base: str,
+    specs: list[dict],
+    clients: int,
+    duration: float,
+    batch_every: int,
+    batch_size: int,
+) -> LoadStats:
+    stats = LoadStats()
+    stop_at = time.perf_counter() + duration
+    threads = [
+        threading.Thread(
+            target=client_loop,
+            args=(base, specs, stats, stop_at, batch_every, batch_size,
+                  position * 17),
+            daemon=True,
+        )
+        for position in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats.wall = time.perf_counter() - started  # type: ignore[attr-defined]
+    return stats
+
+
+def report(stats: LoadStats, clients: int) -> None:
+    wall = getattr(stats, "wall", 0.0) or 1e-9
+    total_requests = sum(stats.requests.values())
+    total_queries = sum(stats.queries.values())
+    print(
+        f"\n{clients} client(s), {wall:.1f}s wall: "
+        f"{total_requests} requests ({total_requests / wall:.1f} req/s), "
+        f"{total_queries} queries ({total_queries / wall:.1f} q/s), "
+        f"{stats.errors} error(s)"
+    )
+    for endpoint in sorted(stats.latencies):
+        samples = [value * 1000.0 for value in stats.latencies[endpoint]]
+        line = "  ".join(
+            f"{name}={percentile(samples, fraction):.2f} ms"
+            for name, fraction in PERCENTILES
+        )
+        print(
+            f"  {endpoint:6s} {stats.requests[endpoint]:6d} requests   "
+            f"{line}  max={max(samples):.2f} ms"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default=None,
+                        help="drive a running server instead of self-hosting")
+    parser.add_argument("--spec-file", default=None,
+                        help="JSON array of query specs (required with --url)")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="seconds of sustained load")
+    parser.add_argument("--batch-every", type=int, default=4,
+                        help="every Nth request is a batch (0 = never)")
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--shards", type=int, default=0,
+                        help="self-contained mode: shard count (0 = unsharded)")
+    parser.add_argument("--vertices", type=int, default=400,
+                        help="self-contained mode: graph size")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.url is not None:
+        if args.spec_file is None:
+            parser.error("--url needs --spec-file (specs must match its graph)")
+        with open(args.spec_file) as handle:
+            specs = json.load(handle)
+        print(f"driving {args.url} with {len(specs)} specs ...")
+        stats = run_load(args.url, specs, args.clients, args.duration,
+                         args.batch_every, args.batch_size)
+        report(stats, args.clients)
+        return 0
+
+    # Self-contained: generate, serve in-process, drive, tear down.
+    from repro.datasets.synthetic import random_labeled_graph
+    from repro.service.app import QueryService
+    from repro.service.http import create_server
+    from repro.shard import ShardedQueryService
+
+    num_labels = 6
+    print(f"generating random graph (|V|={args.vertices}, |L|={num_labels}) ...")
+    graph = random_labeled_graph(args.vertices, 4.0, num_labels, rng=args.seed,
+                                 name="loadgen")
+    if args.shards:
+        service = ShardedQueryService(graph, seed=args.seed, shards=args.shards)
+        print(f"serving sharded ({args.shards} in-process workers)")
+    else:
+        service = QueryService(graph, seed=args.seed)
+        print("serving unsharded")
+    server = create_server(service, "127.0.0.1", 0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    print(f"server on {base}; driving {args.clients} client(s) "
+          f"for {args.duration:.1f}s ...")
+    try:
+        stats = run_load(base, default_specs(args.vertices, num_labels),
+                         args.clients, args.duration,
+                         args.batch_every, args.batch_size)
+        report(stats, args.clients)
+        # The server's own view, for cross-checking client-side numbers.
+        snapshot = service.stats.snapshot()
+        query_latency = snapshot["latency"].get("query", {})
+        print(
+            f"\nserver-side: {snapshot['queries']['total']} queries, "
+            f"query p99={query_latency.get('p99_ms', 0.0):.2f} ms "
+            f"(log-scale histogram over {query_latency.get('count', 0)} samples)"
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

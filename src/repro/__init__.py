@@ -13,8 +13,10 @@ schema, an exact SPARQL basic-graph-pattern engine, comparator indexes
 ([19]-style traditional landmarks, [6]-style tree index), LUBM-like and
 YAGO-like dataset generators, the Section 6 workload generators, a
 benchmark harness regenerating every table and figure of the evaluation,
-and a concurrent query service (:mod:`repro.service`) with planning,
-caching and batch execution over HTTP (``python -m repro serve``).
+a concurrent query service (:mod:`repro.service`) with planning,
+caching and batch execution over HTTP (``python -m repro serve``), and
+region-sharded scatter-gather serving over CSR slices
+(:mod:`repro.shard`, ``python -m repro serve --shards N``).
 
 Quickstart::
 
@@ -55,6 +57,7 @@ from repro.service.http import create_server
 from repro.service.planner import QueryPlan, QueryPlanner
 from repro.service.registry import TenantRegistry
 from repro.service.stats import ServiceStats
+from repro.shard import ShardedQueryService
 from repro.sparql import SparqlEngine
 
 __version__ = "1.0.0"
@@ -79,6 +82,7 @@ __all__ = [
     "ResultAggregate",
     "ResultCache",
     "ServiceStats",
+    "ShardedQueryService",
     "SparqlEngine",
     "SubstructureChecker",
     "SubstructureConstraint",

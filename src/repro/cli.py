@@ -23,16 +23,23 @@ Examples::
     python -m repro serve --graph d1.tsv --index d1.index.json --port 8080
     python -m repro serve --graph d1.tsv \
         --tenant yago=y.tsv:y.index.json --tenant toy=toy.tsv
+    python -m repro serve --graph d1.tsv --index d1.index.json \
+        --shards 4 --warm-cache d1.cache.json
 
 The second ``serve`` form hosts three graphs in one process: ``d1`` as
 the default tenant behind the un-prefixed routes, the others behind
 ``/t/yago/...`` and ``/t/toy/...`` (lazy warm start on first query).
+The third serves ``d1`` through a region-sharded scatter-gather
+coordinator (four in-process shard workers, also reachable at
+``/shard/<id>/...`` for remote coordinators), warming the result cache
+from — and snapshotting it back to — ``d1.cache.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.constraints.substructure import SubstructureConstraint
 from repro.core.ins import INS
@@ -52,6 +59,7 @@ from repro.index.storage import load_local_index, save_local_index
 from repro.service.app import QueryService
 from repro.service.http import create_server
 from repro.service.registry import DEFAULT_TENANT, TenantRegistry
+from repro.shard import ShardedQueryService
 
 __all__ = ["main", "build_parser"]
 
@@ -168,6 +176,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the dict-backed graph instead of the frozen CSR snapshot "
         "(A/B escape hatch; see benchmarks/bench_hotpath.py)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve --graph through a region-sharded scatter-gather "
+        "coordinator with N in-process shard workers (0 = unsharded); the "
+        "workers are also exposed at /shard/<id>/... for remote coordinators",
+    )
+    serve.add_argument(
+        "--warm-cache",
+        default=None,
+        metavar="FILE",
+        help="warm the default tenant's result cache and stats from FILE at "
+        "startup (when it exists) and snapshot them back there on clean "
+        "shutdown",
+    )
     return parser
 
 
@@ -283,6 +308,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ServiceConfigError(
             "serve needs at least one graph: pass --graph and/or --tenant"
         )
+    if args.shards and args.graph is None:
+        raise ServiceConfigError("--shards requires --graph (the default tenant)")
+    if args.shards < 0:
+        raise ServiceConfigError(f"--shards must be >= 0, got {args.shards}")
     options = dict(
         landmark_count=args.k,
         seed=args.seed,
@@ -297,16 +326,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # the ready line below reports real sizes, the rest warm-start lazily.
     default_name = DEFAULT_TENANT if args.graph is not None else tenants[0][0]
     registry = TenantRegistry(default_tenant=default_name)
+    shard_workers = None
     if args.graph is not None:
-        registry.add(
-            DEFAULT_TENANT, QueryService.from_files(args.graph, args.index, **options)
-        )
+        if args.shards:
+            default_service = ShardedQueryService.from_files(
+                args.graph, args.index, shards=args.shards, **options
+            )
+            shard_workers = {
+                str(position): worker
+                for position, worker in enumerate(default_service.workers)
+            }
+        else:
+            default_service = QueryService.from_files(
+                args.graph, args.index, **options
+            )
+        registry.add(DEFAULT_TENANT, default_service)
     for name, graph_path, index_path in tenants:
         registry.register_files(name, graph_path, index_path, **options)
 
-    server = create_server(registry, args.host, args.port)
+    server = create_server(registry, args.host, args.port, shard_workers)
     host, port = server.server_address[:2]
     service = registry.get(default_name)
+    if args.warm_cache is not None and Path(args.warm_cache).is_file():
+        warmed = service.load_snapshot(args.warm_cache)
+        print(
+            f"warmed {warmed['results']} cached result(s) from {args.warm_cache}",
+            flush=True,
+        )
     graph = service.graph
     index_note = (
         f"{len(service.index.partition.landmarks)} landmarks"
@@ -319,6 +365,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"default algorithm: {service.default_algorithm}",
         flush=True,
     )
+    if args.shards:
+        plan = service.shard_plan.describe()
+        print(
+            f"shards: {args.shards} (vertices per shard: "
+            f"{plan['vertices_per_shard']}; workers at /shard/<id>/expand)",
+            flush=True,
+        )
     if len(registry) > 1:
         print(
             f"tenants: {', '.join(registry.names())} "
@@ -334,4 +387,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+        if args.warm_cache is not None:
+            size = service.save_snapshot(args.warm_cache)
+            print(f"saved cache+stats snapshot ({size} bytes) to {args.warm_cache}",
+                  flush=True)
     return 0

@@ -173,6 +173,26 @@ class CsrDirection:
                 result.extend(group_targets)
         return tuple(result)
 
+    @classmethod
+    def restricted(
+        cls, graph: KnowledgeGraph, vertices: "list[int] | tuple[int, ...]"
+    ) -> "CsrDirection":
+        """CSR over a vertex subset — the slice seam for :mod:`repro.shard`.
+
+        Row ``i`` holds ``vertices[i]``'s *out*-adjacency; targets keep
+        their **global** vertex ids (a slice's edges may point at
+        vertices owned elsewhere).  Every flat-array/label-mask fast
+        path of :meth:`targets_masked` then works unchanged on the
+        slice, indexed by local position.
+        """
+        adjacency: list[dict[int, list[int]]] = []
+        for vid in vertices:
+            per_vertex: dict[int, list[int]] = {}
+            for label_id, target in graph.out_edges(vid):
+                per_vertex.setdefault(label_id, []).append(target)
+            adjacency.append(per_vertex)
+        return cls(adjacency)
+
 
 class FrozenGraph(KnowledgeGraph):
     """Read-only CSR snapshot of a :class:`KnowledgeGraph`.

@@ -121,6 +121,16 @@ class LocalIndex:
         """``D(u, v)``: border targets of ``F(u)`` landing in ``F(v)``."""
         return self.d.get(from_landmark, {}).get(to_landmark, 0)
 
+    def region_correlations(self) -> dict[int, dict[int, int]]:
+        """A defensive copy of the full ``D`` table.
+
+        The export :mod:`repro.shard` consumes for placement: shards
+        grouping highly correlated regions together see fewer border
+        crossings per scatter-gather round.  Copied so shard planning
+        can never alias the live index tables.
+        """
+        return {u: dict(row) for u, row in self.d.items()}
+
     def rho(self, x: int, y: int) -> float:
         """Estimated distance ``ρ(x, y)`` (DESIGN.md §5.3).
 

@@ -16,8 +16,6 @@ passing that graph and verifies basic shape (vertex count).
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 
 import random
@@ -27,6 +25,7 @@ from repro.graph.labeled_graph import KnowledgeGraph
 from repro.index.cms import CmsTable
 from repro.index.landmarks import Partition
 from repro.index.local_index import LocalIndex, build_local_index
+from repro.utils.persist import atomic_write_json
 
 __all__ = [
     "save_local_index",
@@ -60,23 +59,7 @@ def save_local_index(index: LocalIndex, path: str | Path) -> int:
         },
         "build_seconds": index.build_seconds,
     }
-    path = Path(path)
-    # Write-then-rename so a concurrent reader (or a second tenant lazily
-    # warm-starting against the same index path) never sees a partial
-    # file: os.replace is atomic on POSIX within one filesystem, and
-    # mkstemp gives every writer — thread or process — its own scratch.
-    descriptor, scratch_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
-    )
-    scratch = Path(scratch_name)
-    try:
-        with os.fdopen(descriptor, "w", encoding="ascii") as handle:
-            json.dump(document, handle, separators=(",", ":"))
-        os.replace(scratch, path)
-    finally:
-        if scratch.exists():
-            scratch.unlink()
-    return path.stat().st_size
+    return atomic_write_json(document, path, encoding="ascii")
 
 
 def load_local_index(path: str | Path, graph: KnowledgeGraph) -> LocalIndex:

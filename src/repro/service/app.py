@@ -36,9 +36,12 @@ wrong, which the HTTP layer maps to structured 4xx responses.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Hashable, Iterable
+from dataclasses import asdict
 from pathlib import Path
 from threading import Lock
+from time import perf_counter
 from typing import Any
 
 from repro.constraints.label_constraint import LabelConstraint
@@ -60,6 +63,7 @@ from repro.service.executor import BatchExecutor
 from repro.service.planner import QueryPlan, QueryPlanner
 from repro.service.stats import ServiceStats
 from repro.session import LSCRSession
+from repro.utils.persist import atomic_write_json
 
 __all__ = ["QueryService", "DEFAULT_MAX_BATCH"]
 
@@ -67,6 +71,9 @@ __all__ = ["QueryService", "DEFAULT_MAX_BATCH"]
 DEFAULT_MAX_BATCH = 4096
 
 _SPEC_FIELDS = ("source", "target", "labels", "constraint")
+
+#: On-disk format of :meth:`QueryService.save_snapshot` files.
+_SNAPSHOT_VERSION = 1
 
 
 class QueryService:
@@ -212,6 +219,7 @@ class QueryService:
         over the :class:`BatchExecutor`.  A per-spec ``use_cache`` key
         overrides the batch-level flag for that query only.
         """
+        started = perf_counter()
         specs = list(specs)
         if len(specs) > self.max_batch:
             raise BadRequestError(
@@ -232,9 +240,11 @@ class QueryService:
             for spec in specs
         ]
         self.stats.record_batch()
-        return self.executor.map(
+        answered = self.executor.map(
             lambda item: self._finish(item[0], use_cache=item[1], batch=True), plans
         )
+        self.stats.record_latency("batch", perf_counter() - started)
+        return answered
 
     # ------------------------------------------------------------------
 
@@ -242,6 +252,7 @@ class QueryService:
         self, plan: QueryPlan, *, use_cache: bool, batch: bool
     ) -> tuple[QueryResult, dict]:
         """Execute (or short-circuit) one plan and record telemetry."""
+        started = perf_counter()
         meta = {"cached": False, "trivial": False, "reason": plan.reason}
         if plan.is_trivial:
             result = QueryResult(
@@ -252,19 +263,31 @@ class QueryService:
             )
             meta["trivial"] = True
             self.stats.record_query(result, trivial=True, batch=batch)
+            self.stats.record_latency("query", perf_counter() - started)
             return result, meta
         if use_cache:
             cached = self.results.get(plan.key)
             if cached is not None:
                 meta["cached"] = True
                 self.stats.record_query(cached, cached=True, batch=batch)
+                self.stats.record_latency("query", perf_counter() - started)
                 return cached, meta
-        assert plan.query is not None
-        result = self._session(plan.algorithm).answer(plan.query)
+        result = self._execute(plan)
         if use_cache:
             self.results.put(plan.key, result)
         self.stats.record_query(result, batch=batch)
+        self.stats.record_latency("query", perf_counter() - started)
         return result, meta
+
+    def _execute(self, plan: QueryPlan) -> QueryResult:
+        """Run one non-trivial plan on the session it names.
+
+        The execution seam subclasses reroute: the sharded service
+        (:class:`repro.shard.ShardedQueryService`) sends non-forced
+        plans to its scatter-gather coordinator instead.
+        """
+        assert plan.query is not None
+        return self._session(plan.algorithm).answer(plan.query)
 
     def _session(self, algorithm: str) -> LSCRSession:
         """The shared session for ``algorithm`` (created on first use)."""
@@ -369,6 +392,80 @@ class QueryService:
                 "seed": self.seed,
             },
         }
+
+    # ------------------------------------------------------------------
+    # cache + stats persistence (ROADMAP "Cache warming and persistence")
+    # ------------------------------------------------------------------
+
+    def save_snapshot(self, path: str | Path) -> int:
+        """Persist the result cache and stats ledger as JSON.
+
+        The snapshot carries every unexpired result-cache entry (keyed
+        on the planner's canonical keys) plus the
+        :meth:`ServiceStats.snapshot` document, tagged with the graph's
+        identity so :meth:`load_snapshot` can refuse a mismatched file.
+        Written atomically (write-then-rename, like the index store).
+        Returns the file size in bytes.
+        """
+        document = {
+            "format_version": _SNAPSHOT_VERSION,
+            "graph": {
+                "name": self.graph.name,
+                "vertices": self.graph.num_vertices,
+                "edges": self.graph.num_edges,
+            },
+            "results": [
+                {
+                    "key": [key[0], key[1], list(key[2]), key[3]],
+                    "result": asdict(result),
+                }
+                for key, result in self.results.export_entries()
+            ],
+            "stats": self.stats.snapshot(),
+        }
+        return atomic_write_json(document, path)
+
+    def load_snapshot(self, path: str | Path) -> dict:
+        """Warm the result cache and stats from a :meth:`save_snapshot` file.
+
+        Raises :class:`~repro.exceptions.ServiceConfigError` when the
+        file was written for a different graph (name or sizes differ) —
+        a stale cache must never answer for the wrong data.  Returns
+        ``{"results": n}`` with the number of warmed entries.
+        """
+        path = Path(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ServiceConfigError(
+                f"cannot read service snapshot {path}: {error}"
+            ) from error
+        if document.get("format_version") != _SNAPSHOT_VERSION:
+            raise ServiceConfigError(
+                f"unsupported snapshot format version "
+                f"{document.get('format_version')!r} in {path}"
+            )
+        graph_info = document.get("graph", {})
+        ours = (self.graph.name, self.graph.num_vertices, self.graph.num_edges)
+        theirs = (
+            graph_info.get("name"),
+            graph_info.get("vertices"),
+            graph_info.get("edges"),
+        )
+        if ours != theirs:
+            raise ServiceConfigError(
+                f"snapshot {path} was taken for graph {theirs}, "
+                f"this service hosts {ours}"
+            )
+        entries = []
+        for item in document.get("results", []):
+            source, target, labels, constraint = item["key"]
+            key = (source, target, tuple(labels), constraint)
+            entries.append((key, QueryResult(**item["result"])))
+        warmed = self.results.import_entries(entries)
+        self.stats.restore(document.get("stats", {}))
+        return {"results": warmed}
 
     # ------------------------------------------------------------------
 

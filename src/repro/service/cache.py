@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from collections.abc import Callable, Hashable
+from collections.abc import Callable, Hashable, Iterable
 from dataclasses import dataclass
 from typing import Any
 
@@ -133,6 +133,37 @@ class ResultCache:
         """Drop every entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
+
+    def export_entries(self) -> list[tuple[Hashable, Any]]:
+        """Unexpired ``(key, value)`` pairs, least-recently-used first.
+
+        The persistence half of cache warming
+        (:meth:`~repro.service.app.QueryService.save_snapshot`): LRU
+        order is preserved so re-importing through :meth:`import_entries`
+        reconstructs the same eviction order.  Counters are untouched.
+        """
+        now = self._clock()
+        with self._lock:
+            return [
+                (key, value)
+                for key, (value, deadline) in self._entries.items()
+                if deadline is None or now < deadline
+            ]
+
+    def import_entries(self, entries: Iterable[tuple[Hashable, Any]]) -> int:
+        """Insert ``(key, value)`` pairs via :meth:`put`; returns how many
+        the cache actually grew by.
+
+        TTL deadlines restart from now — a warmed entry is as fresh as
+        one just computed, which is the behaviour a restart wants.  The
+        return value is the cache's size delta, not the input length: a
+        disabled (``max_size=0``) or too-small cache retains fewer than
+        it was offered, and "warmed N results" reports must not lie.
+        """
+        before = len(self)
+        for key, value in entries:
+            self.put(key, value)
+        return len(self) - before
 
     def __len__(self) -> int:
         with self._lock:

@@ -20,7 +20,12 @@ The server routes onto a :class:`~repro.service.registry.TenantRegistry`
 * ``POST /tenants``   — register a tenant at runtime from file paths
   (``{"name", "graph", "index"?, "seed"?, "algorithm"?, ...}``), warm
   started lazily on its first query;
-* ``DELETE /t/<tenant>`` — deregister a tenant.
+* ``DELETE /t/<tenant>`` — deregister a tenant;
+* ``POST /shard/<id>/expand``, ``POST /shard/<id>/query``,
+  ``GET /shard/<id>`` — present when shard workers are attached
+  (``serve --shards N``): the scatter-gather wire protocol a remote
+  :class:`~repro.shard.worker.HttpShardWorker` drives, so a shard can
+  live in another process behind this same front end.
 
 Errors are structured: every failure body is
 ``{"error": {"type": ..., "message": ...}}`` with a matching 4xx/5xx
@@ -85,12 +90,16 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self,
         address: tuple[str, int],
         service: QueryService | TenantRegistry,
+        shard_workers: dict[str, Any] | None = None,
     ) -> None:
         super().__init__(address, ServiceRequestHandler)
         if isinstance(service, TenantRegistry):
             self.registry = service
         else:
             self.registry = TenantRegistry.for_service(service)
+        #: Shard id (as URL segment) → worker for the ``/shard/<id>/...``
+        #: routes; empty when this server hosts no shard workers.
+        self.shard_workers: dict[str, Any] = shard_workers or {}
 
     @property
     def service(self) -> QueryService:
@@ -122,6 +131,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, registry.stats_snapshot())
             elif self.path == "/tenants":
                 self._send_json(200, registry.describe())
+            elif self.path.startswith("/shard/"):
+                worker = self._shard_worker(expected_parts=2)
+                self._send_json(200, worker.describe())
             else:
                 tenant, endpoint = self._split_tenant_path()
                 if endpoint == "stats":
@@ -146,6 +158,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             payload = self._read_json_body()
             if self.path == "/tenants":
                 self._send_json(201, self._register_tenant(payload))
+                return
+            if self.path.startswith("/shard/"):
+                self._handle_shard_post(payload)
                 return
             if self.path in ("/query", "/batch"):
                 tenant, endpoint = None, self.path[1:]
@@ -215,6 +230,34 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             if not chunk:
                 return
             remaining -= len(chunk)
+
+    def _shard_worker(self, *, expected_parts: int) -> Any:
+        """Resolve ``/shard/<id>[/<endpoint>]`` to an attached worker."""
+        parts = self.path.strip("/").split("/")
+        if len(parts) != expected_parts or parts[0] != "shard":
+            raise BadRequestError(
+                f"no such endpoint: {self.command} {self.path}", status=404
+            )
+        worker = self.server.shard_workers.get(parts[1])
+        if worker is None:
+            raise BadRequestError(
+                f"no shard worker {parts[1]!r} attached to this server",
+                status=404,
+            )
+        return worker
+
+    def _handle_shard_post(self, payload: object) -> None:
+        """``POST /shard/<id>/{expand,query}`` → the attached worker."""
+        worker = self._shard_worker(expected_parts=3)
+        endpoint = self.path.strip("/").split("/")[2]
+        if endpoint == "expand":
+            self._send_json(200, worker.handle_expand(payload))
+        elif endpoint == "query":
+            self._send_json(200, worker.handle_query(payload))
+        else:
+            raise BadRequestError(
+                f"no such endpoint: POST {self.path}", status=404
+            )
 
     def _split_tenant_path(self) -> tuple[str, str]:
         """``/t/<tenant>/<endpoint>`` → (tenant, endpoint), or 404."""
@@ -295,10 +338,13 @@ def create_server(
     service: QueryService | TenantRegistry,
     host: str = "127.0.0.1",
     port: int = 8080,
+    shard_workers: dict[str, Any] | None = None,
 ) -> ServiceHTTPServer:
     """Bind (but do not start) a server for a service or registry.
 
+    ``shard_workers`` attaches :class:`~repro.shard.worker.ShardWorker`\\ s
+    behind the ``/shard/<id>/...`` routes (keys are the URL segments).
     Callers run ``server.serve_forever()`` — typically on a dedicated
     thread — and stop with ``server.shutdown()`` + ``server.server_close()``.
     """
-    return ServiceHTTPServer((host, port), service)
+    return ServiceHTTPServer((host, port), service, shard_workers)

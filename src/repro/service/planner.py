@@ -67,6 +67,10 @@ class QueryPlan:
     reason: str
     query: LSCRQuery | None = None
     trivial_answer: bool | None = None
+    #: True when the request *explicitly* named the algorithm.  Execution
+    #: layers that normally route elsewhere (the sharded coordinator)
+    #: honour forced plans by running the named session directly.
+    forced: bool = False
 
     @property
     def is_trivial(self) -> bool:
@@ -177,7 +181,13 @@ class QueryPlanner:
             reason = "local index loaded"
         else:
             reason = f"no index loaded; falling back to {chosen!r}"
-        return QueryPlan(key=key, algorithm=chosen, reason=reason, query=query)
+        return QueryPlan(
+            key=key,
+            algorithm=chosen,
+            reason=reason,
+            query=query,
+            forced=algorithm is not None,
+        )
 
     # ------------------------------------------------------------------
 

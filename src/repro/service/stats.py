@@ -6,23 +6,119 @@ paper's two metrics); this module folds those into per-algorithm
 :class:`~repro.core.result.ResultAggregate` cells — the same streaming
 means the bench harness reports — plus request-level counters the paper
 has no use for but a server does: cache hits, trivial answers, batch
-sizes, error kinds, uptime.
+sizes, error kinds, uptime, and per-endpoint
+:class:`LatencyHistogram`\\ s (fixed log-scale buckets, so ``/stats``
+reports p50/p90/p99 instead of just means).
 
 One lock guards every mutation; :meth:`snapshot` returns plain dicts so
-the HTTP layer can serialise without touching live state.
-:func:`merge_snapshots` folds many tenants' snapshots into the
-cross-tenant ``totals`` section of the registry's top-level ``/stats``.
+the HTTP layer can serialise without touching live state, and
+:meth:`restore` re-seeds a fresh ledger from a snapshot document (cache
+warming across restarts).  :func:`merge_snapshots` folds many tenants'
+snapshots — histograms included, bucket-wise — into the cross-tenant
+``totals`` section of the registry's top-level ``/stats``.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from collections.abc import Callable, Iterable
+from math import ceil
 
 from repro.core.result import QueryResult, ResultAggregate
 
-__all__ = ["ServiceStats", "merge_snapshots"]
+__all__ = [
+    "LATENCY_BUCKET_BOUNDS",
+    "LatencyHistogram",
+    "ServiceStats",
+    "merge_snapshots",
+]
+
+#: Upper bounds (seconds) of the fixed log-scale latency buckets: 24
+#: buckets doubling from 10µs up to ~84s, plus one implicit overflow
+#: bucket.  Fixed (not adaptive) so histograms from different tenants,
+#: processes and restarts merge bucket-wise without re-binning.
+LATENCY_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    1e-5 * 2.0**exponent for exponent in range(24)
+)
+
+#: The quantiles every histogram snapshot reports, as (name, fraction).
+_REPORTED_QUANTILES = (("p50_ms", 0.50), ("p90_ms", 0.90), ("p99_ms", 0.99))
+
+
+class LatencyHistogram:
+    """Latency distribution over :data:`LATENCY_BUCKET_BOUNDS`.
+
+    Not locked — callers (:class:`ServiceStats`) serialise access.
+    Quantiles are estimated as the upper bound of the bucket holding the
+    requested rank (the conventional Prometheus-style estimate), so they
+    are conservative: the true quantile is never above the reported one
+    by more than one bucket width.
+    """
+
+    __slots__ = ("counts", "count", "sum_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Fold one observation in."""
+        self.counts[bisect_left(LATENCY_BUCKET_BOUNDS, seconds)] += 1
+        self.count += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def quantile(self, fraction: float) -> float:
+        """Estimated ``fraction``-quantile in seconds (0.0 when empty)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, ceil(fraction * self.count))
+        cumulative = 0
+        for position, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if position < len(LATENCY_BUCKET_BOUNDS):
+                    return min(LATENCY_BUCKET_BOUNDS[position], self.max_seconds)
+                return self.max_seconds
+        return self.max_seconds  # pragma: no cover - counts always sum to count
+
+    def snapshot(self) -> dict:
+        """JSON-ready rendering (counts + derived quantiles)."""
+        document = {
+            "count": self.count,
+            "sum_seconds": self.sum_seconds,
+            "max_seconds": self.max_seconds,
+            "mean_ms": (
+                self.sum_seconds / self.count * 1000.0 if self.count else 0.0
+            ),
+            "bucket_bounds_seconds": list(LATENCY_BUCKET_BOUNDS),
+            "bucket_counts": list(self.counts),
+        }
+        for name, fraction in _REPORTED_QUANTILES:
+            document[name] = self.quantile(fraction) * 1000.0
+        return document
+
+    def merge_snapshot(self, document: dict) -> None:
+        """Fold a :meth:`snapshot` document in, bucket-wise.
+
+        A document whose bucket layout doesn't match (a snapshot from a
+        version with different bounds) is skipped *entirely* — merging
+        its totals without its buckets would silently corrupt every
+        quantile estimate.
+        """
+        counts = document.get("bucket_counts")
+        if counts is None or len(counts) != len(self.counts):
+            return
+        for position, bucket_count in enumerate(counts):
+            self.counts[position] += bucket_count
+        self.count += document.get("count", 0)
+        self.sum_seconds += document.get("sum_seconds", 0.0)
+        self.max_seconds = max(self.max_seconds, document.get("max_seconds", 0.0))
 
 
 class ServiceStats:
@@ -41,6 +137,7 @@ class ServiceStats:
         self._batch_queries = 0
         self._errors: dict[str, int] = {}
         self._by_algorithm: dict[str, ResultAggregate] = {}
+        self._latency: dict[str, LatencyHistogram] = {}
 
     # ------------------------------------------------------------------
 
@@ -85,6 +182,20 @@ class ServiceStats:
         with self._lock:
             self._errors[kind] = self._errors.get(kind, 0) + 1
 
+    def record_latency(self, endpoint: str, seconds: float) -> None:
+        """Fold one request latency into ``endpoint``'s histogram.
+
+        Endpoints in use: ``query`` (one query's end-to-end service
+        latency, whether answered singly or inside a batch) and
+        ``batch`` (one whole batch request).  New endpoint names create
+        their histogram on first use.
+        """
+        with self._lock:
+            histogram = self._latency.get(endpoint)
+            if histogram is None:
+                histogram = self._latency[endpoint] = LatencyHistogram()
+            histogram.record(seconds)
+
     def merge_aggregate(self, aggregate: ResultAggregate) -> None:
         """Fold an externally accumulated aggregate (e.g. a warm-up run)."""
         with self._lock:
@@ -121,7 +232,54 @@ class ServiceStats:
                     name: aggregate.as_dict()
                     for name, aggregate in sorted(self._by_algorithm.items())
                 },
+                "latency": {
+                    endpoint: histogram.snapshot()
+                    for endpoint, histogram in sorted(self._latency.items())
+                },
             }
+
+    def restore(self, document: dict) -> None:
+        """Re-seed the counters from a :meth:`snapshot` document.
+
+        The persistence half of cache warming: a restarted service folds
+        its previous life's traffic back in so ``/stats`` stays
+        continuous across restarts.  Restored values *add to* whatever
+        was already recorded (a fresh ledger restores exactly).  Uptime
+        is deliberately not restored — it describes this process.
+        Unknown keys are ignored, so snapshots from newer versions load.
+        """
+        queries = document.get("queries", {})
+        batches = document.get("batches", {})
+        with self._lock:
+            self._queries_total += queries.get("total", 0)
+            self._queries_cached += queries.get("cached", 0)
+            self._queries_trivial += queries.get("trivial", 0)
+            self._queries_executed += queries.get("executed", 0)
+            self._true_answers += queries.get("true_answers", 0)
+            self._batches += batches.get("requests", 0)
+            self._batch_queries += batches.get("queries", 0)
+            for kind, count in document.get("errors", {}).items():
+                self._errors[kind] = self._errors.get(kind, 0) + count
+            for name, cell in document.get("algorithms", {}).items():
+                aggregate = self._by_algorithm.get(name)
+                if aggregate is None:
+                    aggregate = self._by_algorithm[name] = ResultAggregate()
+                count = cell.get("count", 0)
+                aggregate.algorithm = aggregate.algorithm or cell.get(
+                    "algorithm", name
+                )
+                aggregate.count += count
+                aggregate.true_answers += cell.get("true_answers", 0)
+                aggregate.total_seconds += cell.get("total_seconds", 0.0)
+                # The JSON cell carries the mean only; reconstruct.
+                aggregate.total_passed += round(
+                    cell.get("mean_passed_vertices", 0.0) * count
+                )
+            for endpoint, histogram_doc in document.get("latency", {}).items():
+                histogram = self._latency.get(endpoint)
+                if histogram is None:
+                    histogram = self._latency[endpoint] = LatencyHistogram()
+                histogram.merge_snapshot(histogram_doc)
 
 
 def merge_snapshots(snapshots: Iterable[dict]) -> dict:
@@ -139,6 +297,7 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
     batches = {"requests": 0, "queries": 0}
     errors: dict[str, int] = {}
     cells: dict[str, dict] = {}
+    latency: dict[str, LatencyHistogram] = {}
     uptime = 0.0
     for snapshot in snapshots:
         uptime = max(uptime, snapshot.get("uptime_seconds", 0.0))
@@ -148,6 +307,11 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
             batches[key] += snapshot["batches"][key]
         for kind, count in snapshot["errors"].items():
             errors[kind] = errors.get(kind, 0) + count
+        for endpoint, histogram_doc in snapshot.get("latency", {}).items():
+            histogram = latency.get(endpoint)
+            if histogram is None:
+                histogram = latency[endpoint] = LatencyHistogram()
+            histogram.merge_snapshot(histogram_doc)
         for name, cell in snapshot["algorithms"].items():
             into = cells.setdefault(
                 name,
@@ -171,4 +335,7 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
         "batches": batches,
         "errors": errors,
         "algorithms": {name: cells[name] for name in sorted(cells)},
+        "latency": {
+            endpoint: latency[endpoint].snapshot() for endpoint in sorted(latency)
+        },
     }

@@ -1,0 +1,59 @@
+"""repro.shard — region-sharded scatter-gather query serving.
+
+Horizontal partitioning for the query service: the landmark regions the
+paper's local index already computes become the unit of placement, the
+PR 3 frozen-CSR layout becomes the wire format of a shard, and the
+serving stack gains a second execution topology next to the
+single-process one.  The pieces compose in one direction:
+
+========================  =============================================
+:mod:`~.partitioner`      ``D``-guided region → shard placement,
+                          :class:`ShardPlan` vertex ownership,
+                          :class:`GraphSlice` region-restricted CSR
+                          slices with border tables
+:mod:`~.worker`           :class:`ShardWorker` — slice-local closure
+                          expansion + the co-located fast path over a
+                          per-slice ``QueryService``;
+                          :class:`HttpShardWorker` drives a remote one
+:mod:`~.coordinator`      :class:`ShardCoordinator` — multi-round
+                          scatter-gather closures, exact two-phase LSCR
+                          evaluation, early stop, round telemetry
+:mod:`~.service`          :class:`ShardedQueryService` — a drop-in
+                          tenant whose executor is the coordinator
+========================  =============================================
+
+Start one from the CLI with ``python -m repro serve --graph g.tsv
+--shards 4`` or embed it::
+
+    from repro.shard import ShardedQueryService
+
+    service = ShardedQueryService.from_files("g.tsv", "g.index.json", shards=4)
+    answer, meta = service.query("a", "b", ["l0"], "SELECT ?x WHERE { ... }")
+
+Sharded and unsharded services answer identically on every query — the
+randomized agreement suite (``tests/shard/``) holds them to that.
+"""
+
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.partitioner import (
+    GraphSlice,
+    ShardPlan,
+    assign_regions,
+    build_shard_plan,
+    cut_slices,
+)
+from repro.shard.service import ShardedQueryService
+from repro.shard.worker import ExpandResult, HttpShardWorker, ShardWorker
+
+__all__ = [
+    "ExpandResult",
+    "GraphSlice",
+    "HttpShardWorker",
+    "ShardCoordinator",
+    "ShardPlan",
+    "ShardWorker",
+    "ShardedQueryService",
+    "assign_regions",
+    "build_shard_plan",
+    "cut_slices",
+]

@@ -1,0 +1,293 @@
+"""The scatter-gather coordinator: exact LSCR answers over shard slices.
+
+The coordinator composes shard-local closures into the global answer
+with the naive two-procedure decomposition (Section 3), which is the
+obviously-correct frame for a distributed search:
+
+1. **Phase one** — the label-constrained closure of the source, computed
+   by rounds of scatter-gather: the frontier is scattered to the shards
+   owning its vertices, each shard returns its local closure plus its
+   border crossings, and crossings seed the next round.  Because every
+   edge lives in exactly one slice (keyed by its source's owner), the
+   fixpoint of this loop *is* ``{v : s ⇝_L v}`` — queries whose
+   traversal never crosses a border are answered entirely by the
+   source's shard, which is the "expand to correlated regions only when
+   border crossings are possible" routing rule falling out of the
+   algorithm rather than being bolted on;
+2. **Intersect** with ``V(S, G)`` (computed once, coordinator-side,
+   through the shared :class:`~repro.service.cache.CandidateCache`);
+3. **Phase two** — a second scatter-gather closure seeded by every
+   satisfying vertex reached, stopping the moment the target appears.
+
+Before any of that, a **co-located fast path**: when source and target
+live on the same shard, that shard's per-slice
+:class:`~repro.service.app.QueryService` gets first crack — a true
+answer from a slice is globally true (edge-subset monotonicity), and on
+region-partitioned graphs most traffic is intra-region.
+
+The coordinator quacks like an :class:`~repro.session.LSCRSession`
+(``answer(query) -> QueryResult``), which is how
+:class:`~repro.shard.service.ShardedQueryService` plugs it into the
+planner → cache → execute pipeline unchanged.  Rounds scatter to
+workers concurrently on a small pool when more than one shard holds
+frontier vertices.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+
+from repro.core.query import LSCRQuery
+from repro.core.result import QueryResult
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.service.cache import CandidateCache
+from repro.shard.partitioner import ShardPlan
+
+__all__ = ["ShardCoordinator"]
+
+#: Algorithm name stamped on coordinator-answered results.
+SHARDED_ALGORITHM = "sharded"
+
+
+class ShardCoordinator:
+    """Scatter-gather execution over a fixed set of shard workers.
+
+    ``workers[i]`` must serve shard ``i`` of ``plan`` and expose the
+    :class:`~repro.shard.worker.ShardWorker` surface (``expand``,
+    ``local_query``) — in-process workers and
+    :class:`~repro.shard.worker.HttpShardWorker` stubs mix freely.
+    Thread-safe: per-query state is local to each :meth:`answer` call.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        plan: ShardPlan,
+        workers: list,
+        *,
+        candidate_cache: CandidateCache | None = None,
+        local_fast_path: bool = True,
+        parallel: bool = True,
+    ) -> None:
+        if len(workers) != plan.num_shards:
+            raise ValueError(
+                f"plan wants {plan.num_shards} workers, got {len(workers)}"
+            )
+        self.graph = graph
+        self.plan = plan
+        self.workers = workers
+        self.candidates = candidate_cache
+        self.local_fast_path = local_fast_path
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=min(plan.num_shards, 8),
+                thread_name_prefix="repro-shard",
+            )
+            if parallel and plan.num_shards > 1
+            else None
+        )
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._rounds = 0
+        self._expand_calls = 0
+        self._crossings = 0
+        self._fast_path_hits = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardCoordinator({self.graph.name!r}, "
+            f"shards={self.plan.num_shards})"
+        )
+
+    # ------------------------------------------------------------------
+    # session-compatible execution
+    # ------------------------------------------------------------------
+
+    def answer(self, query: LSCRQuery) -> QueryResult:
+        """Answer one prepared query; exact, with full telemetry."""
+        started = perf_counter()
+        graph = self.graph
+        source = graph.vid(query.source)
+        target = graph.vid(query.target)
+        mask = query.labels.mask_for(graph)
+
+        shard_of = self.plan.shard_of
+        fast_hit = False
+        verdict: bool | None = None
+        passed = 0
+        vsg_size = -1  # QueryResult's "not computed" convention
+        vsg_seconds = 0.0
+        telemetry = {"rounds": 0, "expand_calls": 0, "crossings": 0}
+
+        if (
+            self.local_fast_path
+            and shard_of[source] == shard_of[target]
+            and self.workers[shard_of[source]].local_query(query)
+        ):
+            verdict = True
+            fast_hit = True
+        if verdict is None:
+            # The global V(S, G) is only needed when the fast path did
+            # not decide — computing it first would charge every
+            # co-located hit for a whole-graph SPARQL evaluation.
+            vsg_started = perf_counter()
+            if self.candidates is not None:
+                candidates = self.candidates.get(query.constraint, graph)
+            else:
+                candidates = tuple(query.constraint.satisfying_vertices(graph))
+            vsg_seconds = perf_counter() - vsg_started
+            vsg_size = len(candidates)
+            candidate_set = set(candidates)
+        if verdict is None and not candidate_set:
+            verdict = False  # no satisfying vertex anywhere: skip both phases
+        if verdict is None:
+            reachable, phase_one = self.closure({source}, mask)
+            for key in telemetry:
+                telemetry[key] += phase_one[key]
+            passed = len(reachable)
+            satisfying = reachable & candidate_set
+            if not satisfying or target not in reachable:
+                # No reached candidate, or the target is unreachable
+                # outright (closure(satisfying) ⊆ closure(source), so
+                # phase two could never find it).
+                verdict = False
+            elif target in satisfying:
+                # The satisfying vertex may be the target itself (the
+                # trivial tail path), or any reached candidate when the
+                # target is among them.
+                verdict = True
+            else:
+                second, phase_two = self.closure(satisfying, mask, stop=target)
+                for key in telemetry:
+                    telemetry[key] += phase_two[key]
+                # Phase two revisits no new vertex: closure(satisfying)
+                # ⊆ closure(source), so the distinct passed count (the
+                # paper's metric) is the phase-one closure alone.
+                verdict = target in second
+
+        with self._lock:
+            self._queries += 1
+            self._rounds += telemetry["rounds"]
+            self._expand_calls += telemetry["expand_calls"]
+            self._crossings += telemetry["crossings"]
+            if fast_hit:
+                self._fast_path_hits += 1
+        return QueryResult(
+            answer=verdict,
+            algorithm=SHARDED_ALGORITHM,
+            seconds=perf_counter() - started,
+            passed_vertices=passed,
+            vsg_size=vsg_size,
+            vsg_seconds=vsg_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # the distributed closure
+    # ------------------------------------------------------------------
+
+    def closure(
+        self,
+        seeds: set[int],
+        mask: int,
+        stop: int | None = None,
+    ) -> tuple[set[int], dict[str, int]]:
+        """All vertices reachable from ``seeds`` under ``mask``.
+
+        Multi-round frontier exchange; with ``stop`` set the loop exits
+        as soon as that vertex is reached (the returned set is then a
+        prefix of the closure that provably contains ``stop``).
+        """
+        shard_of = self.plan.shard_of
+        visited: set[int] = set()
+        frontier: dict[int, list[int]] = {}
+        for vid in seeds:
+            if vid in visited:
+                continue
+            visited.add(vid)
+            frontier.setdefault(shard_of[vid], []).append(vid)
+        expanded_by_shard: dict[int, set[int]] = {}
+        telemetry = {"rounds": 0, "expand_calls": 0, "crossings": 0}
+        while frontier:
+            telemetry["rounds"] += 1
+            telemetry["expand_calls"] += len(frontier)
+            results = self._scatter(frontier, mask, expanded_by_shard)
+            next_frontier: dict[int, list[int]] = {}
+            for shard_id, result in results:
+                expanded_by_shard.setdefault(shard_id, set()).update(result.reached)
+                visited.update(result.reached)
+                for owner, targets in result.crossings.items():
+                    for vid in targets:
+                        if vid not in visited:
+                            visited.add(vid)
+                            next_frontier.setdefault(owner, []).append(vid)
+                            telemetry["crossings"] += 1
+            if stop is not None and stop in visited:
+                break
+            frontier = next_frontier
+        return visited, telemetry
+
+    def _scatter(
+        self,
+        frontier: dict[int, list[int]],
+        mask: int,
+        expanded_by_shard: dict[int, set[int]],
+    ):
+        """One round's expand calls, concurrent when shards allow."""
+        items = sorted(frontier.items())
+        # Snapshot the pool once: close() may null it under a straggler
+        # query, and the registry contract says in-flight requests
+        # holding a removed service still finish.
+        pool = self._pool
+        if pool is not None and len(items) > 1:
+            try:
+                futures = [
+                    (
+                        shard_id,
+                        pool.submit(
+                            self.workers[shard_id].expand,
+                            seeds,
+                            mask,
+                            tuple(expanded_by_shard.get(shard_id, ())),
+                        ),
+                    )
+                    for shard_id, seeds in items
+                ]
+            except RuntimeError:
+                pass  # pool shut down mid-query: fall through to serial
+            else:
+                return [
+                    (shard_id, future.result()) for shard_id, future in futures
+                ]
+        return [
+            (
+                shard_id,
+                self.workers[shard_id].expand(
+                    seeds, mask, expanded_by_shard.get(shard_id, ())
+                ),
+            )
+            for shard_id, seeds in items
+        ]
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-ready coordinator counters for ``/stats``."""
+        with self._lock:
+            queries = self._queries
+            return {
+                "queries": queries,
+                "fast_path_hits": self._fast_path_hits,
+                "rounds_total": self._rounds,
+                "expand_calls_total": self._expand_calls,
+                "crossings_total": self._crossings,
+                "mean_rounds": self._rounds / queries if queries else 0.0,
+            }
+
+    def close(self) -> None:
+        """Shut the scatter pool down (idempotent)."""
+        pool = self._pool
+        if pool is not None:
+            pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,270 @@
+"""Cutting a graph into region-restricted CSR slices.
+
+The paper's local index already partitions the graph into landmark
+regions (:func:`~repro.index.landmarks.bfs_traverse`); sharding groups
+those regions into ``N`` shards and cuts the
+:class:`~repro.graph.csr.FrozenGraph` along the grouping:
+
+* :func:`assign_regions` — greedy, deterministic placement of regions
+  onto shards.  With a region-correlation table ``D`` (the index's own,
+  or :func:`~repro.index.landmarks.structural_correlations` when no
+  index is built) each region goes to the not-yet-full shard it is most
+  correlated with, so border crossings — the only thing a scatter-gather
+  round pays for — concentrate *inside* shards; without ``D`` the same
+  loop degrades to balanced first-fit;
+* :class:`ShardPlan` — the resulting vertex → shard ownership map.
+  Every vertex is owned by exactly one shard: region members follow
+  their region, vertices no landmark reached are dealt round-robin;
+* :class:`GraphSlice` — one shard's slice of the graph: the flat
+  offset/label/target CSR arrays (:meth:`CsrDirection.restricted
+  <repro.graph.csr.CsrDirection.restricted>`) over the shard's owned
+  vertices with per-vertex label masks, plus the **border table**
+  (owned vertex → its out-neighbours owned elsewhere): the worker's
+  expand loop probes it once per vertex to skip per-edge ownership
+  checks on non-border vertices, and ``/stats`` reports border sizes
+  and peer shards per slice.
+
+The partition invariant the tests enforce: every edge of the source
+graph lands in **exactly one** slice — the slice of the shard owning
+its *source* vertex — so the union of slice closures is the graph
+closure and scatter-gather search is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from repro.graph.csr import CsrDirection
+from repro.graph.labeled_graph import Edge, KnowledgeGraph
+from repro.index.landmarks import NO_REGION, Partition
+
+__all__ = ["ShardPlan", "GraphSlice", "assign_regions", "build_shard_plan", "cut_slices"]
+
+#: A shard may exceed the ideal |V|/N load by this factor before the
+#: placement loop stops preferring it for correlation reasons.
+_LOAD_TOLERANCE = 1.25
+
+
+def assign_regions(
+    partition: Partition,
+    num_shards: int,
+    correlations: dict[int, dict[int, int]] | None = None,
+) -> dict[int, int]:
+    """Map each region's landmark to a shard id (deterministic).
+
+    Regions are placed largest-first.  Each placement scores every
+    shard by the region's total ``D`` correlation (both directions)
+    with the regions already on that shard, skipping shards already
+    past :data:`_LOAD_TOLERANCE` × the ideal load; ties break toward
+    the lighter shard, then the lower shard id.  With ``correlations``
+    None every affinity is zero and the loop is balanced first-fit.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    sizes = {
+        u: len(partition.members.get(u, (u,))) for u in partition.landmarks
+    }
+    total = sum(sizes.values())
+    limit = (total / num_shards) * _LOAD_TOLERANCE if num_shards else 0.0
+    order = sorted(partition.landmarks, key=lambda u: (-sizes[u], u))
+    loads = [0] * num_shards
+    placed: list[list[int]] = [[] for _ in range(num_shards)]
+    assignment: dict[int, int] = {}
+    for u in order:
+        row = correlations.get(u, {}) if correlations else {}
+        eligible = [
+            shard_id
+            for shard_id in range(num_shards)
+            if loads[shard_id] + sizes[u] <= limit
+        ]
+        if not eligible:  # every shard past tolerance: fall back to all
+            eligible = list(range(num_shards))
+        best_shard = eligible[0]
+        best_key: tuple[int, int] | None = None
+        for shard_id in eligible:
+            affinity = 0
+            if correlations:
+                for v in placed[shard_id]:
+                    affinity += row.get(v, 0)
+                    affinity += correlations.get(v, {}).get(u, 0)
+            key = (affinity, -loads[shard_id])
+            if best_key is None or key > best_key:
+                best_key = key
+                best_shard = shard_id
+        assignment[u] = best_shard
+        loads[best_shard] += sizes[u]
+        placed[best_shard].append(u)
+    return assignment
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Vertex and region ownership for one sharded deployment."""
+
+    num_shards: int
+    #: ``shard_of[vid]`` — the shard owning each vertex (total: every
+    #: vertex is owned somewhere, unassigned ones round-robin).
+    shard_of: tuple[int, ...]
+    #: Landmark ids grouped per shard, each group sorted.
+    regions_by_shard: tuple[tuple[int, ...], ...]
+    #: The region → shard map :func:`assign_regions` produced.
+    region_shard: dict[int, int]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.shard_of)
+
+    def owned_by(self, shard_id: int) -> list[int]:
+        """Vertex ids owned by ``shard_id``, ascending."""
+        return [vid for vid, owner in enumerate(self.shard_of) if owner == shard_id]
+
+    def describe(self) -> dict:
+        """JSON-ready sizes for ``/stats``."""
+        counts = [0] * self.num_shards
+        for owner in self.shard_of:
+            counts[owner] += 1
+        return {
+            "num_shards": self.num_shards,
+            "vertices_per_shard": counts,
+            "regions_per_shard": [len(group) for group in self.regions_by_shard],
+        }
+
+
+def build_shard_plan(
+    graph: KnowledgeGraph,
+    partition: Partition,
+    num_shards: int,
+    correlations: dict[int, dict[int, int]] | None = None,
+) -> ShardPlan:
+    """Group ``partition``'s regions into ``num_shards`` shards."""
+    assignment = assign_regions(partition, num_shards, correlations)
+    shard_of: list[int] = []
+    for vid in range(graph.num_vertices):
+        region = partition.region[vid]
+        if region == NO_REGION:
+            # Unreached vertices still need an owner: their out-edges
+            # must land in exactly one slice.  Round-robin keeps the
+            # remainder balanced and deterministic.
+            shard_of.append(vid % num_shards)
+        else:
+            shard_of.append(assignment[region])
+    regions_by_shard: list[list[int]] = [[] for _ in range(num_shards)]
+    for landmark, shard_id in assignment.items():
+        regions_by_shard[shard_id].append(landmark)
+    return ShardPlan(
+        num_shards=num_shards,
+        shard_of=tuple(shard_of),
+        regions_by_shard=tuple(tuple(sorted(group)) for group in regions_by_shard),
+        region_shard=assignment,
+    )
+
+
+class GraphSlice:
+    """One shard's region-restricted CSR slice of a graph.
+
+    Holds every edge whose *source* vertex the shard owns, in the same
+    flat offsets/labels/targets layout (local row index, global target
+    ids) plus per-vertex label masks the frozen graph serves from, and
+    the border table: for each owned vertex, its out-neighbours owned by
+    other shards.  Vertices with no border entry can never leak a
+    frontier, so the worker's expand loop checks the table once per
+    vertex and walks non-border adjacency without per-edge ownership
+    tests.
+    """
+
+    __slots__ = (
+        "graph",
+        "shard_id",
+        "shard_of",
+        "regions",
+        "vertex_ids",
+        "local_of",
+        "csr",
+        "border_targets",
+        "border_vertices",
+        "peer_shards",
+        "num_edges",
+    )
+
+    def __init__(self, graph: KnowledgeGraph, plan: ShardPlan, shard_id: int) -> None:
+        owned = plan.owned_by(shard_id)
+        self.graph = graph
+        self.shard_id = shard_id
+        self.shard_of = plan.shard_of
+        self.regions = plan.regions_by_shard[shard_id]
+        self.vertex_ids = tuple(owned)
+        self.local_of = {vid: position for position, vid in enumerate(owned)}
+        self.csr = CsrDirection.restricted(graph, owned)
+        self.num_edges = len(self.csr.labels)
+        border: dict[int, tuple[int, ...]] = {}
+        peers: set[int] = set()
+        shard_of = plan.shard_of
+        for position, vid in enumerate(owned):
+            external = sorted(
+                {t for t in self.csr.all_targets[position] if shard_of[t] != shard_id}
+            )
+            if external:
+                border[vid] = tuple(external)
+                peers.update(shard_of[t] for t in external)
+        self.border_targets = border
+        self.border_vertices = tuple(sorted(border))
+        self.peer_shards = tuple(sorted(peers))
+
+    @property
+    def num_vertices(self) -> int:
+        """Owned vertex count."""
+        return len(self.vertex_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphSlice(shard={self.shard_id}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, borders={len(self.border_vertices)})"
+        )
+
+    def edges(self) -> Iterator[Edge]:
+        """This slice's edges as global ``(source, label, target)`` ids."""
+        for position, vid in enumerate(self.vertex_ids):
+            for label_id, group_targets in self.csr.groups[position]:
+                for target in group_targets:
+                    yield (vid, label_id, target)
+
+    def to_graph(self, name: str | None = None) -> KnowledgeGraph:
+        """This slice as a standalone :class:`KnowledgeGraph`.
+
+        Re-interned from names, so the result is self-contained — the
+        graph a shard worker's per-slice
+        :class:`~repro.service.app.QueryService` serves, in-process or
+        in a worker process of its own.  Owned vertices are all present
+        (isolated ones included); external edge targets appear as plain
+        vertices.  Because its edge set is a subset of the source
+        graph's, any query answered *true* on a slice is true on the
+        full graph (paths and substructure matches are preserved under
+        edge-set inclusion).
+        """
+        slice_graph = KnowledgeGraph(
+            name or f"{self.graph.name}/shard{self.shard_id}"
+        )
+        name_of = self.graph.name_of
+        label_name = self.graph.label_name
+        for vid in self.vertex_ids:
+            slice_graph.add_vertex(name_of(vid))
+        for source, label_id, target in self.edges():
+            slice_graph.add_edge(name_of(source), label_name(label_id), name_of(target))
+        return slice_graph
+
+    def describe(self) -> dict:
+        """JSON-ready sizes for shard-level ``/stats``."""
+        return {
+            "shard": self.shard_id,
+            "regions": len(self.regions),
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "border_vertices": len(self.border_vertices),
+            "peer_shards": list(self.peer_shards),
+        }
+
+
+def cut_slices(graph: KnowledgeGraph, plan: ShardPlan) -> list[GraphSlice]:
+    """Cut one :class:`GraphSlice` per shard of ``plan``."""
+    return [GraphSlice(graph, plan, shard_id) for shard_id in range(plan.num_shards)]

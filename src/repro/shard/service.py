@@ -1,0 +1,150 @@
+"""`ShardedQueryService` — a tenant whose execution engine is a fleet.
+
+Subclasses :class:`~repro.service.app.QueryService`, so everything a
+tenant needs — planner, canonical cache keys, result/constraint/
+candidate caches, stats ledger, JSON handlers, snapshot persistence —
+is inherited unchanged, and a sharded service registers in a
+:class:`~repro.service.registry.TenantRegistry` exactly like a plain
+one.  Only the execution seam differs: non-trivial, non-cached plans go
+to the :class:`~repro.shard.coordinator.ShardCoordinator` instead of a
+pooled session, unless the request *explicitly* named an algorithm
+(``plan.forced``), in which case the classic single-process path runs —
+the escape hatch that keeps every paper algorithm reachable on a
+sharded deployment.
+
+Construction: the region partition comes from the loaded local index
+when there is one (its ``D`` table then guides shard placement); an
+index-free service builds a fresh landmark partition and derives the
+correlation table structurally
+(:func:`~repro.index.landmarks.structural_correlations`).  Slices are
+cut from the frozen CSR snapshot and served by in-process
+:class:`~repro.shard.worker.ShardWorker`\\ s; attach the workers to an
+HTTP server (``python -m repro serve --shards N``) and remote
+coordinators can drive them via
+:class:`~repro.shard.worker.HttpShardWorker` — the cross-host seam.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ServiceConfigError
+from repro.index.landmarks import (
+    bfs_traverse,
+    select_landmarks,
+    structural_correlations,
+)
+from repro.index.local_index import LocalIndex
+from repro.service.app import QueryService
+from repro.service.planner import QueryPlan
+from repro.service.stats import merge_snapshots
+from repro.core.result import QueryResult
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.shard.coordinator import SHARDED_ALGORITHM, ShardCoordinator
+from repro.shard.partitioner import build_shard_plan, cut_slices
+from repro.shard.worker import ShardWorker
+
+__all__ = ["ShardedQueryService"]
+
+
+class ShardedQueryService(QueryService):
+    """One tenant, ``shards`` region-sharded slices, exact answers."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        index: LocalIndex | None = None,
+        *,
+        shards: int = 2,
+        shard_landmarks: int | None = None,
+        local_fast_path: bool = True,
+        parallel_scatter: bool = True,
+        **kwargs: Any,
+    ) -> None:
+        if shards < 1:
+            raise ServiceConfigError(f"shards must be >= 1, got {shards}")
+        super().__init__(graph, index, **kwargs)
+        frozen = self.graph
+        if index is not None:
+            partition = index.partition
+            correlations = index.region_correlations()
+        else:
+            landmarks = select_landmarks(frozen, k=shard_landmarks, rng=self.seed)
+            partition = bfs_traverse(frozen, landmarks)
+            correlations = structural_correlations(frozen, partition)
+        self.shard_plan = build_shard_plan(frozen, partition, shards, correlations)
+        self.workers = [
+            ShardWorker(
+                graph_slice,
+                seed=self.seed,
+                cache_size=self.results.max_size,
+                cache_ttl=self.results.ttl_seconds,
+            )
+            for graph_slice in cut_slices(frozen, self.shard_plan)
+        ]
+        self.coordinator = ShardCoordinator(
+            frozen,
+            self.shard_plan,
+            self.workers,
+            candidate_cache=self.candidates,
+            local_fast_path=local_fast_path,
+            parallel=parallel_scatter,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedQueryService({self.graph.name!r}, "
+            f"shards={self.shard_plan.num_shards}, "
+            f"index={'loaded' if self.index is not None else 'none'})"
+        )
+
+    @property
+    def default_algorithm(self) -> str:
+        """``"sharded"`` unless the whole service forces one algorithm."""
+        return self._forced_algorithm or SHARDED_ALGORITHM
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, plan: QueryPlan) -> QueryResult:
+        """Scatter-gather by default; forced plans run the named session."""
+        if plan.forced:
+            return super()._execute(plan)
+        assert plan.query is not None
+        return self.coordinator.answer(plan.query)
+
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        document = super().health()
+        document["shards"] = self.shard_plan.num_shards
+        return document
+
+    def stats_snapshot(self) -> dict:
+        """The inherited document plus a ``shards`` section.
+
+        ``workers_totals`` folds every worker's per-slice service
+        counters (the co-located fast-path traffic, with its own
+        ``ResultAggregate`` cells and latency histograms) into one
+        document via the same :func:`merge_snapshots` the registry uses
+        across tenants — the shard-level aggregation view.
+        """
+        document = super().stats_snapshot()
+        document["shards"] = {
+            "plan": self.shard_plan.describe(),
+            "coordinator": self.coordinator.stats(),
+            "workers": [worker.describe() for worker in self.workers],
+            "workers_totals": merge_snapshots(
+                worker.service.stats.snapshot()
+                for worker in self.workers
+                if worker.service is not None
+            ),
+        }
+        document["config"]["shards"] = self.shard_plan.num_shards
+        return document
+
+    def close(self) -> None:
+        """Release the coordinator pool and every worker's slice service."""
+        self.coordinator.close()
+        for worker in self.workers:
+            worker.close()
+        super().close()

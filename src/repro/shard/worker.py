@@ -1,0 +1,353 @@
+"""Shard workers: the expand/answer half of scatter-gather serving.
+
+A worker owns one :class:`~repro.shard.partitioner.GraphSlice` and
+exposes exactly two operations the coordinator needs:
+
+* :meth:`ShardWorker.expand` — the scatter-gather primitive: given
+  frontier seeds the shard owns and a label mask, compute the *local*
+  closure through the slice's CSR arrays and report (a) every owned
+  vertex reached and (b) every border crossing, grouped by the shard
+  owning the crossed-to vertex.  Stateless across queries — the
+  coordinator ships the shard's previously expanded set back as
+  ``exclude`` — so any number of queries can fan out concurrently and a
+  worker can live in another process;
+* :meth:`ShardWorker.local_query` — the co-located fast path: the
+  worker wraps a full per-slice :class:`~repro.service.app.QueryService`
+  over its slice graph, and because a slice's edges are a subset of the
+  graph's, a *true* answer from the slice is a true answer globally
+  (false means "unknown", and the coordinator falls back to
+  scatter-gather).
+
+Both operations also speak JSON (:meth:`handle_expand`,
+:meth:`handle_query`), which is how the existing HTTP layer hosts a
+worker in a separate process (``POST /shard/<id>/expand``);
+:class:`HttpShardWorker` is the matching client stub with the same
+Python interface, so the coordinator cannot tell local from remote.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.query import LSCRQuery
+from repro.exceptions import BadRequestError
+from repro.service.app import QueryService
+from repro.shard.partitioner import GraphSlice
+
+__all__ = ["ExpandResult", "ShardWorker", "HttpShardWorker"]
+
+
+@dataclass(frozen=True)
+class ExpandResult:
+    """One shard's contribution to one scatter-gather round."""
+
+    #: Owned vertices expanded this call (seeds plus their local closure).
+    reached: tuple[int, ...]
+    #: Border crossings: owning shard id → external vertex ids reached.
+    crossings: dict[int, tuple[int, ...]]
+    #: Vertices whose adjacency was scanned (telemetry).
+    expanded: int
+
+
+class ShardWorker:
+    """In-process worker serving one :class:`GraphSlice`.
+
+    Thread-safe: :meth:`expand` touches only per-call state plus the
+    slice's read-only CSR (whose lazy mask-view cells are safe under
+    concurrent writers), and counters mutate under one lock.
+    """
+
+    def __init__(
+        self,
+        graph_slice: GraphSlice,
+        *,
+        seed: int = 0,
+        local_service: bool = True,
+        cache_size: int = 1024,
+        cache_ttl: float | None = None,
+    ) -> None:
+        self.slice = graph_slice
+        self.shard_id = graph_slice.shard_id
+        #: The per-slice query service behind the co-located fast path
+        #: (and the worker's own /stats when served remotely).  Cache
+        #: knobs follow the owning service's so ``cache_size=0`` really
+        #: does disable every cache in a sharded deployment.
+        self.service: QueryService | None = (
+            QueryService(
+                graph_slice.to_graph(),
+                seed=seed,
+                cache_size=cache_size,
+                cache_ttl=cache_ttl,
+            )
+            if local_service
+            else None
+        )
+        self._lock = threading.Lock()
+        self._expand_calls = 0
+        self._seeds_in = 0
+        self._reached_out = 0
+        self._crossings_out = 0
+        self._local_queries = 0
+        self._local_hits = 0
+
+    def __repr__(self) -> str:
+        return f"ShardWorker(shard={self.shard_id}, slice={self.slice!r})"
+
+    # ------------------------------------------------------------------
+    # the scatter-gather primitive
+    # ------------------------------------------------------------------
+
+    def expand(
+        self,
+        seeds: Iterable[int],
+        mask: int,
+        exclude: Iterable[int] = (),
+    ) -> ExpandResult:
+        """Local closure of ``seeds`` under ``mask`` within the slice.
+
+        ``exclude`` names owned vertices already expanded for this query
+        in earlier rounds (their adjacency was fully scanned then, so
+        re-walking them could only rediscover known vertices).  Seeds
+        not owned by this shard are ignored defensively.  Crossings may
+        include vertices the coordinator has already seen — deduplication
+        against the *global* visited set is the coordinator's job, since
+        only it has that set.
+        """
+        graph_slice = self.slice
+        local_of = graph_slice.local_of
+        shard_of = graph_slice.shard_of
+        border = graph_slice.border_targets
+        vertex_ids = graph_slice.vertex_ids
+        my_shard = graph_slice.shard_id
+        visited = bytearray(len(vertex_ids))
+        for vid in exclude:
+            position = local_of.get(vid)
+            if position is not None:
+                visited[position] = 1
+        stack: list[int] = []
+        reached: list[int] = []
+        seed_count = 0
+        for vid in seeds:
+            seed_count += 1
+            position = local_of.get(vid)
+            if position is None or visited[position]:
+                continue
+            visited[position] = 1
+            stack.append(position)
+            reached.append(vid)
+        crossings: dict[int, set[int]] = {}
+        expanded = 0
+        targets_masked = graph_slice.csr.targets_masked
+        while stack:
+            position = stack.pop()
+            expanded += 1
+            # The border table's runtime job: one dict probe per vertex
+            # decides whether any edge here can cross a shard boundary.
+            # Non-border vertices (the bulk, under correlation-guided
+            # placement) expand without per-edge ownership checks.
+            if vertex_ids[position] not in border:
+                for target in targets_masked(position, mask):
+                    target_position = local_of[target]
+                    if not visited[target_position]:
+                        visited[target_position] = 1
+                        stack.append(target_position)
+                        reached.append(target)
+                continue
+            for target in targets_masked(position, mask):
+                owner = shard_of[target]
+                if owner == my_shard:
+                    target_position = local_of[target]
+                    if not visited[target_position]:
+                        visited[target_position] = 1
+                        stack.append(target_position)
+                        reached.append(target)
+                else:
+                    crossings.setdefault(owner, set()).add(target)
+        result = ExpandResult(
+            reached=tuple(reached),
+            crossings={
+                owner: tuple(sorted(targets))
+                for owner, targets in crossings.items()
+            },
+            expanded=expanded,
+        )
+        with self._lock:
+            self._expand_calls += 1
+            self._seeds_in += seed_count
+            self._reached_out += len(result.reached)
+            self._crossings_out += sum(len(t) for t in result.crossings.values())
+        return result
+
+    # ------------------------------------------------------------------
+    # the co-located fast path
+    # ------------------------------------------------------------------
+
+    def local_query(self, query: LSCRQuery) -> bool:
+        """Answer ``query`` against the slice alone; True is conclusive.
+
+        Sound because the slice's edge set is a subset of the graph's:
+        an ``L``-path and a substructure match found here exist in the
+        full graph too.  ``False`` only means the *slice* lacks a
+        witness and the coordinator must scatter.  Workers built with
+        ``local_service=False`` always return False.
+
+        The slice's *result* cache is bypassed: repeat-query caching is
+        the owning service's job (its result cache sits in front of the
+        whole execution path, honouring each request's ``use_cache``),
+        and a worker-level cache would leak answers to requests that
+        asked for uncached execution.
+        """
+        service = self.service
+        if service is None:
+            return False
+        if not service.graph.has_vertex(query.source) or not service.graph.has_vertex(
+            query.target
+        ):
+            return False
+        result, _meta = service.query(
+            query.source,
+            query.target,
+            sorted(query.labels.labels),
+            query.constraint,
+            use_cache=False,
+        )
+        with self._lock:
+            self._local_queries += 1
+            if result.answer:
+                self._local_hits += 1
+        return result.answer
+
+    # ------------------------------------------------------------------
+    # JSON API (how the HTTP layer hosts a worker in another process)
+    # ------------------------------------------------------------------
+
+    def handle_expand(self, payload: object) -> dict:
+        """``POST /shard/<id>/expand``: validate and run one expand."""
+        if not isinstance(payload, dict):
+            raise BadRequestError("expand body must be a JSON object")
+        seeds = payload.get("seeds")
+        if not isinstance(seeds, list) or not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in seeds
+        ):
+            raise BadRequestError("'seeds' must be an array of vertex ids")
+        mask = payload.get("mask")
+        if not isinstance(mask, int) or isinstance(mask, bool) or mask < 0:
+            raise BadRequestError("'mask' must be a non-negative integer")
+        exclude = payload.get("exclude", [])
+        if not isinstance(exclude, list) or not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in exclude
+        ):
+            raise BadRequestError("'exclude' must be an array of vertex ids")
+        result = self.expand(seeds, mask, exclude)
+        return {
+            "reached": list(result.reached),
+            "crossings": {
+                str(owner): list(targets)
+                for owner, targets in result.crossings.items()
+            },
+            "expanded": result.expanded,
+        }
+
+    def handle_query(self, payload: object) -> dict:
+        """``POST /shard/<id>/query``: the fast path over the slice service."""
+        service = self.service
+        if service is None:
+            raise BadRequestError(
+                f"shard {self.shard_id} runs without a local query service",
+                status=404,
+            )
+        return service.handle_query(payload)
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-ready slice sizes + traffic counters for ``/stats``."""
+        with self._lock:
+            counters = {
+                "expand_calls": self._expand_calls,
+                "seeds_in": self._seeds_in,
+                "reached_out": self._reached_out,
+                "crossings_out": self._crossings_out,
+                "local_queries": self._local_queries,
+                "local_hits": self._local_hits,
+            }
+        return {**self.slice.describe(), **counters}
+
+    def close(self) -> None:
+        """Release the slice service's pooled resources (idempotent)."""
+        if self.service is not None:
+            self.service.close()
+
+
+class HttpShardWorker:
+    """Client stub driving a remote worker over the existing HTTP layer.
+
+    Implements the same ``expand`` / ``local_query`` surface as
+    :class:`ShardWorker`, so a
+    :class:`~repro.shard.coordinator.ShardCoordinator` can mix local and
+    remote shards freely.  The remote end is any
+    :class:`~repro.service.http.ServiceHTTPServer` started with shard
+    workers attached (``python -m repro serve --shards N``).
+    """
+
+    def __init__(self, base_url: str, shard_id: int, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.shard_id = shard_id
+        self.timeout = timeout
+
+    def __repr__(self) -> str:
+        return f"HttpShardWorker({self.base_url!r}, shard={self.shard_id})"
+
+    def _post(self, endpoint: str, payload: dict) -> dict:
+        request = urllib.request.Request(
+            f"{self.base_url}/shard/{self.shard_id}/{endpoint}",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return json.loads(response.read())
+
+    def expand(
+        self,
+        seeds: Iterable[int],
+        mask: int,
+        exclude: Iterable[int] = (),
+    ) -> ExpandResult:
+        document = self._post(
+            "expand",
+            {"seeds": list(seeds), "mask": mask, "exclude": list(exclude)},
+        )
+        return ExpandResult(
+            reached=tuple(document["reached"]),
+            crossings={
+                int(owner): tuple(targets)
+                for owner, targets in document["crossings"].items()
+            },
+            expanded=int(document["expanded"]),
+        )
+
+    def local_query(self, query: LSCRQuery) -> bool:
+        document = self._post(
+            "query",
+            {
+                "source": str(query.source),
+                "target": str(query.target),
+                "labels": sorted(query.labels.labels),
+                "constraint": query.constraint.to_sparql(),
+                # Mirror ShardWorker.local_query: caching belongs to the
+                # owning service, not the worker.
+                "use_cache": False,
+            },
+        )
+        return bool(document["answer"])
+
+    def describe(self) -> dict:
+        return {"shard": self.shard_id, "remote": self.base_url}
+
+    def close(self) -> None:
+        """Nothing to release client-side."""

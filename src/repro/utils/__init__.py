@@ -1,5 +1,6 @@
-"""Small shared utilities: deterministic RNG plumbing, timers, validation."""
+"""Small shared utilities: RNG plumbing, timers, validation, persistence."""
 
+from repro.utils.persist import atomic_write_json
 from repro.utils.rng import derive_rng, make_rng
 from repro.utils.timing import Stopwatch, Timer
 from repro.utils.validation import require
@@ -7,6 +8,7 @@ from repro.utils.validation import require
 __all__ = [
     "Stopwatch",
     "Timer",
+    "atomic_write_json",
     "derive_rng",
     "make_rng",
     "require",

@@ -1,0 +1,38 @@
+"""Atomic JSON persistence shared by every on-disk store.
+
+One write-then-rename implementation for the index store
+(:mod:`repro.index.storage`) and the service snapshot
+(:meth:`~repro.service.app.QueryService.save_snapshot`): a concurrent
+reader — or a second tenant lazily warm-starting against the same path —
+never sees a partial file, because ``os.replace`` is atomic on POSIX
+within one filesystem and ``mkstemp`` gives every writer (thread or
+process) its own scratch file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_json"]
+
+
+def atomic_write_json(
+    document: dict, path: str | Path, *, encoding: str = "utf-8"
+) -> int:
+    """Serialise ``document`` to ``path`` atomically; returns file size."""
+    path = Path(path)
+    descriptor, scratch_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    scratch = Path(scratch_name)
+    try:
+        with os.fdopen(descriptor, "w", encoding=encoding) as handle:
+            json.dump(document, handle, separators=(",", ":"))
+        os.replace(scratch, path)
+    finally:
+        if scratch.exists():
+            scratch.unlink()
+    return path.stat().st_size

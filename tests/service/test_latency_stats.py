@@ -1,0 +1,181 @@
+"""Per-endpoint latency histograms: buckets, quantiles, merge, restore."""
+
+from __future__ import annotations
+
+import random
+
+from repro.service.stats import (
+    LATENCY_BUCKET_BOUNDS,
+    LatencyHistogram,
+    ServiceStats,
+    merge_snapshots,
+)
+
+
+class TestLatencyHistogram:
+    def test_counts_and_sums(self):
+        histogram = LatencyHistogram()
+        for value in (0.0001, 0.001, 0.01, 5.0):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert abs(histogram.sum_seconds - 5.0111) < 1e-9
+        assert histogram.max_seconds == 5.0
+        assert sum(histogram.counts) == 4
+
+    def test_quantile_is_conservative_upper_bound(self):
+        # The estimate is the bucket's upper bound: never below the true
+        # quantile, never above it by more than one bucket (2x) width.
+        rng = random.Random(7)
+        values = [rng.uniform(0.0001, 0.5) for _ in range(500)]
+        histogram = LatencyHistogram()
+        for value in values:
+            histogram.record(value)
+        ordered = sorted(values)
+        for fraction in (0.5, 0.9, 0.99):
+            true_quantile = ordered[int(fraction * len(ordered)) - 1]
+            estimate = histogram.quantile(fraction)
+            assert estimate >= true_quantile * 0.999
+            assert estimate <= true_quantile * 2.0 + 1e-9
+
+    def test_quantile_capped_at_max(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.00042)
+        assert histogram.quantile(0.99) == 0.00042
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.5) == 0.0
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p99_ms"] == 0.0
+
+    def test_snapshot_merge_roundtrip(self):
+        left, right = LatencyHistogram(), LatencyHistogram()
+        for value in (0.001, 0.002, 0.004):
+            left.record(value)
+        for value in (0.1, 0.2):
+            right.record(value)
+        merged = LatencyHistogram()
+        merged.merge_snapshot(left.snapshot())
+        merged.merge_snapshot(right.snapshot())
+        assert merged.count == 5
+        assert merged.max_seconds == 0.2
+        combined = LatencyHistogram()
+        for value in (0.001, 0.002, 0.004, 0.1, 0.2):
+            combined.record(value)
+        assert merged.counts == combined.counts
+
+    def test_merge_rejects_mismatched_bucket_layout_entirely(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.001)
+        # A snapshot with a different bucket count must be skipped whole:
+        # folding its totals without its buckets would corrupt quantiles.
+        histogram.merge_snapshot({"count": 100, "sum_seconds": 50.0,
+                                  "max_seconds": 9.0, "bucket_counts": [100]})
+        assert histogram.count == 1
+        assert histogram.max_seconds == 0.001
+
+    def test_bounds_are_log_scale(self):
+        ratios = {
+            round(b / a, 6)
+            for a, b in zip(LATENCY_BUCKET_BOUNDS, LATENCY_BUCKET_BOUNDS[1:])
+        }
+        assert ratios == {2.0}
+
+
+class TestServiceStatsLatency:
+    def test_record_latency_creates_endpoint_histograms(self):
+        stats = ServiceStats()
+        stats.record_latency("query", 0.002)
+        stats.record_latency("query", 0.004)
+        stats.record_latency("batch", 0.1)
+        snapshot = stats.snapshot()
+        assert snapshot["latency"]["query"]["count"] == 2
+        assert snapshot["latency"]["batch"]["count"] == 1
+        assert snapshot["latency"]["query"]["p50_ms"] > 0
+
+    def test_merge_snapshots_folds_histograms(self):
+        a, b = ServiceStats(), ServiceStats()
+        a.record_latency("query", 0.001)
+        a.record_latency("query", 0.002)
+        b.record_latency("query", 0.5)
+        b.record_latency("batch", 0.05)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["latency"]["query"]["count"] == 3
+        assert merged["latency"]["batch"]["count"] == 1
+        assert merged["latency"]["query"]["max_seconds"] == 0.5
+
+    def test_merge_tolerates_missing_latency_section(self):
+        # Snapshots from older services (or hand-built ones) lack the key.
+        stats = ServiceStats()
+        stats.record_latency("query", 0.001)
+        old = stats.snapshot()
+        del old["latency"]
+        merged = merge_snapshots([old, ServiceStats().snapshot()])
+        assert merged["latency"] == {}
+
+    def test_restore_carries_everything(self):
+        from repro.core.result import QueryResult
+
+        first = ServiceStats()
+        first.record_query(
+            QueryResult(answer=True, algorithm="UIS", seconds=0.01,
+                        passed_vertices=7)
+        )
+        first.record_query(
+            QueryResult(answer=False, algorithm="UIS", seconds=0.03,
+                        passed_vertices=9)
+        )
+        first.record_batch()
+        first.record_error("bad-request")
+        first.record_latency("query", 0.02)
+        document = first.snapshot()
+
+        second = ServiceStats()
+        second.restore(document)
+        restored = second.snapshot()
+        assert restored["queries"] == document["queries"]
+        assert restored["batches"] == document["batches"]
+        assert restored["errors"] == document["errors"]
+        assert restored["algorithms"]["UIS"]["count"] == 2
+        assert restored["algorithms"]["UIS"]["mean_passed_vertices"] == 8.0
+        assert restored["latency"]["query"]["count"] == 1
+
+    def test_restore_adds_to_existing_counters(self):
+        from repro.core.result import QueryResult
+
+        stats = ServiceStats()
+        stats.record_query(
+            QueryResult(answer=True, algorithm="INS", seconds=0.01,
+                        passed_vertices=3)
+        )
+        stats.restore(stats.snapshot())
+        snapshot = stats.snapshot()
+        assert snapshot["queries"]["total"] == 2
+        assert snapshot["algorithms"]["INS"]["count"] == 2
+
+
+class TestServicePathLatency:
+    def test_query_and_batch_paths_record(self):
+        from repro.service.app import QueryService
+        from tests.helpers import graph_from_edges
+
+        graph = graph_from_edges([("a", "l", "b"), ("b", "m", "b")])
+        service = QueryService(graph, seed=0)
+        constraint = "SELECT ?x WHERE { ?x <m> ?y . }"
+        try:
+            service.query("a", "b", ["l"], constraint)
+            service.query("a", "b", ["l"], constraint)  # cached: still recorded
+            service.query_batch(
+                [
+                    {"source": "a", "target": "b", "labels": ["l"],
+                     "constraint": constraint},
+                    {"source": "b", "target": "a", "labels": ["l"],
+                     "constraint": constraint},
+                ]
+            )
+            latency = service.stats.snapshot()["latency"]
+            assert latency["query"]["count"] == 4  # singles + batch members
+            assert latency["batch"]["count"] == 1
+        finally:
+            service.close()

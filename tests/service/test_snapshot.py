@@ -1,0 +1,147 @@
+"""Result-cache + stats persistence: save_snapshot / load_snapshot."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.result import QueryResult
+from repro.exceptions import ServiceConfigError
+from repro.service.app import QueryService
+from repro.service.cache import ResultCache
+from tests.helpers import graph_from_edges
+
+
+def make_graph(name="snap"):
+    return graph_from_edges(
+        [("a", "l", "b"), ("b", "l", "c"), ("b", "m", "b")], name=name
+    )
+
+
+CONSTRAINT = "SELECT ?x WHERE { ?x <m> ?y . }"
+
+
+class TestResultCacheExport:
+    def test_export_import_preserves_values_and_lru_order(self):
+        cache = ResultCache(max_size=8)
+        for position in range(3):
+            cache.put(("k", position), position * 10)
+        cache.get(("k", 0))  # refresh: 0 becomes most recent
+        exported = cache.export_entries()
+        assert [key for key, _ in exported] == [("k", 1), ("k", 2), ("k", 0)]
+        warmed = ResultCache(max_size=8)
+        assert warmed.import_entries(exported) == 3
+        assert warmed.export_entries() == exported
+
+    def test_import_reports_actual_retention_not_input_length(self):
+        disabled = ResultCache(max_size=0)
+        assert disabled.import_entries([("a", 1), ("b", 2)]) == 0
+        tiny = ResultCache(max_size=2)
+        assert tiny.import_entries([("a", 1), ("b", 2), ("c", 3)]) == 2
+
+    def test_export_skips_expired_entries(self):
+        clock = [0.0]
+        cache = ResultCache(max_size=8, ttl_seconds=5.0, clock=lambda: clock[0])
+        cache.put("old", 1)
+        clock[0] = 3.0
+        cache.put("fresh", 2)
+        clock[0] = 6.0  # "old" expired, "fresh" still alive
+        assert [key for key, _ in cache.export_entries()] == ["fresh"]
+
+
+class TestServiceSnapshot:
+    def test_roundtrip_warms_cache_and_stats(self, tmp_path):
+        path = tmp_path / "service.snapshot.json"
+        first = QueryService(make_graph(), seed=0)
+        try:
+            result, meta = first.query("a", "c", ["l"], CONSTRAINT)
+            assert result.answer is True and not meta["cached"]
+            first.query("a", "a", ["zzz"], CONSTRAINT)  # trivial: not cached
+            size = first.save_snapshot(path)
+            assert size > 0
+        finally:
+            first.close()
+
+        second = QueryService(make_graph(), seed=0)
+        try:
+            warmed = second.load_snapshot(path)
+            assert warmed["results"] == 1
+            result, meta = second.query("a", "c", ["l"], CONSTRAINT)
+            assert result.answer is True
+            assert meta["cached"]  # no search ran
+            snapshot = second.stats.snapshot()
+            # 2 restored + 1 cached-hit just answered.
+            assert snapshot["queries"]["total"] == 3
+            assert snapshot["queries"]["cached"] == 1
+        finally:
+            second.close()
+
+    def test_snapshot_file_is_valid_json_with_graph_identity(self, tmp_path):
+        path = tmp_path / "snap.json"
+        service = QueryService(make_graph(), seed=0)
+        try:
+            service.query("a", "b", ["l"], CONSTRAINT)
+            service.save_snapshot(path)
+        finally:
+            service.close()
+        document = json.loads(path.read_text())
+        assert document["format_version"] == 1
+        assert document["graph"]["name"] == "snap"
+        assert document["graph"]["vertices"] == 3
+        entry = document["results"][0]
+        assert entry["key"][0] == "a"
+        restored = QueryResult(**entry["result"])
+        assert restored.answer is True
+
+    def test_mismatched_graph_refused(self, tmp_path):
+        path = tmp_path / "snap.json"
+        service = QueryService(make_graph(), seed=0)
+        try:
+            service.query("a", "b", ["l"], CONSTRAINT)
+            service.save_snapshot(path)
+        finally:
+            service.close()
+        other = QueryService(
+            graph_from_edges([("x", "l", "y")], name="other"), seed=0
+        )
+        try:
+            with pytest.raises(ServiceConfigError):
+                other.load_snapshot(path)
+        finally:
+            other.close()
+
+    def test_missing_or_corrupt_file_refused(self, tmp_path):
+        service = QueryService(make_graph(), seed=0)
+        try:
+            with pytest.raises(ServiceConfigError):
+                service.load_snapshot(tmp_path / "nope.json")
+            bad = tmp_path / "bad.json"
+            bad.write_text("{not json")
+            with pytest.raises(ServiceConfigError):
+                service.load_snapshot(bad)
+            wrong_version = tmp_path / "v9.json"
+            wrong_version.write_text(json.dumps({"format_version": 9}))
+            with pytest.raises(ServiceConfigError):
+                service.load_snapshot(wrong_version)
+        finally:
+            service.close()
+
+
+class TestServeWarmCacheFlag:
+    def test_serve_parser_accepts_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--graph", "g.tsv", "--shards", "2",
+             "--warm-cache", "warm.json"]
+        )
+        assert args.shards == 2
+        assert args.warm_cache == "warm.json"
+
+    def test_shards_without_graph_rejected(self, capsys):
+        from repro.cli import main
+
+        code = main(["serve", "--tenant", "t=g.tsv", "--shards", "2"])
+        assert code == 2
+        assert "--shards requires --graph" in capsys.readouterr().err

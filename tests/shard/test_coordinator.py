@@ -1,0 +1,129 @@
+"""Coordinator closures vs the single-graph BFS oracle.
+
+The distributed closure is the primitive everything sharded rests on;
+these tests pin it to :func:`repro.core.lcr.lcr_closure` (plain BFS,
+shares no code with the shard stack) over randomized graphs, masks and
+shard counts, plus the early-stop contract and round telemetry.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.lcr import lcr_closure
+from repro.datasets.synthetic import random_labeled_graph
+from repro.index.landmarks import bfs_traverse, select_landmarks
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.partitioner import build_shard_plan, cut_slices
+from repro.shard.worker import ShardWorker
+
+SEEDS = list(range(12))
+
+
+def make_coordinator(seed, shards, *, parallel=False, num_vertices=20):
+    graph = random_labeled_graph(
+        num_vertices, 2.0, 4, rng=seed, name=f"coord-{seed}"
+    ).freeze()
+    landmarks = select_landmarks(graph, k=4, rng=seed)
+    partition = bfs_traverse(graph, landmarks)
+    plan = build_shard_plan(graph, partition, shards)
+    workers = [
+        ShardWorker(s, local_service=False) for s in cut_slices(graph, plan)
+    ]
+    return graph, ShardCoordinator(graph, plan, workers, parallel=parallel)
+
+
+class TestClosure:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_bfs_closure(self, seed):
+        shards = 1 + seed % 4
+        graph, coordinator = make_coordinator(seed, shards)
+        rng = random.Random(seed * 31 + 7)
+        try:
+            for _ in range(6):
+                source = rng.randrange(graph.num_vertices)
+                mask = rng.randrange(1, 1 << graph.num_labels)
+                reached, telemetry = coordinator.closure({source}, mask)
+                assert reached == lcr_closure(graph, source, mask), (
+                    seed,
+                    shards,
+                    source,
+                    mask,
+                )
+                assert telemetry["rounds"] >= 1
+        finally:
+            coordinator.close()
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_multi_seed_closure_is_union(self, seed):
+        graph, coordinator = make_coordinator(seed, 3)
+        rng = random.Random(seed * 17 + 3)
+        try:
+            seeds = {rng.randrange(graph.num_vertices) for _ in range(3)}
+            mask = (1 << graph.num_labels) - 1
+            reached, _ = coordinator.closure(seeds, mask)
+            expected = set()
+            for s in seeds:
+                expected |= lcr_closure(graph, s, mask)
+            assert reached == expected
+        finally:
+            coordinator.close()
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_early_stop_contains_target(self, seed):
+        graph, coordinator = make_coordinator(seed, 3)
+        mask = (1 << graph.num_labels) - 1
+        try:
+            full = lcr_closure(graph, 0, mask)
+            for target in sorted(full):
+                reached, _ = coordinator.closure({0}, mask, stop=target)
+                assert target in reached
+                assert reached <= full  # never over-approximates
+        finally:
+            coordinator.close()
+
+    def test_single_shard_is_one_expand_round(self):
+        graph, coordinator = make_coordinator(0, 1)
+        try:
+            mask = (1 << graph.num_labels) - 1
+            reached, telemetry = coordinator.closure({0}, mask)
+            assert reached == lcr_closure(graph, 0, mask)
+            # One shard owns everything: no crossings, a single round.
+            assert telemetry["rounds"] == 1
+            assert telemetry["crossings"] == 0
+        finally:
+            coordinator.close()
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_parallel_scatter_agrees_with_serial(self, seed):
+        graph, serial = make_coordinator(seed, 4, parallel=False)
+        _graph, parallel = make_coordinator(seed, 4, parallel=True)
+        mask = (1 << graph.num_labels) - 1
+        try:
+            for source in range(0, graph.num_vertices, 3):
+                left, _ = serial.closure({source}, mask)
+                right, _ = parallel.closure({source}, mask)
+                assert left == right
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_scatter_falls_back_to_serial_after_close(self):
+        # The registry contract: a straggler query on a removed service
+        # still finishes — closing the pool mid-flight must not crash.
+        graph, coordinator = make_coordinator(0, 4, parallel=True)
+        mask = (1 << graph.num_labels) - 1
+        expected, _ = coordinator.closure({0}, mask)
+        coordinator.close()
+        after_close, _ = coordinator.closure({0}, mask)
+        assert after_close == expected
+
+    def test_worker_count_must_match_plan(self):
+        graph, coordinator = make_coordinator(0, 2)
+        try:
+            with pytest.raises(ValueError):
+                ShardCoordinator(graph, coordinator.plan, coordinator.workers[:1])
+        finally:
+            coordinator.close()

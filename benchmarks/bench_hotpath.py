@@ -183,7 +183,68 @@ def bench_service(
         service.close()
 
 
-def run(quick: bool, compare: bool, seed: int, shards: int = 0) -> dict:
+def bench_updates(graph, index, specs, *, rounds: int, seed: int) -> dict:
+    """Mixed read/update throughput through the epoch-swap path.
+
+    Alternates ``apply_updates`` batches (random new edges over existing
+    vertices) with full query batches, measuring post-swap batch
+    latency — the number that shows whether a swap degrades the serving
+    hot path.  Afterwards the mutated service's answers are checked
+    against a service built fresh on the mutated graph (the agreement
+    criterion), so the bench doubles as a smoke gate.
+    """
+    rng = random.Random(seed * 31 + 5)
+    # The service gets its own graph copy (and an index clone bound to
+    # it) so the shared workload graph/index stay pristine for the
+    # other configurations.
+    base = graph.copy()
+    service = QueryService(base, index.clone_for(base) if index else None,
+                           seed=0)
+    vertices = [f"n{i}" for i in range(graph.num_vertices)]
+    labels = [f"l{i}" for i in range(graph.num_labels)]
+    try:
+        service.query_batch(specs, use_cache=False)  # warm-up
+        swap_seconds = []
+        post_swap_seconds = []
+        for _ in range(rounds):
+            batch = [
+                (rng.choice(vertices), rng.choice(labels), rng.choice(vertices))
+                for _ in range(20)
+            ]
+            started = time.perf_counter()
+            service.apply_updates(batch)
+            swap_seconds.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            answered = service.query_batch(specs, use_cache=False)
+            post_swap_seconds.append(time.perf_counter() - started)
+        final_answers = [result.answer for result, _ in answered]
+        fresh = QueryService(service.graph.copy(), seed=0)
+        try:
+            fresh_answers = [
+                result.answer
+                for result, _ in fresh.query_batch(specs, use_cache=False)
+            ]
+        finally:
+            fresh.close()
+        if final_answers != fresh_answers:
+            raise SystemExit(
+                "updates mode: post-swap answers disagree with a service "
+                "built fresh on the mutated graph"
+            )
+        best = min(post_swap_seconds)
+        return {
+            "epochs": rounds,
+            "queries": len(specs),
+            "best_seconds": best,
+            "qps": len(specs) / best,
+            "mean_swap_seconds": sum(swap_seconds) / len(swap_seconds),
+        }
+    finally:
+        service.close()
+
+
+def run(quick: bool, compare: bool, seed: int, shards: int = 0,
+        updates: bool = False) -> dict:
     config = QUICK if quick else FULL
     graph, index, specs = build_workload(config, seed)
     frozen = graph.freeze()
@@ -192,7 +253,7 @@ def run(quick: bool, compare: bool, seed: int, shards: int = 0) -> dict:
         "schema": SCHEMA_VERSION,
         "generated_by": "benchmarks/bench_hotpath.py",
         "mode": {"quick": quick, "compare": compare, "seed": seed,
-                 "shards": shards},
+                 "shards": shards, "updates": updates},
         "workload": {
             "vertices": graph.num_vertices,
             "edges": graph.num_edges,
@@ -298,6 +359,18 @@ def run(quick: bool, compare: bool, seed: int, shards: int = 0) -> dict:
                 "service batch: sharded and unsharded services disagree on "
                 "per-query answers"
             )
+    if updates:
+        updates_result = bench_updates(
+            graph, index, specs, rounds=config["rounds"], seed=seed
+        )
+        cell["updates"] = updates_result
+        cell["updates_vs_frozen"] = updates_result["qps"] / frozen_result["qps"]
+        print(
+            f"service/batch updates: {updates_result['qps']:9.1f} q/s post-swap "
+            f"({updates_result['epochs']} epochs, mean swap "
+            f"{updates_result['mean_swap_seconds'] * 1000:.1f}ms, vs frozen "
+            f"{cell['updates_vs_frozen']:.2f}x)"
+        )
     for result in (cell.get("frozen"), cell.get("dict"), cell.get("sharded")):
         if result is not None:
             result.pop("answers", None)
@@ -318,11 +391,16 @@ def main(argv: list[str] | None = None) -> int:
         "with N in-process shard workers (0 = skip)",
     )
     parser.add_argument(
+        "--updates", action="store_true",
+        help="also run a mixed read/update phase (apply_updates epoch swaps "
+        "interleaved with query batches) and record post-swap throughput",
+    )
+    parser.add_argument(
         "--output", type=Path, default=REPO_ROOT / "BENCH_hotpath.json",
         help="where to write the JSON report (default: repo root)",
     )
     args = parser.parse_args(argv)
-    report = run(args.quick, args.compare, args.seed, args.shards)
+    report = run(args.quick, args.compare, args.seed, args.shards, args.updates)
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
     return 0

@@ -193,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
         "startup (when it exists) and snapshot them back there on clean "
         "shutdown",
     )
+    serve.add_argument(
+        "--allow-updates",
+        action="store_true",
+        help="accept POST /edges live edge-addition batches (copy-on-write "
+        "epoch swap; refused with 403 when off, and unsupported on sharded "
+        "default tenants)",
+    )
     return parser
 
 
@@ -344,15 +351,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for name, graph_path, index_path in tenants:
         registry.register_files(name, graph_path, index_path, **options)
 
-    server = create_server(registry, args.host, args.port, shard_workers)
+    server = create_server(
+        registry, args.host, args.port, shard_workers,
+        allow_updates=args.allow_updates,
+    )
     host, port = server.server_address[:2]
     service = registry.get(default_name)
     if args.warm_cache is not None and Path(args.warm_cache).is_file():
-        warmed = service.load_snapshot(args.warm_cache)
-        print(
-            f"warmed {warmed['results']} cached result(s) from {args.warm_cache}",
-            flush=True,
-        )
+        # A stale warm cache (e.g. written after live updates the TSV on
+        # disk never saw) must not block startup: the cache is an
+        # optimisation, so refuse-and-continue beats refuse-and-die.
+        try:
+            warmed = service.load_snapshot(args.warm_cache)
+        except ServiceConfigError as error:
+            print(f"ignoring warm cache {args.warm_cache}: {error}", flush=True)
+        else:
+            print(
+                f"warmed {warmed['results']} cached result(s) from "
+                f"{args.warm_cache}",
+                flush=True,
+            )
     graph = service.graph
     index_note = (
         f"{len(service.index.partition.landmarks)} landmarks"
@@ -378,6 +396,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"(default: {default_name}; routes: /t/<tenant>/query)",
             flush=True,
         )
+    if args.allow_updates:
+        print("live updates: enabled (POST /edges, epoch-swapped)", flush=True)
     # Machine-readable ready line: tooling (and the tests) parse the port
     # from it, which is how --port 0 ephemeral binding stays usable.
     print(f"listening on http://{host}:{port}", flush=True)

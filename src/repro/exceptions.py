@@ -121,9 +121,14 @@ class BadRequestError(ServiceError):
     error payload without per-site status tables.
     """
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(
+        self, message: str, status: int = 400, detail: dict | None = None
+    ):
         super().__init__(message)
         self.status = status
+        #: Optional machine-readable context included in the error body
+        #: (e.g. which seam blocks an unsupported operation).
+        self.detail = detail
 
 
 class UnknownTenantError(BadRequestError):
@@ -140,3 +145,32 @@ class TenantExistsError(BadRequestError):
     def __init__(self, tenant: object):
         super().__init__(f"tenant already registered: {tenant!r}", status=409)
         self.tenant = tenant
+
+
+class UpdatesDisabledError(BadRequestError):
+    """Live updates were not enabled for this server (HTTP 403).
+
+    ``POST /edges`` is an admin operation; it must be opted into with
+    ``serve --allow-updates`` (or ``create_server(allow_updates=True)``).
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "live updates are disabled on this server; restart with "
+            "--allow-updates to accept POST /edges",
+            status=403,
+        )
+
+
+class UpdatesUnsupportedError(BadRequestError):
+    """The service topology cannot apply live updates (HTTP 501).
+
+    Raised by :class:`~repro.shard.ShardedQueryService`: mutating only
+    the coordinator's graph would leave every worker's
+    :class:`~repro.shard.partitioner.GraphSlice` (CSR slice + border
+    tables) silently stale.  ``detail`` names the missing seam
+    (per-slice epoch swap) so clients and operators see *why*.
+    """
+
+    def __init__(self, message: str, detail: dict | None = None):
+        super().__init__(message, status=501, detail=detail)

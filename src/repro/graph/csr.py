@@ -231,6 +231,7 @@ class FrozenGraph(KnowledgeGraph):
         self._by_label = source._by_label
         self._label_edge_count = source._label_edge_count
         self._frozen = None  # never consulted: freeze() returns self
+        self._mutations = source._mutations
         self._csr_out = CsrDirection(source._out)
         self._csr_in = CsrDirection(source._in)
 
@@ -261,6 +262,23 @@ class FrozenGraph(KnowledgeGraph):
             f"cannot add edge ({s}, {label_id}, {t}): this graph is a frozen "
             "snapshot; mutate the source graph and freeze() again"
         )
+
+    def remove_edge(self, source: Hashable, label: str, target: Hashable) -> bool:
+        raise FrozenGraphError(
+            f"cannot remove edge ({source!r}, {label!r}, {target!r}): this "
+            "graph is a frozen snapshot; mutate the source graph and "
+            "freeze() again"
+        )
+
+    def remove_edge_ids(self, s: int, label_id: int, t: int) -> bool:
+        raise FrozenGraphError(
+            f"cannot remove edge ({s}, {label_id}, {t}): this graph is a "
+            "frozen snapshot; mutate the source graph and freeze() again"
+        )
+
+    def copy(self, name: str | None = None) -> KnowledgeGraph:
+        """A mutable deep copy of the *source* graph (snapshots don't copy)."""
+        return self.source.copy(name=name)
 
     def freeze(self) -> "FrozenGraph":
         """A frozen graph is its own snapshot."""

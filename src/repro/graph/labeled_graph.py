@@ -66,6 +66,7 @@ class KnowledgeGraph:
         "_by_label",
         "_label_edge_count",
         "_frozen",
+        "_mutations",
     )
 
     def __init__(self, name: str = "kg", schema: object | None = None) -> None:
@@ -82,8 +83,15 @@ class KnowledgeGraph:
         self._edge_set: set[Edge] = set()
         self._by_label: dict[int, list[tuple[int, int]]] = {}
         self._label_edge_count: dict[int, int] = {}
-        #: Cached CSR snapshot, keyed by the sizes it was taken at.
-        self._frozen: tuple[tuple[int, int, int], "KnowledgeGraph"] | None = None
+        #: Cached CSR snapshot, keyed by the mutation count it was taken
+        #: at.  Size tuples are NOT a safe key: a removal followed by an
+        #: insertion leaves every size unchanged while the adjacency
+        #: differs, and a stale snapshot would silently answer for the
+        #: old graph.
+        self._frozen: tuple[int, "KnowledgeGraph"] | None = None
+        #: Monotonic structural-mutation counter; bumped by every
+        #: effective vertex intern, edge insertion and edge removal.
+        self._mutations = 0
 
     # ------------------------------------------------------------------
     # sizes and dunder conveniences
@@ -137,6 +145,7 @@ class KnowledgeGraph:
         self._in.append({})
         self._out_degree.append(0)
         self._in_degree.append(0)
+        self._mutations += 1
         return vid
 
     def add_edge(self, source: Hashable, label: str, target: Hashable) -> bool:
@@ -158,6 +167,55 @@ class KnowledgeGraph:
         self._in_degree[t] += 1
         self._by_label.setdefault(label_id, []).append((s, t))
         self._label_edge_count[label_id] = self._label_edge_count.get(label_id, 0) + 1
+        self._mutations += 1
+        return True
+
+    def remove_edge(self, source: Hashable, label: str, target: Hashable) -> bool:
+        """Remove edge ``(source, label, target)`` by *name*; False if absent.
+
+        Unknown vertex names or labels simply yield False — removal of a
+        fact that was never asserted is a no-op, mirroring how
+        :meth:`add_edge` treats duplicates.
+        """
+        if label not in self._labels:
+            return False
+        s = self._vertex_ids.get(source)
+        t = self._vertex_ids.get(target)
+        if s is None or t is None:
+            return False
+        return self.remove_edge_ids(s, self._labels.id_of(label), t)
+
+    def remove_edge_ids(self, s: int, label_id: int, t: int) -> bool:
+        """Remove an edge by pre-interned ids; returns False when absent.
+
+        Vertices are never removed (ids must stay dense and stable for
+        every id-keyed structure built against the graph); only the edge
+        and its derived bookkeeping go.
+        """
+        edge = (s, label_id, t)
+        if edge not in self._edge_set:
+            return False
+        self._edge_set.discard(edge)
+        targets = self._out[s][label_id]
+        targets.remove(t)
+        if not targets:
+            del self._out[s][label_id]
+        sources = self._in[t][label_id]
+        sources.remove(s)
+        if not sources:
+            del self._in[t][label_id]
+        self._out_degree[s] -= 1
+        self._in_degree[t] -= 1
+        pairs = self._by_label[label_id]
+        pairs.remove((s, t))
+        if not pairs:
+            del self._by_label[label_id]
+        remaining = self._label_edge_count[label_id] - 1
+        if remaining:
+            self._label_edge_count[label_id] = remaining
+        else:
+            del self._label_edge_count[label_id]
+        self._mutations += 1
         return True
 
     # ------------------------------------------------------------------
@@ -376,6 +434,95 @@ class KnowledgeGraph:
         return tuple(self._labels.name_of(bit) for bit in iter_mask_bits(mask))
 
     # ------------------------------------------------------------------
+    # copying / identity
+    # ------------------------------------------------------------------
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic count of effective structural mutations.
+
+        Bumped by every vertex intern, edge insertion and edge removal
+        that actually changed the graph.  Two reads returning the same
+        value guarantee no structural change happened between them —
+        the staleness key :meth:`freeze` caches its snapshot under.
+        """
+        return self._mutations
+
+    def copy(self, name: str | None = None) -> "KnowledgeGraph":
+        """An independent, mutable deep copy sharing ids with this graph.
+
+        Vertex and label ids are preserved (the copy is built from the
+        same interning order), so indexes and cached id-keyed structures
+        built against this graph describe the copy too — until the copy
+        is mutated, which is the point: this is the copy-on-write step
+        of an epoch swap.  The schema object is shared (read-only by
+        convention); everything structural is copied.
+        """
+        clone = KnowledgeGraph.__new__(KnowledgeGraph)
+        clone.name = self.name if name is None else name
+        clone.schema = self.schema
+        clone._labels = self._labels.copy()
+        clone._vertex_ids = dict(self._vertex_ids)
+        clone._vertex_names = list(self._vertex_names)
+        clone._out = [
+            {label_id: list(targets) for label_id, targets in adjacency.items()}
+            for adjacency in self._out
+        ]
+        clone._in = [
+            {label_id: list(sources) for label_id, sources in adjacency.items()}
+            for adjacency in self._in
+        ]
+        clone._out_degree = list(self._out_degree)
+        clone._in_degree = list(self._in_degree)
+        clone._edge_set = set(self._edge_set)
+        clone._by_label = {
+            label_id: list(pairs) for label_id, pairs in self._by_label.items()
+        }
+        clone._label_edge_count = dict(self._label_edge_count)
+        clone._frozen = None
+        clone._mutations = self._mutations
+        return clone
+
+    def content_fingerprint(self) -> str:
+        """A cheap, deterministic digest of the graph's exact content.
+
+        Hashes the sizes, the full label universe (names in id order)
+        and an order-insensitive accumulator over *every* edge id
+        triple: each ``(s, label, t)`` is mixed into 64 bits and the
+        mixes are summed, so the digest is independent of iteration and
+        insertion order but changes for any single edge moved — two
+        same-size graphs collide only with ~2⁻⁶⁴ accidental hash
+        probability, never systematically.  O(|V| + |E| + |L|) with a
+        small constant; callers (the epoch swap, snapshot identity)
+        already pay that order to copy or freeze the graph.
+        """
+        import hashlib  # deferred: only identity checks pay for it
+
+        mask64 = (1 << 64) - 1
+        accumulator = 0
+        for s, adjacency in enumerate(self._out):
+            for label_id, targets in adjacency.items():
+                for t in targets:
+                    # splitmix64-style finalizer over a packed triple:
+                    # cheap, stable across processes (no built-in hash()).
+                    mixed = (
+                        s * 0x9E3779B97F4A7C15
+                        ^ label_id * 0xBF58476D1CE4E5B9
+                        ^ t * 0x94D049BB133111EB
+                    ) & mask64
+                    mixed ^= mixed >> 30
+                    mixed = (mixed * 0xBF58476D1CE4E5B9) & mask64
+                    mixed ^= mixed >> 27
+                    accumulator = (accumulator + mixed) & mask64
+        digest = hashlib.sha256()
+        digest.update(
+            f"{self.num_vertices}|{self.num_edges}|{self.num_labels}|"
+            f"{accumulator:016x}|".encode()
+        )
+        digest.update("\x1f".join(self._labels.names()).encode())
+        return digest.hexdigest()[:16]
+
+    # ------------------------------------------------------------------
     # freezing
     # ------------------------------------------------------------------
 
@@ -385,16 +532,18 @@ class KnowledgeGraph:
         Returns a :class:`~repro.graph.csr.FrozenGraph` sharing this
         graph's interning, schema and edge set (vertex and label ids are
         identical).  The snapshot is cached: repeated calls return the
-        same object until the graph's sizes change, after which a fresh
-        snapshot is built.  See :mod:`repro.graph.csr` for layout and
-        the immutability contract.
+        same object until the graph mutates (tracked by
+        :attr:`mutation_count`, so a removal+insertion that leaves every
+        size unchanged still re-freezes), after which a fresh snapshot
+        is built.  See :mod:`repro.graph.csr` for layout and the
+        immutability contract.
         """
         from repro.graph.csr import FrozenGraph  # deferred: csr imports us
 
-        sizes = (self.num_vertices, self.num_edges, self.num_labels)
+        version = self._mutations
         cached = self._frozen
-        if cached is not None and cached[0] == sizes:
+        if cached is not None and cached[0] == version:
             return cached[1]
         snapshot = FrozenGraph(self)
-        self._frozen = (sizes, snapshot)
+        self._frozen = (version, snapshot)
         return snapshot

@@ -67,6 +67,18 @@ class LabelUniverse:
     def __repr__(self) -> str:
         return f"LabelUniverse({len(self)} labels)"
 
+    def copy(self) -> "LabelUniverse":
+        """An independent universe with the same name ↔ id assignment.
+
+        The copy-on-write half of epoch-swapped serving: a mutated graph
+        copy interns new labels into its own universe, so the snapshot
+        still serving the previous epoch never observes them.
+        """
+        clone = LabelUniverse()
+        clone._name_to_id = dict(self._name_to_id)
+        clone._names = list(self._names)
+        return clone
+
     def intern(self, label: str) -> int:
         """Return the id of ``label``, assigning the next free bit if new."""
         existing = self._name_to_id.get(label)

@@ -246,13 +246,64 @@ class LocalIndex:
         region = self.partition.region[source]
         if region == NO_REGION:
             return False
-        ii, ei = _local_full_index(self.graph, self.partition.region, region, None)
-        self.ii[region] = ii
+        return self.refresh_regions((region,)) == 1
+
+    def refresh_regions(self, regions: "set[int] | tuple[int, ...]") -> int:
+        """Rebuild the ``II/EIT/D`` entries of the named regions.
+
+        The batch form of :meth:`refresh_after_edge`: an update batch
+        touching many edges in one region repairs that region *once*,
+        not once per edge.  Unknown region ids and :data:`NO_REGION`
+        are ignored.  Returns how many regions were rebuilt.
+
+        Any rebuild also drops the serving-time Cut/Push memos — they
+        cache projections of the tables being replaced, and a stale memo
+        would keep answering for the pre-update region.
+        """
+        self.sync_vertices()
+        refreshed = 0
+        for region in set(regions):
+            if region == NO_REGION or region not in self._landmark_set:
+                continue
+            ii, ei = _local_full_index(
+                self.graph, self.partition.region, region, None
+            )
+            self.ii[region] = ii
+            if self.ei is not None:
+                self.ei[region] = ei
+            self.eit[region] = _transpose_ei(ei)
+            self.d[region] = _region_correlations(self.partition.region, ei)
+            refreshed += 1
+        if refreshed:
+            self._cut_memo.clear()
+            self._push_memo.clear()
+        return refreshed
+
+    def clone_for(self, graph: KnowledgeGraph) -> "LocalIndex":
+        """An independent index over ``graph`` sharing unrefreshed tables.
+
+        The epoch-swap counterpart of :meth:`KnowledgeGraph.copy`:
+        ``graph`` must share this index's vertex/label interning (a copy
+        of the indexed graph, possibly already mutated).  Per-region
+        table *objects* are shared — both refresh paths replace a
+        region's entry wholesale, never mutate one in place — so cloning
+        is O(landmarks + |V|), and refreshing the clone leaves this
+        index, still serving the previous epoch, untouched.  Memos start
+        empty (they are serving-time caches, not index content).
+        """
+        partition = Partition(
+            landmarks=list(self.partition.landmarks),
+            region=list(self.partition.region),
+            members={u: list(vs) for u, vs in self.partition.members.items()},
+        )
+        clone = LocalIndex(graph, partition)
+        clone.ii = dict(self.ii)
+        clone.eit = dict(self.eit)
+        clone.d = dict(self.d)
         if self.ei is not None:
-            self.ei[region] = ei
-        self.eit[region] = _transpose_ei(ei)
-        self.d[region] = _region_correlations(self.partition.region, ei)
-        return True
+            clone.ei = dict(self.ei)
+        clone.build_seconds = self.build_seconds
+        return clone
 
     def stats(self) -> LocalIndexStats:
         """Entry counts and build time (Table 2 columns)."""

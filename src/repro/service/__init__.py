@@ -48,8 +48,10 @@ from typing import Any
 _EXPORTS = {
     "BatchExecutor": "repro.service.executor",
     "CacheStats": "repro.service.cache",
+    "CandidateCache": "repro.service.cache",
     "CanonicalKey": "repro.service.planner",
     "ConstraintCache": "repro.service.cache",
+    "GraphEpoch": "repro.service.epoch",
     "QueryPlan": "repro.service.planner",
     "QueryPlanner": "repro.service.planner",
     "QueryService": "repro.service.app",

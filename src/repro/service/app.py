@@ -4,9 +4,13 @@
 embedding application) talks to.  It owns everything shared between
 requests:
 
-* one immutable :class:`KnowledgeGraph` (and optionally one
-  :class:`LocalIndex`), loaded once at startup — *never mutated after*,
-  which is what makes lock-free concurrent answering sound.  At
+* one :class:`~repro.service.epoch.GraphEpoch` — an immutable
+  ``(frozen graph, index, epoch_id)`` bundle behind a single atomic
+  reference.  The graph is *never mutated in place*, which is what
+  makes lock-free concurrent answering sound; live updates
+  (:meth:`QueryService.apply_updates`, ``POST /edges``) instead copy
+  the graph, repair the index per touched region, re-freeze and publish
+  a whole new epoch, while in-flight queries finish on the old one.  At
   construction the graph is **frozen** into a read-optimized CSR
   snapshot (:class:`~repro.graph.csr.FrozenGraph`, ``freeze=False``
   opts out): every search and SPARQL evaluation then iterates
@@ -53,27 +57,36 @@ from repro.exceptions import (
     ServiceConfigError,
     SparqlError,
 )
-from repro.graph.csr import FrozenGraph, freeze_graph
+from repro.graph.csr import FrozenGraph, base_graph, freeze_graph
 from repro.graph.io import load_tsv
 from repro.graph.labeled_graph import KnowledgeGraph
-from repro.index.local_index import LocalIndex
+from repro.index.landmarks import NO_REGION
+from repro.index.local_index import LocalIndex, build_local_index
 from repro.index.storage import load_or_build_index
 from repro.service.cache import CandidateCache, ConstraintCache, ResultCache
+from repro.service.epoch import GraphEpoch, validate_edge_updates
 from repro.service.executor import BatchExecutor
 from repro.service.planner import QueryPlan, QueryPlanner
 from repro.service.stats import ServiceStats
-from repro.session import LSCRSession
 from repro.utils.persist import atomic_write_json
 
-__all__ = ["QueryService", "DEFAULT_MAX_BATCH"]
+__all__ = ["QueryService", "DEFAULT_MAX_BATCH", "DEFAULT_REBUILD_REGION_FRACTION"]
 
 #: Refuse larger ``POST /batch`` bodies (memory guard, not a tuning knob).
 DEFAULT_MAX_BATCH = 4096
 
+#: When an update batch touches more than this fraction of the index's
+#: regions, per-region repair stops paying for itself and the whole
+#: index is rebuilt instead (with the same landmarks, so the partition
+#: stays stable across the swap).
+DEFAULT_REBUILD_REGION_FRACTION = 0.5
+
 _SPEC_FIELDS = ("source", "target", "labels", "constraint")
 
-#: On-disk format of :meth:`QueryService.save_snapshot` files.
-_SNAPSHOT_VERSION = 1
+#: On-disk format of :meth:`QueryService.save_snapshot` files.  Version
+#: 2 added the epoch id and content fingerprint to the graph identity;
+#: version-1 files carry neither and are refused rather than trusted.
+_SNAPSHOT_VERSION = 2
 
 
 class QueryService:
@@ -94,30 +107,43 @@ class QueryService:
     ) -> None:
         if max_batch < 1:
             raise ServiceConfigError(f"max_batch must be >= 1, got {max_batch}")
-        # Freeze once at warm start: the service's immutability contract
-        # makes the CSR snapshot safe, and every session/planner below
-        # sees the frozen graph.  Ids are shared, so an index built (or
-        # loaded) against the source graph stays valid.
-        self.graph = freeze_graph(graph) if freeze else graph
-        self.index = index
         self.seed = seed
         self.max_batch = max_batch
         self.constraints = ConstraintCache()
-        # Follows the result cache's knob: cache_size=0 disables V(S,G)
-        # memoisation too, so one flag yields a genuinely uncached service.
-        self.candidates = CandidateCache(max_size=cache_size)
-        self.planner = QueryPlanner(
-            self.graph,
+        self._forced_algorithm = algorithm
+        self._freeze = freeze
+        self._cache_size = cache_size
+        self.results = ResultCache(max_size=cache_size, ttl_seconds=cache_ttl)
+        self.executor = BatchExecutor(max_workers=max_workers, persistent=True)
+        self.stats = ServiceStats()
+        # Freeze once at warm start: the epoch's immutability contract
+        # makes the CSR snapshot safe, and every session/planner below
+        # sees the frozen graph.  Ids are shared, so an index built (or
+        # loaded) against the source graph stays valid.  Everything
+        # graph-bound lives in one GraphEpoch behind a single atomic
+        # attribute reference — readers dereference it once per request
+        # and never lock; apply_updates publishes replacements.
+        frozen = freeze_graph(graph) if freeze else graph
+        planner = QueryPlanner(
+            frozen,
             self.constraints,
             has_index=index is not None,
             fallback_algorithm=algorithm or "uis*",
         )
-        self._forced_algorithm = algorithm
-        self.results = ResultCache(max_size=cache_size, ttl_seconds=cache_ttl)
-        self.executor = BatchExecutor(max_workers=max_workers, persistent=True)
-        self.stats = ServiceStats()
-        self._sessions: dict[str, LSCRSession] = {}
-        self._session_lock = Lock()
+        self._epoch = GraphEpoch(
+            0,
+            frozen,
+            index,
+            planner,
+            # Follows the result cache's knob: cache_size=0 disables
+            # V(S,G) memoisation too, so one flag yields a genuinely
+            # uncached service.
+            CandidateCache(max_size=cache_size),
+            self.constraints,
+            seed,
+        )
+        #: Serialises writers only (apply_updates); readers never take it.
+        self._update_lock = Lock()
 
     # ------------------------------------------------------------------
     # construction
@@ -162,8 +188,39 @@ class QueryService:
         return (
             f"QueryService({self.graph.name!r}, "
             f"default={self.planner.default_algorithm!r}, "
-            f"index={'loaded' if self.index is not None else 'none'})"
+            f"index={'loaded' if self.index is not None else 'none'}, "
+            f"epoch={self._epoch.epoch_id})"
         )
+
+    # ------------------------------------------------------------------
+    # epoch accessors — the graph-bound state always comes from the
+    # *current* epoch, so existing call sites keep working unchanged
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> GraphEpoch:
+        """The currently published serving epoch."""
+        return self._epoch
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        """The current epoch's (frozen) graph."""
+        return self._epoch.graph
+
+    @property
+    def index(self) -> LocalIndex | None:
+        """The current epoch's local index (None when serving index-free)."""
+        return self._epoch.index
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The current epoch's planner."""
+        return self._epoch.planner
+
+    @property
+    def candidates(self) -> CandidateCache:
+        """The current epoch's ``V(S, G)`` candidate cache."""
+        return self._epoch.candidates
 
     @property
     def default_algorithm(self) -> str:
@@ -198,13 +255,20 @@ class QueryService:
         """Answer one query; returns ``(result, meta)``.
 
         ``meta`` reports how the answer was produced: ``cached``,
-        ``trivial`` and the planner's ``reason``.  With ``use_cache``
-        off the result cache is neither consulted nor populated.
+        ``trivial``, the planner's ``reason`` and the ``epoch`` the
+        answer is valid for.  With ``use_cache`` off the result cache is
+        neither consulted nor populated.
+
+        The epoch is read exactly once: planning, cache lookup and
+        execution all bind to it, so a concurrent :meth:`apply_updates`
+        publishing a new epoch mid-call never mixes graph versions —
+        this query simply completes on the epoch it started on.
         """
         if algorithm is None:
             algorithm = self._forced_algorithm
-        plan = self.planner.plan(source, target, labels, constraint, algorithm)
-        return self._finish(plan, use_cache=use_cache, batch=_batch)
+        epoch = self._epoch
+        plan = epoch.planner.plan(source, target, labels, constraint, algorithm)
+        return self._finish(plan, epoch, use_cache=use_cache, batch=_batch)
 
     def query_batch(
         self,
@@ -226,9 +290,13 @@ class QueryService:
                 f"batch of {len(specs)} queries exceeds the limit of "
                 f"{self.max_batch}"
             )
+        # One epoch for the whole batch: every member is answered
+        # against the same graph version even if an update lands while
+        # the batch is in flight.
+        epoch = self._epoch
         plans = [
             (
-                self.planner.plan(
+                epoch.planner.plan(
                     spec["source"],
                     spec["target"],
                     spec["labels"],
@@ -241,19 +309,165 @@ class QueryService:
         ]
         self.stats.record_batch()
         answered = self.executor.map(
-            lambda item: self._finish(item[0], use_cache=item[1], batch=True), plans
+            lambda item: self._finish(item[0], epoch, use_cache=item[1], batch=True),
+            plans,
         )
         self.stats.record_latency("batch", perf_counter() - started)
         return answered
 
     # ------------------------------------------------------------------
+    # live updates (copy-on-write epoch swap)
+    # ------------------------------------------------------------------
+
+    def apply_updates(
+        self,
+        edges: Iterable[tuple[Hashable, str, Hashable]],
+        *,
+        rebuild_region_fraction: float = DEFAULT_REBUILD_REGION_FRACTION,
+    ) -> dict:
+        """Apply an edge-addition batch and publish a new serving epoch.
+
+        Copy-on-write end to end: the current epoch's base graph is
+        deep-copied, the batch is applied to the copy (new vertices and
+        labels intern as needed; duplicates are counted, not errors),
+        the index — when one is loaded — is cloned and repaired
+        per touched region (:meth:`LocalIndex.refresh_regions`, falling
+        back to a full rebuild with the same landmarks when the batch
+        touches more than ``rebuild_region_fraction`` of the regions),
+        the copy is re-frozen, and a fresh :class:`GraphEpoch` replaces
+        ``self._epoch`` in one atomic store.  Readers never block:
+        queries in flight finish on the old epoch, later ones see the
+        new one.  Writers serialise on one update lock.
+
+        Returns a JSON-ready summary (new epoch id, add/duplicate
+        counts, index action).  The whole batch is applied or — on a
+        validation error raised before any copying — none of it;
+        failures after copying cannot corrupt serving state because
+        only the copy was touched.
+        """
+        updates = list(edges)
+        if not updates:
+            raise BadRequestError("update batch must contain at least one edge")
+        with self._update_lock:
+            started = perf_counter()
+            old = self._epoch
+            # All-duplicate batches are a no-op: every triple already
+            # exists, so there is nothing to copy, repair or publish —
+            # and no epoch bump, which keeps "same epoch" equivalent to
+            # "same content" for the snapshot identity.  (A duplicate
+            # edge implies both endpoints and the label exist too.)
+            if all(
+                old.graph.has_edge_named(source, label, target)
+                for source, label, target in updates
+            ):
+                self.stats.record_update(
+                    edges_added=0,
+                    edges_duplicate=len(updates),
+                    vertices_added=0,
+                )
+                elapsed = perf_counter() - started
+                self.stats.record_latency("updates", elapsed)
+                return {
+                    "epoch": old.epoch_id,
+                    "edges_added": 0,
+                    "edges_duplicate": len(updates),
+                    "vertices_added": 0,
+                    "index": "unchanged",
+                    "regions_refreshed": 0,
+                    "seconds": elapsed,
+                }
+            base = base_graph(old.graph).copy()
+            vertices_before = base.num_vertices
+            added: list[tuple[int, int, int]] = []
+            duplicates = 0
+            for source, label, target in updates:
+                s_id = base.add_vertex(source)
+                t_id = base.add_vertex(target)
+                label_id = base.labels.intern(label)
+                if base.add_edge_ids(s_id, label_id, t_id):
+                    added.append((s_id, label_id, t_id))
+                else:
+                    duplicates += 1
+            vertices_added = base.num_vertices - vertices_before
+            new_graph = freeze_graph(base) if self._freeze else base
+            new_index: LocalIndex | None = None
+            index_action = "none"
+            regions_refreshed = 0
+            if old.index is not None:
+                new_index = old.index.clone_for(new_graph)
+                # region_of would IndexError on a just-interned vertex id
+                # until the region list is extended to the new |V|.
+                new_index.sync_vertices()
+                touched = {new_index.region_of(s_id) for s_id, _, _ in added}
+                touched.discard(NO_REGION)
+                landmarks = new_index.partition.landmarks
+                if touched and len(touched) > rebuild_region_fraction * len(
+                    landmarks
+                ):
+                    new_index = build_local_index(
+                        new_graph, landmarks=list(landmarks)
+                    )
+                    index_action = "rebuilt"
+                    regions_refreshed = len(landmarks)
+                else:
+                    regions_refreshed = new_index.refresh_regions(touched)
+                    index_action = "refreshed" if regions_refreshed else "unchanged"
+            new_epoch = GraphEpoch(
+                old.epoch_id + 1,
+                new_graph,
+                new_index,
+                old.planner.rebind(new_graph, has_index=new_index is not None),
+                CandidateCache(max_size=self._cache_size),
+                self.constraints,
+                self.seed,
+            )
+            # The publish: a single attribute store is atomic under the
+            # GIL — this is the only line readers ever observe changing.
+            self._epoch = new_epoch
+            # Old-epoch result-cache entries are unreachable by new
+            # queries (the epoch id is part of the key); reclaim them
+            # now instead of waiting for LRU pressure.
+            current = new_epoch.epoch_id
+            self.results.purge(
+                lambda key: isinstance(key, tuple) and key[0] != current
+            )
+            elapsed = perf_counter() - started
+            self.stats.record_update(
+                edges_added=len(added),
+                edges_duplicate=duplicates,
+                vertices_added=vertices_added,
+            )
+            self.stats.record_latency("updates", elapsed)
+        return {
+            "epoch": new_epoch.epoch_id,
+            "edges_added": len(added),
+            "edges_duplicate": duplicates,
+            "vertices_added": vertices_added,
+            "index": index_action,
+            "regions_refreshed": regions_refreshed,
+            "seconds": elapsed,
+        }
+
+    # ------------------------------------------------------------------
 
     def _finish(
-        self, plan: QueryPlan, *, use_cache: bool, batch: bool
+        self, plan: QueryPlan, epoch: GraphEpoch, *, use_cache: bool, batch: bool
     ) -> tuple[QueryResult, dict]:
-        """Execute (or short-circuit) one plan and record telemetry."""
+        """Execute (or short-circuit) one plan and record telemetry.
+
+        The result cache is namespaced by the epoch the plan was made
+        against: entries live under ``(epoch_id, canonical key)``, so an
+        old-epoch query completing after a swap can only write (and a
+        new-epoch query can only read) entries for its own graph
+        version — the stale-answer race the old shared keys had.
+        """
         started = perf_counter()
-        meta = {"cached": False, "trivial": False, "reason": plan.reason}
+        meta = {
+            "cached": False,
+            "trivial": False,
+            "reason": plan.reason,
+            "epoch": epoch.epoch_id,
+        }
         if plan.is_trivial:
             result = QueryResult(
                 answer=bool(plan.trivial_answer),
@@ -265,21 +479,22 @@ class QueryService:
             self.stats.record_query(result, trivial=True, batch=batch)
             self.stats.record_latency("query", perf_counter() - started)
             return result, meta
+        cache_key = (epoch.epoch_id, *plan.key)
         if use_cache:
-            cached = self.results.get(plan.key)
+            cached = self.results.get(cache_key)
             if cached is not None:
                 meta["cached"] = True
                 self.stats.record_query(cached, cached=True, batch=batch)
                 self.stats.record_latency("query", perf_counter() - started)
                 return cached, meta
-        result = self._execute(plan)
+        result = self._execute(plan, epoch)
         if use_cache:
-            self.results.put(plan.key, result)
+            self.results.put(cache_key, result)
         self.stats.record_query(result, batch=batch)
         self.stats.record_latency("query", perf_counter() - started)
         return result, meta
 
-    def _execute(self, plan: QueryPlan) -> QueryResult:
+    def _execute(self, plan: QueryPlan, epoch: GraphEpoch) -> QueryResult:
         """Run one non-trivial plan on the session it names.
 
         The execution seam subclasses reroute: the sharded service
@@ -287,26 +502,11 @@ class QueryService:
         plans to its scatter-gather coordinator instead.
         """
         assert plan.query is not None
-        return self._session(plan.algorithm).answer(plan.query)
+        return epoch.session(plan.algorithm).answer(plan.query)
 
     def _session(self, algorithm: str) -> LSCRSession:
-        """The shared session for ``algorithm`` (created on first use)."""
-        session = self._sessions.get(algorithm)
-        if session is not None:
-            return session
-        with self._session_lock:
-            session = self._sessions.get(algorithm)
-            if session is None:
-                session = LSCRSession(
-                    self.graph,
-                    algorithm=algorithm,
-                    index=self.index if algorithm == "ins" else None,
-                    seed=self.seed,
-                    constraint_cache=self.constraints,
-                    candidate_cache=self.candidates,
-                )
-                self._sessions[algorithm] = session
-        return session
+        """The current epoch's session for ``algorithm`` (back-compat)."""
+        return self._epoch.session(algorithm)
 
     # ------------------------------------------------------------------
     # JSON-level API (used by the HTTP front end)
@@ -353,36 +553,45 @@ class QueryService:
             "results": [self._result_payload(r, m) for r, m in answered],
         }
 
+    def handle_updates(self, payload: object) -> dict:
+        """``POST /edges``: validate a JSON update batch and apply it."""
+        updates = validate_edge_updates(payload, max_edges=self.max_batch)
+        return self.apply_updates(updates)
+
     def health(self) -> dict:
         """``GET /healthz``: liveness plus what is loaded."""
+        epoch = self._epoch
         return {
             "status": "ok",
-            "graph": self.graph.name,
-            "vertices": self.graph.num_vertices,
-            "edges": self.graph.num_edges,
-            "labels": self.graph.num_labels,
-            "graph_frozen": isinstance(self.graph, FrozenGraph),
-            "index_loaded": self.index is not None,
+            "graph": epoch.graph.name,
+            "vertices": epoch.graph.num_vertices,
+            "edges": epoch.graph.num_edges,
+            "labels": epoch.graph.num_labels,
+            "graph_frozen": isinstance(epoch.graph, FrozenGraph),
+            "index_loaded": epoch.index is not None,
             "default_algorithm": self.default_algorithm,
+            "epoch": epoch.epoch_id,
         }
 
     def stats_snapshot(self) -> dict:
         """``GET /stats``: the full telemetry document."""
-        index_info: dict[str, Any] = {"loaded": self.index is not None}
-        if self.index is not None:
-            index_info["landmarks"] = len(self.index.partition.landmarks)
+        epoch = self._epoch
+        index_info: dict[str, Any] = {"loaded": epoch.index is not None}
+        if epoch.index is not None:
+            index_info["landmarks"] = len(epoch.index.partition.landmarks)
         return {
             "service": self.stats.snapshot(),
             "result_cache": self.results.stats().as_dict(),
             "constraint_cache": self.constraints.stats().as_dict(),
-            "candidate_cache": self.candidates.stats().as_dict(),
+            "candidate_cache": epoch.candidates.stats().as_dict(),
             "graph": {
-                "name": self.graph.name,
-                "vertices": self.graph.num_vertices,
-                "edges": self.graph.num_edges,
-                "labels": self.graph.num_labels,
+                "name": epoch.graph.name,
+                "vertices": epoch.graph.num_vertices,
+                "edges": epoch.graph.num_edges,
+                "labels": epoch.graph.num_labels,
             },
             "index": index_info,
+            "epoch": epoch.describe(),
             "config": {
                 "default_algorithm": self.default_algorithm,
                 "cache_size": self.results.max_size,
@@ -400,26 +609,32 @@ class QueryService:
     def save_snapshot(self, path: str | Path) -> int:
         """Persist the result cache and stats ledger as JSON.
 
-        The snapshot carries every unexpired result-cache entry (keyed
-        on the planner's canonical keys) plus the
+        The snapshot carries every unexpired result-cache entry of the
+        *current* epoch (keys stored without the epoch prefix — the
+        document-level identity pins them to one graph version) plus the
         :meth:`ServiceStats.snapshot` document, tagged with the graph's
-        identity so :meth:`load_snapshot` can refuse a mismatched file.
-        Written atomically (write-then-rename, like the index store).
-        Returns the file size in bytes.
+        full identity: name, sizes, epoch id and content fingerprint, so
+        :meth:`load_snapshot` can refuse a mismatched file even when
+        every size coincides.  Written atomically (write-then-rename,
+        like the index store).  Returns the file size in bytes.
         """
+        epoch = self._epoch
         document = {
             "format_version": _SNAPSHOT_VERSION,
             "graph": {
-                "name": self.graph.name,
-                "vertices": self.graph.num_vertices,
-                "edges": self.graph.num_edges,
+                "name": epoch.graph.name,
+                "vertices": epoch.graph.num_vertices,
+                "edges": epoch.graph.num_edges,
+                "epoch": epoch.epoch_id,
+                "fingerprint": epoch.fingerprint,
             },
             "results": [
                 {
-                    "key": [key[0], key[1], list(key[2]), key[3]],
+                    "key": [key[1], key[2], list(key[3]), key[4]],
                     "result": asdict(result),
                 }
                 for key, result in self.results.export_entries()
+                if key[0] == epoch.epoch_id
             ],
             "stats": self.stats.snapshot(),
         }
@@ -429,8 +644,13 @@ class QueryService:
         """Warm the result cache and stats from a :meth:`save_snapshot` file.
 
         Raises :class:`~repro.exceptions.ServiceConfigError` when the
-        file was written for a different graph (name or sizes differ) —
-        a stale cache must never answer for the wrong data.  Returns
+        file was written for a different graph — a stale cache must
+        never answer for the wrong data.  The identity check goes beyond
+        ``(name, vertices, edges)``: the epoch id and a content
+        fingerprint (label universe + order-insensitive digest of every
+        edge) must match too, so a mutated-then-same-size graph is
+        refused instead of silently serving the old graph's answers.
+        Returns
         ``{"results": n}`` with the number of warmed entries.
         """
         path = Path(path)
@@ -446,22 +666,32 @@ class QueryService:
                 f"unsupported snapshot format version "
                 f"{document.get('format_version')!r} in {path}"
             )
+        epoch = self._epoch
         graph_info = document.get("graph", {})
-        ours = (self.graph.name, self.graph.num_vertices, self.graph.num_edges)
+        ours = (
+            epoch.graph.name,
+            epoch.graph.num_vertices,
+            epoch.graph.num_edges,
+            epoch.epoch_id,
+            epoch.fingerprint,
+        )
         theirs = (
             graph_info.get("name"),
             graph_info.get("vertices"),
             graph_info.get("edges"),
+            graph_info.get("epoch"),
+            graph_info.get("fingerprint"),
         )
         if ours != theirs:
             raise ServiceConfigError(
-                f"snapshot {path} was taken for graph {theirs}, "
+                f"snapshot {path} was taken for graph "
+                f"(name, |V|, |E|, epoch, fingerprint) = {theirs}, "
                 f"this service hosts {ours}"
             )
         entries = []
         for item in document.get("results", []):
             source, target, labels, constraint = item["key"]
-            key = (source, target, tuple(labels), constraint)
+            key = (epoch.epoch_id, source, target, tuple(labels), constraint)
             entries.append((key, QueryResult(**item["result"])))
         warmed = self.results.import_entries(entries)
         self.stats.restore(document.get("stats", {}))
@@ -524,4 +754,5 @@ class QueryService:
             "cached": meta["cached"],
             "trivial": meta["trivial"],
             "reason": meta["reason"],
+            "epoch": meta["epoch"],
         }

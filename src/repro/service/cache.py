@@ -134,6 +134,23 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    def purge(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        The epoch-swap eviction hook: after a new epoch is published,
+        entries namespaced under older epoch ids are dead weight that
+        would otherwise linger until LRU pressure pushes them out —
+        ``purge(lambda key: key[0] != current_epoch)`` reclaims them
+        immediately.  O(size) under the lock (size ≤ ``max_size``).
+        Returns how many entries were dropped; they count as evictions.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self._evictions += len(doomed)
+            return len(doomed)
+
     def export_entries(self) -> list[tuple[Hashable, Any]]:
         """Unexpired ``(key, value)`` pairs, least-recently-used first.
 

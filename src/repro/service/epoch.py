@@ -1,0 +1,173 @@
+"""Epoch-swapped serving state: everything a query binds to one graph.
+
+The service's original immutability contract — "graph and index are
+never mutated after startup" — is what makes its lock-free concurrent
+answering sound.  Live updates keep that contract by never mutating the
+serving state at all: :class:`GraphEpoch` bundles one frozen graph, its
+(optional) index and every object derived from them (planner, candidate
+cache, session pool) into a single immutable-once-published unit, and
+:meth:`~repro.service.app.QueryService.apply_updates` builds a *new*
+epoch on a copy and publishes it by replacing one attribute reference.
+
+Readers never lock: a request reads ``service._epoch`` exactly once (an
+atomic attribute load) and runs plan → cache → session entirely against
+that object, so a swap mid-query is invisible — the query finishes on
+the epoch it started on, and the next request sees the new one.  The
+result cache is shared across epochs but *namespaced*: cached answers
+are keyed ``(epoch_id, canonical key)``, so an in-flight old-epoch query
+completing after a swap can only ever populate old-epoch entries, never
+poison the new epoch's view.
+
+``epoch_id`` is a per-service monotonic integer starting at 0; it is
+surfaced in query metadata, ``/stats``, ``/healthz`` and the snapshot
+identity, which is how tests (and operators) can tell exactly which
+graph version answered a request.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+
+from repro.exceptions import BadRequestError
+from repro.graph.labeled_graph import KnowledgeGraph
+from repro.index.local_index import LocalIndex
+from repro.service.cache import CandidateCache, ConstraintCache
+from repro.service.planner import QueryPlanner
+from repro.session import LSCRSession
+
+__all__ = ["GraphEpoch", "validate_edge_updates"]
+
+#: An edge update as carried through the service: name-level triple.
+EdgeUpdate = tuple[str, str, str]
+
+
+class GraphEpoch:
+    """One immutable serving generation: ``(graph, index, epoch_id)``
+    plus the per-generation derived state (planner, candidate cache,
+    lazily pooled sessions).
+
+    Nothing here is mutated after publication except the session pool,
+    which only *grows* (create-once under its own lock — the same
+    pattern the service used before epochs) and the candidate cache,
+    which is append-only memoisation of pure functions of the graph.
+    """
+
+    __slots__ = (
+        "epoch_id",
+        "graph",
+        "index",
+        "planner",
+        "candidates",
+        "constraints",
+        "seed",
+        "fingerprint",
+        "_sessions",
+        "_session_lock",
+    )
+
+    def __init__(
+        self,
+        epoch_id: int,
+        graph: KnowledgeGraph,
+        index: LocalIndex | None,
+        planner: QueryPlanner,
+        candidates: CandidateCache,
+        constraints: ConstraintCache,
+        seed: int,
+    ) -> None:
+        self.epoch_id = epoch_id
+        self.graph = graph
+        self.index = index
+        self.planner = planner
+        self.candidates = candidates
+        self.constraints = constraints
+        self.seed = seed
+        #: Content digest of the graph this epoch serves; part of the
+        #: save/load snapshot identity.
+        self.fingerprint = graph.content_fingerprint()
+        self._sessions: dict[str, LSCRSession] = {}
+        self._session_lock = Lock()
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphEpoch(id={self.epoch_id}, graph={self.graph.name!r}, "
+            f"|V|={self.graph.num_vertices}, |E|={self.graph.num_edges}, "
+            f"index={'loaded' if self.index is not None else 'none'})"
+        )
+
+    def session(self, algorithm: str) -> LSCRSession:
+        """The pooled session for ``algorithm`` (created on first use)."""
+        session = self._sessions.get(algorithm)
+        if session is not None:
+            return session
+        with self._session_lock:
+            session = self._sessions.get(algorithm)
+            if session is None:
+                session = LSCRSession(
+                    self.graph,
+                    algorithm=algorithm,
+                    index=self.index if algorithm == "ins" else None,
+                    seed=self.seed,
+                    constraint_cache=self.constraints,
+                    candidate_cache=self.candidates,
+                )
+                self._sessions[algorithm] = session
+        return session
+
+    def describe(self) -> dict:
+        """JSON-ready identity for ``/stats`` and snapshot stamping."""
+        return {
+            "epoch_id": self.epoch_id,
+            "fingerprint": self.fingerprint,
+            "vertices": self.graph.num_vertices,
+            "edges": self.graph.num_edges,
+            "labels": self.graph.num_labels,
+        }
+
+
+def validate_edge_updates(payload: object, *, max_edges: int) -> list[EdgeUpdate]:
+    """Shape-check a ``POST /edges`` JSON body into name-level triples.
+
+    Accepts ``{"edges": [...]}`` where each item is either an object
+    ``{"source": s, "label": l, "target": t}`` or a compact 3-array
+    ``[s, l, t]`` — all strings.  Raises
+    :class:`~repro.exceptions.BadRequestError` with the offending
+    position for anything else, so clients get field-level diagnostics
+    instead of a half-applied batch.
+    """
+    if not isinstance(payload, dict) or "edges" not in payload:
+        raise BadRequestError(
+            "update body must be a JSON object with an 'edges' array"
+        )
+    raw = payload["edges"]
+    if not isinstance(raw, list) or not raw:
+        raise BadRequestError("'edges' must be a non-empty array")
+    if len(raw) > max_edges:
+        raise BadRequestError(
+            f"update batch of {len(raw)} edges exceeds the limit of {max_edges}"
+        )
+    updates: list[EdgeUpdate] = []
+    for position, item in enumerate(raw):
+        where = f"edges[{position}]"
+        if isinstance(item, dict):
+            missing = [
+                field for field in ("source", "label", "target") if field not in item
+            ]
+            if missing:
+                raise BadRequestError(
+                    f"{where}: missing field(s) {', '.join(missing)}"
+                )
+            triple = (item["source"], item["label"], item["target"])
+        elif isinstance(item, list) and len(item) == 3:
+            triple = (item[0], item[1], item[2])
+        else:
+            raise BadRequestError(
+                f"{where}: expected an object with source/label/target "
+                "or a [source, label, target] array"
+            )
+        if not all(isinstance(part, str) and part for part in triple):
+            raise BadRequestError(
+                f"{where}: source, label and target must be non-empty strings"
+            )
+        updates.append(triple)
+    return updates

@@ -9,10 +9,15 @@ The server routes onto a :class:`~repro.service.registry.TenantRegistry`
   "use_cache"?}``);
 * ``POST /t/<tenant>/batch``  — answer a batch (``{"queries":
   [spec, ...], "use_cache"?}``), order-preserving and concurrent;
+* ``POST /t/<tenant>/edges``  — apply a live edge-addition batch
+  (``{"edges": [{"source", "label", "target"}, ...]}``) and publish a
+  new serving epoch; gated behind ``serve --allow-updates`` (403 when
+  off, 501 on sharded tenants whose slices cannot follow yet);
 * ``GET /t/<tenant>/stats``   — that tenant's telemetry;
 * ``GET /t/<tenant>/healthz`` — that tenant's liveness and load state;
-* ``POST /query``, ``POST /batch`` — un-prefixed PR 1 aliases for the
-  registry's **default tenant**, so single-graph clients keep working;
+* ``POST /query``, ``POST /batch``, ``POST /edges`` — un-prefixed
+  aliases for the registry's **default tenant**, so single-graph
+  clients keep working;
 * ``GET /stats``, ``GET /healthz`` — the default tenant's documents
   *plus* cross-tenant aggregation (per-tenant load state, graph sizes,
   merged counters);
@@ -45,7 +50,13 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from repro.exceptions import BadRequestError, ReproError, UnknownTenantError
+from repro.exceptions import (
+    BadRequestError,
+    ReproError,
+    UnknownTenantError,
+    UpdatesDisabledError,
+    UpdatesUnsupportedError,
+)
 from repro.service.app import QueryService
 from repro.service.planner import PLANNABLE_ALGORITHMS
 from repro.service.registry import TenantRegistry, valid_tenant_name
@@ -91,6 +102,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: QueryService | TenantRegistry,
         shard_workers: dict[str, Any] | None = None,
+        allow_updates: bool = False,
     ) -> None:
         super().__init__(address, ServiceRequestHandler)
         if isinstance(service, TenantRegistry):
@@ -100,6 +112,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         #: Shard id (as URL segment) → worker for the ``/shard/<id>/...``
         #: routes; empty when this server hosts no shard workers.
         self.shard_workers: dict[str, Any] = shard_workers or {}
+        #: Gate for ``POST /edges`` (live graph updates): an admin
+        #: operation the operator must opt into (``serve
+        #: --allow-updates``); off, the routes answer a structured 403.
+        self.allow_updates = allow_updates
 
     @property
     def service(self) -> QueryService:
@@ -162,17 +178,23 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             if self.path.startswith("/shard/"):
                 self._handle_shard_post(payload)
                 return
-            if self.path in ("/query", "/batch"):
+            if self.path in ("/query", "/batch", "/edges"):
                 tenant, endpoint = None, self.path[1:]
             else:
                 tenant, endpoint = self._split_tenant_path()
-                if endpoint not in ("query", "batch"):
+                if endpoint not in ("query", "batch", "edges"):
                     raise BadRequestError(
                         f"no such endpoint: POST {self.path}", status=404
                     )
+            if endpoint == "edges" and not self.server.allow_updates:
+                # Checked before the tenant lookup: the gate is a server
+                # policy, not a per-tenant property.
+                raise UpdatesDisabledError()
             service = registry.get(tenant)
             if endpoint == "query":
                 self._send_json(200, service.handle_query(payload))
+            elif endpoint == "edges":
+                self._send_json(200, service.handle_updates(payload))
             else:
                 self._send_json(200, service.handle_batch(payload))
         except BadRequestError as error:
@@ -181,7 +203,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 service.stats.record_error(kind)
             else:
                 registry.record_error(kind)
-            self._send_error(error.status, kind, str(error))
+            self._send_error(error.status, kind, str(error), detail=error.detail)
         except ReproError as error:
             # Anything else the library rejected is still the client's
             # query (bad constraint text reaching a deeper layer, ...).
@@ -301,6 +323,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _error_kind(error: BadRequestError) -> str:
         if isinstance(error, UnknownTenantError):
             return "unknown-tenant"
+        if isinstance(error, UpdatesDisabledError):
+            return "updates-disabled"
+        if isinstance(error, UpdatesUnsupportedError):
+            return "updates-unsupported"
         return "not-found" if error.status == 404 else "bad-request"
 
     def _read_json_body(self) -> object:
@@ -330,8 +356,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, status: int, kind: str, message: str) -> None:
-        self._send_json(status, {"error": {"type": kind, "message": message}})
+    def _send_error(
+        self, status: int, kind: str, message: str, detail: dict | None = None
+    ) -> None:
+        body: dict[str, Any] = {"error": {"type": kind, "message": message}}
+        if detail is not None:
+            body["error"]["detail"] = detail
+        self._send_json(status, body)
 
 
 def create_server(
@@ -339,12 +370,15 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     shard_workers: dict[str, Any] | None = None,
+    allow_updates: bool = False,
 ) -> ServiceHTTPServer:
     """Bind (but do not start) a server for a service or registry.
 
     ``shard_workers`` attaches :class:`~repro.shard.worker.ShardWorker`\\ s
     behind the ``/shard/<id>/...`` routes (keys are the URL segments).
-    Callers run ``server.serve_forever()`` — typically on a dedicated
-    thread — and stop with ``server.shutdown()`` + ``server.server_close()``.
+    ``allow_updates`` opens the ``POST /edges`` live-update routes
+    (otherwise they answer a structured 403).  Callers run
+    ``server.serve_forever()`` — typically on a dedicated thread — and
+    stop with ``server.shutdown()`` + ``server.server_close()``.
     """
-    return ServiceHTTPServer((host, port), service, shard_workers)
+    return ServiceHTTPServer((host, port), service, shard_workers, allow_updates)

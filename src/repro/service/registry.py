@@ -112,6 +112,7 @@ class _TenantEntry:
             "labels": service.graph.num_labels,
             "index_loaded": service.index is not None,
             "default_algorithm": service.default_algorithm,
+            "epoch": service.epoch.epoch_id,
         }
 
 

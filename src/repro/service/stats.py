@@ -135,6 +135,10 @@ class ServiceStats:
         self._true_answers = 0
         self._batches = 0
         self._batch_queries = 0
+        self._update_batches = 0
+        self._update_edges_added = 0
+        self._update_edges_duplicate = 0
+        self._update_vertices_added = 0
         self._errors: dict[str, int] = {}
         self._by_algorithm: dict[str, ResultAggregate] = {}
         self._latency: dict[str, LatencyHistogram] = {}
@@ -182,6 +186,20 @@ class ServiceStats:
         with self._lock:
             self._errors[kind] = self._errors.get(kind, 0) + 1
 
+    def record_update(
+        self, *, edges_added: int, edges_duplicate: int, vertices_added: int
+    ) -> None:
+        """Count one applied ``POST /edges`` batch (one epoch swap).
+
+        Latency is recorded separately via
+        ``record_latency("updates", ...)`` like every other endpoint.
+        """
+        with self._lock:
+            self._update_batches += 1
+            self._update_edges_added += edges_added
+            self._update_edges_duplicate += edges_duplicate
+            self._update_vertices_added += vertices_added
+
     def record_latency(self, endpoint: str, seconds: float) -> None:
         """Fold one request latency into ``endpoint``'s histogram.
 
@@ -227,6 +245,12 @@ class ServiceStats:
                     "requests": self._batches,
                     "queries": self._batch_queries,
                 },
+                "updates": {
+                    "batches": self._update_batches,
+                    "edges_added": self._update_edges_added,
+                    "edges_duplicate": self._update_edges_duplicate,
+                    "vertices_added": self._update_vertices_added,
+                },
                 "errors": dict(self._errors),
                 "algorithms": {
                     name: aggregate.as_dict()
@@ -250,6 +274,7 @@ class ServiceStats:
         """
         queries = document.get("queries", {})
         batches = document.get("batches", {})
+        updates = document.get("updates", {})
         with self._lock:
             self._queries_total += queries.get("total", 0)
             self._queries_cached += queries.get("cached", 0)
@@ -258,6 +283,10 @@ class ServiceStats:
             self._true_answers += queries.get("true_answers", 0)
             self._batches += batches.get("requests", 0)
             self._batch_queries += batches.get("queries", 0)
+            self._update_batches += updates.get("batches", 0)
+            self._update_edges_added += updates.get("edges_added", 0)
+            self._update_edges_duplicate += updates.get("edges_duplicate", 0)
+            self._update_vertices_added += updates.get("vertices_added", 0)
             for kind, count in document.get("errors", {}).items():
                 self._errors[kind] = self._errors.get(kind, 0) + count
             for name, cell in document.get("algorithms", {}).items():
@@ -295,6 +324,8 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
     queries = {"total": 0, "executed": 0, "cached": 0, "trivial": 0,
                "true_answers": 0}
     batches = {"requests": 0, "queries": 0}
+    updates = {"batches": 0, "edges_added": 0, "edges_duplicate": 0,
+               "vertices_added": 0}
     errors: dict[str, int] = {}
     cells: dict[str, dict] = {}
     latency: dict[str, LatencyHistogram] = {}
@@ -305,6 +336,9 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
             queries[key] += snapshot["queries"][key]
         for key in batches:
             batches[key] += snapshot["batches"][key]
+        # .get: snapshots predating live updates carry no updates section.
+        for key in updates:
+            updates[key] += snapshot.get("updates", {}).get(key, 0)
         for kind, count in snapshot["errors"].items():
             errors[kind] = errors.get(kind, 0) + count
         for endpoint, histogram_doc in snapshot.get("latency", {}).items():
@@ -333,6 +367,7 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
         "uptime_seconds": uptime,
         "queries": queries,
         "batches": batches,
+        "updates": updates,
         "errors": errors,
         "algorithms": {name: cells[name] for name in sorted(cells)},
         "latency": {

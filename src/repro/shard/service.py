@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.exceptions import ServiceConfigError
+from repro.exceptions import ServiceConfigError, UpdatesUnsupportedError
 from repro.index.landmarks import (
     bfs_traverse,
     select_landmarks,
@@ -36,6 +36,7 @@ from repro.index.landmarks import (
 )
 from repro.index.local_index import LocalIndex
 from repro.service.app import QueryService
+from repro.service.epoch import GraphEpoch
 from repro.service.planner import QueryPlan
 from repro.service.stats import merge_snapshots
 from repro.core.result import QueryResult
@@ -105,14 +106,38 @@ class ShardedQueryService(QueryService):
 
     # ------------------------------------------------------------------
 
-    def _execute(self, plan: QueryPlan) -> QueryResult:
+    def _execute(self, plan: QueryPlan, epoch: GraphEpoch) -> QueryResult:
         """Scatter-gather by default; forced plans run the named session."""
         if plan.forced:
-            return super()._execute(plan)
+            return super()._execute(plan, epoch)
         assert plan.query is not None
         return self.coordinator.answer(plan.query)
 
     # ------------------------------------------------------------------
+
+    def apply_updates(self, edges: Any, **kwargs: Any) -> dict:
+        """Refuse live updates: worker slices would go silently stale.
+
+        The coordinator's graph is only one copy of the data — every
+        :class:`~repro.shard.partitioner.GraphSlice` (region-restricted
+        CSR plus border tables) held by the workers was cut from the
+        pre-update snapshot, so mutating just the coordinator would make
+        scatter-gather answer for a graph the slices no longer match.
+        Until epochs propagate *per slice* (the slice-epoch seam noted
+        in ROADMAP.md), a sharded service answers ``POST /edges`` with a
+        structured 501 naming that seam.
+        """
+        raise UpdatesUnsupportedError(
+            "sharded services cannot apply live updates: the worker "
+            "GraphSlice border tables were cut from the current snapshot "
+            "and would go silently stale; per-slice epoch swap is the "
+            "missing seam (see ROADMAP.md)",
+            detail={
+                "seam": "slice-epoch",
+                "shards": self.shard_plan.num_shards,
+                "epoch": self.epoch.epoch_id,
+            },
+        )
 
     def health(self) -> dict:
         document = super().health()

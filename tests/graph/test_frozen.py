@@ -153,6 +153,36 @@ class TestFreezeSemantics:
         assert refrozen.has_vertex("brand-new")
         assert refrozen.num_edges == graph.num_edges
 
+    def test_refreeze_after_same_size_mutation_builds_fresh_snapshot(self):
+        # The staleness regression: a removal followed by an insertion
+        # leaves (|V|, |E|, |L|) identical, so the old size-keyed cache
+        # returned the *stale* snapshot with the pre-mutation adjacency.
+        # The mutation-counter key must re-freeze.
+        graph, frozen = make_pair(6)
+        sizes = (graph.num_vertices, graph.num_edges, graph.num_labels)
+        removed = next(iter(graph.edges()))
+        graph.remove_edge_ids(*removed)
+        # Add a *different* absent edge over existing vertices and
+        # labels: every size is back to exactly what the cached
+        # snapshot was keyed on, but the adjacency differs.
+        added = next(
+            (s, l, t)
+            for s in graph.vertices()
+            for l in range(graph.num_labels)
+            for t in graph.vertices()
+            if (s, l, t) != removed and not graph.has_edge(s, l, t)
+        )
+        graph.add_edge_ids(*added)
+        assert (graph.num_vertices, graph.num_edges, graph.num_labels) == sizes
+        refrozen = graph.freeze()
+        assert refrozen is not frozen
+        assert sorted(refrozen.edges()) == sorted(graph.edges())
+
+    def test_mutation_count_survives_freezing(self):
+        graph, frozen = make_pair(7)
+        assert frozen.mutation_count == graph.mutation_count
+        assert graph.freeze() is frozen  # unchanged counter: cached
+
     def test_mutation_raises(self):
         _, frozen = make_pair(3)
         with pytest.raises(FrozenGraphError):
@@ -161,6 +191,18 @@ class TestFreezeSemantics:
             frozen.add_edge("a", "l0", "b")
         with pytest.raises(FrozenGraphError):
             frozen.add_edge_ids(0, 0, 1)
+        with pytest.raises(FrozenGraphError):
+            frozen.remove_edge("a", "l0", "b")
+        with pytest.raises(FrozenGraphError):
+            frozen.remove_edge_ids(0, 0, 1)
+
+    def test_copy_of_frozen_copies_the_source(self):
+        graph, frozen = make_pair(8)
+        clone = frozen.copy()
+        assert not isinstance(clone, FrozenGraph)
+        assert sorted(clone.edges()) == sorted(graph.edges())
+        clone.add_edge("only-in-clone", "l0", "n0")
+        assert not graph.has_vertex("only-in-clone")
 
     def test_freezing_a_frozen_source_unwraps(self):
         graph, frozen = make_pair(4)

@@ -157,3 +157,125 @@ class TestDegreesAndStats:
         assert not small.has_edge_named("zz", "x", "b")
         assert not small.has_edge_named("a", "nope", "b")
         assert not small.has_edge_named("a", "x", "zz")
+
+
+class TestEdgeRemoval:
+    def test_remove_edge_reverts_all_bookkeeping(self, small):
+        a, b = small.vid("a"), small.vid("b")
+        x = small.label_id("x")
+        assert small.remove_edge("a", "x", "b") is True
+        assert not small.has_edge(a, x, b)
+        assert small.num_edges == 3
+        assert small.out_degree(a) == 1
+        assert small.in_degree(b) == 1
+        assert b not in small.out_by_label(a, x)
+        assert (a, b) not in small.edges_with_label(x)
+        assert small.label_frequency(x) == 1
+        assert set(small.mask_labels(small.labels_between(a, b))) == {"y"}
+
+    def test_remove_absent_or_unknown_is_false(self, small):
+        assert small.remove_edge("a", "x", "c") is False
+        assert small.remove_edge("zz", "x", "b") is False
+        assert small.remove_edge("a", "nope", "b") is False
+        assert small.num_edges == 4
+
+    def test_remove_then_readd_roundtrips(self, small):
+        assert small.remove_edge("b", "x", "c")
+        assert small.add_edge("b", "x", "c")
+        assert small.has_edge_named("b", "x", "c")
+        assert small.num_edges == 4
+
+    def test_vertices_survive_removal(self, small):
+        small.remove_edge("c", "z", "a")
+        assert small.has_vertex("c")
+        assert small.label_frequency(small.label_id("z")) == 0
+        # Removing a label's last edge drops its per-label bookkeeping
+        # entirely (no empty stubs left behind).
+        assert small.edges_with_label(small.label_id("z")) == []
+        assert small.label_id("z") not in small._by_label
+
+
+class TestMutationCount:
+    def test_effective_mutations_bump_the_counter(self):
+        g = KnowledgeGraph()
+        assert g.mutation_count == 0
+        g.add_edge("a", "x", "b")  # two vertex interns + one edge
+        assert g.mutation_count == 3
+        before = g.mutation_count
+        g.add_edge("a", "x", "b")  # duplicate: no-op
+        g.add_vertex("a")  # already interned: no-op
+        assert g.mutation_count == before
+        g.remove_edge("a", "x", "b")
+        assert g.mutation_count == before + 1
+
+    def test_copy_is_independent(self, small):
+        clone = small.copy()
+        assert clone.num_vertices == small.num_vertices
+        assert clone.num_edges == small.num_edges
+        assert [clone.vid(n) for n in small.vertex_names()] == list(
+            small.vertices()
+        )
+        clone.add_edge("a", "x", "c")
+        clone.add_edge("new", "w", "a")
+        assert not small.has_edge_named("a", "x", "c")
+        assert not small.has_vertex("new")
+        assert "w" not in small.labels
+        small.remove_edge("a", "y", "b")
+        assert clone.has_edge_named("a", "y", "b")
+
+
+class TestContentFingerprint:
+    def test_equal_graphs_equal_fingerprints(self, small):
+        other = graph_from_edges(
+            [("a", "x", "b"), ("a", "y", "b"), ("b", "x", "c"), ("c", "z", "a")]
+        )
+        assert small.content_fingerprint() == other.content_fingerprint()
+        assert small.copy().content_fingerprint() == small.content_fingerprint()
+
+    def test_same_sizes_different_edges_differ(self):
+        # Identical (|V|, |E|, |L|) but a different adjacency: exactly
+        # the case the size-only snapshot identity used to wave through.
+        first = graph_from_edges([("a", "x", "b"), ("b", "x", "c")])
+        second = graph_from_edges([("a", "x", "b"), ("a", "x", "c")],
+                                  vertices=["a", "b", "c"])
+        assert first.num_vertices == second.num_vertices
+        assert first.num_edges == second.num_edges
+        assert first.num_labels == second.num_labels
+        assert first.content_fingerprint() != second.content_fingerprint()
+
+    def test_mutation_changes_fingerprint(self, small):
+        before = small.content_fingerprint()
+        small.remove_edge("a", "x", "b")
+        small.add_edge("a", "x", "c")  # same sizes, different edges
+        assert small.content_fingerprint() != before
+
+    def test_single_edge_move_on_large_graph_detected(self):
+        # Regression: the digest must cover *every* edge — a sampled
+        # variant missed a one-edge move on a 2000-vertex chain and
+        # false-accepted a stale warm-cache snapshot.
+        def build(move_target):
+            g = KnowledgeGraph("snap")
+            for i in range(2000):
+                g.add_vertex(f"n{i}")
+            for i in range(1999):
+                g.add_edge(f"n{i}", "l", f"n{i + 1}")
+            g.remove_edge("n5", "l", "n6")
+            g.add_edge("n5", "l", f"n{move_target}")
+            return g
+
+        original, moved = build(6), build(100)
+        assert original.num_edges == moved.num_edges
+        assert original.content_fingerprint() != moved.content_fingerprint()
+
+    def test_fingerprint_is_edge_order_insensitive(self, small):
+        # Same interning (vertex and label ids fixed up front), same
+        # edge set, different insertion order: identical digest.
+        reordered = KnowledgeGraph("test")
+        for vertex in ("a", "b", "c"):
+            reordered.add_vertex(vertex)
+        for label in ("x", "y", "z"):
+            reordered.labels.intern(label)
+        for edge in [("c", "z", "a"), ("b", "x", "c"), ("a", "y", "b"),
+                     ("a", "x", "b")]:
+            reordered.add_edge(*edge)
+        assert reordered.content_fingerprint() == small.content_fingerprint()

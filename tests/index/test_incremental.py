@@ -175,3 +175,67 @@ class TestIncrementalMatchesGroundTruth:
             rng.choice(vertices), rng.choice(vertices), labels, constraint
         )
         assert INS(g, index).decide(query) == NaiveTwoProcedure(g).decide(query)
+
+
+class TestRefreshRegions:
+    def test_batch_refresh_matches_fresh_build(self):
+        g = graph_from_edges([("L1", "a", "p"), ("L2", "a", "x")])
+        index = build_local_index(g, landmarks=[g.vid("L1"), g.vid("L2")])
+        # One batch touching both regions: a crossing in each direction.
+        g.add_edge("p", "b", "x")
+        g.add_edge("x", "b", "p")
+        touched = {index.region_of(g.vid("p")), index.region_of(g.vid("x"))}
+        assert index.refresh_regions(touched) == 2
+        fresh = build_local_index(g, landmarks=[g.vid("L1"), g.vid("L2")])
+        assert tables_equal(index, fresh)
+
+    def test_unknown_and_no_region_ids_ignored(self):
+        g = graph_from_edges([("L", "a", "p")])
+        index = build_local_index(g, landmarks=[g.vid("L")])
+        assert index.refresh_regions({NO_REGION, 999}) == 0
+
+    def test_refresh_invalidates_cut_push_memos(self):
+        # Regression: the Cut/Push memos cache projections of the
+        # tables a refresh replaces; serving them after a refresh would
+        # answer for the pre-update region.
+        g = graph_from_edges([("L", "a", "p"), ("p", "b", "q")])
+        index = build_local_index(g, landmarks=[g.vid("L")])
+        mask = 1 << g.label_id("a")
+        stale = index.cut_targets(g.vid("L"), mask)
+        assert g.vid("q") not in stale  # q only reachable via label b
+        g.add_edge("p", "a", "q")  # q now reachable under {a} alone
+        assert index.refresh_after_edge(g.vid("p"), g.label_id("a"), g.vid("q"))
+        refreshed = index.cut_targets(g.vid("L"), mask)
+        assert g.vid("q") in refreshed
+
+
+class TestCloneFor:
+    def test_clone_refresh_leaves_original_untouched(self):
+        g = graph_from_edges([("L", "a", "p"), ("p", "a", "q")])
+        index = build_local_index(g, landmarks=[g.vid("L")])
+        a_mask = 1 << g.label_id("a")
+        original_cut = index.cut_targets(g.vid("L"), a_mask)
+
+        mutated = g.copy()
+        mutated.add_edge("L", "b", "q")  # new label, existing vertices
+        clone = index.clone_for(mutated)
+        assert clone.refresh_regions({clone.region_of(mutated.vid("L"))}) == 1
+
+        # The clone reflects the mutated graph: q is now reachable
+        # under {b} alone; the original index (and its memoised
+        # projections) still serve the old epoch.
+        b_mask = 1 << mutated.labels.id_of("b")
+        assert mutated.vid("q") in clone.cut_targets(mutated.vid("L"), b_mask)
+        assert index.cut_targets(g.vid("L"), a_mask) == original_cut
+        assert clone.ii is not index.ii
+
+    def test_clone_extends_region_for_new_vertices(self):
+        g = graph_from_edges([("L", "a", "p")])
+        index = build_local_index(g, landmarks=[g.vid("L")])
+        mutated = g.copy()
+        mutated.add_edge("p", "a", "brand_new")
+        clone = index.clone_for(mutated)
+        clone.sync_vertices()
+        assert clone.region_of(mutated.vid("brand_new")) == NO_REGION
+        # The original's region list did not grow.
+        assert len(index.partition.region) == g.num_vertices

@@ -35,7 +35,12 @@ class TestQuery:
         result, meta = service.query("v0", "v4", LABELS, S0)
         assert result.answer is True
         assert result.algorithm == "INS"
-        assert meta == {"cached": False, "trivial": False, "reason": "local index loaded"}
+        assert meta == {
+            "cached": False,
+            "trivial": False,
+            "reason": "local index loaded",
+            "epoch": 0,
+        }
         result, _ = service.query("v0", "v3", LABELS, S0)
         assert result.answer is False
 

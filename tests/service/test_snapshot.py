@@ -86,9 +86,11 @@ class TestServiceSnapshot:
         finally:
             service.close()
         document = json.loads(path.read_text())
-        assert document["format_version"] == 1
+        assert document["format_version"] == 2
         assert document["graph"]["name"] == "snap"
         assert document["graph"]["vertices"] == 3
+        assert document["graph"]["epoch"] == 0
+        assert isinstance(document["graph"]["fingerprint"], str)
         entry = document["results"][0]
         assert entry["key"][0] == "a"
         restored = QueryResult(**entry["result"])
@@ -106,6 +108,32 @@ class TestServiceSnapshot:
             graph_from_edges([("x", "l", "y")], name="other"), seed=0
         )
         try:
+            with pytest.raises(ServiceConfigError):
+                other.load_snapshot(path)
+        finally:
+            other.close()
+
+    def test_same_size_different_graph_refused(self, tmp_path):
+        # The staleness regression: identical name and (|V|, |E|) but a
+        # different adjacency.  The size-only identity check accepted
+        # this file and silently served the other graph's answers; the
+        # content fingerprint must refuse it.
+        path = tmp_path / "snap.json"
+        service = QueryService(make_graph(), seed=0)
+        try:
+            service.query("a", "b", ["l"], CONSTRAINT)
+            service.save_snapshot(path)
+        finally:
+            service.close()
+        imposter = graph_from_edges(
+            [("a", "l", "b"), ("b", "l", "c"), ("a", "m", "a")], name="snap"
+        )
+        other = QueryService(imposter, seed=0)
+        try:
+            ours, theirs = other.graph, service.graph
+            assert (ours.name, ours.num_vertices, ours.num_edges) == (
+                theirs.name, theirs.num_vertices, theirs.num_edges
+            )
             with pytest.raises(ServiceConfigError):
                 other.load_snapshot(path)
         finally:

@@ -1,0 +1,365 @@
+"""Live updates: apply_updates semantics, POST /edges, and the gates.
+
+Covers the epoch-swap mechanics the randomized agreement suite
+(``test_update_agreement.py``) then hammers statistically:
+
+* :meth:`QueryService.apply_updates` — epoch bump, duplicate counting,
+  vertex/label interning, index refresh vs full-rebuild fallback, the
+  old epoch staying intact for in-flight readers;
+* result-cache namespacing — a pre-update cached answer must never be
+  served for the post-update graph (the headline staleness bug);
+* ``POST /edges`` over real HTTP — default tenant and ``/t/<tenant>``
+  routes, structured validation errors, the ``--allow-updates`` gate
+  (403 when off) and the sharded 501 with its seam-naming detail.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exceptions import (
+    BadRequestError,
+    ServiceConfigError,
+    UpdatesUnsupportedError,
+)
+from repro.graph import FrozenGraph
+from repro.index.local_index import build_local_index
+from repro.service.app import QueryService
+from repro.service.http import create_server
+from repro.service.registry import TenantRegistry
+from repro.shard import ShardedQueryService
+from tests.helpers import graph_from_edges
+
+CONSTRAINT = "SELECT ?x WHERE { ?x <mark> ?y . }"
+
+
+def make_graph(name="live"):
+    return graph_from_edges(
+        [("s", "go", "m"), ("m", "mark", "m"), ("x", "go", "y")], name=name
+    )
+
+
+def make_service(indexed=False, **kwargs):
+    graph = make_graph()
+    index = build_local_index(graph, k=2, rng=0) if indexed else None
+    return QueryService(graph, index, seed=0, **kwargs)
+
+
+class TestApplyUpdates:
+    @pytest.mark.parametrize("indexed", [False, True])
+    def test_new_edge_flips_the_answer(self, indexed):
+        service = make_service(indexed)
+        try:
+            result, meta = service.query("s", "t2", ["go"], CONSTRAINT)
+            assert meta["epoch"] == 0
+            assert result.answer is False  # t2 not in the graph yet
+            summary = service.apply_updates([("m", "go", "t2")])
+            assert summary["epoch"] == 1
+            assert summary["edges_added"] == 1
+            assert summary["vertices_added"] == 1
+            result, meta = service.query("s", "t2", ["go"], CONSTRAINT)
+            assert result.answer is True
+            assert meta["epoch"] == 1
+        finally:
+            service.close()
+
+    def test_cached_pre_update_answer_is_not_served_after_swap(self):
+        # The headline staleness regression: an *executed* False answer
+        # cached at epoch 0 must not satisfy the same query once an
+        # update makes the true answer True.  Before the epoch-namespaced
+        # cache keys this returned the stale cached False.
+        service = make_service()
+        try:
+            first, meta = service.query("s", "y", ["go"], CONSTRAINT)
+            assert first.answer is False and not meta["trivial"]
+            again, meta = service.query("s", "y", ["go"], CONSTRAINT)
+            assert meta["cached"]  # epoch-0 entry is live
+            service.apply_updates([("m", "go", "y")])
+            fresh, meta = service.query("s", "y", ["go"], CONSTRAINT)
+            assert fresh.answer is True
+            assert not meta["cached"]
+            assert meta["epoch"] == 1
+        finally:
+            service.close()
+
+    def test_executed_cache_entry_does_not_cross_epochs(self):
+        service = make_service()
+        try:
+            executed, meta = service.query("s", "m", ["go"], CONSTRAINT)
+            assert executed.answer is True and not meta["trivial"]
+            cached, meta = service.query("s", "m", ["go"], CONSTRAINT)
+            assert meta["cached"]
+            service.apply_updates([("y", "go", "s")])
+            after, meta = service.query("s", "m", ["go"], CONSTRAINT)
+            assert after.answer is True
+            assert not meta["cached"]  # epoch-1 cache starts cold
+            assert meta["epoch"] == 1
+        finally:
+            service.close()
+
+    def test_all_duplicate_batch_is_a_no_op(self):
+        # No epoch bump, no graph copy: a batch of already-present
+        # triples must leave the published epoch (and therefore the
+        # warm-cache identity and every cache entry) untouched.
+        service = make_service()
+        try:
+            before = service.epoch
+            executed, _ = service.query("s", "m", ["go"], CONSTRAINT)
+            summary = service.apply_updates(
+                [("s", "go", "m"), ("m", "mark", "m")]
+            )
+            assert summary["epoch"] == 0
+            assert summary["edges_added"] == 0
+            assert summary["edges_duplicate"] == 2
+            assert service.epoch is before
+            again, meta = service.query("s", "m", ["go"], CONSTRAINT)
+            assert meta["cached"]  # the epoch-0 entry survived
+        finally:
+            service.close()
+
+    def test_duplicates_and_new_labels_counted(self):
+        service = make_service()
+        try:
+            summary = service.apply_updates(
+                [("s", "go", "m"), ("s", "new-label", "m")]
+            )
+            assert summary["edges_duplicate"] == 1
+            assert summary["edges_added"] == 1
+            assert "new-label" in service.graph.labels
+        finally:
+            service.close()
+
+    def test_old_epoch_object_keeps_serving(self):
+        service = make_service()
+        try:
+            old_epoch = service.epoch
+            old_graph = old_epoch.graph
+            edges_before = old_graph.num_edges
+            service.apply_updates([("a1", "go", "a2")])
+            assert service.epoch is not old_epoch
+            assert old_graph.num_edges == edges_before
+            assert not old_graph.has_vertex("a1")
+            assert isinstance(service.graph, FrozenGraph)
+            assert service.graph.has_vertex("a1")
+        finally:
+            service.close()
+
+    def test_index_refresh_and_rebuild_fallback(self):
+        service = make_service(indexed=True)
+        try:
+            summary = service.apply_updates([("s", "go", "s2")])
+            assert summary["index"] in ("refreshed", "unchanged")
+            assert service.index is not None
+            # Forcing the threshold to zero makes any touched region
+            # trigger the full-rebuild fallback.
+            summary = service.apply_updates(
+                [("s", "go", "s3")], rebuild_region_fraction=0.0
+            )
+            assert summary["index"] == "rebuilt"
+        finally:
+            service.close()
+
+    def test_empty_batch_rejected(self):
+        service = make_service()
+        try:
+            with pytest.raises(BadRequestError):
+                service.apply_updates([])
+        finally:
+            service.close()
+
+    def test_handle_updates_validation(self):
+        service = make_service()
+        try:
+            for payload in (
+                "nope",
+                {},
+                {"edges": []},
+                {"edges": "x"},
+                {"edges": [{"source": "a", "label": "l"}]},
+                {"edges": [["a", "l"]]},
+                {"edges": [["a", 3, "b"]]},
+                {"edges": [{"source": "", "label": "l", "target": "b"}]},
+            ):
+                with pytest.raises(BadRequestError):
+                    service.handle_updates(payload)
+            # Valid object and array forms both apply.
+            summary = service.handle_updates(
+                {"edges": [{"source": "p", "label": "go", "target": "q"},
+                           ["q", "go", "r"]]}
+            )
+            assert summary["edges_added"] == 2
+        finally:
+            service.close()
+
+    def test_stats_and_health_carry_the_epoch(self):
+        service = make_service()
+        try:
+            service.apply_updates([("s", "go", "w")])
+            health = service.health()
+            assert health["epoch"] == 1
+            stats = service.stats_snapshot()
+            assert stats["epoch"]["epoch_id"] == 1
+            assert isinstance(stats["epoch"]["fingerprint"], str)
+            updates = stats["service"]["updates"]
+            assert updates["batches"] == 1
+            assert updates["edges_added"] == 1
+            assert "updates" in stats["service"]["latency"]
+        finally:
+            service.close()
+
+
+class TestShardedUpdatesRejected:
+    def test_apply_updates_raises_structured_501(self):
+        graph = graph_from_edges(
+            [(f"n{i}", "l", f"n{i + 1}") for i in range(12)], name="sharded"
+        )
+        service = ShardedQueryService(graph, seed=0, shards=2)
+        try:
+            with pytest.raises(UpdatesUnsupportedError) as excinfo:
+                service.apply_updates([("a", "l", "b")])
+            assert excinfo.value.status == 501
+            assert excinfo.value.detail["seam"] == "slice-epoch"
+            assert excinfo.value.detail["shards"] == 2
+        finally:
+            service.close()
+
+
+def http_post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture()
+def update_server():
+    registry = TenantRegistry(default_tenant="default")
+    registry.add("default", make_service())
+    registry.add("beta", make_service())
+    server = create_server(registry, "127.0.0.1", 0, allow_updates=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}", registry
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestHttpEdges:
+    def test_post_edges_then_query_sees_the_new_graph(self, update_server):
+        base_url, _ = update_server
+        query = {"source": "s", "target": "fresh", "labels": ["go"],
+                 "constraint": CONSTRAINT}
+        status, before = http_post(f"{base_url}/query", query)
+        assert status == 200 and before["answer"] is False
+        status, summary = http_post(
+            f"{base_url}/edges", {"edges": [["m", "go", "fresh"]]}
+        )
+        assert status == 200
+        assert summary["epoch"] == 1 and summary["edges_added"] == 1
+        status, after = http_post(f"{base_url}/query", query)
+        assert status == 200 and after["answer"] is True
+        assert after["epoch"] == 1
+
+    def test_per_tenant_route_updates_only_that_tenant(self, update_server):
+        base_url, registry = update_server
+        status, summary = http_post(
+            f"{base_url}/t/beta/edges", {"edges": [["m", "go", "beta-only"]]}
+        )
+        assert status == 200 and summary["epoch"] == 1
+        assert registry.get("beta").graph.has_vertex("beta-only")
+        assert not registry.get("default").graph.has_vertex("beta-only")
+        assert registry.get("default").epoch.epoch_id == 0
+
+    def test_validation_errors_are_structured_400s(self, update_server):
+        base_url, _ = update_server
+        status, body = http_post(f"{base_url}/edges", {"edges": [["a"]]})
+        assert status == 400
+        assert body["error"]["type"] == "bad-request"
+        assert "edges[0]" in body["error"]["message"]
+
+    def test_unknown_tenant_404(self, update_server):
+        base_url, _ = update_server
+        status, body = http_post(
+            f"{base_url}/t/ghost/edges", {"edges": [["a", "l", "b"]]}
+        )
+        assert status == 404
+        assert body["error"]["type"] == "unknown-tenant"
+
+    def test_disabled_by_default_gives_403(self):
+        server = create_server(make_service(), "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base_url = f"http://127.0.0.1:{server.server_address[1]}"
+            status, body = http_post(
+                f"{base_url}/edges", {"edges": [["a", "go", "b"]]}
+            )
+            assert status == 403
+            assert body["error"]["type"] == "updates-disabled"
+            assert "--allow-updates" in body["error"]["message"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_sharded_tenant_gives_501_with_seam_detail(self):
+        graph = graph_from_edges(
+            [(f"n{i}", "l", f"n{i + 1}") for i in range(12)], name="sharded"
+        )
+        service = ShardedQueryService(graph, seed=0, shards=2)
+        server = create_server(service, "127.0.0.1", 0, allow_updates=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base_url = f"http://127.0.0.1:{server.server_address[1]}"
+            status, body = http_post(
+                f"{base_url}/edges", {"edges": [["a", "l", "b"]]}
+            )
+            assert status == 501
+            assert body["error"]["type"] == "updates-unsupported"
+            assert body["error"]["detail"]["seam"] == "slice-epoch"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+
+class TestSnapshotEpochIdentity:
+    def test_post_update_snapshot_refused_by_fresh_service(self, tmp_path):
+        path = tmp_path / "snap.json"
+        first = make_service()
+        try:
+            first.apply_updates([("s", "go", "later")])
+            first.query("s", "later", ["go"], CONSTRAINT)
+            first.save_snapshot(path)
+        finally:
+            first.close()
+        fresh = make_service()  # same TSV-equivalent graph, epoch 0
+        try:
+            with pytest.raises(ServiceConfigError):
+                fresh.load_snapshot(path)
+        finally:
+            fresh.close()
+
+    def test_serve_parser_accepts_allow_updates(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--graph", "g.tsv", "--allow-updates"]
+        )
+        assert args.allow_updates is True
+        args = build_parser().parse_args(["serve", "--graph", "g.tsv"])
+        assert args.allow_updates is False

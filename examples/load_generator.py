@@ -31,12 +31,17 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import re
 import threading
 import time
 import urllib.request
 from collections import defaultdict
 
 PERCENTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+_LE_LABEL = re.compile(r'le="([^"]+)"')
+_ENDPOINT_QUERY = re.compile(r'endpoint="query"')
+_RESULT_CACHE = re.compile(r'cache="result"')
 
 
 def percentile(values: list[float], fraction: float) -> float:
@@ -55,6 +60,101 @@ def post(base: str, path: str, payload: dict, timeout: float = 30.0) -> dict:
     )
     with urllib.request.urlopen(request, timeout=timeout) as response:
         return json.loads(response.read())
+
+
+def scrape_metrics(base: str) -> dict[str, float] | None:
+    """``GET /metrics`` → ``{sample-key: value}``, or None when the
+    server has no metrics route (pre-observability builds).
+
+    Kept deliberately tiny and inline — ``--url`` mode drives servers on
+    other machines, so the script must not depend on the repro package.
+    The key is the raw ``name{labels}`` prefix of each sample line,
+    which is stable across scrapes of the same server.
+    """
+    try:
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as response:
+            text = response.read().decode("utf-8")
+    except Exception:
+        return None
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, _, raw = line.rpartition(" ")
+        if not key:
+            continue
+        try:
+            samples[key] = math.inf if raw == "+Inf" else float(raw)
+        except ValueError:
+            continue
+    return samples
+
+
+def _metric_delta(delta: dict[str, float], name: str) -> float:
+    """Sum the delta across every label set of one metric family."""
+    return sum(
+        value for key, value in delta.items()
+        if key == name or key.startswith(name + "{")
+    )
+
+
+def _histogram_p99(delta: dict[str, float]) -> float | None:
+    """p99 (ms) of the query-endpoint latency histogram *delta* — the
+    distribution of just this run's requests, not the server's lifetime."""
+    buckets: dict[float, float] = defaultdict(float)
+    for key, value in delta.items():
+        if not key.startswith("repro_request_latency_seconds_bucket{"):
+            continue
+        if not _ENDPOINT_QUERY.search(key):
+            continue
+        match = _LE_LABEL.search(key)
+        if match is None:
+            continue
+        le = match.group(1)
+        bound = math.inf if le == "+Inf" else float(le)
+        buckets[bound] += value
+    if not buckets:
+        return None
+    ordered = sorted(buckets.items())
+    total = ordered[-1][1]          # the +Inf bucket is cumulative: all
+    if total <= 0:
+        return None
+    rank = math.ceil(0.99 * total)
+    for bound, cumulative in ordered:
+        if cumulative >= rank:
+            return bound * 1000.0 if bound != math.inf else float("inf")
+    return None
+
+
+def report_server_delta(
+    before: dict[str, float] | None, after: dict[str, float] | None
+) -> None:
+    """Server-side numbers for this run, from the /metrics scrape pair."""
+    if before is None or after is None:
+        print("\nserver-side: /metrics unavailable — skipping server report")
+        return
+    delta = {key: after[key] - before.get(key, 0.0) for key in after}
+    queries = _metric_delta(delta, "repro_queries_total")
+    cached = _metric_delta(delta, "repro_queries_cached_total")
+    hits = sum(
+        value for key, value in delta.items()
+        if key.startswith("repro_cache_hits_total{")
+        and _RESULT_CACHE.search(key)
+    )
+    misses = sum(
+        value for key, value in delta.items()
+        if key.startswith("repro_cache_misses_total{")
+        and _RESULT_CACHE.search(key)
+    )
+    probes = hits + misses
+    hit_ratio = hits / probes if probes else 0.0
+    p99 = _histogram_p99(delta)
+    p99_text = f"{p99:.2f} ms" if p99 is not None else "n/a"
+    print(
+        f"\nserver-side (from /metrics deltas): {queries:.0f} queries, "
+        f"{cached:.0f} cache-answered, result-cache hit ratio "
+        f"{hit_ratio:.1%}, query p99={p99_text}"
+    )
 
 
 def default_specs(num_vertices: int, num_labels: int) -> list[dict]:
@@ -204,9 +304,11 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.spec_file) as handle:
             specs = json.load(handle)
         print(f"driving {args.url} with {len(specs)} specs ...")
+        before = scrape_metrics(args.url)
         stats = run_load(args.url, specs, args.clients, args.duration,
                          args.batch_every, args.batch_size)
         report(stats, args.clients)
+        report_server_delta(before, scrape_metrics(args.url))
         return 0
 
     # Self-contained: generate, serve in-process, drive, tear down.
@@ -231,18 +333,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"server on {base}; driving {args.clients} client(s) "
           f"for {args.duration:.1f}s ...")
     try:
+        before = scrape_metrics(base)
         stats = run_load(base, default_specs(args.vertices, num_labels),
                          args.clients, args.duration,
                          args.batch_every, args.batch_size)
         report(stats, args.clients)
-        # The server's own view, for cross-checking client-side numbers.
-        snapshot = service.stats.snapshot()
-        query_latency = snapshot["latency"].get("query", {})
-        print(
-            f"\nserver-side: {snapshot['queries']['total']} queries, "
-            f"query p99={query_latency.get('p99_ms', 0.0):.2f} ms "
-            f"(log-scale histogram over {query_latency.get('count', 0)} samples)"
-        )
+        # The server's own view of the same run, for cross-checking the
+        # client-side numbers — scraped over /metrics like production
+        # monitoring would, not read from in-process state.
+        report_server_delta(before, scrape_metrics(base))
     finally:
         server.shutdown()
         server.server_close()

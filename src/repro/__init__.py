@@ -60,7 +60,7 @@ from repro.service.stats import ServiceStats
 from repro.shard import ShardedQueryService
 from repro.sparql import SparqlEngine
 
-__version__ = "1.0.0"
+from repro._version import __version__
 
 __all__ = [
     "BatchExecutor",

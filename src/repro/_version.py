@@ -1,0 +1,9 @@
+"""The package version, importable without the package.
+
+Lives in its own leaf module so layers deep inside the service stack
+(``/healthz``, the ``repro_build_info`` metric) can stamp the version
+without importing :mod:`repro` itself — whose ``__init__`` imports the
+service stack, which would be a cycle.
+"""
+
+__version__ = "1.1.0"

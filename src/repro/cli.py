@@ -200,6 +200,30 @@ def build_parser() -> argparse.ArgumentParser:
         "epoch swap; refused with 403 when off, and unsupported on sharded "
         "default tenants)",
     )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="fraction of requests traced server-side for the slow-query "
+        "flight recorder (0.0-1.0; clients can always force a trace with "
+        "?trace=1)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="queries at or above this latency enter the flight recorder "
+        "at GET /debug/slow (default 250)",
+    )
+    serve.add_argument(
+        "--slow-log-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worst-N slow queries kept per tenant (default 16)",
+    )
     return parser
 
 
@@ -327,7 +351,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl=args.cache_ttl,
         max_workers=args.workers,
         freeze=not args.no_freeze,
+        trace_sample=args.trace_sample,
     )
+    if args.slow_ms is not None:
+        options["slow_ms"] = args.slow_ms
+    if args.slow_log_size is not None:
+        options["slow_log_size"] = args.slow_log_size
     # The default tenant (the one the un-prefixed PR 1 routes alias to)
     # is --graph when given, else the first --tenant; it loads eagerly so
     # the ready line below reports real sizes, the rest warm-start lazily.
@@ -398,6 +427,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.allow_updates:
         print("live updates: enabled (POST /edges, epoch-swapped)", flush=True)
+    print(
+        f"observability: GET /metrics, GET /debug/slow "
+        f"(slow-ms={service.flight.threshold_ms:g}, "
+        f"trace-sample={args.trace_sample:g})",
+        flush=True,
+    )
     # Machine-readable ready line: tooling (and the tests) parse the port
     # from it, which is how --port 0 ephemeral binding stays usable.
     print(f"listening on http://{host}:{port}", flush=True)

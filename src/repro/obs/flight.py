@@ -1,0 +1,134 @@
+"""The slow-query flight recorder: a bounded ledger of the worst traces.
+
+When a query is slow the histogram says *that* it was slow; the flight
+recorder says *why*: it keeps the N worst entries seen so far — each a
+JSON-ready dict carrying the query's canonical key, outcome metadata
+and (when the request was traced) its span tree — behind
+``GET /debug/slow``.
+
+Design points:
+
+* **bounded** — a min-heap of at most ``max_entries`` keyed on
+  duration: a new entry slower than the current fastest kept entry
+  replaces it, anything faster is dropped (counted, not stored), so
+  memory is O(N) regardless of traffic;
+* **threshold-gated** — only entries at or above ``threshold_ms``
+  are considered at all; the fast path for a sub-threshold query is one
+  float compare (:meth:`interested`), called before the caller builds
+  the entry dict, so normal traffic never allocates for the recorder;
+* **epoch-durable** — the recorder belongs to the
+  :class:`~repro.service.app.QueryService`, not to any
+  :class:`~repro.service.epoch.GraphEpoch`, so entries recorded before
+  a live-update swap survive it: a post-update latency regression is
+  diagnosable from the recorded pre/post traces, which carry the epoch
+  id that answered them.
+
+Thread-safe: one lock around the heap; entries are plain dicts the
+caller must not mutate after recording.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+
+__all__ = ["FlightRecorder", "DEFAULT_SLOW_MS", "DEFAULT_SLOW_LOG_SIZE"]
+
+#: Default slow-query threshold (``serve --slow-ms``).
+DEFAULT_SLOW_MS = 250.0
+
+#: Default worst-N capacity (``serve --slow-log-size``).
+DEFAULT_SLOW_LOG_SIZE = 16
+
+
+class FlightRecorder:
+    """Keep the ``max_entries`` slowest entries at/above ``threshold_ms``."""
+
+    def __init__(
+        self,
+        threshold_ms: float = DEFAULT_SLOW_MS,
+        max_entries: int = DEFAULT_SLOW_LOG_SIZE,
+    ) -> None:
+        if threshold_ms < 0:
+            raise ValueError(f"threshold_ms must be >= 0, got {threshold_ms}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.threshold_ms = threshold_ms
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        #: Min-heap of (seconds, sequence, entry): the root is the
+        #: fastest kept entry, i.e. the first to evict.  The sequence
+        #: number breaks duration ties so dicts are never compared.
+        self._heap: list[tuple[float, int, dict]] = []
+        self._sequence = 0
+        self._seen = 0
+        self._dropped = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder(threshold_ms={self.threshold_ms}, "
+            f"kept={len(self._heap)}/{self.max_entries})"
+        )
+
+    def interested(self, seconds: float) -> bool:
+        """True when a ``seconds``-long request is worth an entry.
+
+        The pre-filter callers use *before* building the entry dict —
+        one multiply and compare, no lock — so the recorder costs
+        nothing on sub-threshold traffic.
+        """
+        return seconds * 1000.0 >= self.threshold_ms
+
+    def record(self, seconds: float, entry: dict) -> bool:
+        """Offer one entry; returns True when it was kept.
+
+        ``entry`` is stored as given plus ``seconds`` and a wall-clock
+        ``recorded_at`` stamp.  Entries below the threshold, or faster
+        than everything already kept when full, are counted as seen (and
+        dropped) but not stored.
+        """
+        with self._lock:
+            self._seen += 1
+            if seconds * 1000.0 < self.threshold_ms:
+                self._dropped += 1
+                return False
+            entry = {"seconds": seconds, "recorded_at": time.time(), **entry}
+            self._sequence += 1
+            item = (seconds, self._sequence, entry)
+            if len(self._heap) < self.max_entries:
+                heapq.heappush(self._heap, item)
+                return True
+            if seconds <= self._heap[0][0]:
+                self._dropped += 1
+                return False
+            heapq.heapreplace(self._heap, item)
+            self._dropped += 1
+            return True
+
+    def snapshot(self) -> list[dict]:
+        """Kept entries, slowest first (JSON-ready)."""
+        with self._lock:
+            ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+            return [dict(entry) for _, _, entry in ordered]
+
+    def summary(self) -> dict:
+        """Counters for the ``/stats`` document."""
+        with self._lock:
+            return {
+                "threshold_ms": self.threshold_ms,
+                "max_entries": self.max_entries,
+                "kept": len(self._heap),
+                "seen": self._seen,
+                "dropped": self._dropped,
+                "worst_ms": self._heap and max(
+                    item[0] for item in self._heap
+                ) * 1000.0 or 0.0,
+            }
+
+    def clear(self) -> int:
+        """Drop every kept entry (counters survive); returns how many."""
+        with self._lock:
+            count = len(self._heap)
+            self._heap.clear()
+            return count

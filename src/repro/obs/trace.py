@@ -1,0 +1,339 @@
+"""Request-scoped tracing: cheap spans carried by a context variable.
+
+A :class:`Trace` is one request's tree of timed :class:`Span`\\ s.  The
+design constraint, set by the hot-path benchmark gate, is that tracing
+must cost *nothing measurable when off*: every instrumentation point in
+the serving stack calls :func:`span`, which reads one
+:class:`contextvars.ContextVar` and returns a shared no-op singleton
+when no trace is active — no allocation, no branching downstream, no
+signature changes for the evaluators in between.  Only requests that
+asked for a trace (``?trace=1``), or were sampled server-side
+(:class:`TraceSampler`), pay for real span objects.
+
+Context propagation rules:
+
+* the HTTP/service entry point creates the :class:`Trace` and activates
+  it with :func:`use_trace` (a context manager that sets and restores
+  the context variable — safe to nest and safe with ``trace=None``,
+  which deactivates tracing for the covered region);
+* :func:`span` opens a child of the *current* span (the trace root when
+  none is open) and makes it current for the ``with`` body, so nesting
+  falls out of lexical structure;
+* thread pools do **not** inherit context variables, so fan-out layers
+  (the batch executor, the shard scatter pool) re-activate the trace
+  explicitly in the worker callable with :func:`use_trace` — or, like
+  the shard workers, build a plain span *dict* off-context and let the
+  coordinator stitch it into the live tree with :meth:`SpanHandle.attach`.
+  Child-list appends are plain ``list.append`` calls, atomic under the
+  GIL, so concurrent children from a fan-out are safe without a lock.
+
+Spans serialise to JSON-ready dicts (``to_dict``): name, start offset
+relative to the trace start, duration, attributes, children.  Remote
+subtrees received over the wire are attached as dicts unchanged, which
+is how one sharded query yields a single stitched tree spanning
+processes.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from contextvars import ContextVar
+from typing import Any
+
+__all__ = [
+    "Span",
+    "SpanHandle",
+    "Trace",
+    "TraceSampler",
+    "annotate",
+    "current_span",
+    "current_trace",
+    "new_trace_id",
+    "span",
+    "use_trace",
+]
+
+#: The active trace for this context (None = tracing off, the default).
+_ACTIVE_TRACE: ContextVar["Trace | None"] = ContextVar(
+    "repro_trace", default=None
+)
+#: The innermost open span of the active trace (the root right after
+#: activation).  Kept separate from the trace so :func:`span` nesting is
+#: one ContextVar get + set, no tree walk.
+_CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
+    "repro_span", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (random, collision-unlikely)."""
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    ``started`` is the offset in seconds from the owning trace's start
+    (so a serialised tree is self-contained); ``seconds`` is the
+    duration, set when the span closes (-1.0 while open).  ``children``
+    holds nested :class:`Span` objects and raw dicts (remote subtrees
+    stitched in by :meth:`SpanHandle.attach`), interleaved.
+    """
+
+    __slots__ = ("name", "started", "seconds", "attrs", "children")
+
+    def __init__(self, name: str, started: float = 0.0) -> None:
+        self.name = name
+        self.started = started
+        self.seconds = -1.0
+        self.attrs: dict[str, Any] = {}
+        self.children: list[Span | dict] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, seconds={self.seconds:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering of this span's subtree."""
+        return {
+            "name": self.name,
+            "started": self.started,
+            "seconds": self.seconds,
+            "attrs": dict(self.attrs),
+            "children": [
+                child.to_dict() if isinstance(child, Span) else child
+                for child in self.children
+            ],
+        }
+
+
+class Trace:
+    """One request's tree of spans plus its identity.
+
+    ``sampled`` distinguishes server-side sampled traces (recorded to
+    the flight recorder but not echoed to the client) from
+    client-requested ones.  ``finish`` closes the root; ``to_dict``
+    before ``finish`` reports the elapsed time so far, so partially
+    complete traces (a batch member's flight-recorder entry) still
+    serialise sensibly.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "root",
+        "sampled",
+        "started_at",
+        "_started_perf",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        trace_id: str | None = None,
+        sampled: bool = False,
+    ) -> None:
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self.sampled = sampled
+        self.started_at = time.time()
+        self._started_perf = time.perf_counter()
+        self.root = Span(name, 0.0)
+
+    def __repr__(self) -> str:
+        return f"Trace({self.trace_id!r}, root={self.root.name!r})"
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the trace started (live, monotonic)."""
+        return time.perf_counter() - self._started_perf
+
+    def finish(self) -> "Trace":
+        """Close the root span at the current elapsed time."""
+        self.root.seconds = self.elapsed
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering of the whole trace."""
+        document = self.root.to_dict()
+        if document["seconds"] < 0.0:
+            document["seconds"] = self.elapsed
+        return {
+            "trace_id": self.trace_id,
+            "sampled": self.sampled,
+            "started_at": self.started_at,
+            **document,
+        }
+
+
+class _NoopHandle:
+    """The shared do-nothing span handle returned when tracing is off.
+
+    Every method returns ``self`` (or a harmless constant), so
+    instrumentation points never branch on "is tracing on" themselves.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopHandle":
+        return self
+
+    def attach(self, child: dict | None) -> "_NoopHandle":
+        return self
+
+
+_NOOP = _NoopHandle()
+
+
+class SpanHandle:
+    """A live span opened by :func:`span` — the ``with`` target.
+
+    ``set(**attrs)`` records attributes; ``attach(dict)`` stitches a
+    pre-serialised subtree (a remote worker's span) under this span.
+    """
+
+    __slots__ = ("_span", "_trace", "_token")
+
+    def __init__(self, span_obj: Span, trace: Trace) -> None:
+        self._span = span_obj
+        self._trace = trace
+        self._token = None
+
+    def __enter__(self) -> "SpanHandle":
+        self._token = _CURRENT_SPAN.set(self._span)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._span.seconds = self._trace.elapsed - self._span.started
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._token = None
+        return False
+
+    def set(self, **attrs: Any) -> "SpanHandle":
+        self._span.attrs.update(attrs)
+        return self
+
+    def attach(self, child: dict | None) -> "SpanHandle":
+        if child is not None:
+            self._span.children.append(child)
+        return self
+
+
+def current_trace() -> Trace | None:
+    """The active trace, or None when tracing is off."""
+    return _ACTIVE_TRACE.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span of the active trace (None when off)."""
+    return _CURRENT_SPAN.get()
+
+
+def span(name: str, **attrs: Any) -> SpanHandle | _NoopHandle:
+    """Open a child span of the current one (no-op when tracing is off).
+
+    The disabled path is the hot one: a single ContextVar read returning
+    the shared no-op handle.  With a trace active, the new span is
+    appended under the current span (the root when none is open) and
+    becomes current for the ``with`` body.
+    """
+    trace = _ACTIVE_TRACE.get()
+    if trace is None:
+        return _NOOP
+    parent = _CURRENT_SPAN.get()
+    if parent is None:
+        parent = trace.root
+    child = Span(name, trace.elapsed)
+    if attrs:
+        child.attrs.update(attrs)
+    parent.children.append(child)
+    return SpanHandle(child, trace)
+
+
+def annotate(**attrs: Any) -> None:
+    """Set attributes on the current span, if any (no-op when off)."""
+    current = _CURRENT_SPAN.get()
+    if current is None:
+        trace = _ACTIVE_TRACE.get()
+        if trace is None:
+            return
+        current = trace.root
+    current.attrs.update(attrs)
+
+
+class use_trace:
+    """Context manager activating ``trace`` for the covered region.
+
+    ``use_trace(None)`` deactivates tracing for the region (used by
+    layers that must not leak an outer request's trace into unrelated
+    work).  This is also the fan-out propagation primitive: a worker
+    callable re-activates the request's trace in its own thread, since
+    thread pools don't inherit context variables.
+    """
+
+    __slots__ = ("_trace", "_trace_token", "_span_token")
+
+    def __init__(self, trace: Trace | None) -> None:
+        self._trace = trace
+        self._trace_token = None
+        self._span_token = None
+
+    def __enter__(self) -> Trace | None:
+        self._trace_token = _ACTIVE_TRACE.set(self._trace)
+        # Reset the span cursor: the activating context starts at the
+        # trace root, never at whatever span an outer context left open.
+        self._span_token = _CURRENT_SPAN.set(None)
+        return self._trace
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._span_token is not None:
+            _CURRENT_SPAN.reset(self._span_token)
+            self._span_token = None
+        if self._trace_token is not None:
+            _ACTIVE_TRACE.reset(self._trace_token)
+            self._trace_token = None
+        return False
+
+
+class TraceSampler:
+    """Server-side probabilistic trace sampling at a fixed rate.
+
+    ``rate`` is the fraction of requests traced without being asked
+    (0.0 = never, the default; 1.0 = always).  The zero-rate fast path
+    is branch-only — no rng draw — so an unconfigured service pays one
+    float compare per request.  Draws are serialised by a lock;
+    sampling happens at most once per request, never in a hot loop.
+    """
+
+    __slots__ = ("rate", "_rng", "_lock")
+
+    def __init__(self, rate: float = 0.0, seed: int | None = None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return f"TraceSampler(rate={self.rate})"
+
+    def sample(self) -> bool:
+        """True when this request should be traced server-side."""
+        rate = self.rate
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        with self._lock:
+            return self._rng.random() < rate

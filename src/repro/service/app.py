@@ -48,6 +48,7 @@ from threading import Lock
 from time import perf_counter
 from typing import Any
 
+from repro._version import __version__
 from repro.constraints.label_constraint import LabelConstraint
 from repro.constraints.substructure import SubstructureConstraint
 from repro.core.result import QueryResult
@@ -63,6 +64,20 @@ from repro.graph.labeled_graph import KnowledgeGraph
 from repro.index.landmarks import NO_REGION
 from repro.index.local_index import LocalIndex, build_local_index
 from repro.index.storage import load_or_build_index
+from repro.obs.flight import (
+    DEFAULT_SLOW_LOG_SIZE,
+    DEFAULT_SLOW_MS,
+    FlightRecorder,
+)
+from repro.obs.trace import (
+    Trace,
+    TraceSampler,
+    annotate,
+    current_span,
+    current_trace,
+    span,
+    use_trace,
+)
 from repro.service.cache import CandidateCache, ConstraintCache, ResultCache
 from repro.service.epoch import GraphEpoch, validate_edge_updates
 from repro.service.executor import BatchExecutor
@@ -104,11 +119,28 @@ class QueryService:
         max_batch: int = DEFAULT_MAX_BATCH,
         seed: int = 0,
         freeze: bool = True,
+        trace_sample: float = 0.0,
+        slow_ms: float = DEFAULT_SLOW_MS,
+        slow_log_size: int = DEFAULT_SLOW_LOG_SIZE,
     ) -> None:
         if max_batch < 1:
             raise ServiceConfigError(f"max_batch must be >= 1, got {max_batch}")
         self.seed = seed
         self.max_batch = max_batch
+        try:
+            #: Server-side trace sampling: the fraction of un-asked-for
+            #: requests that get a (flight-recorder-only) trace.
+            self._sampler = TraceSampler(trace_sample, seed=seed)
+            #: The slow-query flight recorder.  Owned by the *service*,
+            #: not the epoch, so recorded entries survive update swaps —
+            #: that durability is what makes a post-update regression
+            #: diagnosable from its recorded pre/post traces.
+            self.flight = FlightRecorder(
+                threshold_ms=slow_ms, max_entries=slow_log_size
+            )
+        except ValueError as error:
+            raise ServiceConfigError(str(error)) from error
+        self.trace_sample = trace_sample
         self.constraints = ConstraintCache()
         self._forced_algorithm = algorithm
         self._freeze = freeze
@@ -294,24 +326,38 @@ class QueryService:
         # against the same graph version even if an update lands while
         # the batch is in flight.
         epoch = self._epoch
-        plans = [
-            (
-                epoch.planner.plan(
-                    spec["source"],
-                    spec["target"],
-                    spec["labels"],
-                    spec["constraint"],
-                    spec.get("algorithm") or self._forced_algorithm,
-                ),
-                use_cache and spec.get("use_cache", True),
-            )
-            for spec in specs
-        ]
+        with span("plan-batch", queries=len(specs)):
+            plans = [
+                (
+                    epoch.planner.plan(
+                        spec["source"],
+                        spec["target"],
+                        spec["labels"],
+                        spec["constraint"],
+                        spec.get("algorithm") or self._forced_algorithm,
+                    ),
+                    use_cache and spec.get("use_cache", True),
+                )
+                for spec in specs
+            ]
         self.stats.record_batch()
-        answered = self.executor.map(
-            lambda item: self._finish(item[0], epoch, use_cache=item[1], batch=True),
-            plans,
-        )
+        trace = current_trace()
+        if trace is None:
+            runner = lambda item: self._finish(  # noqa: E731
+                item[1][0], epoch, use_cache=item[1][1], batch=True
+            )
+        else:
+            # Pool threads don't inherit context variables: re-activate
+            # the batch's trace in the worker and give each member its
+            # own "query" span, stitched under the batch root.
+            def runner(item):
+                position, (plan, item_cache) = item
+                with use_trace(trace), span("query", index=position):
+                    return self._finish(
+                        plan, epoch, use_cache=item_cache, batch=True
+                    )
+
+        answered = self.executor.map(runner, list(enumerate(plans)))
         self.stats.record_latency("batch", perf_counter() - started)
         return answered
 
@@ -376,61 +422,78 @@ class QueryService:
                     "regions_refreshed": 0,
                     "seconds": elapsed,
                 }
-            base = base_graph(old.graph).copy()
+            with span("copy"):
+                base = base_graph(old.graph).copy()
             vertices_before = base.num_vertices
             added: list[tuple[int, int, int]] = []
             duplicates = 0
-            for source, label, target in updates:
-                s_id = base.add_vertex(source)
-                t_id = base.add_vertex(target)
-                label_id = base.labels.intern(label)
-                if base.add_edge_ids(s_id, label_id, t_id):
-                    added.append((s_id, label_id, t_id))
-                else:
-                    duplicates += 1
-            vertices_added = base.num_vertices - vertices_before
-            new_graph = freeze_graph(base) if self._freeze else base
+            with span("apply", edges=len(updates)) as apply_span:
+                for source, label, target in updates:
+                    s_id = base.add_vertex(source)
+                    t_id = base.add_vertex(target)
+                    label_id = base.labels.intern(label)
+                    if base.add_edge_ids(s_id, label_id, t_id):
+                        added.append((s_id, label_id, t_id))
+                    else:
+                        duplicates += 1
+                vertices_added = base.num_vertices - vertices_before
+                apply_span.set(
+                    added=len(added),
+                    duplicates=duplicates,
+                    vertices_added=vertices_added,
+                )
+            with span("freeze"):
+                new_graph = freeze_graph(base) if self._freeze else base
             new_index: LocalIndex | None = None
             index_action = "none"
             regions_refreshed = 0
             if old.index is not None:
-                new_index = old.index.clone_for(new_graph)
-                # region_of would IndexError on a just-interned vertex id
-                # until the region list is extended to the new |V|.
-                new_index.sync_vertices()
-                touched = {new_index.region_of(s_id) for s_id, _, _ in added}
-                touched.discard(NO_REGION)
-                landmarks = new_index.partition.landmarks
-                if touched and len(touched) > rebuild_region_fraction * len(
-                    landmarks
-                ):
-                    new_index = build_local_index(
-                        new_graph, landmarks=list(landmarks)
+                with span("index-repair") as repair_span:
+                    new_index = old.index.clone_for(new_graph)
+                    # region_of would IndexError on a just-interned vertex
+                    # id until the region list is extended to the new |V|.
+                    new_index.sync_vertices()
+                    touched = {new_index.region_of(s_id) for s_id, _, _ in added}
+                    touched.discard(NO_REGION)
+                    landmarks = new_index.partition.landmarks
+                    if touched and len(touched) > rebuild_region_fraction * len(
+                        landmarks
+                    ):
+                        new_index = build_local_index(
+                            new_graph, landmarks=list(landmarks)
+                        )
+                        index_action = "rebuilt"
+                        regions_refreshed = len(landmarks)
+                    else:
+                        regions_refreshed = new_index.refresh_regions(touched)
+                        index_action = (
+                            "refreshed" if regions_refreshed else "unchanged"
+                        )
+                    repair_span.set(
+                        action=index_action, regions=regions_refreshed
                     )
-                    index_action = "rebuilt"
-                    regions_refreshed = len(landmarks)
-                else:
-                    regions_refreshed = new_index.refresh_regions(touched)
-                    index_action = "refreshed" if regions_refreshed else "unchanged"
-            new_epoch = GraphEpoch(
-                old.epoch_id + 1,
-                new_graph,
-                new_index,
-                old.planner.rebind(new_graph, has_index=new_index is not None),
-                CandidateCache(max_size=self._cache_size),
-                self.constraints,
-                self.seed,
-            )
-            # The publish: a single attribute store is atomic under the
-            # GIL — this is the only line readers ever observe changing.
-            self._epoch = new_epoch
-            # Old-epoch result-cache entries are unreachable by new
-            # queries (the epoch id is part of the key); reclaim them
-            # now instead of waiting for LRU pressure.
-            current = new_epoch.epoch_id
-            self.results.purge(
-                lambda key: isinstance(key, tuple) and key[0] != current
-            )
+            with span("publish") as publish_span:
+                new_epoch = GraphEpoch(
+                    old.epoch_id + 1,
+                    new_graph,
+                    new_index,
+                    old.planner.rebind(new_graph, has_index=new_index is not None),
+                    CandidateCache(max_size=self._cache_size),
+                    self.constraints,
+                    self.seed,
+                )
+                # The publish: a single attribute store is atomic under
+                # the GIL — this is the only line readers ever observe
+                # changing.
+                self._epoch = new_epoch
+                # Old-epoch result-cache entries are unreachable by new
+                # queries (the epoch id is part of the key); reclaim them
+                # now instead of waiting for LRU pressure.
+                current = new_epoch.epoch_id
+                purged = self.results.purge(
+                    lambda key: isinstance(key, tuple) and key[0] != current
+                )
+                publish_span.set(epoch=current, cache_purged=purged)
             elapsed = perf_counter() - started
             self.stats.record_update(
                 edges_added=len(added),
@@ -467,6 +530,7 @@ class QueryService:
             "trivial": False,
             "reason": plan.reason,
             "epoch": epoch.epoch_id,
+            "source": "evaluated",
         }
         if plan.is_trivial:
             result = QueryResult(
@@ -476,23 +540,81 @@ class QueryService:
                 passed_vertices=0,
             )
             meta["trivial"] = True
+            meta["source"] = "planner"
+            annotate(source="planner")
             self.stats.record_query(result, trivial=True, batch=batch)
-            self.stats.record_latency("query", perf_counter() - started)
+            elapsed = perf_counter() - started
+            self.stats.record_latency("query", elapsed)
+            self._record_slow(plan, meta, result, elapsed)
             return result, meta
         cache_key = (epoch.epoch_id, *plan.key)
         if use_cache:
-            cached = self.results.get(cache_key)
+            with span("result-cache") as cache_span:
+                cached = self.results.get(cache_key)
+                cache_span.set(hit=cached is not None)
             if cached is not None:
                 meta["cached"] = True
+                meta["source"] = "result-cache"
+                annotate(source="result-cache")
                 self.stats.record_query(cached, cached=True, batch=batch)
-                self.stats.record_latency("query", perf_counter() - started)
+                elapsed = perf_counter() - started
+                self.stats.record_latency("query", elapsed)
+                self._record_slow(plan, meta, cached, elapsed)
                 return cached, meta
-        result = self._execute(plan, epoch)
+        with span("execute", algorithm=plan.algorithm) as execute_span:
+            result = self._execute(plan, epoch)
+            execute_span.set(
+                answer=result.answer,
+                passed_vertices=result.passed_vertices,
+                scck_calls=result.scck_calls,
+                vsg_size=result.vsg_size,
+                lcs_calls=result.lcs_calls,
+                index_resolutions=result.index_resolutions,
+            )
+        annotate(source="evaluated")
         if use_cache:
             self.results.put(cache_key, result)
         self.stats.record_query(result, batch=batch)
-        self.stats.record_latency("query", perf_counter() - started)
+        elapsed = perf_counter() - started
+        self.stats.record_latency("query", elapsed)
+        self._record_slow(plan, meta, result, elapsed)
         return result, meta
+
+    def _record_slow(
+        self, plan: QueryPlan, meta: dict, result: QueryResult, elapsed: float
+    ) -> None:
+        """Offer one answered query to the slow-query flight recorder.
+
+        ``interested`` is a lock-free float compare, so sub-threshold
+        traffic pays nothing beyond it.  When the request was traced the
+        entry captures the span tree as recorded *so far* — for a single
+        query that is the whole trace, for a batch member its own
+        ``query`` span — so ``/debug/slow`` shows where the time went,
+        not just that it went.
+        """
+        if not self.flight.interested(elapsed):
+            return
+        source, target, labels, constraint = plan.key
+        trace = current_trace()
+        entry: dict[str, Any] = {
+            "query": {
+                "source": source,
+                "target": target,
+                "labels": list(labels),
+                "constraint": constraint,
+            },
+            "algorithm": result.algorithm,
+            "answer": result.answer,
+            "meta": dict(meta),
+            "trace_id": trace.trace_id if trace is not None else None,
+            "trace": None,
+        }
+        if trace is not None:
+            scope = current_span()
+            entry["trace"] = (
+                scope.to_dict() if scope is not None else trace.to_dict()
+            )
+        self.flight.record(elapsed, entry)
 
     def _execute(self, plan: QueryPlan, epoch: GraphEpoch) -> QueryResult:
         """Run one non-trivial plan on the session it names.
@@ -512,11 +634,43 @@ class QueryService:
     # JSON-level API (used by the HTTP front end)
     # ------------------------------------------------------------------
 
-    def handle_query(self, payload: object) -> dict:
-        """``POST /query``: validate a JSON payload and answer it."""
+    def _start_trace(self, name: str, requested: bool) -> Trace | None:
+        """A trace for one request, or None when it runs untraced.
+
+        Client-requested (``?trace=1``) always traces; otherwise the
+        sampler decides (``sampled=True`` marks those — they feed the
+        flight recorder but are never echoed to the client).
+        """
+        if requested:
+            return Trace(name)
+        if self._sampler.sample():
+            return Trace(name, sampled=True)
+        return None
+
+    def handle_query(self, payload: object, *, trace: bool = False) -> dict:
+        """``POST /query``: validate a JSON payload and answer it.
+
+        With ``trace=True`` (the HTTP layer's ``?trace=1``) the response
+        carries the request's full span tree under ``"trace"``.
+        """
         spec = self._validate_spec(payload, where="query")
+        active = self._start_trace("query", trace)
+        if active is None:
+            result, meta = self._query_spec(spec)
+            return self._result_payload(result, meta)
+        with use_trace(active):
+            try:
+                result, meta = self._query_spec(spec)
+            finally:
+                active.finish()
+        response = self._result_payload(result, meta)
+        if trace:
+            response["trace"] = active.to_dict()
+        return response
+
+    def _query_spec(self, spec: dict) -> tuple[QueryResult, dict]:
         try:
-            result, meta = self.query(
+            return self.query(
                 spec["source"],
                 spec["target"],
                 spec["labels"],
@@ -526,9 +680,8 @@ class QueryService:
             )
         except (ConstraintError, SparqlError) as error:
             raise BadRequestError(f"invalid query: {error}") from error
-        return self._result_payload(result, meta)
 
-    def handle_batch(self, payload: object) -> dict:
+    def handle_batch(self, payload: object, *, trace: bool = False) -> dict:
         """``POST /batch``: validate and answer a batch payload."""
         if not isinstance(payload, dict) or "queries" not in payload:
             raise BadRequestError(
@@ -544,19 +697,39 @@ class QueryService:
             self._validate_spec(item, where=f"queries[{position}]")
             for position, item in enumerate(raw)
         ]
+        active = self._start_trace("batch", trace)
         try:
-            answered = self.query_batch(specs, use_cache=use_cache)
+            if active is None:
+                answered = self.query_batch(specs, use_cache=use_cache)
+            else:
+                with use_trace(active):
+                    try:
+                        answered = self.query_batch(specs, use_cache=use_cache)
+                    finally:
+                        active.finish()
         except (ConstraintError, SparqlError) as error:
             raise BadRequestError(f"invalid query in batch: {error}") from error
-        return {
+        response = {
             "count": len(answered),
             "results": [self._result_payload(r, m) for r, m in answered],
         }
+        if trace and active is not None:
+            response["trace"] = active.to_dict()
+        return response
 
-    def handle_updates(self, payload: object) -> dict:
+    def handle_updates(self, payload: object, *, trace: bool = False) -> dict:
         """``POST /edges``: validate a JSON update batch and apply it."""
         updates = validate_edge_updates(payload, max_edges=self.max_batch)
-        return self.apply_updates(updates)
+        if not trace:
+            return self.apply_updates(updates)
+        active = Trace("updates")
+        with use_trace(active):
+            try:
+                summary = self.apply_updates(updates)
+            finally:
+                active.finish()
+        summary["trace"] = active.to_dict()
+        return summary
 
     def health(self) -> dict:
         """``GET /healthz``: liveness plus what is loaded."""
@@ -571,6 +744,9 @@ class QueryService:
             "index_loaded": epoch.index is not None,
             "default_algorithm": self.default_algorithm,
             "epoch": epoch.epoch_id,
+            "version": __version__,
+            "started_at": self.stats.started_at,
+            "uptime_seconds": self.stats.uptime_seconds,
         }
 
     def stats_snapshot(self) -> dict:
@@ -592,6 +768,7 @@ class QueryService:
             },
             "index": index_info,
             "epoch": epoch.describe(),
+            "slow_queries": self.flight.summary(),
             "config": {
                 "default_algorithm": self.default_algorithm,
                 "cache_size": self.results.max_size,
@@ -599,6 +776,9 @@ class QueryService:
                 "max_workers": self.executor.max_workers,
                 "max_batch": self.max_batch,
                 "seed": self.seed,
+                "trace_sample": self.trace_sample,
+                "slow_ms": self.flight.threshold_ms,
+                "slow_log_size": self.flight.max_entries,
             },
         }
 
@@ -755,4 +935,5 @@ class QueryService:
             "trivial": meta["trivial"],
             "reason": meta["reason"],
             "epoch": meta["epoch"],
+            "source": meta.get("source", "evaluated"),
         }

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.constraints.substructure import SubstructureConstraint
+from repro.obs.trace import span
 
 __all__ = ["CacheStats", "ResultCache", "ConstraintCache", "CandidateCache"]
 
@@ -324,18 +325,31 @@ class CandidateCache:
     def get(
         self, constraint: SubstructureConstraint, graph: Any
     ) -> tuple[int, ...]:
-        """The satisfying-vertex tuple for ``constraint`` on ``graph``."""
+        """The satisfying-vertex tuple for ``constraint`` on ``graph``.
+
+        When a trace is active the lookup appears as a
+        ``candidate-cache`` span reporting hit/miss and ``|V(S, G)|`` —
+        a miss here is where a slow query spends its SPARQL time.
+        """
+        with span("candidate-cache") as handle:
+            candidates, hit = self._lookup(constraint, graph)
+            handle.set(hit=hit, candidates=len(candidates))
+            return candidates
+
+    def _lookup(
+        self, constraint: SubstructureConstraint, graph: Any
+    ) -> tuple[tuple[int, ...], bool]:
         if self.max_size == 0:
             with self._lock:
                 self._misses += 1
-            return tuple(constraint.satisfying_vertices(graph))
+            return tuple(constraint.satisfying_vertices(graph)), False
         key = constraint.to_sparql()
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                return cached
+                return cached, True
             self._misses += 1
             pending = self._pending.get(key)
             if pending is None:
@@ -347,9 +361,9 @@ class CandidateCache:
         if not leader:
             event.wait()
             if slot[0] is not None:
-                return slot[0]
+                return slot[0], False
             # Leader failed; evaluate independently (rare error path).
-            return tuple(constraint.satisfying_vertices(graph))
+            return tuple(constraint.satisfying_vertices(graph)), False
         try:
             candidates = tuple(constraint.satisfying_vertices(graph))
         except BaseException:
@@ -366,7 +380,7 @@ class CandidateCache:
                 self._evictions += 1
             self._pending.pop(key, None)
         event.set()
-        return candidates
+        return candidates, False
 
     def __contains__(self, constraint: object) -> bool:
         key = (

@@ -26,6 +26,7 @@ graph version answered a request.
 
 from __future__ import annotations
 
+import time
 from threading import Lock
 
 from repro.exceptions import BadRequestError
@@ -61,6 +62,7 @@ class GraphEpoch:
         "constraints",
         "seed",
         "fingerprint",
+        "created_at",
         "_sessions",
         "_session_lock",
     )
@@ -85,6 +87,9 @@ class GraphEpoch:
         #: Content digest of the graph this epoch serves; part of the
         #: save/load snapshot identity.
         self.fingerprint = graph.content_fingerprint()
+        #: Wall-clock publication instant — the ``repro_epoch_age_seconds``
+        #: gauge says how stale the serving snapshot is.
+        self.created_at = time.time()
         self._sessions: dict[str, LSCRSession] = {}
         self._session_lock = Lock()
 
@@ -122,6 +127,8 @@ class GraphEpoch:
             "vertices": self.graph.num_vertices,
             "edges": self.graph.num_edges,
             "labels": self.graph.num_labels,
+            "created_at": self.created_at,
+            "age_seconds": time.time() - self.created_at,
         }
 
 

@@ -32,6 +32,7 @@ from typing import Any, TypeVar
 
 from repro.core.query import LSCRQuery
 from repro.core.result import QueryResult
+from repro.obs.trace import span
 
 __all__ = ["BatchExecutor", "DEFAULT_MAX_WORKERS"]
 
@@ -73,17 +74,27 @@ class BatchExecutor:
         fn: Callable[[_ItemT], _ResultT],
         items: Iterable[_ItemT],
     ) -> list[_ResultT]:
-        """``[fn(item) for item in items]``, concurrently, order kept."""
+        """``[fn(item) for item in items]``, concurrently, order kept.
+
+        Traced requests see the fan-out as an ``executor`` span (item
+        count + serial/pool mode).  Worker threads do not inherit the
+        request context, so per-item spans are the *caller's* job: wrap
+        ``fn`` with :func:`repro.obs.trace.use_trace` to stitch item
+        spans into the request's trace (the service's batch path does).
+        """
         work = list(items)
         if len(work) <= 1 or self.max_workers == 1:
-            return [fn(item) for item in work]
+            with span("executor", items=len(work), mode="serial"):
+                return [fn(item) for item in work]
         if self.persistent:
-            return list(self._shared_pool().map(fn, work))
+            with span("executor", items=len(work), mode="pool"):
+                return list(self._shared_pool().map(fn, work))
         workers = min(self.max_workers or DEFAULT_MAX_WORKERS, len(work))
-        with ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-batch"
-        ) as pool:
-            return list(pool.map(fn, work))
+        with span("executor", items=len(work), mode="pool"):
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-batch"
+            ) as pool:
+                return list(pool.map(fn, work))
 
     def _shared_pool(self) -> ThreadPoolExecutor:
         pool = self._pool

@@ -15,9 +15,17 @@ The server routes onto a :class:`~repro.service.registry.TenantRegistry`
   off, 501 on sharded tenants whose slices cannot follow yet);
 * ``GET /t/<tenant>/stats``   — that tenant's telemetry;
 * ``GET /t/<tenant>/healthz`` — that tenant's liveness and load state;
+* ``GET /metrics``, ``GET /t/<tenant>/metrics`` — the same telemetry
+  in Prometheus text exposition format (``text/plain; version=0.0.4``),
+  aggregate and per-tenant;
+* ``GET /debug/slow``, ``GET /t/<tenant>/debug/slow`` — the slow-query
+  flight recorder: the worst-N traced queries above ``serve
+  --slow-ms``, with their span trees;
 * ``POST /query``, ``POST /batch``, ``POST /edges`` — un-prefixed
   aliases for the registry's **default tenant**, so single-graph
-  clients keep working;
+  clients keep working; every query/batch/edges route accepts
+  ``?trace=1`` to force a request-scoped trace echoed back in the
+  response's ``trace`` field;
 * ``GET /stats``, ``GET /healthz`` — the default tenant's documents
   *plus* cross-tenant aggregation (per-tenant load state, graph sizes,
   merged counters);
@@ -49,6 +57,7 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import (
     BadRequestError,
@@ -83,6 +92,12 @@ _TENANT_OPTION_FIELDS = {
     "max_batch": lambda v: isinstance(v, int) and not isinstance(v, bool)
     and v >= 1,
     "landmark_count": lambda v: isinstance(v, int) and not isinstance(v, bool)
+    and v >= 1,
+    "trace_sample": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and 0.0 <= v <= 1.0,
+    "slow_ms": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "slow_log_size": lambda v: isinstance(v, int) and not isinstance(v, bool)
     and v >= 1,
 }
 
@@ -141,21 +156,30 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server's naming)
         registry = self.server.registry
         try:
-            if self.path == "/healthz":
+            path, _ = self._route()
+            if path == "/healthz":
                 self._send_json(200, registry.health())
-            elif self.path == "/stats":
+            elif path == "/stats":
                 self._send_json(200, registry.stats_snapshot())
-            elif self.path == "/tenants":
+            elif path == "/metrics":
+                self._send_text(200, registry.metrics_text())
+            elif path == "/debug/slow":
+                self._send_json(200, registry.slow_queries())
+            elif path == "/tenants":
                 self._send_json(200, registry.describe())
-            elif self.path.startswith("/shard/"):
-                worker = self._shard_worker(expected_parts=2)
+            elif path.startswith("/shard/"):
+                worker = self._shard_worker(path, expected_parts=2)
                 self._send_json(200, worker.describe())
             else:
-                tenant, endpoint = self._split_tenant_path()
+                tenant, endpoint = self._split_tenant_path(path)
                 if endpoint == "stats":
                     self._send_json(200, registry.tenant_stats(tenant))
                 elif endpoint == "healthz":
                     self._send_json(200, registry.tenant_health(tenant))
+                elif endpoint == "metrics":
+                    self._send_text(200, registry.tenant_metrics_text(tenant))
+                elif endpoint == "debug/slow":
+                    self._send_json(200, registry.slow_queries(tenant))
                 else:
                     raise BadRequestError(
                         f"no such endpoint: GET {self.path}", status=404
@@ -172,16 +196,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             # a keep-alive connection must not leave body bytes behind
             # to corrupt the next request.
             payload = self._read_json_body()
-            if self.path == "/tenants":
+            path, query = self._route()
+            trace = query.get("trace") in ("1", "true")
+            if path == "/tenants":
                 self._send_json(201, self._register_tenant(payload))
                 return
-            if self.path.startswith("/shard/"):
-                self._handle_shard_post(payload)
+            if path.startswith("/shard/"):
+                self._handle_shard_post(path, payload)
                 return
-            if self.path in ("/query", "/batch", "/edges"):
-                tenant, endpoint = None, self.path[1:]
+            if path in ("/query", "/batch", "/edges"):
+                tenant, endpoint = None, path[1:]
             else:
-                tenant, endpoint = self._split_tenant_path()
+                tenant, endpoint = self._split_tenant_path(path)
                 if endpoint not in ("query", "batch", "edges"):
                     raise BadRequestError(
                         f"no such endpoint: POST {self.path}", status=404
@@ -192,11 +218,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 raise UpdatesDisabledError()
             service = registry.get(tenant)
             if endpoint == "query":
-                self._send_json(200, service.handle_query(payload))
+                self._send_json(200, service.handle_query(payload, trace=trace))
             elif endpoint == "edges":
-                self._send_json(200, service.handle_updates(payload))
+                self._send_json(200, service.handle_updates(payload, trace=trace))
             else:
-                self._send_json(200, service.handle_batch(payload))
+                self._send_json(200, service.handle_batch(payload, trace=trace))
         except BadRequestError as error:
             kind = self._error_kind(error)
             if service is not None:
@@ -223,7 +249,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         registry = self.server.registry
         self._drain_body()
         try:
-            parts = self.path.strip("/").split("/")
+            path, _ = self._route()
+            parts = path.strip("/").split("/")
             if len(parts) != 2 or parts[0] != "t":
                 raise BadRequestError(
                     f"no such endpoint: DELETE {self.path}", status=404
@@ -253,9 +280,20 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 return
             remaining -= len(chunk)
 
-    def _shard_worker(self, *, expected_parts: int) -> Any:
+    def _route(self) -> tuple[str, dict[str, str]]:
+        """Split ``self.path`` into (path, query) — query keeps the
+        first value per key (``?trace=1`` is the only consumer)."""
+        split = urlsplit(self.path)
+        query = {
+            key: values[0]
+            for key, values in parse_qs(split.query).items()
+            if values
+        }
+        return split.path, query
+
+    def _shard_worker(self, path: str, *, expected_parts: int) -> Any:
         """Resolve ``/shard/<id>[/<endpoint>]`` to an attached worker."""
-        parts = self.path.strip("/").split("/")
+        parts = path.strip("/").split("/")
         if len(parts) != expected_parts or parts[0] != "shard":
             raise BadRequestError(
                 f"no such endpoint: {self.command} {self.path}", status=404
@@ -268,10 +306,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
         return worker
 
-    def _handle_shard_post(self, payload: object) -> None:
+    def _handle_shard_post(self, path: str, payload: object) -> None:
         """``POST /shard/<id>/{expand,query}`` → the attached worker."""
-        worker = self._shard_worker(expected_parts=3)
-        endpoint = self.path.strip("/").split("/")[2]
+        worker = self._shard_worker(path, expected_parts=3)
+        endpoint = path.strip("/").split("/")[2]
         if endpoint == "expand":
             self._send_json(200, worker.handle_expand(payload))
         elif endpoint == "query":
@@ -281,11 +319,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 f"no such endpoint: POST {self.path}", status=404
             )
 
-    def _split_tenant_path(self) -> tuple[str, str]:
-        """``/t/<tenant>/<endpoint>`` → (tenant, endpoint), or 404."""
-        parts = self.path.strip("/").split("/")
-        if len(parts) == 3 and parts[0] == "t" and valid_tenant_name(parts[1]):
-            return parts[1], parts[2]
+    def _split_tenant_path(self, path: str) -> tuple[str, str]:
+        """``/t/<tenant>/<endpoint>`` → (tenant, endpoint), or 404.
+
+        The endpoint may span segments (``debug/slow``), so everything
+        after the tenant joins back into one endpoint string.
+        """
+        parts = path.strip("/").split("/")
+        if len(parts) >= 3 and parts[0] == "t" and valid_tenant_name(parts[1]):
+            return parts[1], "/".join(parts[2:])
         raise BadRequestError(
             f"no such endpoint: {self.command} {self.path}", status=404
         )
@@ -352,6 +394,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        """Prometheus exposition body (text format 0.0.4)."""
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

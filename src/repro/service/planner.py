@@ -37,6 +37,7 @@ from repro.constraints.substructure import SubstructureConstraint
 from repro.core.query import LSCRQuery
 from repro.exceptions import BadRequestError, ServiceConfigError
 from repro.graph.labeled_graph import KnowledgeGraph
+from repro.obs.trace import span
 from repro.service.cache import ConstraintCache
 from repro.sparql.evaluator import compile_patterns
 
@@ -142,6 +143,23 @@ class QueryPlanner:
         (``ConstraintError``, ``SparqlError``) propagate — callers map
         all of these to 4xx responses.
         """
+        with span("plan") as handle:
+            plan = self._plan(source, target, labels, constraint, algorithm)
+            handle.set(
+                algorithm=plan.algorithm,
+                reason=plan.reason,
+                trivial=plan.is_trivial,
+            )
+            return plan
+
+    def _plan(
+        self,
+        source: Hashable,
+        target: Hashable,
+        labels: Iterable[str] | LabelConstraint,
+        constraint: str | SubstructureConstraint,
+        algorithm: str | None = None,
+    ) -> QueryPlan:
         if not isinstance(labels, LabelConstraint):
             labels = LabelConstraint(labels)
         if not isinstance(constraint, SubstructureConstraint):

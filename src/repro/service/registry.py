@@ -34,12 +34,14 @@ import threading
 from pathlib import Path
 from typing import Any
 
+from repro._version import __version__
 from repro.exceptions import (
     BadRequestError,
     ServiceConfigError,
     TenantExistsError,
     UnknownTenantError,
 )
+from repro.obs.prometheus import render_metrics
 from repro.service.app import QueryService
 from repro.service.stats import merge_snapshots
 
@@ -346,3 +348,84 @@ class TenantRegistry:
         if default is not None:
             document.update(default.stats_snapshot())
         return document
+
+    # ------------------------------------------------------------------
+    # observability (GET /metrics, /t/<tenant>/metrics, /debug/slow)
+    # ------------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: every loaded tenant in Prometheus text form.
+
+        Like every other aggregate document, a scrape never forces a
+        lazy tenant to load — unloaded tenants simply contribute no
+        samples (they are visible in the ``repro_tenants`` vs
+        ``repro_tenants_loaded`` gap).
+        """
+        entries = self._snapshot_entries()
+        loaded = [
+            (entry.name, entry.service)
+            for entry in sorted(entries, key=lambda e: e.name)
+            if entry.service is not None
+        ]
+        documents = {
+            name: service.stats_snapshot() for name, service in loaded
+        }
+        with self._lock:
+            registry_errors = dict(self._errors)
+        started = min(
+            (service.stats.started_at for _, service in loaded), default=None
+        )
+        return render_metrics(
+            documents,
+            version=__version__,
+            started_at=started,
+            registry={
+                "tenant_count": len(entries),
+                "tenants_loaded": len(loaded),
+                "errors": registry_errors,
+            },
+        )
+
+    def tenant_metrics_text(self, name: str) -> str:
+        """``GET /t/<tenant>/metrics``: one tenant's samples only.
+
+        An unloaded lazy tenant renders just ``repro_build_info`` — the
+        scrape stays cheap and the absence of tenant samples *is* the
+        signal that nothing warmed it yet.
+        """
+        entry = self._entry(name)
+        service = entry.service
+        if service is None:
+            return render_metrics({}, version=__version__)
+        return render_metrics(
+            {entry.name: service.stats_snapshot()},
+            version=__version__,
+            started_at=service.stats.started_at,
+        )
+
+    def slow_queries(self, name: str | None = None) -> dict:
+        """``GET /debug/slow``: flight-recorder entries, JSON-ready.
+
+        With ``name`` the single-tenant document; without, every
+        registered tenant keyed by name.  Never forces a lazy load.
+        """
+        if name is not None:
+            return self._tenant_slow(self._entry(name))
+        entries = self._snapshot_entries()
+        return {
+            "tenants": {
+                entry.name: self._tenant_slow(entry)
+                for entry in sorted(entries, key=lambda e: e.name)
+            }
+        }
+
+    @staticmethod
+    def _tenant_slow(entry: _TenantEntry) -> dict:
+        service = entry.service
+        if service is None:
+            return {"loaded": False, "summary": None, "entries": []}
+        return {
+            "loaded": True,
+            "summary": service.flight.summary(),
+            "entries": service.flight.snapshot(),
+        }

@@ -109,16 +109,34 @@ class LatencyHistogram:
         A document whose bucket layout doesn't match (a snapshot from a
         version with different bounds) is skipped *entirely* — merging
         its totals without its buckets would silently corrupt every
-        quantile estimate.
+        quantile estimate.  Matching the count alone is not enough: a
+        future version could keep 25 buckets but move the boundaries, so
+        when the document carries its bounds they must equal ours too.
         """
         counts = document.get("bucket_counts")
         if counts is None or len(counts) != len(self.counts):
+            return
+        bounds = document.get("bucket_bounds_seconds")
+        if bounds is not None and list(bounds) != list(LATENCY_BUCKET_BOUNDS):
             return
         for position, bucket_count in enumerate(counts):
             self.counts[position] += bucket_count
         self.count += document.get("count", 0)
         self.sum_seconds += document.get("sum_seconds", 0.0)
-        self.max_seconds = max(self.max_seconds, document.get("max_seconds", 0.0))
+        max_seconds = document.get("max_seconds")
+        if max_seconds is None:
+            # A document without its max would leave ours at 0.0, and
+            # quantile's min(bucket bound, max) clamp would then report
+            # every quantile as 0.  Fall back to the upper bound of the
+            # document's highest occupied bucket — conservative in the
+            # same direction the quantile estimate already is.
+            max_seconds = 0.0
+            for position, bucket_count in enumerate(counts):
+                if bucket_count:
+                    max_seconds = LATENCY_BUCKET_BOUNDS[
+                        min(position, len(LATENCY_BUCKET_BOUNDS) - 1)
+                    ]
+        self.max_seconds = max(self.max_seconds, max_seconds)
 
 
 class ServiceStats:
@@ -128,6 +146,11 @@ class ServiceStats:
         self._clock = clock
         self._lock = threading.Lock()
         self._started = clock()
+        #: Wall-clock twin of the monotonic ``_started``: uptime comes
+        #: from the monotonic clock (immune to NTP steps), the absolute
+        #: start instant from this.  Surfaced in ``/healthz``,
+        #: ``/stats`` and the ``repro_started_at_seconds`` gauge.
+        self.started_at = time.time()
         self._queries_total = 0
         self._queries_cached = 0
         self._queries_trivial = 0
@@ -234,6 +257,7 @@ class ServiceStats:
         with self._lock:
             return {
                 "uptime_seconds": self._clock() - self._started,
+                "started_at": self.started_at,
                 "queries": {
                     "total": self._queries_total,
                     "executed": self._queries_executed,
@@ -330,8 +354,13 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
     cells: dict[str, dict] = {}
     latency: dict[str, LatencyHistogram] = {}
     uptime = 0.0
+    started_at: float | None = None
     for snapshot in snapshots:
         uptime = max(uptime, snapshot.get("uptime_seconds", 0.0))
+        # The oldest tenant's start is the process's, matching max-uptime.
+        stamp = snapshot.get("started_at")
+        if stamp is not None and (started_at is None or stamp < started_at):
+            started_at = stamp
         for key in queries:
             queries[key] += snapshot["queries"][key]
         for key in batches:
@@ -363,7 +392,7 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
             cell["total_seconds"] / count * 1000.0 if count else 0.0
         )
         cell["mean_passed_vertices"] = total_passed / count if count else 0.0
-    return {
+    merged: dict = {
         "uptime_seconds": uptime,
         "queries": queries,
         "batches": batches,
@@ -374,3 +403,6 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
             endpoint: latency[endpoint].snapshot() for endpoint in sorted(latency)
         },
     }
+    if started_at is not None:
+        merged["started_at"] = started_at
+    return merged

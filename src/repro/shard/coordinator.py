@@ -42,6 +42,7 @@ from time import perf_counter
 from repro.core.query import LSCRQuery
 from repro.core.result import QueryResult
 from repro.graph.labeled_graph import KnowledgeGraph
+from repro.obs.trace import current_trace, span
 from repro.service.cache import CandidateCache
 from repro.shard.partitioner import ShardPlan
 
@@ -106,7 +107,19 @@ class ShardCoordinator:
     # ------------------------------------------------------------------
 
     def answer(self, query: LSCRQuery) -> QueryResult:
-        """Answer one prepared query; exact, with full telemetry."""
+        """Answer one prepared query; exact, with full telemetry.
+
+        Traced requests see the whole scatter-gather as a
+        ``coordinator`` span: the fast-path probe, the ``V(S, G)``
+        lookup, and one ``round`` span per frontier exchange (phase,
+        frontier size, shards hit, crossings) with each worker's own
+        ``expand`` span — local or shipped back over the wire — stitched
+        underneath.
+        """
+        with span("coordinator", shards=self.plan.num_shards) as handle:
+            return self._answer(query, handle)
+
+    def _answer(self, query: LSCRQuery, handle) -> QueryResult:
         started = perf_counter()
         graph = self.graph
         source = graph.vid(query.source)
@@ -121,13 +134,13 @@ class ShardCoordinator:
         vsg_seconds = 0.0
         telemetry = {"rounds": 0, "expand_calls": 0, "crossings": 0}
 
-        if (
-            self.local_fast_path
-            and shard_of[source] == shard_of[target]
-            and self.workers[shard_of[source]].local_query(query)
-        ):
-            verdict = True
-            fast_hit = True
+        if self.local_fast_path and shard_of[source] == shard_of[target]:
+            with span("co-located", shard=shard_of[source]) as probe:
+                fast_hit = self.workers[shard_of[source]].local_query(query)
+                probe.set(hit=fast_hit)
+            if fast_hit:
+                verdict = True
+                handle.set(source="co-located")
         if verdict is None:
             # The global V(S, G) is only needed when the fast path did
             # not decide — computing it first would charge every
@@ -136,14 +149,18 @@ class ShardCoordinator:
             if self.candidates is not None:
                 candidates = self.candidates.get(query.constraint, graph)
             else:
-                candidates = tuple(query.constraint.satisfying_vertices(graph))
+                with span("candidate-cache") as vsg_span:
+                    candidates = tuple(
+                        query.constraint.satisfying_vertices(graph)
+                    )
+                    vsg_span.set(hit=False, candidates=len(candidates))
             vsg_seconds = perf_counter() - vsg_started
             vsg_size = len(candidates)
             candidate_set = set(candidates)
         if verdict is None and not candidate_set:
             verdict = False  # no satisfying vertex anywhere: skip both phases
         if verdict is None:
-            reachable, phase_one = self.closure({source}, mask)
+            reachable, phase_one = self.closure({source}, mask, phase="phase1")
             for key in telemetry:
                 telemetry[key] += phase_one[key]
             passed = len(reachable)
@@ -159,13 +176,22 @@ class ShardCoordinator:
                 # target is among them.
                 verdict = True
             else:
-                second, phase_two = self.closure(satisfying, mask, stop=target)
+                second, phase_two = self.closure(
+                    satisfying, mask, stop=target, phase="phase2"
+                )
                 for key in telemetry:
                     telemetry[key] += phase_two[key]
                 # Phase two revisits no new vertex: closure(satisfying)
                 # ⊆ closure(source), so the distinct passed count (the
                 # paper's metric) is the phase-one closure alone.
                 verdict = target in second
+        handle.set(
+            answer=verdict,
+            rounds=telemetry["rounds"],
+            expand_calls=telemetry["expand_calls"],
+            crossings=telemetry["crossings"],
+            vsg_size=vsg_size,
+        )
 
         with self._lock:
             self._queries += 1
@@ -192,12 +218,19 @@ class ShardCoordinator:
         seeds: set[int],
         mask: int,
         stop: int | None = None,
+        phase: str = "closure",
     ) -> tuple[set[int], dict[str, int]]:
         """All vertices reachable from ``seeds`` under ``mask``.
 
         Multi-round frontier exchange; with ``stop`` set the loop exits
         as soon as that vertex is reached (the returned set is then a
         prefix of the closure that provably contains ``stop``).
+
+        When a trace is active, each round becomes a ``round`` span
+        labelled with ``phase`` and its frontier size, parenting the
+        workers' ``expand`` spans — which the workers built by value
+        (the scatter pool's threads, and remote processes, don't share
+        the request context).
         """
         shard_of = self.plan.shard_of
         visited: set[int] = set()
@@ -209,20 +242,37 @@ class ShardCoordinator:
             frontier.setdefault(shard_of[vid], []).append(vid)
         expanded_by_shard: dict[int, set[int]] = {}
         telemetry = {"rounds": 0, "expand_calls": 0, "crossings": 0}
+        trace = current_trace()
+        trace_id = trace.trace_id if trace is not None else None
         while frontier:
             telemetry["rounds"] += 1
             telemetry["expand_calls"] += len(frontier)
-            results = self._scatter(frontier, mask, expanded_by_shard)
-            next_frontier: dict[int, list[int]] = {}
-            for shard_id, result in results:
-                expanded_by_shard.setdefault(shard_id, set()).update(result.reached)
-                visited.update(result.reached)
-                for owner, targets in result.crossings.items():
-                    for vid in targets:
-                        if vid not in visited:
-                            visited.add(vid)
-                            next_frontier.setdefault(owner, []).append(vid)
-                            telemetry["crossings"] += 1
+            with span(
+                "round",
+                phase=phase,
+                index=telemetry["rounds"],
+                frontier_size=sum(len(seeds) for seeds in frontier.values()),
+                shards=len(frontier),
+            ) as round_span:
+                results = self._scatter(
+                    frontier, mask, expanded_by_shard, trace_id
+                )
+                next_frontier: dict[int, list[int]] = {}
+                round_crossings = 0
+                for shard_id, result in results:
+                    round_span.attach(result.span)
+                    expanded_by_shard.setdefault(shard_id, set()).update(
+                        result.reached
+                    )
+                    visited.update(result.reached)
+                    for owner, targets in result.crossings.items():
+                        for vid in targets:
+                            if vid not in visited:
+                                visited.add(vid)
+                                next_frontier.setdefault(owner, []).append(vid)
+                                round_crossings += 1
+                telemetry["crossings"] += round_crossings
+                round_span.set(crossings=round_crossings)
             if stop is not None and stop in visited:
                 break
             frontier = next_frontier
@@ -233,8 +283,17 @@ class ShardCoordinator:
         frontier: dict[int, list[int]],
         mask: int,
         expanded_by_shard: dict[int, set[int]],
+        trace_id: str | None = None,
     ):
-        """One round's expand calls, concurrent when shards allow."""
+        """One round's expand calls, concurrent when shards allow.
+
+        ``trace_id`` (when the request is traced) rides along to each
+        worker — as a plain value, because pool threads and remote
+        processes can't see the request's context variables — and comes
+        back as :attr:`~repro.shard.worker.ExpandResult.span`.  Untraced
+        requests call the bare three-argument ``expand``, so worker
+        stand-ins that predate tracing keep working.
+        """
         items = sorted(frontier.items())
         # Snapshot the pool once: close() may null it under a straggler
         # query, and the registry contract says in-flight requests
@@ -242,24 +301,52 @@ class ShardCoordinator:
         pool = self._pool
         if pool is not None and len(items) > 1:
             try:
-                futures = [
-                    (
-                        shard_id,
-                        pool.submit(
-                            self.workers[shard_id].expand,
-                            seeds,
-                            mask,
-                            tuple(expanded_by_shard.get(shard_id, ())),
-                        ),
-                    )
-                    for shard_id, seeds in items
-                ]
+                if trace_id is not None:
+                    futures = [
+                        (
+                            shard_id,
+                            pool.submit(
+                                self.workers[shard_id].expand,
+                                seeds,
+                                mask,
+                                tuple(expanded_by_shard.get(shard_id, ())),
+                                trace_id,
+                            ),
+                        )
+                        for shard_id, seeds in items
+                    ]
+                else:
+                    futures = [
+                        (
+                            shard_id,
+                            pool.submit(
+                                self.workers[shard_id].expand,
+                                seeds,
+                                mask,
+                                tuple(expanded_by_shard.get(shard_id, ())),
+                            ),
+                        )
+                        for shard_id, seeds in items
+                    ]
             except RuntimeError:
                 pass  # pool shut down mid-query: fall through to serial
             else:
                 return [
                     (shard_id, future.result()) for shard_id, future in futures
                 ]
+        if trace_id is not None:
+            return [
+                (
+                    shard_id,
+                    self.workers[shard_id].expand(
+                        seeds,
+                        mask,
+                        expanded_by_shard.get(shard_id, ()),
+                        trace_id,
+                    ),
+                )
+                for shard_id, seeds in items
+            ]
         return [
             (
                 shard_id,

@@ -31,7 +31,8 @@ import json
 import threading
 import urllib.request
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.query import LSCRQuery
 from repro.exceptions import BadRequestError
@@ -51,6 +52,12 @@ class ExpandResult:
     crossings: dict[int, tuple[int, ...]]
     #: Vertices whose adjacency was scanned (telemetry).
     expanded: int
+    #: When the caller propagated a trace id: this expand as a
+    #: serialised span dict, ready for the coordinator to stitch into
+    #: the request's trace (None when the call was untraced).  Workers
+    #: build the dict themselves — in another process there is no shared
+    #: context variable, so the trace travels by value over the wire.
+    span: dict | None = field(default=None, compare=False)
 
 
 class ShardWorker:
@@ -106,6 +113,7 @@ class ShardWorker:
         seeds: Iterable[int],
         mask: int,
         exclude: Iterable[int] = (),
+        trace: str | None = None,
     ) -> ExpandResult:
         """Local closure of ``seeds`` under ``mask`` within the slice.
 
@@ -116,7 +124,15 @@ class ShardWorker:
         include vertices the coordinator has already seen — deduplication
         against the *global* visited set is the coordinator's job, since
         only it has that set.
+
+        ``trace`` is the requesting trace's id: when set, the result
+        carries this call as a span dict (:attr:`ExpandResult.span`),
+        which the coordinator attaches under its round span — the wire
+        half of cross-process trace stitching.  Untraced calls
+        (``trace=None``, the default and the hot path) skip the timing
+        entirely.
         """
+        started = perf_counter() if trace is not None else 0.0
         graph_slice = self.slice
         local_of = graph_slice.local_of
         shard_of = graph_slice.shard_of
@@ -167,13 +183,33 @@ class ShardWorker:
                         reached.append(target)
                 else:
                     crossings.setdefault(owner, set()).add(target)
+        crossings_out = {
+            owner: tuple(sorted(targets))
+            for owner, targets in crossings.items()
+        }
+        span_doc = None
+        if trace is not None:
+            span_doc = {
+                "name": "expand",
+                # A remote worker cannot know its offset from the trace
+                # start (no shared clock); 0.0 marks "offset unknown".
+                "started": 0.0,
+                "seconds": perf_counter() - started,
+                "attrs": {
+                    "trace_id": trace,
+                    "shard": my_shard,
+                    "seeds": seed_count,
+                    "reached": len(reached),
+                    "expanded": expanded,
+                    "crossings": sum(len(t) for t in crossings_out.values()),
+                },
+                "children": [],
+            }
         result = ExpandResult(
             reached=tuple(reached),
-            crossings={
-                owner: tuple(sorted(targets))
-                for owner, targets in crossings.items()
-            },
+            crossings=crossings_out,
             expanded=expanded,
+            span=span_doc,
         )
         with self._lock:
             self._expand_calls += 1
@@ -242,8 +278,11 @@ class ShardWorker:
             isinstance(v, int) and not isinstance(v, bool) for v in exclude
         ):
             raise BadRequestError("'exclude' must be an array of vertex ids")
-        result = self.expand(seeds, mask, exclude)
-        return {
+        trace = payload.get("trace")
+        if trace is not None and not isinstance(trace, str):
+            raise BadRequestError("'trace' must be a string trace id")
+        result = self.expand(seeds, mask, exclude, trace=trace)
+        document = {
             "reached": list(result.reached),
             "crossings": {
                 str(owner): list(targets)
@@ -251,6 +290,9 @@ class ShardWorker:
             },
             "expanded": result.expanded,
         }
+        if result.span is not None:
+            document["trace"] = result.span
+        return document
 
     def handle_query(self, payload: object) -> dict:
         """``POST /shard/<id>/query``: the fast path over the slice service."""
@@ -317,11 +359,17 @@ class HttpShardWorker:
         seeds: Iterable[int],
         mask: int,
         exclude: Iterable[int] = (),
+        trace: str | None = None,
     ) -> ExpandResult:
-        document = self._post(
-            "expand",
-            {"seeds": list(seeds), "mask": mask, "exclude": list(exclude)},
-        )
+        payload = {"seeds": list(seeds), "mask": mask, "exclude": list(exclude)}
+        if trace is not None:
+            payload["trace"] = trace
+        document = self._post("expand", payload)
+        span_doc = document.get("trace")
+        if span_doc is not None:
+            # Stamp where the span came from; everything else in the
+            # dict is the remote worker's own account of itself.
+            span_doc.setdefault("attrs", {})["remote"] = self.base_url
         return ExpandResult(
             reached=tuple(document["reached"]),
             crossings={
@@ -329,6 +377,7 @@ class HttpShardWorker:
                 for owner, targets in document["crossings"].items()
             },
             expanded=int(document["expanded"]),
+            span=span_doc,
         )
 
     def local_query(self, query: LSCRQuery) -> bool:

@@ -1,0 +1,92 @@
+"""The slow-query flight recorder: worst-N bounding and counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.flight import (
+    DEFAULT_SLOW_LOG_SIZE,
+    DEFAULT_SLOW_MS,
+    FlightRecorder,
+)
+
+
+class TestThreshold:
+    def test_interested_is_a_pure_compare(self):
+        recorder = FlightRecorder(threshold_ms=100.0)
+        assert recorder.interested(0.1)
+        assert recorder.interested(0.5)
+        assert not recorder.interested(0.099)
+
+    def test_zero_threshold_takes_everything(self):
+        recorder = FlightRecorder(threshold_ms=0.0, max_entries=4)
+        assert recorder.interested(0.0)
+        assert recorder.record(0.0, {"query": "q"})
+
+    def test_sub_threshold_counted_not_stored(self):
+        recorder = FlightRecorder(threshold_ms=100.0)
+        assert not recorder.record(0.05, {"query": "fast"})
+        summary = recorder.summary()
+        assert summary["seen"] == 1
+        assert summary["dropped"] == 1
+        assert summary["kept"] == 0
+        assert recorder.snapshot() == []
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"threshold_ms": -1.0}, {"max_entries": 0}]
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FlightRecorder(**kwargs)
+
+    def test_defaults(self):
+        recorder = FlightRecorder()
+        assert recorder.threshold_ms == DEFAULT_SLOW_MS
+        assert recorder.max_entries == DEFAULT_SLOW_LOG_SIZE
+
+
+class TestWorstN:
+    def test_keeps_the_slowest_entries(self):
+        recorder = FlightRecorder(threshold_ms=0.0, max_entries=3)
+        for index, seconds in enumerate([0.1, 0.5, 0.2, 0.9, 0.05, 0.3]):
+            recorder.record(seconds, {"index": index})
+        entries = recorder.snapshot()
+        assert [entry["seconds"] for entry in entries] == [0.9, 0.5, 0.3]
+        summary = recorder.summary()
+        assert summary["kept"] == 3
+        assert summary["seen"] == 6
+        assert summary["dropped"] == 3
+        assert summary["worst_ms"] == pytest.approx(900.0)
+
+    def test_slower_entry_evicts_the_fastest_kept(self):
+        recorder = FlightRecorder(threshold_ms=0.0, max_entries=2)
+        recorder.record(0.1, {"tag": "a"})
+        recorder.record(0.2, {"tag": "b"})
+        assert recorder.record(0.3, {"tag": "c"})      # evicts 0.1
+        tags = [entry["tag"] for entry in recorder.snapshot()]
+        assert tags == ["c", "b"]
+
+    def test_equal_duration_does_not_replace(self):
+        recorder = FlightRecorder(threshold_ms=0.0, max_entries=1)
+        recorder.record(0.2, {"tag": "first"})
+        assert not recorder.record(0.2, {"tag": "second"})
+        assert recorder.snapshot()[0]["tag"] == "first"
+
+    def test_entries_are_stamped_and_copied(self):
+        recorder = FlightRecorder(threshold_ms=0.0)
+        original = {"query": "q"}
+        recorder.record(0.1, original)
+        entry = recorder.snapshot()[0]
+        assert entry["seconds"] == 0.1
+        assert entry["recorded_at"] > 0
+        assert "seconds" not in original               # caller dict untouched
+
+    def test_clear_keeps_counters(self):
+        recorder = FlightRecorder(threshold_ms=0.0)
+        recorder.record(0.1, {})
+        recorder.record(0.2, {})
+        assert recorder.clear() == 2
+        summary = recorder.summary()
+        assert summary["kept"] == 0
+        assert summary["seen"] == 2
+        assert summary["worst_ms"] == 0.0

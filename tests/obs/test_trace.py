@@ -1,0 +1,148 @@
+"""Request-scoped tracing: spans, context propagation, sampling."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    Trace,
+    TraceSampler,
+    annotate,
+    current_span,
+    current_trace,
+    new_trace_id,
+    span,
+    use_trace,
+)
+from repro.obs.trace import _NOOP  # the shared disabled-path handle
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_noop(self):
+        assert current_trace() is None
+        handle = span("anything", key="value")
+        assert handle is _NOOP
+        assert span("other") is handle          # the very same object
+
+    def test_noop_handle_is_inert(self):
+        with span("outer") as handle:
+            handle.set(a=1).set(b=2)
+            handle.attach({"name": "remote"})
+            with span("inner"):
+                annotate(ignored=True)
+        assert current_trace() is None
+        assert current_span() is None
+
+
+class TestTraceTree:
+    def test_nesting_follows_lexical_structure(self):
+        trace = Trace("request")
+        with use_trace(trace):
+            with span("plan", algorithm="ins"):
+                pass
+            with span("execute") as execute:
+                execute.set(answer=True)
+                with span("candidate-cache", hit=False):
+                    pass
+        trace.finish()
+        document = trace.to_dict()
+        assert document["trace_id"] == trace.trace_id
+        assert document["name"] == "request"
+        assert document["seconds"] >= 0.0
+        names = [child["name"] for child in document["children"]]
+        assert names == ["plan", "execute"]
+        plan, execute = document["children"]
+        assert plan["attrs"] == {"algorithm": "ins"}
+        assert execute["attrs"]["answer"] is True
+        assert [child["name"] for child in execute["children"]] == [
+            "candidate-cache"
+        ]
+
+    def test_annotate_hits_innermost_open_span(self):
+        trace = Trace("request")
+        with use_trace(trace):
+            annotate(root_attr=1)               # no span open: the root
+            with span("child"):
+                annotate(child_attr=2)
+        assert trace.root.attrs == {"root_attr": 1}
+        assert trace.root.children[0].attrs == {"child_attr": 2}
+
+    def test_attach_stitches_remote_subtree(self):
+        trace = Trace("request")
+        remote = {"name": "expand", "seconds": 0.01, "attrs": {"shard": 1},
+                  "children": []}
+        with use_trace(trace):
+            with span("round") as handle:
+                handle.attach(remote)
+                handle.attach(None)             # a missing subtree is fine
+        document = trace.finish().to_dict()
+        round_doc = document["children"][0]
+        assert round_doc["children"] == [remote]
+
+    def test_to_dict_before_finish_reports_elapsed(self):
+        trace = Trace("request")
+        document = trace.to_dict()
+        assert document["seconds"] >= 0.0       # not the open sentinel -1.0
+
+    def test_use_trace_none_masks_outer_trace(self):
+        trace = Trace("request")
+        with use_trace(trace):
+            with use_trace(None):
+                assert current_trace() is None
+                assert span("invisible") is _NOOP
+            assert current_trace() is trace
+        assert trace.root.children == []
+
+    def test_use_trace_resets_span_cursor(self):
+        # A worker thread re-activating the trace starts at the root,
+        # never inside whatever span its scheduling context had open.
+        trace = Trace("request")
+        with use_trace(trace):
+            with span("outer"):
+                with use_trace(trace):
+                    assert current_span() is None
+                    with span("re-entered"):
+                        pass
+        names = [child.name for child in trace.root.children]
+        assert names == ["outer", "re-entered"]
+
+    def test_thread_does_not_inherit_but_can_adopt(self):
+        trace = Trace("request")
+        observed: list[object] = []
+
+        def worker() -> None:
+            observed.append(current_trace())    # fresh thread: no trace
+            with use_trace(trace):
+                with span("adopted"):
+                    pass
+                observed.append(current_trace())
+
+        with use_trace(trace):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert observed == [None, trace]
+        assert [child.name for child in trace.root.children] == ["adopted"]
+
+
+class TestIdsAndSampler:
+    def test_trace_ids_are_distinct_hex(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+    def test_sampler_extremes(self):
+        assert not any(TraceSampler(0.0).sample() for _ in range(100))
+        assert all(TraceSampler(1.0).sample() for _ in range(100))
+
+    def test_sampler_rate_is_roughly_honored(self):
+        sampler = TraceSampler(0.25, seed=0)
+        hits = sum(sampler.sample() for _ in range(4000))
+        assert 800 < hits < 1200
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1, 2.0])
+    def test_sampler_rejects_bad_rate(self, rate):
+        with pytest.raises(ValueError, match="sample rate"):
+            TraceSampler(rate)

@@ -40,6 +40,7 @@ class TestQuery:
             "trivial": False,
             "reason": "local index loaded",
             "epoch": 0,
+            "source": "evaluated",
         }
         result, _ = service.query("v0", "v3", LABELS, S0)
         assert result.answer is False

@@ -75,6 +75,83 @@ class TestLatencyHistogram:
         assert histogram.count == 1
         assert histogram.max_seconds == 0.001
 
+    def test_empty_histogram_every_quantile_is_zero(self):
+        histogram = LatencyHistogram()
+        for fraction in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert histogram.quantile(fraction) == 0.0
+        snapshot = histogram.snapshot()
+        assert snapshot["p50_ms"] == snapshot["p90_ms"] == snapshot["p99_ms"] == 0.0
+        assert snapshot["mean_ms"] == 0.0
+        assert snapshot["max_seconds"] == 0.0
+
+    def test_overflow_bucket_observation(self):
+        # Beyond the last bound (~84s) lands in the implicit +Inf bucket;
+        # its quantile must report the observed max, not a finite bound.
+        histogram = LatencyHistogram()
+        huge = LATENCY_BUCKET_BOUNDS[-1] * 3.0
+        histogram.record(huge)
+        assert histogram.counts[-1] == 1
+        assert sum(histogram.counts[:-1]) == 0
+        assert histogram.quantile(0.99) == huge
+        snapshot = histogram.snapshot()
+        assert snapshot["bucket_counts"][-1] == 1
+        assert snapshot["p99_ms"] == huge * 1000.0
+
+    def test_merge_rejects_moved_bucket_boundaries(self):
+        # Same bucket *count*, different *bounds*: folding would silently
+        # re-bin — the document must be skipped whole.
+        histogram = LatencyHistogram()
+        histogram.record(0.001)
+        foreign = LatencyHistogram()
+        foreign.record(0.5)
+        document = foreign.snapshot()
+        document["bucket_bounds_seconds"] = [
+            bound * 3.0 for bound in LATENCY_BUCKET_BOUNDS
+        ]
+        histogram.merge_snapshot(document)
+        assert histogram.count == 1
+        assert histogram.max_seconds == 0.001
+
+    def test_merge_without_bounds_still_accepted(self):
+        # Older snapshots carry only bucket_counts; a matching length is
+        # the best compatibility signal available and must keep working.
+        histogram = LatencyHistogram()
+        source = LatencyHistogram()
+        source.record(0.02)
+        document = source.snapshot()
+        del document["bucket_bounds_seconds"]
+        histogram.merge_snapshot(document)
+        assert histogram.count == 1
+        assert histogram.max_seconds == 0.02
+
+    def test_merge_without_max_seconds_keeps_quantiles_alive(self):
+        # Regression: a document missing max_seconds used to leave the
+        # merged max at 0.0, and quantile()'s min(bound, max) clamp then
+        # reported every quantile as 0.  The fallback derives a max from
+        # the highest occupied bucket's upper bound.
+        histogram = LatencyHistogram()
+        source = LatencyHistogram()
+        source.record(0.02)
+        source.record(0.04)
+        document = source.snapshot()
+        del document["max_seconds"]
+        histogram.merge_snapshot(document)
+        assert histogram.count == 2
+        assert histogram.quantile(0.5) > 0.0
+        assert histogram.max_seconds >= 0.04
+
+    def test_merge_without_max_seconds_overflow_bucket(self):
+        # The fallback must not index past the bounds table when the
+        # only occupied bucket is the +Inf overflow cell.
+        histogram = LatencyHistogram()
+        source = LatencyHistogram()
+        source.record(LATENCY_BUCKET_BOUNDS[-1] * 2.0)
+        document = source.snapshot()
+        del document["max_seconds"]
+        histogram.merge_snapshot(document)
+        assert histogram.max_seconds == LATENCY_BUCKET_BOUNDS[-1]
+        assert histogram.quantile(0.99) == LATENCY_BUCKET_BOUNDS[-1]
+
     def test_bounds_are_log_scale(self):
         ratios = {
             round(b / a, 6)

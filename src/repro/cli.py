@@ -60,6 +60,13 @@ from repro.service.app import QueryService
 from repro.service.http import create_server
 from repro.service.registry import DEFAULT_TENANT, TenantRegistry
 from repro.shard import ShardedQueryService
+from repro.wal import (
+    DEFAULT_COMPACT_EVERY,
+    DEFAULT_POLL_INTERVAL,
+    UpdateWal,
+    WalFollower,
+    recover_service,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -196,9 +203,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--allow-updates",
         action="store_true",
-        help="accept POST /edges live edge-addition batches (copy-on-write "
-        "epoch swap; refused with 403 when off, and unsupported on sharded "
-        "default tenants)",
+        help="accept POST /edges live edge update batches — additions and "
+        "{\"op\": \"remove\"} retractions (copy-on-write epoch swap; refused "
+        "with 403 when off, and unsupported on sharded default tenants)",
+    )
+    serve.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="durable updates: replay the write-ahead log under DIR at "
+        "startup (recovering the pre-crash epoch), then append every "
+        "applied POST /edges batch there before acknowledging (requires "
+        "--graph; incompatible with --shards and --follow)",
+    )
+    serve.add_argument(
+        "--compact-every",
+        type=int,
+        default=DEFAULT_COMPACT_EVERY,
+        metavar="N",
+        help="WAL compaction cadence: snapshot the graph and drop covered "
+        "log segments every N appended records (bounds restart cost)",
+    )
+    serve.add_argument(
+        "--follow",
+        default=None,
+        metavar="DIR",
+        help="serve as a read-only follower tailing the WAL a leader writes "
+        "under DIR: republishes the leader's epochs, refuses POST /edges "
+        "with a structured 403, and reports lag in /healthz and /metrics "
+        "(requires --graph — the same base TSV the leader started from)",
+    )
+    serve.add_argument(
+        "--follow-interval",
+        type=float,
+        default=DEFAULT_POLL_INTERVAL,
+        metavar="SECS",
+        help="seconds between follower polls of the --follow directory",
     )
     serve.add_argument(
         "--trace-sample",
@@ -343,6 +383,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ServiceConfigError("--shards requires --graph (the default tenant)")
     if args.shards < 0:
         raise ServiceConfigError(f"--shards must be >= 0, got {args.shards}")
+    if args.wal is not None and args.follow is not None:
+        raise ServiceConfigError(
+            "--wal and --follow are mutually exclusive: a process either "
+            "leads (writes the log) or follows (tails it)"
+        )
+    if (args.wal is not None or args.follow is not None) and args.graph is None:
+        raise ServiceConfigError(
+            "--wal/--follow require --graph (the base TSV the log's first "
+            "record was written against)"
+        )
+    if (args.wal is not None or args.follow is not None) and args.shards:
+        raise ServiceConfigError(
+            "--wal/--follow do not support --shards yet: the log is the "
+            "planned slice-epoch carrier, but per-slice replay is unbuilt"
+        )
+    if args.follow is not None and args.allow_updates:
+        raise ServiceConfigError(
+            "--follow serves read-only; updates belong on the leader "
+            "(drop --allow-updates)"
+        )
+    if args.compact_every < 1:
+        raise ServiceConfigError(
+            f"--compact-every must be >= 1, got {args.compact_every}"
+        )
     options = dict(
         landmark_count=args.k,
         seed=args.seed,
@@ -363,6 +427,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     default_name = DEFAULT_TENANT if args.graph is not None else tenants[0][0]
     registry = TenantRegistry(default_tenant=default_name)
     shard_workers = None
+    update_wal = None
+    tenant_wal = None
+    replay = None
     if args.graph is not None:
         if args.shards:
             default_service = ShardedQueryService.from_files(
@@ -372,6 +439,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 str(position): worker
                 for position, worker in enumerate(default_service.workers)
             }
+        elif args.wal is not None or args.follow is not None:
+            # Leader and follower recover identically — snapshot (if
+            # any) + record replay, fingerprint-verified — and differ
+            # only in what happens next: the leader attaches the log so
+            # new batches append, the follower tails it read-only.
+            update_wal = UpdateWal(
+                args.wal if args.wal is not None else args.follow,
+                compact_every=args.compact_every,
+            )
+            tenant_wal = update_wal.tenant(DEFAULT_TENANT)
+            default_service, replay = recover_service(
+                tenant_wal,
+                graph_path=args.graph,
+                index_path=args.index,
+                attach=args.wal is not None,
+                **options,
+            )
         else:
             default_service = QueryService.from_files(
                 args.graph, args.index, **options
@@ -380,24 +464,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for name, graph_path, index_path in tenants:
         registry.register_files(name, graph_path, index_path, **options)
 
+    follower = None
+    if args.follow is not None:
+        # The HTTP gate stays open (allow_updates=True below) so POST
+        # /edges reaches the service and gets the follower's structured
+        # 403 — "read-only replica" is a more actionable refusal than
+        # "updates disabled" — while the tailer republishes below it.
+        default_service.read_only = True
+        follower = WalFollower(
+            default_service, tenant_wal, interval=args.follow_interval
+        )
+        default_service.replication = follower
+
     server = create_server(
         registry, args.host, args.port, shard_workers,
-        allow_updates=args.allow_updates,
+        allow_updates=args.allow_updates or follower is not None,
     )
     host, port = server.server_address[:2]
     service = registry.get(default_name)
+    if replay is not None:
+        torn = ", tolerated a torn tail" if replay["truncated_tail"] else ""
+        print(
+            f"wal: replayed {replay['applied']} record(s) "
+            f"(skipped {replay['skipped']}{torn}) to epoch "
+            f"{replay['epoch']} of {tenant_wal.directory}",
+            flush=True,
+        )
     if args.warm_cache is not None and Path(args.warm_cache).is_file():
         # A stale warm cache (e.g. written after live updates the TSV on
         # disk never saw) must not block startup: the cache is an
         # optimisation, so refuse-and-continue beats refuse-and-die.
+        # With a WAL, the log's epoch→fingerprint history additionally
+        # admits snapshots that are verified *ancestors* of the replayed
+        # tip — their stats carry over, their pre-tip result entries are
+        # dropped instead of warmed stale.
         try:
-            warmed = service.load_snapshot(args.warm_cache)
+            warmed = service.load_snapshot(
+                args.warm_cache,
+                epoch_fingerprints=(
+                    tenant_wal.fingerprints if tenant_wal is not None else None
+                ),
+            )
         except ServiceConfigError as error:
             print(f"ignoring warm cache {args.warm_cache}: {error}", flush=True)
         else:
+            stale = (
+                f" (dropped {warmed['stale_results']} pre-tip entr"
+                f"{'y' if warmed['stale_results'] == 1 else 'ies'})"
+                if warmed.get("stale_results")
+                else ""
+            )
             print(
                 f"warmed {warmed['results']} cached result(s) from "
-                f"{args.warm_cache}",
+                f"{args.warm_cache}{stale}",
                 flush=True,
             )
     graph = service.graph
@@ -426,7 +545,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
     if args.allow_updates:
-        print("live updates: enabled (POST /edges, epoch-swapped)", flush=True)
+        durable = (
+            f", wal: {tenant_wal.directory} (compact every "
+            f"{args.compact_every})"
+            if args.wal is not None
+            else ""
+        )
+        print(
+            f"live updates: enabled (POST /edges, epoch-swapped{durable})",
+            flush=True,
+        )
+    elif args.wal is not None:
+        print(
+            f"wal: attached at {tenant_wal.directory} (compact every "
+            f"{args.compact_every}; POST /edges still needs --allow-updates)",
+            flush=True,
+        )
+    if follower is not None:
+        follower.start()
+        print(
+            f"follower: tailing {tenant_wal.directory} every "
+            f"{args.follow_interval:g}s at epoch {service.epoch.epoch_id} "
+            "(writes answered 403)",
+            flush=True,
+        )
     print(
         f"observability: GET /metrics, GET /debug/slow "
         f"(slow-ms={service.flight.threshold_ms:g}, "
@@ -442,6 +584,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+        if follower is not None:
+            follower.stop()
+        if update_wal is not None:
+            update_wal.close()
         if args.warm_cache is not None:
             size = service.save_snapshot(args.warm_cache)
             print(f"saved cache+stats snapshot ({size} bytes) to {args.warm_cache}",

@@ -10,7 +10,8 @@ their own branch of the hierarchy:
 * :class:`IndexingError` — local-index and comparator index construction;
 * :class:`WorkloadError` — evaluation-query generation (Section 6.1.1/6.2);
 * :class:`BenchmarkError` — the table/figure benchmark harness;
-* :class:`ServiceError` — the concurrent query service (:mod:`repro.service`).
+* :class:`ServiceError` — the concurrent query service (:mod:`repro.service`);
+* :class:`WalError` — the durable update log and replication (:mod:`repro.wal`).
 """
 
 from __future__ import annotations
@@ -162,6 +163,25 @@ class UpdatesDisabledError(BadRequestError):
         )
 
 
+class ReadOnlyServiceError(BadRequestError):
+    """The service is a read-only follower; writes must go to the leader.
+
+    Raised by :meth:`~repro.service.app.QueryService.handle_updates` when
+    the service was started with ``serve --follow`` (HTTP 403).  The
+    ``detail`` names the role so clients can distinguish "updates are an
+    opt-in admin operation" (:class:`UpdatesDisabledError`) from "this
+    replica republishes a leader's log and never accepts writes".
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "this server is a read-only follower; apply updates on the "
+            "leader whose write-ahead log it tails",
+            status=403,
+            detail={"role": "follower"},
+        )
+
+
 class UpdatesUnsupportedError(BadRequestError):
     """The service topology cannot apply live updates (HTTP 501).
 
@@ -174,3 +194,27 @@ class UpdatesUnsupportedError(BadRequestError):
 
     def __init__(self, message: str, detail: dict | None = None):
         super().__init__(message, status=501, detail=detail)
+
+
+class WalError(ServiceError):
+    """Base class for write-ahead-log failures (:mod:`repro.wal`)."""
+
+
+class WalCorruptionError(WalError):
+    """A WAL segment or snapshot could not be decoded.
+
+    A *trailing* partial line in the newest segment is not corruption —
+    that is the expected shape of a crash mid-append and replay tolerates
+    it — but garbage in the middle of the log, an unreadable snapshot,
+    or a malformed record is.
+    """
+
+
+class WalReplayError(WalError):
+    """Replay could not reconverge to the logged epoch history.
+
+    Raised on an epoch gap between consecutive records (a segment was
+    deleted out from under the log) or on a content-fingerprint mismatch
+    after applying a record (the base graph the replay started from is
+    not the graph the log was written against).
+    """

@@ -231,15 +231,20 @@ class LocalIndex:
         return max(0, added)
 
     def refresh_after_edge(self, source: int, label_id: int, target: int) -> bool:
-        """Repair the index after ``graph.add_edge_ids(source, label_id,
-        target)`` has been applied.
+        """Repair the index after one edge mutation at ``(source,
+        label_id, target)`` — an insertion *or* a removal — has been
+        applied to the graph.
 
         Only the region owning ``source`` can be affected: ``II[u]``
         covers paths inside ``F(u)`` and ``EI[u]`` covers edges leaving
         it, and both kinds of derivation start from edges whose source
-        lies in ``F(u)``.  That one landmark entry is rebuilt from
-        scratch (regions are small by design, so this is cheap).
-        Returns True when a rebuild happened; False means the new edge
+        lies in ``F(u)`` — so a removed edge's now-stale entries live in
+        exactly the region an inserted edge's missing entries would.
+        That one landmark entry is rebuilt from scratch against the
+        *current* graph (regions are small by design, so this is cheap),
+        which makes the repair direction-agnostic: whatever the mutation
+        was, the rebuilt tables describe the graph as it now is.
+        Returns True when a rebuild happened; False means the edge
         starts outside every region and the index was already correct.
         """
         self.sync_vertices()
@@ -253,8 +258,12 @@ class LocalIndex:
 
         The batch form of :meth:`refresh_after_edge`: an update batch
         touching many edges in one region repairs that region *once*,
-        not once per edge.  Unknown region ids and :data:`NO_REGION`
-        are ignored.  Returns how many regions were rebuilt.
+        not once per edge.  Each entry is rebuilt from scratch against
+        the current graph, so insertions and removals repair
+        identically — callers pass the regions of every mutated edge's
+        *source*, whichever way it mutated.  Unknown region ids and
+        :data:`NO_REGION` are ignored.  Returns how many regions were
+        rebuilt.
 
         Any rebuild also drops the serving-time Cut/Push memos — they
         cache projections of the tables being replaced, and a stale memo

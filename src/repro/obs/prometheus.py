@@ -18,6 +18,9 @@ version 0.0.4.  Everything the snapshot counts appears as a sample:
   flight-recorder counters;
 * shard plan/coordinator/worker counters when the tenant is sharded
   (workers labelled ``shard="<id>"``);
+* write-ahead-log counters on a durable leader (``repro_wal_*``) and
+  replication lag gauges on a follower (``repro_follower_lag_epochs`` /
+  ``repro_follower_lag_seconds``);
 * one ``repro_build_info`` gauge carrying the package version.
 
 Multi-tenant servers label every per-tenant sample ``tenant="<name>"``,
@@ -158,6 +161,10 @@ _UPDATE_COUNTERS = {
     "edges_added": ("update_edges_added_total", "Edges added by updates"),
     "edges_duplicate": ("update_edges_duplicate_total",
                         "Duplicate edges in update batches"),
+    "edges_removed": ("update_edges_removed_total",
+                      "Edges removed by updates"),
+    "edges_missing": ("update_edges_missing_total",
+                      "Removals that named an absent edge"),
     "vertices_added": ("update_vertices_added_total",
                        "Vertices interned by updates"),
 }
@@ -318,6 +325,36 @@ def render_service_metrics(
         families.add("repro_slow_query_worst_ms", "gauge",
                      "Slowest recorded entry", labels,
                      slow.get("worst_ms", 0.0))
+    wal = document.get("wal")
+    if isinstance(wal, dict):
+        families.add("repro_wal_records_total", "counter",
+                     "Records appended to the write-ahead log", labels,
+                     wal.get("records", 0))
+        families.add("repro_wal_segments", "gauge",
+                     "Live WAL segment files", labels,
+                     wal.get("segments", 0))
+        families.add("repro_wal_epoch", "gauge",
+                     "Last epoch recorded in the write-ahead log", labels,
+                     wal.get("epoch", 0))
+        snapshot_epoch = wal.get("snapshot_epoch")
+        if snapshot_epoch is not None:
+            families.add("repro_wal_snapshot_epoch", "gauge",
+                         "Epoch of the newest compaction snapshot", labels,
+                         snapshot_epoch)
+    replication = document.get("replication")
+    if isinstance(replication, dict):
+        families.add("repro_follower_lag_epochs", "gauge",
+                     "Epochs the follower trails the log tip by", labels,
+                     replication.get("lag_epochs", 0))
+        families.add("repro_follower_lag_seconds", "gauge",
+                     "Seconds the oldest unapplied record has waited", labels,
+                     replication.get("lag_seconds", 0.0))
+        families.add("repro_follower_wal_epoch", "gauge",
+                     "Log-tip epoch as of the follower's last poll", labels,
+                     replication.get("wal_epoch", 0))
+        families.add("repro_follower_records_applied_total", "counter",
+                     "WAL records the follower has republished", labels,
+                     replication.get("records_applied", 0))
     shards = document.get("shards")
     if isinstance(shards, dict):
         _shards_section(families, labels, shards)

@@ -55,8 +55,10 @@ from repro.core.result import QueryResult
 from repro.exceptions import (
     BadRequestError,
     ConstraintError,
+    ReadOnlyServiceError,
     ServiceConfigError,
     SparqlError,
+    WalReplayError,
 )
 from repro.graph.csr import FrozenGraph, base_graph, freeze_graph
 from repro.graph.io import load_tsv
@@ -79,7 +81,11 @@ from repro.obs.trace import (
     use_trace,
 )
 from repro.service.cache import CandidateCache, ConstraintCache, ResultCache
-from repro.service.epoch import GraphEpoch, validate_edge_updates
+from repro.service.epoch import (
+    GraphEpoch,
+    normalize_edge_updates,
+    validate_edge_updates,
+)
 from repro.service.executor import BatchExecutor
 from repro.service.planner import QueryPlan, QueryPlanner
 from repro.service.stats import ServiceStats
@@ -176,6 +182,17 @@ class QueryService:
         )
         #: Serialises writers only (apply_updates); readers never take it.
         self._update_lock = Lock()
+        #: Per-tenant write-ahead log (:class:`repro.wal.TenantWal`) when
+        #: the service runs durable (``serve --wal``); attached *after*
+        #: recovery so replay never re-appends its own records.
+        self._wal: Any = None
+        #: When True (``serve --follow``), ``POST /edges`` answers a
+        #: structured 403; :meth:`apply_updates` itself stays callable —
+        #: it is how the follower's log tailer republishes epochs.
+        self.read_only = False
+        #: The :class:`repro.wal.WalFollower` driving this replica, when
+        #: one is; surfaced through :meth:`health` / :meth:`stats_snapshot`.
+        self.replication: Any = None
 
     # ------------------------------------------------------------------
     # construction
@@ -367,56 +384,80 @@ class QueryService:
 
     def apply_updates(
         self,
-        edges: Iterable[tuple[Hashable, str, Hashable]],
+        edges: Iterable[tuple[Hashable, ...]],
         *,
         rebuild_region_fraction: float = DEFAULT_REBUILD_REGION_FRACTION,
     ) -> dict:
-        """Apply an edge-addition batch and publish a new serving epoch.
+        """Apply an edge update batch and publish a new serving epoch.
+
+        Each item is ``(source, label, target)`` — an implicit addition —
+        or ``(source, label, target, op)`` with ``op`` in ``{"add",
+        "remove"}``.  Items apply *in order*, so an add-then-remove of
+        the same edge nets to absent and the reverse to present.
 
         Copy-on-write end to end: the current epoch's base graph is
         deep-copied, the batch is applied to the copy (new vertices and
-        labels intern as needed; duplicates are counted, not errors),
-        the index — when one is loaded — is cloned and repaired
-        per touched region (:meth:`LocalIndex.refresh_regions`, falling
-        back to a full rebuild with the same landmarks when the batch
-        touches more than ``rebuild_region_fraction`` of the regions),
-        the copy is re-frozen, and a fresh :class:`GraphEpoch` replaces
+        labels intern as needed for additions; duplicate adds and
+        missing removes are counted, not errors — removal of an unknown
+        name never interns anything, so a miss leaves the graph's
+        content fingerprint untouched), the index — when one is loaded —
+        is cloned and repaired per touched region
+        (:meth:`LocalIndex.refresh_regions`, which rebuilds each touched
+        region's ``II/EIT/D`` from the *current* graph and therefore
+        repairs removals and insertions alike; falling back to a full
+        rebuild with the same landmarks when the batch touches more than
+        ``rebuild_region_fraction`` of the regions), the copy is
+        re-frozen, and a fresh :class:`GraphEpoch` replaces
         ``self._epoch`` in one atomic store.  Readers never block:
         queries in flight finish on the old epoch, later ones see the
         new one.  Writers serialise on one update lock.
 
-        Returns a JSON-ready summary (new epoch id, add/duplicate
-        counts, index action).  The whole batch is applied or — on a
-        validation error raised before any copying — none of it;
-        failures after copying cannot corrupt serving state because
-        only the copy was touched.
+        When a write-ahead log is attached (:meth:`attach_wal`) the
+        batch is appended — with the new epoch id and content
+        fingerprint — *after* the publish and before the ack returns, so
+        an acknowledged batch is always durable; a crash between publish
+        and append can only lose a batch whose ack the client never saw.
+
+        Returns a JSON-ready summary (new epoch id, add/duplicate/
+        remove/missing counts, index action).  The whole batch is
+        applied or — on a validation error raised before any copying —
+        none of it; failures after copying cannot corrupt serving state
+        because only the copy was touched.
         """
-        updates = list(edges)
+        updates = normalize_edge_updates(edges)
         if not updates:
             raise BadRequestError("update batch must contain at least one edge")
         with self._update_lock:
             started = perf_counter()
             old = self._epoch
-            # All-duplicate batches are a no-op: every triple already
-            # exists, so there is nothing to copy, repair or publish —
-            # and no epoch bump, which keeps "same epoch" equivalent to
-            # "same content" for the snapshot identity.  (A duplicate
-            # edge implies both endpoints and the label exist too.)
+            # No-op batches skip the copy/repair/publish entirely — and
+            # the epoch bump, which keeps "same epoch" equivalent to
+            # "same content" for the snapshot identity.  A batch is a
+            # no-op when every add is a duplicate and every remove a
+            # miss; those two sets cannot interact in sequence (an add
+            # targets a present edge, a remove an absent one), so the
+            # initial-state check is sound for the whole batch.
             if all(
-                old.graph.has_edge_named(source, label, target)
-                for source, label, target in updates
+                old.graph.has_edge_named(source, label, target) == (op == "add")
+                for source, label, target, op in updates
             ):
+                duplicates = sum(1 for *_, op in updates if op == "add")
+                missing = len(updates) - duplicates
                 self.stats.record_update(
                     edges_added=0,
-                    edges_duplicate=len(updates),
+                    edges_duplicate=duplicates,
                     vertices_added=0,
+                    edges_removed=0,
+                    edges_missing=missing,
                 )
                 elapsed = perf_counter() - started
                 self.stats.record_latency("updates", elapsed)
                 return {
                     "epoch": old.epoch_id,
                     "edges_added": 0,
-                    "edges_duplicate": len(updates),
+                    "edges_duplicate": duplicates,
+                    "edges_removed": 0,
+                    "edges_missing": missing,
                     "vertices_added": 0,
                     "index": "unchanged",
                     "regions_refreshed": 0,
@@ -426,20 +467,31 @@ class QueryService:
                 base = base_graph(old.graph).copy()
             vertices_before = base.num_vertices
             added: list[tuple[int, int, int]] = []
+            removed_sources: list[int] = []
             duplicates = 0
+            missing = 0
             with span("apply", edges=len(updates)) as apply_span:
-                for source, label, target in updates:
-                    s_id = base.add_vertex(source)
-                    t_id = base.add_vertex(target)
-                    label_id = base.labels.intern(label)
-                    if base.add_edge_ids(s_id, label_id, t_id):
-                        added.append((s_id, label_id, t_id))
+                for source, label, target, op in updates:
+                    if op == "add":
+                        s_id = base.add_vertex(source)
+                        t_id = base.add_vertex(target)
+                        label_id = base.labels.intern(label)
+                        if base.add_edge_ids(s_id, label_id, t_id):
+                            added.append((s_id, label_id, t_id))
+                        else:
+                            duplicates += 1
+                    elif base.remove_edge(source, label, target):
+                        # Name-level removal: a hit implies all three
+                        # names were interned, so vid() cannot miss.
+                        removed_sources.append(base.vid(source))
                     else:
-                        duplicates += 1
+                        missing += 1
                 vertices_added = base.num_vertices - vertices_before
                 apply_span.set(
                     added=len(added),
                     duplicates=duplicates,
+                    removed=len(removed_sources),
+                    missing=missing,
                     vertices_added=vertices_added,
                 )
             with span("freeze"):
@@ -453,7 +505,16 @@ class QueryService:
                     # region_of would IndexError on a just-interned vertex
                     # id until the region list is extended to the new |V|.
                     new_index.sync_vertices()
+                    # Both mutation kinds dirty exactly the region of the
+                    # edge's source: II covers in-region paths and EIT
+                    # edges leaving the region, and both are indexed under
+                    # F(source) — so a removed edge's stale entries live
+                    # in region_of(source), same as an inserted edge's
+                    # missing ones.
                     touched = {new_index.region_of(s_id) for s_id, _, _ in added}
+                    touched.update(
+                        new_index.region_of(s_id) for s_id in removed_sources
+                    )
                     touched.discard(NO_REGION)
                     landmarks = new_index.partition.landmarks
                     if touched and len(touched) > rebuild_region_fraction * len(
@@ -494,22 +555,144 @@ class QueryService:
                     lambda key: isinstance(key, tuple) and key[0] != current
                 )
                 publish_span.set(epoch=current, cache_purged=purged)
+            if self._wal is not None:
+                # Append-after-publish: the record carries the epoch the
+                # batch *produced*, and fsyncs before the ack leaves.
+                with span("wal-append") as wal_span:
+                    self._wal.append(
+                        updates,
+                        epoch=new_epoch.epoch_id,
+                        fingerprint=new_epoch.fingerprint,
+                        graph=new_epoch.graph,
+                    )
+                    wal_span.set(epoch=new_epoch.epoch_id)
             elapsed = perf_counter() - started
             self.stats.record_update(
                 edges_added=len(added),
                 edges_duplicate=duplicates,
                 vertices_added=vertices_added,
+                edges_removed=len(removed_sources),
+                edges_missing=missing,
             )
             self.stats.record_latency("updates", elapsed)
         return {
             "epoch": new_epoch.epoch_id,
             "edges_added": len(added),
             "edges_duplicate": duplicates,
+            "edges_removed": len(removed_sources),
+            "edges_missing": missing,
             "vertices_added": vertices_added,
             "index": index_action,
             "regions_refreshed": regions_refreshed,
             "seconds": elapsed,
         }
+
+    # ------------------------------------------------------------------
+    # durability + replication hooks (repro.wal)
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, wal: Any) -> None:
+        """Attach a per-tenant write-ahead log to this service.
+
+        Every subsequent :meth:`apply_updates` that publishes a new
+        epoch appends its batch to ``wal`` before acknowledging.  Called
+        by recovery (:func:`repro.wal.recover_service`) *after* replay,
+        so replayed records are never re-appended.
+        """
+        self._wal = wal
+
+    def reset_epoch(
+        self, epoch_id: int, *, expected_fingerprint: str | None = None
+    ) -> None:
+        """Renumber the current epoch to ``epoch_id`` without mutation.
+
+        WAL recovery uses this to restore the epoch *counter* alongside
+        the content: a service rebuilt from a compaction snapshot starts
+        at epoch 0 even though its graph is the log's epoch-N state.
+        The graph, index, planner and caches are reused as-is; only the
+        id (and with it the result-cache namespace) changes.  With
+        ``expected_fingerprint`` the current graph's content digest must
+        match, or :class:`~repro.exceptions.WalReplayError` is raised —
+        catching a base graph that is not the one the log was written
+        against *before* replay applies anything on top of it.
+        """
+        with self._update_lock:
+            old = self._epoch
+            if (
+                expected_fingerprint is not None
+                and old.fingerprint != expected_fingerprint
+            ):
+                raise WalReplayError(
+                    f"cannot adopt epoch {epoch_id}: current graph "
+                    f"fingerprint {old.fingerprint} != expected "
+                    f"{expected_fingerprint}"
+                )
+            if epoch_id == old.epoch_id:
+                return
+            new_epoch = GraphEpoch(
+                epoch_id,
+                old.graph,
+                old.index,
+                old.planner,
+                old.candidates,
+                self.constraints,
+                self.seed,
+            )
+            self._epoch = new_epoch
+            self.results.purge(
+                lambda key: isinstance(key, tuple) and key[0] != epoch_id
+            )
+
+    def replace_graph(
+        self,
+        graph: KnowledgeGraph,
+        epoch_id: int,
+        *,
+        expected_fingerprint: str | None = None,
+    ) -> None:
+        """Swap in a whole new graph as epoch ``epoch_id``.
+
+        The follower's resync path: when the leader compacted past the
+        records a lagging replica still needed, the replica reloads the
+        compaction snapshot wholesale instead of replaying a gap it no
+        longer can.  The graph is frozen, the index — when this service
+        serves indexed — is rebuilt over it with the *same landmarks*
+        (snapshot graphs preserve vertex ids, so the partition stays
+        comparable), and a fresh epoch is published exactly like an
+        update swap.  ``expected_fingerprint`` mismatches raise
+        :class:`~repro.exceptions.WalReplayError` before publication.
+        """
+        with self._update_lock:
+            old = self._epoch
+            fingerprint = graph.content_fingerprint()
+            if (
+                expected_fingerprint is not None
+                and fingerprint != expected_fingerprint
+            ):
+                raise WalReplayError(
+                    f"cannot adopt epoch {epoch_id}: replacement graph "
+                    f"fingerprint {fingerprint} != expected "
+                    f"{expected_fingerprint}"
+                )
+            frozen = freeze_graph(graph) if self._freeze else graph
+            new_index: LocalIndex | None = None
+            if old.index is not None:
+                new_index = build_local_index(
+                    frozen, landmarks=list(old.index.partition.landmarks)
+                )
+            new_epoch = GraphEpoch(
+                epoch_id,
+                frozen,
+                new_index,
+                old.planner.rebind(frozen, has_index=new_index is not None),
+                CandidateCache(max_size=self._cache_size),
+                self.constraints,
+                self.seed,
+            )
+            self._epoch = new_epoch
+            self.results.purge(
+                lambda key: isinstance(key, tuple) and key[0] != epoch_id
+            )
 
     # ------------------------------------------------------------------
 
@@ -718,7 +901,15 @@ class QueryService:
         return response
 
     def handle_updates(self, payload: object, *, trace: bool = False) -> dict:
-        """``POST /edges``: validate a JSON update batch and apply it."""
+        """``POST /edges``: validate a JSON update batch and apply it.
+
+        On a read-only follower the request is refused with a structured
+        403 *before* validation side effects — the gate lives here, at
+        the HTTP boundary, so the follower's own log tailer can still
+        call :meth:`apply_updates` directly.
+        """
+        if self.read_only:
+            raise ReadOnlyServiceError()
         updates = validate_edge_updates(payload, max_edges=self.max_batch)
         if not trace:
             return self.apply_updates(updates)
@@ -732,9 +923,16 @@ class QueryService:
         return summary
 
     def health(self) -> dict:
-        """``GET /healthz``: liveness plus what is loaded."""
+        """``GET /healthz``: liveness plus what is loaded.
+
+        A durable leader adds a ``"wal"`` section (records appended,
+        segment count, snapshot epoch); a follower adds ``"replication"``
+        (role, applied vs log-tip epoch, lag in epochs and seconds) — the
+        fields load balancers and operators watch to keep stale replicas
+        out of rotation.
+        """
         epoch = self._epoch
-        return {
+        payload = {
             "status": "ok",
             "graph": epoch.graph.name,
             "vertices": epoch.graph.num_vertices,
@@ -744,10 +942,16 @@ class QueryService:
             "index_loaded": epoch.index is not None,
             "default_algorithm": self.default_algorithm,
             "epoch": epoch.epoch_id,
+            "fingerprint": epoch.fingerprint,
             "version": __version__,
             "started_at": self.stats.started_at,
             "uptime_seconds": self.stats.uptime_seconds,
         }
+        if self._wal is not None:
+            payload["wal"] = self._wal.describe()
+        if self.replication is not None:
+            payload["replication"] = self.replication.describe()
+        return payload
 
     def stats_snapshot(self) -> dict:
         """``GET /stats``: the full telemetry document."""
@@ -755,7 +959,7 @@ class QueryService:
         index_info: dict[str, Any] = {"loaded": epoch.index is not None}
         if epoch.index is not None:
             index_info["landmarks"] = len(epoch.index.partition.landmarks)
-        return {
+        document = {
             "service": self.stats.snapshot(),
             "result_cache": self.results.stats().as_dict(),
             "constraint_cache": self.constraints.stats().as_dict(),
@@ -781,6 +985,11 @@ class QueryService:
                 "slow_log_size": self.flight.max_entries,
             },
         }
+        if self._wal is not None:
+            document["wal"] = self._wal.describe()
+        if self.replication is not None:
+            document["replication"] = self.replication.describe()
+        return document
 
     # ------------------------------------------------------------------
     # cache + stats persistence (ROADMAP "Cache warming and persistence")
@@ -820,7 +1029,12 @@ class QueryService:
         }
         return atomic_write_json(document, path)
 
-    def load_snapshot(self, path: str | Path) -> dict:
+    def load_snapshot(
+        self,
+        path: str | Path,
+        *,
+        epoch_fingerprints: dict[int, str] | None = None,
+    ) -> dict:
         """Warm the result cache and stats from a :meth:`save_snapshot` file.
 
         Raises :class:`~repro.exceptions.ServiceConfigError` when the
@@ -830,8 +1044,19 @@ class QueryService:
         fingerprint (label universe + order-insensitive digest of every
         edge) must match too, so a mutated-then-same-size graph is
         refused instead of silently serving the old graph's answers.
-        Returns
-        ``{"results": n}`` with the number of warmed entries.
+
+        ``epoch_fingerprints`` relaxes the refusal for WAL recovery,
+        where a warm-cache file is routinely one or more epochs *behind*
+        the replayed log tip: a mapping ``{epoch_id: fingerprint}`` of
+        this graph's logged history (``TenantWal.fingerprints``).  A
+        snapshot whose ``(epoch, fingerprint)`` matches an *ancestor*
+        epoch in that history is accepted for its stats ledger, but its
+        result entries — answers for an older graph version — are
+        dropped, not warmed.  Anything that matches neither the current
+        epoch nor a verified ancestor is still refused.
+
+        Returns ``{"results": n, "stale_results": m}`` — entries warmed
+        into the current epoch's cache vs. dropped as pre-tip.
         """
         path = Path(path)
         try:
@@ -863,11 +1088,26 @@ class QueryService:
             graph_info.get("fingerprint"),
         )
         if ours != theirs:
-            raise ServiceConfigError(
-                f"snapshot {path} was taken for graph "
-                f"(name, |V|, |E|, epoch, fingerprint) = {theirs}, "
-                f"this service hosts {ours}"
+            their_epoch = graph_info.get("epoch")
+            verified_ancestor = (
+                epoch_fingerprints is not None
+                and graph_info.get("name") == epoch.graph.name
+                and isinstance(their_epoch, int)
+                and their_epoch < epoch.epoch_id
+                and epoch_fingerprints.get(their_epoch)
+                == graph_info.get("fingerprint")
             )
+            if not verified_ancestor:
+                raise ServiceConfigError(
+                    f"snapshot {path} was taken for graph "
+                    f"(name, |V|, |E|, epoch, fingerprint) = {theirs}, "
+                    f"this service hosts {ours}"
+                )
+            # Pre-tip snapshot of our own lineage: the counters carry
+            # over, the cached answers do not.
+            stale = len(document.get("results", []))
+            self.stats.restore(document.get("stats", {}))
+            return {"results": 0, "stale_results": stale}
         entries = []
         for item in document.get("results", []):
             source, target, labels, constraint = item["key"]
@@ -875,7 +1115,7 @@ class QueryService:
             entries.append((key, QueryResult(**item["result"])))
         warmed = self.results.import_entries(entries)
         self.stats.restore(document.get("stats", {}))
-        return {"results": warmed}
+        return {"results": warmed, "stale_results": 0}
 
     # ------------------------------------------------------------------
 

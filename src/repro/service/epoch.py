@@ -36,10 +36,14 @@ from repro.service.cache import CandidateCache, ConstraintCache
 from repro.service.planner import QueryPlanner
 from repro.session import LSCRSession
 
-__all__ = ["GraphEpoch", "validate_edge_updates"]
+__all__ = ["GraphEpoch", "normalize_edge_updates", "validate_edge_updates"]
 
-#: An edge update as carried through the service: name-level triple.
-EdgeUpdate = tuple[str, str, str]
+#: An edge update as carried through the service: name-level triple plus
+#: the operation ("add" or "remove") to apply it with.
+EdgeUpdate = tuple[str, str, str, str]
+
+#: Operations an update batch may carry per edge.
+EDGE_OPS = ("add", "remove")
 
 
 class GraphEpoch:
@@ -133,14 +137,18 @@ class GraphEpoch:
 
 
 def validate_edge_updates(payload: object, *, max_edges: int) -> list[EdgeUpdate]:
-    """Shape-check a ``POST /edges`` JSON body into name-level triples.
+    """Shape-check a ``POST /edges`` JSON body into name-level updates.
 
     Accepts ``{"edges": [...]}`` where each item is either an object
-    ``{"source": s, "label": l, "target": t}`` or a compact 3-array
-    ``[s, l, t]`` — all strings.  Raises
+    ``{"source": s, "label": l, "target": t}`` with an optional
+    ``"op": "add" | "remove"`` (default ``"add"``), or a compact array
+    ``[s, l, t]`` / ``[s, l, t, op]`` — all strings.  Raises
     :class:`~repro.exceptions.BadRequestError` with the offending
     position for anything else, so clients get field-level diagnostics
-    instead of a half-applied batch.
+    instead of a half-applied batch.  Returns ``(source, label, target,
+    op)`` 4-tuples in request order — order matters for mixed batches
+    (add-then-remove of the same edge nets to absent; the reverse nets
+    to present).
     """
     if not isinstance(payload, dict) or "edges" not in payload:
         raise BadRequestError(
@@ -165,16 +173,49 @@ def validate_edge_updates(payload: object, *, max_edges: int) -> list[EdgeUpdate
                     f"{where}: missing field(s) {', '.join(missing)}"
                 )
             triple = (item["source"], item["label"], item["target"])
+            op = item.get("op", "add")
         elif isinstance(item, list) and len(item) == 3:
             triple = (item[0], item[1], item[2])
+            op = "add"
+        elif isinstance(item, list) and len(item) == 4:
+            triple = (item[0], item[1], item[2])
+            op = item[3]
         else:
             raise BadRequestError(
                 f"{where}: expected an object with source/label/target "
-                "or a [source, label, target] array"
+                "or a [source, label, target(, op)] array"
             )
         if not all(isinstance(part, str) and part for part in triple):
             raise BadRequestError(
                 f"{where}: source, label and target must be non-empty strings"
             )
-        updates.append(triple)
+        if op not in EDGE_OPS:
+            raise BadRequestError(
+                f"{where}: op must be one of {', '.join(EDGE_OPS)} "
+                f"(got {op!r})"
+            )
+        updates.append((*triple, op))
+    return updates
+
+
+def normalize_edge_updates(edges: object) -> list[EdgeUpdate]:
+    """Coerce programmatic update batches into ``(s, l, t, op)`` 4-tuples.
+
+    :meth:`~repro.service.app.QueryService.apply_updates` predates edge
+    retraction and its callers (tests, WAL replay, the CLI) pass plain
+    3-tuples; those are implicit ``"add"``.  4-tuples pass through after
+    an op check.  Raises :class:`~repro.exceptions.BadRequestError` on
+    anything else so misuse fails loudly rather than half-applying.
+    """
+    updates: list[EdgeUpdate] = []
+    for position, item in enumerate(edges):  # type: ignore[arg-type]
+        parts = tuple(item)
+        if len(parts) == 3:
+            parts = (*parts, "add")
+        if len(parts) != 4 or parts[3] not in EDGE_OPS:
+            raise BadRequestError(
+                f"edges[{position}]: expected (source, label, target) or "
+                f"(source, label, target, op) with op in {EDGE_OPS}"
+            )
+        updates.append(parts)  # type: ignore[arg-type]
     return updates

@@ -61,6 +61,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import (
     BadRequestError,
+    ReadOnlyServiceError,
     ReproError,
     UnknownTenantError,
     UpdatesDisabledError,
@@ -365,6 +366,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _error_kind(error: BadRequestError) -> str:
         if isinstance(error, UnknownTenantError):
             return "unknown-tenant"
+        if isinstance(error, ReadOnlyServiceError):
+            return "read-only"
         if isinstance(error, UpdatesDisabledError):
             return "updates-disabled"
         if isinstance(error, UpdatesUnsupportedError):

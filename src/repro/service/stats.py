@@ -161,6 +161,8 @@ class ServiceStats:
         self._update_batches = 0
         self._update_edges_added = 0
         self._update_edges_duplicate = 0
+        self._update_edges_removed = 0
+        self._update_edges_missing = 0
         self._update_vertices_added = 0
         self._errors: dict[str, int] = {}
         self._by_algorithm: dict[str, ResultAggregate] = {}
@@ -210,17 +212,28 @@ class ServiceStats:
             self._errors[kind] = self._errors.get(kind, 0) + 1
 
     def record_update(
-        self, *, edges_added: int, edges_duplicate: int, vertices_added: int
+        self,
+        *,
+        edges_added: int,
+        edges_duplicate: int,
+        vertices_added: int,
+        edges_removed: int = 0,
+        edges_missing: int = 0,
     ) -> None:
         """Count one applied ``POST /edges`` batch (one epoch swap).
 
-        Latency is recorded separately via
-        ``record_latency("updates", ...)`` like every other endpoint.
+        ``edges_removed`` / ``edges_missing`` are the retraction twins
+        of added/duplicate: retractions that hit an edge vs. ones that
+        named an edge the graph doesn't have.  Latency is recorded
+        separately via ``record_latency("updates", ...)`` like every
+        other endpoint.
         """
         with self._lock:
             self._update_batches += 1
             self._update_edges_added += edges_added
             self._update_edges_duplicate += edges_duplicate
+            self._update_edges_removed += edges_removed
+            self._update_edges_missing += edges_missing
             self._update_vertices_added += vertices_added
 
     def record_latency(self, endpoint: str, seconds: float) -> None:
@@ -273,6 +286,8 @@ class ServiceStats:
                     "batches": self._update_batches,
                     "edges_added": self._update_edges_added,
                     "edges_duplicate": self._update_edges_duplicate,
+                    "edges_removed": self._update_edges_removed,
+                    "edges_missing": self._update_edges_missing,
                     "vertices_added": self._update_vertices_added,
                 },
                 "errors": dict(self._errors),
@@ -310,6 +325,8 @@ class ServiceStats:
             self._update_batches += updates.get("batches", 0)
             self._update_edges_added += updates.get("edges_added", 0)
             self._update_edges_duplicate += updates.get("edges_duplicate", 0)
+            self._update_edges_removed += updates.get("edges_removed", 0)
+            self._update_edges_missing += updates.get("edges_missing", 0)
             self._update_vertices_added += updates.get("vertices_added", 0)
             for kind, count in document.get("errors", {}).items():
                 self._errors[kind] = self._errors.get(kind, 0) + count
@@ -349,7 +366,7 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
                "true_answers": 0}
     batches = {"requests": 0, "queries": 0}
     updates = {"batches": 0, "edges_added": 0, "edges_duplicate": 0,
-               "vertices_added": 0}
+               "edges_removed": 0, "edges_missing": 0, "vertices_added": 0}
     errors: dict[str, int] = {}
     cells: dict[str, dict] = {}
     latency: dict[str, LatencyHistogram] = {}

@@ -1,12 +1,19 @@
-"""Atomic JSON persistence shared by every on-disk store.
+"""Atomic, crash-durable JSON persistence shared by every on-disk store.
 
 One write-then-rename implementation for the index store
-(:mod:`repro.index.storage`) and the service snapshot
-(:meth:`~repro.service.app.QueryService.save_snapshot`): a concurrent
-reader — or a second tenant lazily warm-starting against the same path —
-never sees a partial file, because ``os.replace`` is atomic on POSIX
-within one filesystem and ``mkstemp`` gives every writer (thread or
-process) its own scratch file.
+(:mod:`repro.index.storage`), the service snapshot
+(:meth:`~repro.service.app.QueryService.save_snapshot`) and the WAL
+compaction snapshot (:mod:`repro.wal`): a concurrent reader — or a
+second tenant lazily warm-starting against the same path — never sees a
+partial file, because ``os.replace`` is atomic on POSIX within one
+filesystem and ``mkstemp`` gives every writer (thread or process) its
+own scratch file.
+
+Durability is stronger than atomicity: ``os.replace`` alone survives a
+process crash but not power loss, because the renamed file's *contents*
+and the directory entry both live in the page cache.  Every write here
+therefore fsyncs the scratch file before the rename and the parent
+directory after it, so a torn WAL snapshot cannot outlive a power cut.
 """
 
 from __future__ import annotations
@@ -16,13 +23,39 @@ import os
 import tempfile
 from pathlib import Path
 
-__all__ = ["atomic_write_json"]
+__all__ = ["atomic_write_json", "fsync_directory"]
+
+
+def fsync_directory(path: str | Path) -> None:
+    """fsync a directory so a rename/create inside it survives power loss.
+
+    Some platforms (and some filesystems mounted on them) refuse
+    ``open(O_RDONLY)`` or ``fsync`` on directories; those errors are
+    swallowed — the write stays atomic, just not power-loss durable,
+    which matches the pre-existing behaviour on such systems.
+    """
+    try:
+        descriptor = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
 
 
 def atomic_write_json(
     document: dict, path: str | Path, *, encoding: str = "utf-8"
 ) -> int:
-    """Serialise ``document`` to ``path`` atomically; returns file size."""
+    """Serialise ``document`` to ``path`` atomically and durably.
+
+    Returns the written file size.  The sequence is write → fsync(file)
+    → rename → fsync(directory): after this function returns, the new
+    contents are on stable storage and a crash at any earlier point
+    leaves the previous version intact.
+    """
     path = Path(path)
     descriptor, scratch_name = tempfile.mkstemp(
         prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
@@ -31,7 +64,10 @@ def atomic_write_json(
     try:
         with os.fdopen(descriptor, "w", encoding=encoding) as handle:
             json.dump(document, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(scratch, path)
+        fsync_directory(path.parent)
     finally:
         if scratch.exists():
             scratch.unlink()

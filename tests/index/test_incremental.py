@@ -209,6 +209,68 @@ class TestRefreshRegions:
         assert g.vid("q") in refreshed
 
 
+class TestRemovalRepair:
+    """Region refresh after edge *removals*.
+
+    ``refresh_regions`` rebuilds a region's tables from the current
+    graph, which makes the repair direction-agnostic — the same call
+    the update path issues for insertions must also erase everything a
+    retracted edge contributed (II paths inside the region, EIT border
+    crossings out of it)."""
+
+    def test_in_region_removal_matches_fresh_build(self):
+        g = graph_from_edges([("L", "a", "p"), ("p", "a", "q"), ("L", "b", "q")])
+        index = build_local_index(g, landmarks=[g.vid("L")])
+        assert g.remove_edge("L", "b", "q")
+        assert index.refresh_regions({index.region_of(g.vid("L"))}) == 1
+        fresh = build_local_index(g, landmarks=[g.vid("L")])
+        assert tables_equal(index, fresh)
+
+    def test_border_removal_clears_eit_and_correlation(self):
+        g = graph_from_edges([("L1", "a", "p"), ("L2", "a", "x")])
+        index = build_local_index(g, landmarks=[g.vid("L1"), g.vid("L2")])
+        g.add_edge("p", "b", "x")
+        index.refresh_regions({index.region_of(g.vid("p"))})
+        assert index.correlation(g.vid("L1"), g.vid("L2")) == 1
+        assert g.remove_edge("p", "b", "x")
+        assert index.refresh_regions({index.region_of(g.vid("p"))}) == 1
+        fresh = build_local_index(g, landmarks=[g.vid("L1"), g.vid("L2")])
+        assert tables_equal(index, fresh)
+        assert index.correlation(g.vid("L1"), g.vid("L2")) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_ins_agrees_with_oracle_after_removals(self, seed):
+        rng = random.Random(seed)
+        vertices = [f"v{i}" for i in range(7)]
+        labels = ["a", "b"]
+        g = KnowledgeGraph("dec")
+        for v in vertices:
+            g.add_vertex(v)
+        for label in labels:
+            g.labels.intern(label)
+        for _ in range(10):
+            g.add_edge(rng.choice(vertices), rng.choice(labels),
+                       rng.choice(vertices))
+        index = build_local_index(g, k=2, rng=seed)
+        for _ in range(4):
+            if not g.num_edges:
+                break
+            s, lid, t = rng.choice(sorted(g._edge_set))
+            assert g.remove_edge_ids(s, lid, t)
+            index.refresh_regions({index.region_of(s)})
+        from repro.constraints.substructure import SubstructureConstraint
+        from repro.sparql.ast import TriplePattern, Var
+
+        constraint = SubstructureConstraint(
+            [TriplePattern(Var("x"), rng.choice(labels), rng.choice(vertices))]
+        )
+        query = LSCRQuery.create(
+            rng.choice(vertices), rng.choice(vertices), labels, constraint
+        )
+        assert INS(g, index).decide(query) == NaiveTwoProcedure(g).decide(query)
+
+
 class TestCloneFor:
     def test_clone_refresh_leaves_original_untouched(self):
         g = graph_from_edges([("L", "a", "p"), ("p", "a", "q")])

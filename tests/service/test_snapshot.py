@@ -139,6 +139,55 @@ class TestServiceSnapshot:
         finally:
             other.close()
 
+    def test_verified_ancestor_snapshot_restores_stats_only(self, tmp_path):
+        # The warm-cache / WAL ordering bug: a snapshot saved at epoch N
+        # used to be refused outright after a restart replayed the WAL
+        # to epoch M > N — or worse, before the fingerprint identity
+        # check existed, warmed with stale pre-tip entries.  With the
+        # log's epoch→fingerprint history the load now recognises the
+        # file as a *verified ancestor*: stats carry over, every result
+        # entry is dropped as pre-tip.
+        path = tmp_path / "snap.json"
+        first = QueryService(make_graph(), seed=0)
+        try:
+            first.query("a", "c", ["l"], CONSTRAINT)
+            history = {0: first.epoch.fingerprint}
+            first.save_snapshot(path)  # saved at epoch 0
+        finally:
+            first.close()
+        replayed = QueryService(make_graph(), seed=0)
+        try:
+            replayed.apply_updates([("c", "l", "d")])  # now at epoch 1
+            history[1] = replayed.epoch.fingerprint
+            warmed = replayed.load_snapshot(path, epoch_fingerprints=history)
+            assert warmed == {"results": 0, "stale_results": 1}
+            _, meta = replayed.query("a", "c", ["l"], CONSTRAINT)
+            assert not meta["cached"]  # the stale entry was not warmed
+            assert replayed.stats.snapshot()["queries"]["total"] >= 2
+        finally:
+            replayed.close()
+
+    def test_unrecognised_ancestor_still_refused(self, tmp_path):
+        # Same shape of mismatch, but the fingerprint history does not
+        # vouch for the file (e.g. a snapshot from a different lineage).
+        path = tmp_path / "snap.json"
+        first = QueryService(make_graph(), seed=0)
+        try:
+            first.query("a", "c", ["l"], CONSTRAINT)
+            first.save_snapshot(path)
+        finally:
+            first.close()
+        replayed = QueryService(make_graph(), seed=0)
+        try:
+            replayed.apply_updates([("c", "l", "d")])
+            history = {0: "0" * 16, 1: replayed.epoch.fingerprint}
+            with pytest.raises(ServiceConfigError):
+                replayed.load_snapshot(path, epoch_fingerprints=history)
+            with pytest.raises(ServiceConfigError):
+                replayed.load_snapshot(path)  # no history at all
+        finally:
+            replayed.close()
+
     def test_missing_or_corrupt_file_refused(self, tmp_path):
         service = QueryService(make_graph(), seed=0)
         try:

@@ -88,6 +88,49 @@ def random_batch(rng, round_number, oracle):
     return batch
 
 
+def random_mixed_batch(rng, round_number, oracle):
+    """Like :func:`random_batch` but with explicit ops: additions mixed
+    with removals of real edges and removals of absent ones."""
+    known = [str(name) for name in oracle.vertex_names()]
+    fresh = [f"m{round_number}_{i}" for i in range(2)]
+    labels = [f"l{i}" for i in range(NUM_LABELS)]
+    batch = []
+    for _ in range(rng.randint(2, 5)):
+        roll = rng.random()
+        if roll < 0.35 and oracle.num_edges:
+            edge = rng.choice(sorted(oracle._edge_set))
+            batch.append(
+                (
+                    oracle.name_of(edge[0]),
+                    oracle.label_name(edge[1]),
+                    oracle.name_of(edge[2]),
+                    "remove",
+                )
+            )
+        elif roll < 0.45:
+            batch.append(
+                (rng.choice(known), rng.choice(labels), "never-added", "remove")
+            )
+        else:
+            source = rng.choice(known if roll < 0.85 else known + fresh)
+            target = rng.choice(known if rng.random() < 0.85 else known + fresh)
+            batch.append((source, rng.choice(labels), target, "add"))
+    return batch
+
+
+def apply_mixed_to_oracle(oracle, batch):
+    """Mutate the mirror; returns (added, removed, missing) counts."""
+    added = removed = missing = 0
+    for source, label, target, op in batch:
+        if op == "add":
+            added += bool(oracle.add_edge(source, label, target))
+        elif oracle.remove_edge(source, label, target):
+            removed += 1
+        else:
+            missing += 1
+    return added, removed, missing
+
+
 def random_specs(rng, oracle, count=QUERIES_PER_ROUND):
     """Random specs over every vertex the mutated graph currently has."""
     vertices = [str(name) for name in oracle.vertex_names()]
@@ -173,6 +216,76 @@ class TestUpdateAgreement:
                 service.apply_updates(batch)
                 for s, l, t in batch:
                     oracle.add_edge(s, l, t)
+            reference = make_service(oracle.copy(), seed)
+            try:
+                for source, target, labels, text in random_specs(
+                    rng, oracle, count=10
+                ):
+                    live, _ = service.query(source, target, labels, text)
+                    fresh, _ = reference.query(source, target, labels, text)
+                    assert live.answer == fresh.answer, (
+                        f"seed={seed} {source}->{target} L={labels} S={text!r}"
+                    )
+            finally:
+                reference.close()
+        finally:
+            service.close()
+
+
+class TestMixedUpdateAgreement:
+    """Insertions *and* retractions through the same epoch machinery.
+
+    The regression this guards: ``op: "remove"`` batches used to
+    validate and then silently vanish — ``apply_updates`` only routed
+    additions, so acknowledged retractions never left the graph and the
+    index was never repaired for them.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_answers_after_mixed_batches_match_the_oracle(self, seed):
+        graph = make_graph(seed)
+        oracle = graph.copy()
+        service = make_service(graph, seed)
+        rng = random.Random(seed * 8191 + 13)
+        parsed = {}
+        expected_epoch = 0
+        try:
+            for round_number in range(1, UPDATE_ROUNDS + 1):
+                batch = random_mixed_batch(rng, round_number, oracle)
+                summary = service.apply_updates(batch)
+                added, removed, missing = apply_mixed_to_oracle(oracle, batch)
+                if added or removed:
+                    expected_epoch += 1
+                assert summary["epoch"] == expected_epoch
+                assert summary["edges_added"] == added
+                assert summary["edges_removed"] == removed
+                assert summary["edges_missing"] == missing
+                assert service.graph.num_edges == oracle.num_edges
+                for source, target, labels, text in random_specs(rng, oracle):
+                    expected = naive_answer(
+                        oracle, source, target, labels, text, parsed
+                    )
+                    result, meta = service.query(source, target, labels, text)
+                    assert result.answer == expected, (
+                        f"seed={seed} round={round_number} {source}->{target} "
+                        f"L={labels} S={text!r}: service={result.answer} "
+                        f"naive={expected} ({meta['reason']})"
+                    )
+                    assert meta["epoch"] == expected_epoch
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("seed", SEEDS[::6])
+    def test_fresh_service_on_retracted_graph_agrees(self, seed):
+        graph = make_graph(seed)
+        oracle = graph.copy()
+        service = make_service(graph, seed)
+        rng = random.Random(seed * 131 + 1)
+        try:
+            for round_number in range(1, UPDATE_ROUNDS + 1):
+                batch = random_mixed_batch(rng, round_number, oracle)
+                service.apply_updates(batch)
+                apply_mixed_to_oracle(oracle, batch)
             reference = make_service(oracle.copy(), seed)
             try:
                 for source, target, labels, text in random_specs(

@@ -213,6 +213,145 @@ class TestApplyUpdates:
             service.close()
 
 
+class TestEdgeRetraction:
+    """``op: "remove"`` end to end — the bug was a silently dropped op:
+    removals validated fine and then never reached the graph."""
+
+    @pytest.mark.parametrize("indexed", [False, True])
+    def test_removal_flips_the_answer_back(self, indexed):
+        service = make_service(indexed)
+        try:
+            result, _ = service.query("s", "m", ["go"], CONSTRAINT)
+            assert result.answer is True
+            summary = service.apply_updates([("s", "go", "m", "remove")])
+            assert summary["epoch"] == 1
+            assert summary["edges_removed"] == 1
+            assert summary["edges_added"] == 0
+            result, meta = service.query("s", "m", ["go"], CONSTRAINT)
+            assert result.answer is False
+            assert meta["epoch"] == 1
+            # Vertices stay (ids must remain dense); only the edge went.
+            assert service.graph.has_vertex("s")
+            assert not service.graph.has_edge_named("s", "go", "m")
+        finally:
+            service.close()
+
+    def test_removing_an_absent_edge_is_counted_not_fatal(self):
+        service = make_service()
+        try:
+            summary = service.apply_updates(
+                [("s", "go", "nowhere", "remove"), ("a1", "go", "a2")]
+            )
+            assert summary["edges_missing"] == 1
+            assert summary["edges_removed"] == 0
+            assert summary["edges_added"] == 1
+            assert summary["epoch"] == 1
+        finally:
+            service.close()
+
+    def test_all_noop_mixed_batch_keeps_the_epoch(self):
+        # Duplicate adds and absent removes together: nothing changes,
+        # so nothing may be published (and a WAL would not be appended).
+        service = make_service()
+        try:
+            before = service.epoch
+            summary = service.apply_updates(
+                [("s", "go", "m"), ("ghost", "go", "m", "remove")]
+            )
+            assert summary["epoch"] == 0
+            assert summary["edges_duplicate"] == 1
+            assert summary["edges_missing"] == 1
+            assert service.epoch is before
+        finally:
+            service.close()
+
+    def test_add_then_remove_same_edge_in_one_batch(self):
+        # Ops apply in order: the batch is *not* a no-op — it bumps the
+        # epoch and leaves the edge absent again.
+        service = make_service()
+        try:
+            summary = service.apply_updates(
+                [("p", "go", "q"), ("p", "go", "q", "remove")]
+            )
+            assert summary["epoch"] == 1
+            assert summary["edges_added"] == 1
+            assert summary["edges_removed"] == 1
+            assert not service.graph.has_edge_named("p", "go", "q")
+        finally:
+            service.close()
+
+    def test_removal_repairs_the_index(self):
+        service = make_service(indexed=True)
+        try:
+            service.apply_updates([("m", "go", "far")])
+            result, _ = service.query("s", "far", ["go"], CONSTRAINT)
+            assert result.answer is True
+            summary = service.apply_updates([("m", "go", "far", "remove")])
+            assert summary["index"] in ("refreshed", "rebuilt")
+            result, _ = service.query("s", "far", ["go"], CONSTRAINT)
+            assert result.answer is False
+        finally:
+            service.close()
+
+    def test_stats_count_removals(self):
+        service = make_service()
+        try:
+            service.apply_updates(
+                [("s", "go", "m", "remove"), ("zz", "go", "s", "remove")]
+            )
+            updates = service.stats_snapshot()["service"]["updates"]
+            assert updates["edges_removed"] == 1
+            assert updates["edges_missing"] == 1
+        finally:
+            service.close()
+
+    def test_op_validation(self):
+        service = make_service()
+        try:
+            for payload in (
+                {"edges": [["a", "l", "b", "drop"]]},       # unknown op
+                {"edges": [["a", "l", "b", ""]]},
+                {"edges": [["a", "l", "b", "add", "x"]]},   # 5 columns
+                {"edges": [{"source": "a", "label": "l", "target": "b",
+                            "op": "upsert"}]},
+                {"edges": [{"source": "a", "label": "l", "target": "b",
+                            "op": 3}]},
+            ):
+                with pytest.raises(BadRequestError) as excinfo:
+                    service.handle_updates(payload)
+                assert "edges[0]" in str(excinfo.value)
+            # Every valid spelling of the same retraction.
+            service.apply_updates([("a", "go", "b"), ("c", "go", "d")])
+            summary = service.handle_updates(
+                {"edges": [
+                    ["a", "go", "b", "remove"],
+                    {"source": "c", "label": "go", "target": "d",
+                     "op": "remove"},
+                ]}
+            )
+            assert summary["edges_removed"] == 2
+        finally:
+            service.close()
+
+
+class TestReadOnlyFollowerGate:
+    def test_read_only_service_refuses_http_writes(self):
+        from repro.exceptions import ReadOnlyServiceError
+
+        service = make_service()
+        service.read_only = True
+        try:
+            with pytest.raises(ReadOnlyServiceError) as excinfo:
+                service.handle_updates({"edges": [["a", "go", "b"]]})
+            assert excinfo.value.status == 403
+            assert excinfo.value.detail == {"role": "follower"}
+            # apply_updates itself stays open — the WAL tailer uses it.
+            summary = service.apply_updates([("a", "go", "b")])
+            assert summary["epoch"] == 1
+        finally:
+            service.close()
+
+
 class TestShardedUpdatesRejected:
     def test_apply_updates_raises_structured_501(self):
         graph = graph_from_edges(

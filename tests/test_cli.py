@@ -203,3 +203,58 @@ class TestServe:
         code = main(["serve", "--tenant", "broken"])
         assert code == 2
         assert "NAME=GRAPH" in capsys.readouterr().err
+
+
+class TestServeWalFlags:
+    """Parser + validation for --wal / --follow; real WAL serving is
+    covered by tests/wal and the wal-recovery CI job."""
+
+    def test_parser_accepts_wal_flags(self):
+        from repro.cli import build_parser
+        from repro.wal import DEFAULT_COMPACT_EVERY, DEFAULT_POLL_INTERVAL
+
+        args = build_parser().parse_args(
+            ["serve", "--graph", "g.tsv", "--wal", "walDir",
+             "--compact-every", "32"]
+        )
+        assert args.wal == "walDir"
+        assert args.compact_every == 32
+        assert args.follow is None
+        args = build_parser().parse_args(
+            ["serve", "--graph", "g.tsv", "--follow", "walDir",
+             "--follow-interval", "0.1"]
+        )
+        assert args.follow == "walDir"
+        assert args.follow_interval == 0.1
+        defaults = build_parser().parse_args(["serve", "--graph", "g.tsv"])
+        assert defaults.wal is None and defaults.follow is None
+        assert defaults.compact_every == DEFAULT_COMPACT_EVERY
+        assert defaults.follow_interval == DEFAULT_POLL_INTERVAL
+
+    def test_wal_and_follow_are_mutually_exclusive(self, capsys):
+        code = main(["serve", "--graph", "g.tsv", "--wal", "d", "--follow", "d"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_wal_requires_graph(self, capsys):
+        code = main(["serve", "--tenant", "t=g.tsv", "--wal", "d"])
+        assert code == 2
+        assert "require --graph" in capsys.readouterr().err
+
+    def test_wal_incompatible_with_shards(self, capsys):
+        code = main(["serve", "--graph", "g.tsv", "--shards", "2",
+                     "--wal", "d"])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_follow_refuses_allow_updates(self, capsys):
+        code = main(["serve", "--graph", "g.tsv", "--follow", "d",
+                     "--allow-updates"])
+        assert code == 2
+        assert "read-only" in capsys.readouterr().err
+
+    def test_compact_every_must_be_positive(self, capsys):
+        code = main(["serve", "--graph", "g.tsv", "--wal", "d",
+                     "--compact-every", "0"])
+        assert code == 2
+        assert "--compact-every" in capsys.readouterr().err

@@ -1,5 +1,7 @@
 """Tests for the utility helpers."""
 
+import json
+import os
 import random
 import time
 
@@ -68,3 +70,54 @@ class TestValidation:
     def test_raises_custom_type(self):
         with pytest.raises(ValueError):
             require(False, "broken", ValueError)
+
+
+class TestPersist:
+    """atomic_write_json: atomic *and* durable (fsync file + directory)."""
+
+    def test_roundtrip_and_size(self, tmp_path):
+        from repro.utils.persist import atomic_write_json
+
+        path = tmp_path / "doc.json"
+        size = atomic_write_json({"a": [1, 2]}, path)
+        assert size == path.stat().st_size > 0
+        assert json.loads(path.read_text()) == {"a": [1, 2]}
+
+    def test_overwrite_leaves_no_scratch_files(self, tmp_path):
+        from repro.utils.persist import atomic_write_json
+
+        path = tmp_path / "doc.json"
+        atomic_write_json({"v": 1}, path)
+        atomic_write_json({"v": 2}, path)
+        assert json.loads(path.read_text()) == {"v": 2}
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_failed_serialisation_preserves_previous_version(self, tmp_path):
+        from repro.utils.persist import atomic_write_json
+
+        path = tmp_path / "doc.json"
+        atomic_write_json({"v": 1}, path)
+        with pytest.raises(TypeError):
+            atomic_write_json({"v": object()}, path)  # not JSON-serialisable
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_write_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        # The durability fix: os.replace alone survives a process crash
+        # but not power loss.  Both the scratch file's contents and the
+        # directory entry must be fsynced.
+        import repro.utils.persist as persist
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            persist.os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        persist.atomic_write_json({"v": 1}, tmp_path / "doc.json")
+        assert len(synced) >= 2  # scratch file + parent directory
+
+    def test_fsync_directory_tolerates_unsyncable_paths(self, tmp_path):
+        from repro.utils.persist import fsync_directory
+
+        fsync_directory(tmp_path)  # a real directory: no error
+        fsync_directory(tmp_path / "does-not-exist")  # swallowed OSError

@@ -34,6 +34,7 @@ import math
 import re
 import threading
 import time
+import urllib.error
 import urllib.request
 from collections import defaultdict
 
@@ -186,6 +187,7 @@ class LoadStats:
         self.latencies: dict[str, list[float]] = defaultdict(list)
         self.requests: dict[str, int] = defaultdict(int)
         self.queries: dict[str, int] = defaultdict(int)
+        self.rejected: dict[str, int] = defaultdict(int)
         self.errors = 0
 
     def record(self, endpoint: str, seconds: float, queries: int) -> None:
@@ -193,6 +195,11 @@ class LoadStats:
             self.latencies[endpoint].append(seconds)
             self.requests[endpoint] += 1
             self.queries[endpoint] += queries
+
+    def record_rejected(self, kind: str) -> None:
+        """A structured refusal (504/503/429) — expected under faults."""
+        with self._lock:
+            self.rejected[kind] += 1
 
     def record_error(self) -> None:
         with self._lock:
@@ -207,8 +214,10 @@ def client_loop(
     batch_every: int,
     batch_size: int,
     offset: int,
+    deadline_ms: float | None = None,
 ) -> None:
     position = offset  # stagger clients so they don't lockstep the cache
+    suffix = f"?deadline_ms={deadline_ms:g}" if deadline_ms else ""
     while time.perf_counter() < stop_at:
         if batch_every and position % batch_every == 0:
             chunk = [
@@ -221,7 +230,22 @@ def client_loop(
             endpoint, path, count = "query", "/query", 1
         started = time.perf_counter()
         try:
-            post(base, path, payload)
+            post(base, path + suffix, payload)
+        except urllib.error.HTTPError as error:
+            # Structured refusals — deadline-exceeded, shard-unavailable,
+            # overloaded — are the server degrading as designed; count
+            # them by kind instead of lumping them with real failures.
+            kind = None
+            if error.code in (429, 503, 504):
+                try:
+                    body = json.loads(error.read())
+                    kind = body["error"]["type"]
+                except Exception:
+                    kind = None
+            if kind is not None:
+                stats.record_rejected(kind)
+            else:
+                stats.record_error()
         except Exception:
             stats.record_error()
         else:
@@ -236,6 +260,7 @@ def run_load(
     duration: float,
     batch_every: int,
     batch_size: int,
+    deadline_ms: float | None = None,
 ) -> LoadStats:
     stats = LoadStats()
     stop_at = time.perf_counter() + duration
@@ -243,7 +268,7 @@ def run_load(
         threading.Thread(
             target=client_loop,
             args=(base, specs, stats, stop_at, batch_every, batch_size,
-                  position * 17),
+                  position * 17, deadline_ms),
             daemon=True,
         )
         for position in range(clients)
@@ -267,6 +292,11 @@ def report(stats: LoadStats, clients: int) -> None:
         f"{total_queries} queries ({total_queries / wall:.1f} q/s), "
         f"{stats.errors} error(s)"
     )
+    if stats.rejected:
+        rejected = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(stats.rejected.items())
+        )
+        print(f"  structured refusals: {rejected}")
     for endpoint in sorted(stats.latencies):
         samples = [value * 1000.0 for value in stats.latencies[endpoint]]
         line = "  ".join(
@@ -296,6 +326,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--vertices", type=int, default=400,
                         help="self-contained mode: graph size")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="send ?deadline_ms= with every request and "
+                        "count structured 504/503/429 refusals separately")
     args = parser.parse_args(argv)
 
     if args.url is not None:
@@ -306,7 +339,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"driving {args.url} with {len(specs)} specs ...")
         before = scrape_metrics(args.url)
         stats = run_load(args.url, specs, args.clients, args.duration,
-                         args.batch_every, args.batch_size)
+                         args.batch_every, args.batch_size,
+                         deadline_ms=args.deadline_ms)
         report(stats, args.clients)
         report_server_delta(before, scrape_metrics(args.url))
         return 0
@@ -336,7 +370,8 @@ def main(argv: list[str] | None = None) -> int:
         before = scrape_metrics(base)
         stats = run_load(base, default_specs(args.vertices, num_labels),
                          args.clients, args.duration,
-                         args.batch_every, args.batch_size)
+                         args.batch_every, args.batch_size,
+                         deadline_ms=args.deadline_ms)
         report(stats, args.clients)
         # The server's own view of the same run, for cross-checking the
         # client-side numbers — scraped over /metrics like production

@@ -193,6 +193,50 @@ def build_parser() -> argparse.ArgumentParser:
         "workers are also exposed at /shard/<id>/... for remote coordinators",
     )
     serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="budget for every /query and /batch request that doesn't pass "
+        "its own ?deadline_ms= (expiry answers a structured 504 with "
+        "partial accounting; default: no deadline)",
+    )
+    serve.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="upper bound on each scatter round's wait for a shard worker "
+        "even when the request has no deadline; a worker past it counts "
+        "as failed (retried, then breaker-tripped) instead of hanging the "
+        "round (requires --shards)",
+    )
+    serve.add_argument(
+        "--degraded-answers",
+        action="store_true",
+        help="when a shard stays down past its retry budget, answer over "
+        "the surviving shards instead of failing with 503: responses "
+        "carry a 'degraded' field whose verdict is \"reachable\" (still "
+        "proven) or \"unknown\" (not a no); requires --shards",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: at most N query/batch requests execute "
+        "concurrently per tenant; excess requests queue up to --max-queue "
+        "deep and beyond that are shed with a structured 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=0,
+        metavar="N",
+        help="admission queue depth in front of --max-concurrent "
+        "(default 0: shed immediately when all slots are busy)",
+    )
+    serve.add_argument(
         "--warm-cache",
         default=None,
         metavar="FILE",
@@ -407,6 +451,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ServiceConfigError(
             f"--compact-every must be >= 1, got {args.compact_every}"
         )
+    if args.default_deadline_ms is not None and args.default_deadline_ms <= 0:
+        raise ServiceConfigError(
+            f"--default-deadline-ms must be > 0, got {args.default_deadline_ms}"
+        )
+    if args.shard_timeout is not None:
+        if args.shard_timeout <= 0:
+            raise ServiceConfigError(
+                f"--shard-timeout must be > 0, got {args.shard_timeout}"
+            )
+        if not args.shards:
+            raise ServiceConfigError("--shard-timeout requires --shards")
+    if args.degraded_answers and not args.shards:
+        raise ServiceConfigError("--degraded-answers requires --shards")
+    if args.max_concurrent is not None and args.max_concurrent < 1:
+        raise ServiceConfigError(
+            f"--max-concurrent must be >= 1, got {args.max_concurrent}"
+        )
+    if args.max_queue < 0:
+        raise ServiceConfigError(
+            f"--max-queue must be >= 0, got {args.max_queue}"
+        )
+    if args.max_queue and args.max_concurrent is None:
+        raise ServiceConfigError("--max-queue requires --max-concurrent")
     options = dict(
         landmark_count=args.k,
         seed=args.seed,
@@ -421,6 +488,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         options["slow_ms"] = args.slow_ms
     if args.slow_log_size is not None:
         options["slow_log_size"] = args.slow_log_size
+    if args.max_concurrent is not None:
+        options["max_concurrent"] = args.max_concurrent
+        options["max_queue"] = args.max_queue
     # The default tenant (the one the un-prefixed PR 1 routes alias to)
     # is --graph when given, else the first --tenant; it loads eagerly so
     # the ready line below reports real sizes, the rest warm-start lazily.
@@ -433,7 +503,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.graph is not None:
         if args.shards:
             default_service = ShardedQueryService.from_files(
-                args.graph, args.index, shards=args.shards, **options
+                args.graph,
+                args.index,
+                shards=args.shards,
+                degraded_answers=args.degraded_answers,
+                scatter_timeout=args.shard_timeout,
+                **options,
             )
             shard_workers = {
                 str(position): worker
@@ -479,6 +554,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = create_server(
         registry, args.host, args.port, shard_workers,
         allow_updates=args.allow_updates or follower is not None,
+        default_deadline_ms=args.default_deadline_ms,
     )
     host, port = server.server_address[:2]
     service = registry.get(default_name)
@@ -575,6 +651,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"trace-sample={args.trace_sample:g})",
         flush=True,
     )
+    resilience_notes = []
+    if args.default_deadline_ms is not None:
+        resilience_notes.append(
+            f"default deadline {args.default_deadline_ms:g}ms"
+        )
+    if args.shard_timeout is not None:
+        resilience_notes.append(f"shard timeout {args.shard_timeout:g}s")
+    if args.degraded_answers:
+        resilience_notes.append("degraded answers on shard loss")
+    if args.max_concurrent is not None:
+        resilience_notes.append(
+            f"max {args.max_concurrent} concurrent "
+            f"(queue {args.max_queue}, then 429)"
+        )
+    if resilience_notes:
+        print(f"fault tolerance: {'; '.join(resilience_notes)}", flush=True)
     # Machine-readable ready line: tooling (and the tests) parse the port
     # from it, which is how --port 0 ephemeral binding stays usable.
     print(f"listening on http://{host}:{port}", flush=True)
@@ -584,8 +676,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
-        if follower is not None:
-            follower.stop()
+        if follower is not None and not follower.stop():
+            print(
+                "warning: follower poll thread did not stop in time; "
+                "abandoning it (see replication.stuck in /healthz)",
+                flush=True,
+            )
         if update_wal is not None:
             update_wal.close()
         if args.warm_cache is not None:

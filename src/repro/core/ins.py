@@ -40,6 +40,7 @@ from repro.exceptions import IndexingError
 from repro.graph.csr import base_graph
 from repro.graph.labeled_graph import KnowledgeGraph
 from repro.index.local_index import LocalIndex, build_local_index
+from repro.resilience.deadline import current_deadline
 
 __all__ = ["INS"]
 
@@ -170,6 +171,8 @@ class INS(LSCRAlgorithm):
             self.rng.shuffle(candidates)
 
         close = CloseMap(graph.num_vertices)
+        # Request deadline: captured once; `is not None` per pop when off.
+        deadline = current_deadline()
         telemetry: dict[str, float] = {
             "vsg_size": len(candidates),
             "vsg_seconds": vsg_seconds,
@@ -317,6 +320,12 @@ class INS(LSCRAlgorithm):
                 close[s_star] = T
                 frontier.push(s_star, frontier_key(s_star))
             while True:                                           # line 19
+                if deadline is not None:
+                    deadline.check(
+                        "ins",
+                        passed_vertices=close.passed_count + inline_passed,
+                        lcs_calls=lcs_calls,
+                    )
                 top = frontier.peek()
                 if top is None:
                     break

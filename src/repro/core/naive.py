@@ -19,6 +19,7 @@ from repro.constraints.substructure import SubstructureChecker
 from repro.core.base import LSCRAlgorithm
 from repro.core.lcr import lcr_reachable
 from repro.core.query import LSCRQuery
+from repro.resilience.deadline import current_deadline
 
 __all__ = ["NaiveTwoProcedure"]
 
@@ -48,7 +49,10 @@ class NaiveTwoProcedure(LSCRAlgorithm):
         queue = deque((source,))
         if checker(source) and lcr_reachable(self.graph, source, target, mask):
             return True, {"passed_vertices": passed, "scck_calls": checker.calls}
+        deadline = current_deadline()
         while queue:
+            if deadline is not None:
+                deadline.check("naive", passed_vertices=passed)
             u = queue.popleft()
             for w in out_targets(u, mask):
                 if visited[w]:

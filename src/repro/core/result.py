@@ -37,6 +37,12 @@ class QueryResult:
     #: Vertices resolved from the local index instead of traversal (INS:
     #: sum of ``Cut`` marks, ``Push`` enqueues and ``Check`` hits).
     index_resolutions: int = 0
+    #: Degradation marker set by the sharded coordinator when shards were
+    #: unavailable: ``{"missing_shards": [...], "verdict": "reachable" |
+    #: "unknown"}``.  ``None`` for exact answers.  Sound by edge-subset
+    #: monotonicity: a closure over surviving slices can prove reachable
+    #: but never unreachable, so ``answer=False`` degrades to "unknown".
+    degraded: dict | None = None
 
     def __bool__(self) -> bool:
         return self.answer

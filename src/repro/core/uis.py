@@ -21,6 +21,7 @@ from repro.constraints.substructure import SubstructureChecker
 from repro.core.base import LSCRAlgorithm
 from repro.core.close import F, N, T
 from repro.core.query import LSCRQuery
+from repro.resilience.deadline import current_deadline
 
 __all__ = ["UIS"]
 
@@ -47,6 +48,9 @@ class UIS(LSCRAlgorithm):
         # graphs.
         states = bytearray(graph.num_vertices)
         out_targets = graph.out_targets_masked
+        # Request deadline: one ContextVar read up front; without a
+        # deadline the loop pays a single `is not None` test per pop.
+        deadline = current_deadline()
 
         stack = [source]                                   # line 1
         states[source] = T if checker(source) else F       # line 2
@@ -59,6 +63,8 @@ class UIS(LSCRAlgorithm):
             return True, self._telemetry(passed, checker)
 
         while stack:                                       # line 3
+            if deadline is not None:
+                deadline.check("uis", passed_vertices=passed)
             u = stack.pop()                                # line 4
             state_u = states[u]
             for v in out_targets(u, mask):                 # line 5

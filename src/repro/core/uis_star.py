@@ -30,6 +30,7 @@ from repro.core.base import LSCRAlgorithm
 from repro.core.close import F, N, T
 from repro.core.query import LSCRQuery
 from repro.graph.labeled_graph import KnowledgeGraph
+from repro.resilience.deadline import current_deadline
 
 __all__ = ["UISStar"]
 
@@ -82,6 +83,8 @@ class UISStar(LSCRAlgorithm):
         # slices behind a vertex-mask pre-test on frozen graphs.
         states = bytearray(graph.num_vertices)
         out_targets = graph.out_targets_masked
+        # Request deadline: captured once; `is not None` per pop when off.
+        deadline = current_deadline()
         stack: list[int] = [source]                       # line 1
         states[source] = F                                # line 2
         passed = 1
@@ -123,6 +126,10 @@ class UISStar(LSCRAlgorithm):
                 states[s_star] = T
                 stack.append(s_star)                               # line 16
             while stack and (mode == F or states[stack[-1]] == T):  # line 17
+                if deadline is not None:
+                    deadline.check(
+                        "uis-star", passed_vertices=passed, lcs_calls=lcs_calls
+                    )
                 u = stack.pop()                                    # line 18
                 found = False
                 for w in out_targets(u, mask):                     # line 19

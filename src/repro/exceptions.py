@@ -182,6 +182,104 @@ class ReadOnlyServiceError(BadRequestError):
         )
 
 
+class DeadlineExceededError(BadRequestError):
+    """A request ran past its end-to-end deadline (HTTP 504).
+
+    Raised wherever the budget is checked — the service execute seam,
+    the evaluator outer loops, the batch executor, each scatter-gather
+    round, and remote shard workers (the remaining budget rides the
+    ``/shard/<id>/expand`` wire).  ``detail`` carries partial accounting:
+    where the budget ran out, the elapsed vs. allotted milliseconds, and
+    whatever progress telemetry the raising layer had (rounds completed,
+    vertices passed), so a timed-out client still learns what its budget
+    bought.
+    """
+
+    def __init__(
+        self,
+        where: str,
+        *,
+        elapsed_ms: float,
+        budget_ms: float,
+        partial: dict | None = None,
+    ):
+        detail: dict = {
+            "where": where,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "budget_ms": round(budget_ms, 3),
+        }
+        if partial:
+            detail["partial"] = partial
+        super().__init__(
+            f"deadline exceeded in {where}: {elapsed_ms:.1f}ms elapsed "
+            f"of a {budget_ms:.1f}ms budget",
+            status=504,
+            detail=detail,
+        )
+        self.where = where
+        self.elapsed_ms = elapsed_ms
+        self.budget_ms = budget_ms
+
+
+class ShardUnavailableError(BadRequestError):
+    """A shard worker stayed down past the retry budget (HTTP 503).
+
+    The fail-fast half of graceful degradation: without
+    ``--degraded-answers`` the coordinator refuses to answer from a
+    partial fleet — a sound-but-\"unknown\" answer must be opted into —
+    and names the shard so operators know *which* worker to look at.
+    """
+
+    def __init__(self, shard: int, reason: str, detail: dict | None = None):
+        merged = {"shard": shard, "reason": reason}
+        if detail:
+            merged.update(detail)
+        super().__init__(
+            f"shard {shard} is unavailable: {reason}",
+            status=503,
+            detail=merged,
+        )
+        self.shard = shard
+
+
+class OverloadedError(BadRequestError):
+    """Admission control shed this request (HTTP 429 + ``Retry-After``).
+
+    Raised when a tenant's concurrent-request cap is reached and its
+    wait queue is full (or the bounded wait timed out).  ``retry_after``
+    is the client back-off hint the HTTP layer also sends as a
+    ``Retry-After`` header.
+    """
+
+    def __init__(
+        self, message: str, *, retry_after: float = 1.0,
+        detail: dict | None = None,
+    ):
+        merged = {"retry_after_seconds": retry_after}
+        if detail:
+            merged.update(detail)
+        super().__init__(message, status=429, detail=merged)
+        self.retry_after = retry_after
+        #: Extra response headers the HTTP layer sends with the error.
+        self.headers = {"Retry-After": str(max(1, round(retry_after)))}
+
+
+class CircuitOpenError(ServiceError):
+    """A circuit breaker rejected a call without attempting it.
+
+    Internal to the resilience layer: the coordinator converts it into a
+    degraded answer or a :class:`ShardUnavailableError`, so it never
+    crosses the HTTP boundary itself.
+    """
+
+    def __init__(self, shard: int, state: str):
+        super().__init__(
+            f"circuit breaker for shard {shard} is {state}; call rejected"
+        )
+        self.shard = shard
+        self.state = state
+
+
 class UpdatesUnsupportedError(BadRequestError):
     """The service topology cannot apply live updates (HTTP 501).
 

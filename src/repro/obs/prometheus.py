@@ -180,8 +180,34 @@ _CACHE_GAUGES = ("size", "max_size", "hit_rate")
 
 _COORDINATOR_COUNTERS = (
     "queries", "fast_path_hits", "rounds_total", "expand_calls_total",
-    "crossings_total",
+    "crossings_total", "scatter_serial_fallbacks",
 )
+
+#: ``coordinator.resilience`` counter keys → metric suffix (all under
+#: ``repro_resilience_*``, the fault-tolerance surface).
+_RESILIENCE_COUNTERS = {
+    "retries": ("retries_total", "Shard expand calls retried"),
+    "worker_failures": ("worker_failures_total",
+                        "Shard expand failures (after retries)"),
+    "breaker_rejections": ("breaker_rejections_total",
+                           "Expand calls rejected by an open breaker"),
+    "degraded_answers": ("degraded_answers_total",
+                         "Answers computed over surviving shards only"),
+    "deadline_exceeded": ("deadline_exceeded_total",
+                          "Queries that ran out of budget in the coordinator"),
+    "fast_path_errors": ("fast_path_errors_total",
+                         "Co-located fast-path probe failures"),
+}
+
+#: Per-shard breaker stats keys rendered as labelled series.
+_BREAKER_COUNTERS = {
+    "opens": ("breaker_opens_total", "Times a shard breaker tripped open"),
+    "rejected": ("breaker_rejected_total",
+                 "Calls rejected while a shard breaker was open"),
+    "failures": ("breaker_failures_total", "Failures seen by a shard breaker"),
+    "successes": ("breaker_successes_total",
+                  "Successes seen by a shard breaker"),
+}
 
 _WORKER_COUNTERS = (
     "expand_calls", "seeds_in", "reached_out", "crossings_out",
@@ -220,6 +246,13 @@ def _service_section(
         families.add("repro_errors_total", "counter",
                      "Failed requests by error kind",
                      {**labels, "kind": kind}, count)
+    resilience = service.get("resilience", {})
+    families.add("repro_requests_shed_total", "counter",
+                 "Requests rejected by admission control", labels,
+                 resilience.get("requests_shed", 0))
+    families.add("repro_degraded_answers_total", "counter",
+                 "Answers served over surviving shards only", labels,
+                 resilience.get("degraded_answers", 0))
     for algorithm, cell in sorted(service.get("algorithms", {}).items()):
         cell_labels = {**labels, "algorithm": algorithm}
         families.add("repro_algorithm_queries_total", "counter",
@@ -257,6 +290,22 @@ def _shards_section(
     families.add("repro_shard_coordinator_mean_rounds", "gauge",
                  "Mean frontier-exchange rounds per query", labels,
                  coordinator.get("mean_rounds", 0.0))
+    resilience = coordinator.get("resilience")
+    if isinstance(resilience, dict):
+        for key, (suffix, help_text) in _RESILIENCE_COUNTERS.items():
+            families.add(f"repro_resilience_{suffix}", "counter", help_text,
+                         labels, resilience.get(key, 0))
+        families.add("repro_resilience_degraded_mode", "gauge",
+                     "1 when --degraded-answers is on", labels,
+                     1 if resilience.get("degraded_mode") else 0)
+        for shard, breaker in sorted(resilience.get("breakers", {}).items()):
+            shard_labels = {**labels, "shard": shard}
+            families.add("repro_resilience_breaker_state", "gauge",
+                         "Breaker state (0 closed, 1 half-open, 2 open)",
+                         shard_labels, breaker.get("state_code", 0))
+            for key, (suffix, help_text) in _BREAKER_COUNTERS.items():
+                families.add(f"repro_resilience_{suffix}", "counter",
+                             help_text, shard_labels, breaker.get(key, 0))
     for worker in shards.get("workers", []):
         worker_labels = {**labels, "shard": worker.get("shard", "")}
         for key in _WORKER_COUNTERS:
@@ -355,6 +404,30 @@ def render_service_metrics(
         families.add("repro_follower_records_applied_total", "counter",
                      "WAL records the follower has republished", labels,
                      replication.get("records_applied", 0))
+        families.add("repro_follower_stuck", "gauge",
+                     "1 when the follower thread failed to stop and was "
+                     "abandoned", labels,
+                     1 if replication.get("stuck") else 0)
+    admission = document.get("admission")
+    if isinstance(admission, dict):
+        families.add("repro_admission_active", "gauge",
+                     "Requests currently admitted", labels,
+                     admission.get("active", 0))
+        families.add("repro_admission_queued", "gauge",
+                     "Requests waiting for an admission slot", labels,
+                     admission.get("queued", 0))
+        families.add("repro_admission_max_concurrent", "gauge",
+                     "Concurrent-request cap", labels,
+                     admission.get("max_concurrent", 0))
+        families.add("repro_admission_admitted_total", "counter",
+                     "Requests admitted", labels,
+                     admission.get("admitted", 0))
+        families.add("repro_admission_shed_total", "counter",
+                     "Requests shed (queue full or wait exhausted)", labels,
+                     admission.get("shed", 0))
+        families.add("repro_admission_queue_timeouts_total", "counter",
+                     "Queued requests that timed out waiting", labels,
+                     admission.get("queue_timeouts", 0))
     shards = document.get("shards")
     if isinstance(shards, dict):
         _shards_section(families, labels, shards)

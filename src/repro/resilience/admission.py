@@ -1,0 +1,151 @@
+"""Admission control: bounded concurrency with a bounded wait queue.
+
+One :class:`AdmissionController` guards one tenant's query endpoints.
+At most ``max_concurrent`` requests execute at once; up to ``max_queue``
+more may wait (bounded by the request deadline when one is set, else by
+``max_wait``); everything beyond that is shed *immediately* with a
+structured 429 carrying ``Retry-After`` — overload degrades into fast,
+predictable rejections instead of piling onto ThreadingHTTPServer
+threads until every client times out.
+
+Built on one ``Condition`` rather than a semaphore so queue depth is
+observable and the queue cap is enforced atomically with the
+concurrency cap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.exceptions import DeadlineExceededError, OverloadedError
+
+__all__ = ["AdmissionController"]
+
+
+class _Admission:
+    """Context manager releasing one admitted slot."""
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: "AdmissionController"):
+        self._controller = controller
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._controller._release()
+
+
+class AdmissionController:
+    """Concurrency + queue-depth caps for one tenant."""
+
+    def __init__(
+        self,
+        max_concurrent: int,
+        *,
+        max_queue: int = 0,
+        max_wait: float = 5.0,
+        retry_after: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1: {max_concurrent}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0: {max_queue}")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.max_wait = max_wait
+        self.retry_after = retry_after
+        self._clock = clock
+        self._condition = threading.Condition()
+        self._active = 0
+        self._queued = 0
+        # Monotone counters for /stats and the Prometheus renderer.
+        self._admitted = 0
+        self._shed = 0
+        self._timeouts = 0
+
+    # ------------------------------------------------------------------
+
+    def admit(self, deadline=None) -> _Admission:
+        """Acquire a slot or raise; use as ``with controller.admit():``.
+
+        Raises :class:`~repro.exceptions.OverloadedError` (429) when the
+        queue is full or the bounded wait elapses, and
+        :class:`~repro.exceptions.DeadlineExceededError` (504) when the
+        request's own budget expires while queued.
+        """
+        with self._condition:
+            if self._active < self.max_concurrent:
+                self._active += 1
+                self._admitted += 1
+                return _Admission(self)
+            if self._queued >= self.max_queue:
+                self._shed += 1
+                raise OverloadedError(
+                    f"server at capacity: {self._active} in flight, "
+                    f"queue of {self.max_queue} full",
+                    retry_after=self.retry_after,
+                    detail={
+                        "max_concurrent": self.max_concurrent,
+                        "max_queue": self.max_queue,
+                    },
+                )
+            self._queued += 1
+            try:
+                started = self._clock()
+                while self._active >= self.max_concurrent:
+                    budget = self.max_wait - (self._clock() - started)
+                    if deadline is not None:
+                        budget = min(budget, deadline.remaining_seconds())
+                    if budget <= 0:
+                        if deadline is not None and deadline.expired():
+                            raise DeadlineExceededError(
+                                "admission-queue",
+                                elapsed_ms=deadline.elapsed_ms(),
+                                budget_ms=deadline.budget_ms,
+                                partial={"queued": self._queued},
+                            )
+                        self._timeouts += 1
+                        self._shed += 1
+                        raise OverloadedError(
+                            f"queued longer than {self.max_wait:g}s waiting "
+                            f"for a slot",
+                            retry_after=self.retry_after,
+                            detail={
+                                "max_concurrent": self.max_concurrent,
+                                "max_queue": self.max_queue,
+                                "waited_seconds": round(
+                                    self._clock() - started, 3
+                                ),
+                            },
+                        )
+                    self._condition.wait(timeout=budget)
+            finally:
+                self._queued -= 1
+            self._active += 1
+            self._admitted += 1
+            return _Admission(self)
+
+    def _release(self) -> None:
+        with self._condition:
+            self._active -= 1
+            self._condition.notify()
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-ready counters and live occupancy."""
+        with self._condition:
+            return {
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+                "active": self._active,
+                "queued": self._queued,
+                "admitted": self._admitted,
+                "shed": self._shed,
+                "queue_timeouts": self._timeouts,
+            }

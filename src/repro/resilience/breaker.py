@@ -1,0 +1,167 @@
+"""Per-worker circuit breakers (closed / open / half-open).
+
+A breaker guards one shard worker.  **Closed** admits every call and
+counts outcomes; it opens on either trigger:
+
+* ``failure_threshold`` consecutive failures, or
+* a rolling error rate over the last ``window`` calls at or above
+  ``error_rate`` (only once ``min_calls`` outcomes are in the window,
+  so a single early failure cannot open a cold breaker).
+
+**Open** rejects calls without attempting them (the coordinator turns
+the rejection into a degraded answer or a structured 503) until
+``reset_timeout`` has passed, then moves to **half-open** and admits
+exactly one probe at a time: a probe success closes the breaker and
+clears the window, a probe failure re-opens it with a fresh rest timer.
+
+The clock is injectable so tests drive state transitions without real
+sleeps.  All methods are thread-safe; ``allow()`` + ``record_*()`` are
+deliberately separate calls because the guarded call itself must run
+outside the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Numeric encoding for the Prometheus gauge (alert on value >= 1).
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Failure-rate-triggered call gate for one worker."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        window: int = 20,
+        error_rate: float = 0.5,
+        min_calls: int = 10,
+        reset_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1: {failure_threshold}")
+        if not 0.0 < error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in (0, 1]: {error_rate}")
+        self.failure_threshold = failure_threshold
+        self.error_rate = error_rate
+        self.min_calls = max(1, min_calls)
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._window: deque[bool] = deque(maxlen=max(window, self.min_calls))
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        # Monotone counters for /stats and the Prometheus renderer.
+        self._opens = 0
+        self._rejected = 0
+        self._failures = 0
+        self._successes = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may be attempted right now.
+
+        Open → reject (counted).  Half-open → admit a single probe at a
+        time; concurrent callers are rejected until the probe reports.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            self._rejected += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._successes += 1
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                # Probe came back healthy: full reset.
+                self._state = CLOSED
+                self._probing = False
+                self._opened_at = None
+                self._window.clear()
+            elif self._state == CLOSED:
+                self._window.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                # Probe failed: rest the worker for another full timeout.
+                self._trip()
+                return
+            if self._state != CLOSED:
+                return
+            self._window.append(False)
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip()
+                return
+            if len(self._window) >= self.min_calls:
+                errors = sum(1 for ok in self._window if not ok)
+                if errors / len(self._window) >= self.error_rate:
+                    self._trip()
+
+    # ------------------------------------------------------------------
+
+    def _trip(self) -> None:
+        """Transition to OPEN (caller holds the lock)."""
+        self._state = OPEN
+        self._probing = False
+        self._opened_at = self._clock()
+        self._opens += 1
+
+    def _maybe_half_open(self) -> None:
+        """Open → half-open once the rest period has elapsed (lock held)."""
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probing = False
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-ready counters and current state."""
+        with self._lock:
+            self._maybe_half_open()
+            window = len(self._window)
+            errors = sum(1 for ok in self._window if not ok)
+            return {
+                "state": self._state,
+                "state_code": STATE_CODES[self._state],
+                "consecutive_failures": self._consecutive_failures,
+                "window_calls": window,
+                "window_error_rate": (errors / window) if window else 0.0,
+                "opens": self._opens,
+                "rejected": self._rejected,
+                "failures": self._failures,
+                "successes": self._successes,
+            }

@@ -1,0 +1,111 @@
+"""Budget-aware retries with capped exponential backoff.
+
+:class:`RetryPolicy` retries **idempotent** calls only — shard
+``expand`` is a pure function of ``(seeds, mask, exclude)`` over an
+immutable slice, so replaying it is always safe.  Backoff delays use
+*decorrelated jitter*: each delay is drawn uniformly from
+``[base, previous * 3]`` and capped, which spreads retry storms from
+many coordinators without the synchronized waves plain exponential
+backoff produces.
+
+The policy is deadline-aware: before sleeping it checks the remaining
+request budget and gives up early when the backoff would outlive the
+deadline — a retry that cannot finish in time is load on a struggling
+worker for nothing.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable
+
+from repro.exceptions import CircuitOpenError, DeadlineExceededError
+
+__all__ = ["RetryPolicy"]
+
+#: Exceptions that must never be retried: an expired budget means the
+#: answer is late no matter what, and an open breaker means the worker
+#: is being deliberately rested.
+NON_RETRYABLE = (DeadlineExceededError, CircuitOpenError)
+
+
+class RetryPolicy:
+    """Capped exponential backoff with decorrelated jitter.
+
+    Thread-safe: the jitter RNG is guarded so concurrent scatter rounds
+    draw independent delays.  ``sleep`` and the RNG seed are injectable
+    for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        *,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        seed: int | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {max_attempts}")
+        if base_delay <= 0 or max_delay < base_delay:
+            raise ValueError(
+                f"need 0 < base_delay <= max_delay: {base_delay}, {max_delay}"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def next_delay(self, previous: float | None) -> float:
+        """Draw the next backoff delay (decorrelated jitter)."""
+        upper = self.base_delay * 3 if previous is None else previous * 3
+        with self._lock:
+            delay = self._rng.uniform(self.base_delay, max(self.base_delay, upper))
+        return min(self.max_delay, delay)
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        deadline=None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        on_failure: Callable[[BaseException], None] | None = None,
+    ):
+        """Run ``fn`` with retries; return its result or raise the last error.
+
+        ``deadline`` (a :class:`~repro.resilience.deadline.Deadline`,
+        passed explicitly because pool threads do not inherit the
+        ContextVar) bounds the backoff: when the drawn delay would not
+        fit in the remaining budget the last failure is re-raised
+        immediately.  ``on_retry(attempt, error)`` fires before each
+        backoff sleep; ``on_failure(error)`` fires for every failed
+        attempt (the circuit breaker's per-attempt accounting hook).
+        """
+        previous: float | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except NON_RETRYABLE:
+                raise
+            except Exception as error:
+                if on_failure is not None:
+                    on_failure(error)
+                if attempt >= self.max_attempts:
+                    raise
+                delay = self.next_delay(previous)
+                if deadline is not None:
+                    remaining = deadline.remaining_seconds()
+                    if remaining <= delay:
+                        # The backoff would outlive the budget; stop
+                        # hammering the worker and surface the failure.
+                        raise
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                self._sleep(delay)
+                previous = delay
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import json
 from collections.abc import Hashable, Iterable
+from contextlib import nullcontext
 from dataclasses import asdict
 from pathlib import Path
 from threading import Lock
@@ -55,6 +56,7 @@ from repro.core.result import QueryResult
 from repro.exceptions import (
     BadRequestError,
     ConstraintError,
+    OverloadedError,
     ReadOnlyServiceError,
     ServiceConfigError,
     SparqlError,
@@ -79,6 +81,12 @@ from repro.obs.trace import (
     current_trace,
     span,
     use_trace,
+)
+from repro.resilience.admission import AdmissionController
+from repro.resilience.deadline import (
+    check_deadline,
+    current_deadline,
+    use_deadline,
 )
 from repro.service.cache import CandidateCache, ConstraintCache, ResultCache
 from repro.service.epoch import (
@@ -128,11 +136,24 @@ class QueryService:
         trace_sample: float = 0.0,
         slow_ms: float = DEFAULT_SLOW_MS,
         slow_log_size: int = DEFAULT_SLOW_LOG_SIZE,
+        max_concurrent: int | None = None,
+        max_queue: int = 0,
     ) -> None:
         if max_batch < 1:
             raise ServiceConfigError(f"max_batch must be >= 1, got {max_batch}")
         self.seed = seed
         self.max_batch = max_batch
+        #: Admission control for the query endpoints (``--max-concurrent``
+        #: / ``--max-queue``); None — the default — admits everything and
+        #: costs nothing on the request path.
+        self.admission: AdmissionController | None = None
+        if max_concurrent is not None:
+            try:
+                self.admission = AdmissionController(
+                    max_concurrent, max_queue=max_queue
+                )
+            except ValueError as error:
+                raise ServiceConfigError(str(error)) from error
         try:
             #: Server-side trace sampling: the fraction of un-asked-for
             #: requests that get a (flight-recorder-only) trace.
@@ -359,17 +380,21 @@ class QueryService:
             ]
         self.stats.record_batch()
         trace = current_trace()
-        if trace is None:
+        deadline = current_deadline()
+        if trace is None and deadline is None:
             runner = lambda item: self._finish(  # noqa: E731
                 item[1][0], epoch, use_cache=item[1][1], batch=True
             )
         else:
             # Pool threads don't inherit context variables: re-activate
-            # the batch's trace in the worker and give each member its
-            # own "query" span, stitched under the batch root.
+            # the batch's trace *and* the request deadline in the worker
+            # so every member stops at the same wall-clock budget, and
+            # give each member its own "query" span under the batch root.
             def runner(item):
                 position, (plan, item_cache) = item
-                with use_trace(trace), span("query", index=position):
+                with use_trace(trace), use_deadline(deadline), span(
+                    "query", index=position
+                ):
                     return self._finish(
                         plan, epoch, use_cache=item_cache, batch=True
                     )
@@ -755,7 +780,14 @@ class QueryService:
                 index_resolutions=result.index_resolutions,
             )
         annotate(source="evaluated")
-        if use_cache:
+        if result.degraded is not None:
+            # A degraded answer reflects whichever shards happened to be
+            # alive at execution time; caching it would keep serving the
+            # outage after the shards recover.
+            meta["degraded"] = result.degraded
+            annotate(degraded=True)
+            self.stats.record_degraded()
+        elif use_cache:
             self.results.put(cache_key, result)
         self.stats.record_query(result, batch=batch)
         elapsed = perf_counter() - started
@@ -805,8 +837,15 @@ class QueryService:
         The execution seam subclasses reroute: the sharded service
         (:class:`repro.shard.ShardedQueryService`) sends non-forced
         plans to its scatter-gather coordinator instead.
+
+        The ambient request deadline (if any) is checked once here —
+        before the evaluator starts — so a budget that lapsed in the
+        admission queue or an earlier batch member fails without paying
+        for a doomed traversal; the evaluators themselves check it per
+        loop iteration after that.
         """
         assert plan.query is not None
+        check_deadline("execute")
         return epoch.session(plan.algorithm).answer(plan.query)
 
     def _session(self, algorithm: str) -> LSCRSession:
@@ -830,6 +869,24 @@ class QueryService:
             return Trace(name, sampled=True)
         return None
 
+    def _admit(self):
+        """An admission slot for one request (no-op when unconfigured).
+
+        Raises on the way in: a full queue or an expired wait surfaces
+        as a structured 429 (:class:`OverloadedError`, carrying
+        ``Retry-After``) — or a 504 when the request's own deadline
+        lapsed while queued — and is counted as shed before it
+        propagates.
+        """
+        admission = self.admission
+        if admission is None:
+            return nullcontext()
+        try:
+            return admission.admit(current_deadline())
+        except OverloadedError:
+            self.stats.record_shed()
+            raise
+
     def handle_query(self, payload: object, *, trace: bool = False) -> dict:
         """``POST /query``: validate a JSON payload and answer it.
 
@@ -837,15 +894,16 @@ class QueryService:
         carries the request's full span tree under ``"trace"``.
         """
         spec = self._validate_spec(payload, where="query")
-        active = self._start_trace("query", trace)
-        if active is None:
-            result, meta = self._query_spec(spec)
-            return self._result_payload(result, meta)
-        with use_trace(active):
-            try:
+        with self._admit():
+            active = self._start_trace("query", trace)
+            if active is None:
                 result, meta = self._query_spec(spec)
-            finally:
-                active.finish()
+                return self._result_payload(result, meta)
+            with use_trace(active):
+                try:
+                    result, meta = self._query_spec(spec)
+                finally:
+                    active.finish()
         response = self._result_payload(result, meta)
         if trace:
             response["trace"] = active.to_dict()
@@ -880,18 +938,23 @@ class QueryService:
             self._validate_spec(item, where=f"queries[{position}]")
             for position, item in enumerate(raw)
         ]
-        active = self._start_trace("batch", trace)
-        try:
-            if active is None:
-                answered = self.query_batch(specs, use_cache=use_cache)
-            else:
-                with use_trace(active):
-                    try:
-                        answered = self.query_batch(specs, use_cache=use_cache)
-                    finally:
-                        active.finish()
-        except (ConstraintError, SparqlError) as error:
-            raise BadRequestError(f"invalid query in batch: {error}") from error
+        with self._admit():
+            active = self._start_trace("batch", trace)
+            try:
+                if active is None:
+                    answered = self.query_batch(specs, use_cache=use_cache)
+                else:
+                    with use_trace(active):
+                        try:
+                            answered = self.query_batch(
+                                specs, use_cache=use_cache
+                            )
+                        finally:
+                            active.finish()
+            except (ConstraintError, SparqlError) as error:
+                raise BadRequestError(
+                    f"invalid query in batch: {error}"
+                ) from error
         response = {
             "count": len(answered),
             "results": [self._result_payload(r, m) for r, m in answered],
@@ -985,6 +1048,8 @@ class QueryService:
                 "slow_log_size": self.flight.max_entries,
             },
         }
+        if self.admission is not None:
+            document["admission"] = self.admission.stats()
         if self._wal is not None:
             document["wal"] = self._wal.describe()
         if self.replication is not None:
@@ -1166,7 +1231,7 @@ class QueryService:
     @staticmethod
     def _result_payload(result: QueryResult, meta: dict) -> dict:
         """One query's JSON response body."""
-        return {
+        payload = {
             "answer": result.answer,
             "algorithm": result.algorithm,
             "seconds": result.seconds,
@@ -1177,3 +1242,9 @@ class QueryService:
             "epoch": meta["epoch"],
             "source": meta.get("source", "evaluated"),
         }
+        if "degraded" in meta:
+            # Shards were missing: ``answer`` covers only the surviving
+            # slices, and ``degraded["verdict"]`` says how to read it —
+            # "reachable" is still proven, "unknown" is not a "no".
+            payload["degraded"] = meta["degraded"]
+        return payload

@@ -55,18 +55,23 @@ tests and ``python -m repro serve --port 0`` avoid collisions.
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import (
     BadRequestError,
+    DeadlineExceededError,
+    OverloadedError,
     ReadOnlyServiceError,
     ReproError,
+    ShardUnavailableError,
     UnknownTenantError,
     UpdatesDisabledError,
     UpdatesUnsupportedError,
 )
+from repro.resilience.deadline import Deadline, use_deadline
 from repro.service.app import QueryService
 from repro.service.planner import PLANNABLE_ALGORITHMS
 from repro.service.registry import TenantRegistry, valid_tenant_name
@@ -119,6 +124,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         service: QueryService | TenantRegistry,
         shard_workers: dict[str, Any] | None = None,
         allow_updates: bool = False,
+        default_deadline_ms: float | None = None,
     ) -> None:
         super().__init__(address, ServiceRequestHandler)
         if isinstance(service, TenantRegistry):
@@ -132,6 +138,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         #: operation the operator must opt into (``serve
         #: --allow-updates``); off, the routes answer a structured 403.
         self.allow_updates = allow_updates
+        #: Budget applied to every ``/query`` and ``/batch`` request that
+        #: doesn't name its own ``?deadline_ms=`` (``serve
+        #: --default-deadline-ms``); None serves without deadlines.
+        self.default_deadline_ms = default_deadline_ms
 
     @property
     def service(self) -> QueryService:
@@ -218,19 +228,30 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 # policy, not a per-tenant property.
                 raise UpdatesDisabledError()
             service = registry.get(tenant)
-            if endpoint == "query":
-                self._send_json(200, service.handle_query(payload, trace=trace))
-            elif endpoint == "edges":
+            if endpoint == "edges":
                 self._send_json(200, service.handle_updates(payload, trace=trace))
             else:
-                self._send_json(200, service.handle_batch(payload, trace=trace))
+                # Deadlines cover the answering endpoints only: update
+                # batches are admin operations that must run to the end.
+                with self._deadline_scope(query):
+                    if endpoint == "query":
+                        response = service.handle_query(payload, trace=trace)
+                    else:
+                        response = service.handle_batch(payload, trace=trace)
+                self._send_json(200, response)
         except BadRequestError as error:
             kind = self._error_kind(error)
             if service is not None:
                 service.stats.record_error(kind)
             else:
                 registry.record_error(kind)
-            self._send_error(error.status, kind, str(error), detail=error.detail)
+            self._send_error(
+                error.status,
+                kind,
+                str(error),
+                detail=error.detail,
+                headers=getattr(error, "headers", None),
+            )
         except ReproError as error:
             # Anything else the library rejected is still the client's
             # query (bad constraint text reaching a deeper layer, ...).
@@ -362,8 +383,38 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.server.registry.register_files(name, graph, index, **options)
         return {"registered": name, "loaded": False}
 
+    def _deadline_scope(self, query: dict[str, str]) -> use_deadline:
+        """The deadline context for one ``/query`` or ``/batch`` request.
+
+        ``?deadline_ms=`` wins over the server-wide default; neither
+        means ``use_deadline(None)``, which costs one ContextVar set and
+        keeps every downstream check a no-op.
+        """
+        raw = query.get("deadline_ms")
+        if raw is None:
+            budget_ms = self.server.default_deadline_ms
+        else:
+            try:
+                budget_ms = float(raw)
+            except ValueError:
+                budget_ms = math.nan
+            if not math.isfinite(budget_ms) or budget_ms <= 0:
+                raise BadRequestError(
+                    f"deadline_ms must be a positive number of "
+                    f"milliseconds, got {raw!r}"
+                )
+        if budget_ms is None:
+            return use_deadline(None)
+        return use_deadline(Deadline(budget_ms))
+
     @staticmethod
     def _error_kind(error: BadRequestError) -> str:
+        if isinstance(error, DeadlineExceededError):
+            return "deadline-exceeded"
+        if isinstance(error, ShardUnavailableError):
+            return "shard-unavailable"
+        if isinstance(error, OverloadedError):
+            return "overloaded"
         if isinstance(error, UnknownTenantError):
             return "unknown-tenant"
         if isinstance(error, ReadOnlyServiceError):
@@ -393,11 +444,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise BadRequestError(f"request body is not valid JSON: {error}") from None
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -413,12 +471,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error(
-        self, status: int, kind: str, message: str, detail: dict | None = None
+        self,
+        status: int,
+        kind: str,
+        message: str,
+        detail: dict | None = None,
+        headers: dict[str, str] | None = None,
     ) -> None:
         body: dict[str, Any] = {"error": {"type": kind, "message": message}}
         if detail is not None:
             body["error"]["detail"] = detail
-        self._send_json(status, body)
+        self._send_json(status, body, headers=headers)
 
 
 def create_server(
@@ -427,14 +490,23 @@ def create_server(
     port: int = 8080,
     shard_workers: dict[str, Any] | None = None,
     allow_updates: bool = False,
+    default_deadline_ms: float | None = None,
 ) -> ServiceHTTPServer:
     """Bind (but do not start) a server for a service or registry.
 
     ``shard_workers`` attaches :class:`~repro.shard.worker.ShardWorker`\\ s
     behind the ``/shard/<id>/...`` routes (keys are the URL segments).
     ``allow_updates`` opens the ``POST /edges`` live-update routes
-    (otherwise they answer a structured 403).  Callers run
-    ``server.serve_forever()`` — typically on a dedicated thread — and
-    stop with ``server.shutdown()`` + ``server.server_close()``.
+    (otherwise they answer a structured 403).  ``default_deadline_ms``
+    bounds every query/batch request that doesn't pass its own
+    ``?deadline_ms=``.  Callers run ``server.serve_forever()`` —
+    typically on a dedicated thread — and stop with
+    ``server.shutdown()`` + ``server.server_close()``.
     """
-    return ServiceHTTPServer((host, port), service, shard_workers, allow_updates)
+    return ServiceHTTPServer(
+        (host, port),
+        service,
+        shard_workers,
+        allow_updates,
+        default_deadline_ms=default_deadline_ms,
+    )

@@ -165,6 +165,8 @@ class ServiceStats:
         self._update_edges_missing = 0
         self._update_vertices_added = 0
         self._errors: dict[str, int] = {}
+        self._requests_shed = 0
+        self._degraded_answers = 0
         self._by_algorithm: dict[str, ResultAggregate] = {}
         self._latency: dict[str, LatencyHistogram] = {}
 
@@ -210,6 +212,16 @@ class ServiceStats:
         """Count one failed request by error kind (e.g. ``bad-request``)."""
         with self._lock:
             self._errors[kind] = self._errors.get(kind, 0) + 1
+
+    def record_shed(self) -> None:
+        """Count one request rejected by admission control (429)."""
+        with self._lock:
+            self._requests_shed += 1
+
+    def record_degraded(self) -> None:
+        """Count one answer served over surviving shards only."""
+        with self._lock:
+            self._degraded_answers += 1
 
     def record_update(
         self,
@@ -291,6 +303,10 @@ class ServiceStats:
                     "vertices_added": self._update_vertices_added,
                 },
                 "errors": dict(self._errors),
+                "resilience": {
+                    "requests_shed": self._requests_shed,
+                    "degraded_answers": self._degraded_answers,
+                },
                 "algorithms": {
                     name: aggregate.as_dict()
                     for name, aggregate in sorted(self._by_algorithm.items())
@@ -330,6 +346,10 @@ class ServiceStats:
             self._update_vertices_added += updates.get("vertices_added", 0)
             for kind, count in document.get("errors", {}).items():
                 self._errors[kind] = self._errors.get(kind, 0) + count
+            # .get: snapshots predating fault tolerance carry no section.
+            resilience = document.get("resilience", {})
+            self._requests_shed += resilience.get("requests_shed", 0)
+            self._degraded_answers += resilience.get("degraded_answers", 0)
             for name, cell in document.get("algorithms", {}).items():
                 aggregate = self._by_algorithm.get(name)
                 if aggregate is None:
@@ -368,6 +388,7 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
     updates = {"batches": 0, "edges_added": 0, "edges_duplicate": 0,
                "edges_removed": 0, "edges_missing": 0, "vertices_added": 0}
     errors: dict[str, int] = {}
+    resilience = {"requests_shed": 0, "degraded_answers": 0}
     cells: dict[str, dict] = {}
     latency: dict[str, LatencyHistogram] = {}
     uptime = 0.0
@@ -387,6 +408,9 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
             updates[key] += snapshot.get("updates", {}).get(key, 0)
         for kind, count in snapshot["errors"].items():
             errors[kind] = errors.get(kind, 0) + count
+        # .get: snapshots predating fault tolerance carry no section.
+        for key in resilience:
+            resilience[key] += snapshot.get("resilience", {}).get(key, 0)
         for endpoint, histogram_doc in snapshot.get("latency", {}).items():
             histogram = latency.get(endpoint)
             if histogram is None:
@@ -415,6 +439,7 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
         "batches": batches,
         "updates": updates,
         "errors": errors,
+        "resilience": resilience,
         "algorithms": {name: cells[name] for name in sorted(cells)},
         "latency": {
             endpoint: latency[endpoint].snapshot() for endpoint in sorted(latency)

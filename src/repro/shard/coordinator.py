@@ -37,12 +37,21 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from time import perf_counter
 
 from repro.core.query import LSCRQuery
 from repro.core.result import QueryResult
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ShardUnavailableError,
+)
 from repro.graph.labeled_graph import KnowledgeGraph
 from repro.obs.trace import current_trace, span
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import current_deadline
+from repro.resilience.retry import RetryPolicy
 from repro.service.cache import CandidateCache
 from repro.shard.partitioner import ShardPlan
 
@@ -50,6 +59,12 @@ __all__ = ["ShardCoordinator"]
 
 #: Algorithm name stamped on coordinator-answered results.
 SHARDED_ALGORITHM = "sharded"
+
+#: Slack added to deadline-derived waits on worker futures, so a worker
+#: that checks its own deadline gets to answer with a structured 504
+#: before the coordinator abandons the call.  This is the "one round's
+#: grace" by which a query may overshoot its budget.
+ROUND_GRACE_SECONDS = 0.05
 
 
 class ShardCoordinator:
@@ -71,6 +86,10 @@ class ShardCoordinator:
         candidate_cache: CandidateCache | None = None,
         local_fast_path: bool = True,
         parallel: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        breakers: list[CircuitBreaker] | None = None,
+        degraded_answers: bool = False,
+        scatter_timeout: float | None = None,
     ) -> None:
         if len(workers) != plan.num_shards:
             raise ValueError(
@@ -81,12 +100,31 @@ class ShardCoordinator:
         self.workers = workers
         self.candidates = candidate_cache
         self.local_fast_path = local_fast_path
+        #: Retries for idempotent expand calls (injectable for tests).
+        self.retry = retry_policy if retry_policy is not None else RetryPolicy()
+        #: One breaker per worker; injectable to tune thresholds/clock.
+        self.breakers = (
+            breakers
+            if breakers is not None
+            else [CircuitBreaker() for _ in workers]
+        )
+        if len(self.breakers) != plan.num_shards:
+            raise ValueError(
+                f"plan wants {plan.num_shards} breakers, got {len(self.breakers)}"
+            )
+        #: Degrade (answer over surviving shards, verdict "unknown" when
+        #: False) instead of failing fast with a structured 503.
+        self.degraded_answers = degraded_answers
+        #: Per-call wall-clock bound on worker expands even without a
+        #: request deadline (``serve --shard-timeout``).
+        self.scatter_timeout = scatter_timeout
+        self._parallel = bool(parallel and plan.num_shards > 1)
         self._pool = (
             ThreadPoolExecutor(
                 max_workers=min(plan.num_shards, 8),
                 thread_name_prefix="repro-shard",
             )
-            if parallel and plan.num_shards > 1
+            if self._parallel
             else None
         )
         self._lock = threading.Lock()
@@ -95,6 +133,15 @@ class ShardCoordinator:
         self._expand_calls = 0
         self._crossings = 0
         self._fast_path_hits = 0
+        # Resilience counters (all monotone, surfaced in /stats and
+        # /metrics as repro_resilience_* series).
+        self._scatter_serial_fallbacks = 0
+        self._retries = 0
+        self._worker_failures = 0
+        self._breaker_rejections = 0
+        self._degraded_answers = 0
+        self._deadline_exceeded = 0
+        self._fast_path_errors = 0
 
     def __repr__(self) -> str:
         return (
@@ -127,6 +174,11 @@ class ShardCoordinator:
         mask = query.labels.mask_for(graph)
 
         shard_of = self.plan.shard_of
+        deadline = current_deadline()
+        #: Shards that stayed down past the retry budget this query
+        #: (shared across both phases; only populated under
+        #: ``degraded_answers`` — fail-fast raises instead).
+        missing: set[int] = set()
         fast_hit = False
         verdict: bool | None = None
         passed = 0
@@ -135,9 +187,31 @@ class ShardCoordinator:
         telemetry = {"rounds": 0, "expand_calls": 0, "crossings": 0}
 
         if self.local_fast_path and shard_of[source] == shard_of[target]:
-            with span("co-located", shard=shard_of[source]) as probe:
-                fast_hit = self.workers[shard_of[source]].local_query(query)
-                probe.set(hit=fast_hit)
+            shard = shard_of[source]
+            breaker = self.breakers[shard]
+            if breaker.allow():
+                with span("co-located", shard=shard) as probe:
+                    try:
+                        fast_hit = self._bounded_call(
+                            lambda: self.workers[shard].local_query(query),
+                            deadline,
+                            shard=shard,
+                        )
+                    except DeadlineExceededError:
+                        breaker.record_failure()
+                        with self._lock:
+                            self._deadline_exceeded += 1
+                        raise
+                    except Exception:
+                        # A failed probe is just a miss: scatter-gather
+                        # (with its own retry/breaker guards) decides.
+                        breaker.record_failure()
+                        with self._lock:
+                            self._fast_path_errors += 1
+                        fast_hit = False
+                    else:
+                        breaker.record_success()
+                    probe.set(hit=fast_hit)
             if fast_hit:
                 verdict = True
                 handle.set(source="co-located")
@@ -160,7 +234,10 @@ class ShardCoordinator:
         if verdict is None and not candidate_set:
             verdict = False  # no satisfying vertex anywhere: skip both phases
         if verdict is None:
-            reachable, phase_one = self.closure({source}, mask, phase="phase1")
+            reachable, phase_one = self.closure(
+                {source}, mask, phase="phase1",
+                deadline=deadline, missing=missing,
+            )
             for key in telemetry:
                 telemetry[key] += phase_one[key]
             passed = len(reachable)
@@ -177,7 +254,8 @@ class ShardCoordinator:
                 verdict = True
             else:
                 second, phase_two = self.closure(
-                    satisfying, mask, stop=target, phase="phase2"
+                    satisfying, mask, stop=target, phase="phase2",
+                    deadline=deadline, missing=missing,
                 )
                 for key in telemetry:
                     telemetry[key] += phase_two[key]
@@ -185,6 +263,17 @@ class ShardCoordinator:
                 # ⊆ closure(source), so the distinct passed count (the
                 # paper's metric) is the phase-one closure alone.
                 verdict = target in second
+
+        # Degradation marker: any shard dropped mid-closure means the
+        # answer was computed over an edge subset.  True is still proven
+        # (every visited vertex was genuinely reached); False only means
+        # the surviving slices hold no witness — "unknown".
+        degraded: dict | None = None
+        if missing:
+            degraded = {
+                "missing_shards": sorted(missing),
+                "verdict": "reachable" if verdict else "unknown",
+            }
         handle.set(
             answer=verdict,
             rounds=telemetry["rounds"],
@@ -192,6 +281,8 @@ class ShardCoordinator:
             crossings=telemetry["crossings"],
             vsg_size=vsg_size,
         )
+        if degraded is not None:
+            handle.set(degraded=degraded)
 
         with self._lock:
             self._queries += 1
@@ -200,6 +291,8 @@ class ShardCoordinator:
             self._crossings += telemetry["crossings"]
             if fast_hit:
                 self._fast_path_hits += 1
+            if degraded is not None:
+                self._degraded_answers += 1
         return QueryResult(
             answer=verdict,
             algorithm=SHARDED_ALGORITHM,
@@ -207,6 +300,7 @@ class ShardCoordinator:
             passed_vertices=passed,
             vsg_size=vsg_size,
             vsg_seconds=vsg_seconds,
+            degraded=degraded,
         )
 
     # ------------------------------------------------------------------
@@ -219,12 +313,27 @@ class ShardCoordinator:
         mask: int,
         stop: int | None = None,
         phase: str = "closure",
+        deadline=None,
+        missing: set[int] | None = None,
     ) -> tuple[set[int], dict[str, int]]:
         """All vertices reachable from ``seeds`` under ``mask``.
 
         Multi-round frontier exchange; with ``stop`` set the loop exits
         as soon as that vertex is reached (the returned set is then a
         prefix of the closure that provably contains ``stop``).
+
+        ``deadline`` bounds every round (checked at the top of the loop,
+        and each worker wait derives from the remaining budget);
+        ``missing`` collects shards that stayed down past the retry
+        budget — their frontier seeds are dropped, which is what makes
+        the result a closure over the *surviving* slices.  Without
+        ``degraded_answers`` a down shard raises
+        :class:`~repro.exceptions.ShardUnavailableError` instead.
+
+        Soundness of the degraded set: a vertex enters ``visited`` only
+        as a seed or as a reported reach/crossing of an executed expand,
+        so every member is genuinely reachable even when some expansions
+        were dropped — the set is a *subset* of the true closure.
 
         When a trace is active, each round becomes a ``round`` span
         labelled with ``phase`` and its frontier size, parenting the
@@ -233,6 +342,8 @@ class ShardCoordinator:
         the request context).
         """
         shard_of = self.plan.shard_of
+        if missing is None:
+            missing = set()
         visited: set[int] = set()
         frontier: dict[int, list[int]] = {}
         for vid in seeds:
@@ -245,6 +356,28 @@ class ShardCoordinator:
         trace = current_trace()
         trace_id = trace.trace_id if trace is not None else None
         while frontier:
+            if deadline is not None and deadline.expired():
+                with self._lock:
+                    self._deadline_exceeded += 1
+                raise DeadlineExceededError(
+                    "coordinator-round",
+                    elapsed_ms=deadline.elapsed_ms(),
+                    budget_ms=deadline.budget_ms,
+                    partial={
+                        "phase": phase,
+                        "rounds": telemetry["rounds"],
+                        "visited": len(visited),
+                    },
+                )
+            if missing:
+                # Seeds owned by shards already declared dead cannot be
+                # expanded; drop them (their membership in `visited` is
+                # still sound — reaching them was proven upstream).
+                for shard_id in list(frontier):
+                    if shard_id in missing:
+                        del frontier[shard_id]
+                if not frontier:
+                    break
             telemetry["rounds"] += 1
             telemetry["expand_calls"] += len(frontier)
             with span(
@@ -254,9 +387,26 @@ class ShardCoordinator:
                 frontier_size=sum(len(seeds) for seeds in frontier.values()),
                 shards=len(frontier),
             ) as round_span:
-                results = self._scatter(
-                    frontier, mask, expanded_by_shard, trace_id
+                results, failures = self._scatter(
+                    frontier, mask, expanded_by_shard, trace_id, deadline
                 )
+                for shard_id, reason in failures:
+                    if not self.degraded_answers:
+                        raise ShardUnavailableError(
+                            shard_id,
+                            reason,
+                            detail={
+                                "phase": phase,
+                                "breaker": self.breakers[shard_id].stats()[
+                                    "state"
+                                ],
+                            },
+                        )
+                    missing.add(shard_id)
+                if failures:
+                    round_span.set(
+                        failed_shards=sorted(shard for shard, _ in failures)
+                    )
                 next_frontier: dict[int, list[int]] = {}
                 round_crossings = 0
                 for shard_id, result in results:
@@ -284,78 +434,237 @@ class ShardCoordinator:
         mask: int,
         expanded_by_shard: dict[int, set[int]],
         trace_id: str | None = None,
+        deadline=None,
     ):
         """One round's expand calls, concurrent when shards allow.
+
+        Returns ``(results, failures)``: per-shard
+        :class:`~repro.shard.worker.ExpandResult` objects, plus the
+        shards whose call failed past the retry budget (exhausted
+        retries, breaker-open rejection, or a hang abandoned at the
+        deadline/``scatter_timeout``) with a human-readable reason.
+        Deadline expiry is *not* a shard failure — it raises
+        :class:`~repro.exceptions.DeadlineExceededError` directly.
 
         ``trace_id`` (when the request is traced) rides along to each
         worker — as a plain value, because pool threads and remote
         processes can't see the request's context variables — and comes
         back as :attr:`~repro.shard.worker.ExpandResult.span`.  Untraced
-        requests call the bare three-argument ``expand``, so worker
-        stand-ins that predate tracing keep working.
+        requests without a deadline call the bare three-argument
+        ``expand``, so worker stand-ins that predate tracing keep
+        working.
+
+        Single-shard rounds also go through the pool whenever a wait
+        bound exists: a hung call cannot be interrupted in-process, so
+        bounding it means waiting on a future and abandoning the thread
+        (the breaker keeps abandoned threads from piling up).
         """
         items = sorted(frontier.items())
         # Snapshot the pool once: close() may null it under a straggler
         # query, and the registry contract says in-flight requests
         # holding a removed service still finish.
         pool = self._pool
-        if pool is not None and len(items) > 1:
-            try:
-                if trace_id is not None:
-                    futures = [
-                        (
-                            shard_id,
-                            pool.submit(
-                                self.workers[shard_id].expand,
-                                seeds,
-                                mask,
-                                tuple(expanded_by_shard.get(shard_id, ())),
-                                trace_id,
-                            ),
-                        )
-                        for shard_id, seeds in items
-                    ]
-                else:
-                    futures = [
-                        (
-                            shard_id,
-                            pool.submit(
-                                self.workers[shard_id].expand,
-                                seeds,
-                                mask,
-                                tuple(expanded_by_shard.get(shard_id, ())),
-                            ),
-                        )
-                        for shard_id, seeds in items
-                    ]
-            except RuntimeError:
-                pass  # pool shut down mid-query: fall through to serial
-            else:
-                return [
-                    (shard_id, future.result()) for shard_id, future in futures
-                ]
-        if trace_id is not None:
-            return [
-                (
-                    shard_id,
-                    self.workers[shard_id].expand(
+        results: list[tuple[int, object]] = []
+        failures: list[tuple[int, str]] = []
+        bounded = deadline is not None or self.scatter_timeout is not None
+        submitted: list = []
+        pending = items
+        if pool is not None and (len(items) > 1 or bounded):
+            for shard_id, seeds in items:
+                flag = {"abandoned": False}
+                try:
+                    future = pool.submit(
+                        self._guarded_expand,
+                        shard_id,
                         seeds,
                         mask,
-                        expanded_by_shard.get(shard_id, ()),
+                        tuple(expanded_by_shard.get(shard_id, ())),
                         trace_id,
-                    ),
+                        deadline,
+                        flag,
+                    )
+                except RuntimeError:
+                    # Pool shut down mid-query (close() racing a
+                    # straggler): the rest of the round runs serially.
+                    with self._lock:
+                        self._scatter_serial_fallbacks += 1
+                    break
+                submitted.append((shard_id, future, flag))
+            pending = items[len(submitted):]
+        elif pool is None and self._parallel:
+            # Configured parallel but the pool is gone (close() raced a
+            # straggler query): the whole round runs serially.
+            with self._lock:
+                self._scatter_serial_fallbacks += 1
+
+        for shard_id, future, flag in submitted:
+            wait = self._scatter_wait(deadline)
+            try:
+                result = future.result(timeout=wait)
+            except FuturesTimeout:
+                # The call is still running and cannot be interrupted;
+                # abandon it (the flag stops its late breaker updates).
+                flag["abandoned"] = True
+                self.breakers[shard_id].record_failure()
+                if deadline is not None and deadline.expired():
+                    with self._lock:
+                        self._deadline_exceeded += 1
+                    raise DeadlineExceededError(
+                        "scatter-wait",
+                        elapsed_ms=deadline.elapsed_ms(),
+                        budget_ms=deadline.budget_ms,
+                        partial={"shard": shard_id},
+                    ) from None
+                with self._lock:
+                    self._worker_failures += 1
+                failures.append(
+                    (shard_id, f"no response within {wait:.3f}s")
                 )
-                for shard_id, seeds in items
-            ]
-        return [
-            (
-                shard_id,
-                self.workers[shard_id].expand(
-                    seeds, mask, expanded_by_shard.get(shard_id, ())
-                ),
+            except CircuitOpenError as error:
+                failures.append((shard_id, str(error)))
+            except DeadlineExceededError:
+                with self._lock:
+                    self._deadline_exceeded += 1
+                raise
+            except Exception as error:
+                with self._lock:
+                    self._worker_failures += 1
+                failures.append(
+                    (shard_id, f"{type(error).__name__}: {error}")
+                )
+            else:
+                results.append((shard_id, result))
+
+        for shard_id, seeds in pending:
+            try:
+                result = self._guarded_expand(
+                    shard_id,
+                    seeds,
+                    mask,
+                    tuple(expanded_by_shard.get(shard_id, ())),
+                    trace_id,
+                    deadline,
+                    {"abandoned": False},
+                )
+            except CircuitOpenError as error:
+                failures.append((shard_id, str(error)))
+            except DeadlineExceededError:
+                with self._lock:
+                    self._deadline_exceeded += 1
+                raise
+            except Exception as error:
+                with self._lock:
+                    self._worker_failures += 1
+                failures.append(
+                    (shard_id, f"{type(error).__name__}: {error}")
+                )
+            else:
+                results.append((shard_id, result))
+        return results, failures
+
+    # ------------------------------------------------------------------
+    # guarded worker calls (retry + breaker + deadline)
+    # ------------------------------------------------------------------
+
+    def _scatter_wait(self, deadline) -> float | None:
+        """Wall-clock bound for one worker future, or None (unbounded)."""
+        waits = []
+        if deadline is not None:
+            waits.append(
+                max(0.0, deadline.remaining_seconds()) + ROUND_GRACE_SECONDS
             )
-            for shard_id, seeds in items
-        ]
+        if self.scatter_timeout is not None:
+            waits.append(self.scatter_timeout)
+        return min(waits) if waits else None
+
+    def _guarded_expand(
+        self, shard_id, seeds, mask, exclude, trace_id, deadline, flag
+    ):
+        """One shard call behind its breaker and the retry policy.
+
+        Runs on a scatter-pool thread (or inline on the serial path);
+        ``deadline`` travels as a plain value because pool threads don't
+        inherit the request's ContextVars.  ``flag["abandoned"]`` is set
+        by the gather loop when it stops waiting, muting this call's
+        late breaker updates.
+        """
+        breaker = self.breakers[shard_id]
+        if not breaker.allow():
+            with self._lock:
+                self._breaker_rejections += 1
+            raise CircuitOpenError(shard_id, breaker.state)
+
+        def record_attempt_failure(error: BaseException) -> None:
+            if not flag["abandoned"]:
+                breaker.record_failure()
+
+        try:
+            result = self.retry.call(
+                lambda: self._expand_once(
+                    shard_id, seeds, mask, exclude, trace_id, deadline
+                ),
+                deadline=deadline,
+                on_retry=self._note_retry,
+                on_failure=record_attempt_failure,
+            )
+        except DeadlineExceededError:
+            # The worker answered (with a structured 504) or the budget
+            # died before the call: the worker itself is responsive.
+            if not flag["abandoned"]:
+                breaker.record_success()
+            raise
+        else:
+            if not flag["abandoned"]:
+                breaker.record_success()
+            return result
+
+    def _expand_once(self, shard_id, seeds, mask, exclude, trace_id, deadline):
+        """One bare expand call, shipping the remaining budget when set."""
+        worker = self.workers[shard_id]
+        if deadline is not None:
+            remaining = deadline.remaining_ms()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    "scatter",
+                    elapsed_ms=deadline.elapsed_ms(),
+                    budget_ms=deadline.budget_ms,
+                    partial={"shard": shard_id},
+                )
+            return worker.expand(
+                seeds, mask, exclude, trace_id, deadline_ms=remaining
+            )
+        if trace_id is not None:
+            return worker.expand(seeds, mask, exclude, trace_id)
+        return worker.expand(seeds, mask, exclude)
+
+    def _note_retry(self, attempt: int, error: BaseException) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def _bounded_call(self, fn, deadline, *, shard: int):
+        """Run ``fn`` bounded by the deadline via the scatter pool.
+
+        Without a deadline (or without a pool) the call runs inline —
+        unbounded, exactly as before.  A hang is abandoned at expiry
+        with a structured 504; the thread itself cannot be interrupted.
+        """
+        pool = self._pool
+        if deadline is None or pool is None:
+            return fn()
+        try:
+            future = pool.submit(fn)
+        except RuntimeError:
+            return fn()  # pool shut down mid-query
+        wait = max(0.0, deadline.remaining_seconds()) + ROUND_GRACE_SECONDS
+        try:
+            return future.result(timeout=wait)
+        except FuturesTimeout:
+            raise DeadlineExceededError(
+                "co-located-probe",
+                elapsed_ms=deadline.elapsed_ms(),
+                budget_ms=deadline.budget_ms,
+                partial={"shard": shard},
+            ) from None
 
     # ------------------------------------------------------------------
 
@@ -363,14 +672,31 @@ class ShardCoordinator:
         """JSON-ready coordinator counters for ``/stats``."""
         with self._lock:
             queries = self._queries
-            return {
+            document = {
                 "queries": queries,
                 "fast_path_hits": self._fast_path_hits,
                 "rounds_total": self._rounds,
                 "expand_calls_total": self._expand_calls,
                 "crossings_total": self._crossings,
                 "mean_rounds": self._rounds / queries if queries else 0.0,
+                "scatter_serial_fallbacks": self._scatter_serial_fallbacks,
             }
+            resilience = {
+                "retries": self._retries,
+                "worker_failures": self._worker_failures,
+                "breaker_rejections": self._breaker_rejections,
+                "degraded_answers": self._degraded_answers,
+                "deadline_exceeded": self._deadline_exceeded,
+                "fast_path_errors": self._fast_path_errors,
+                "degraded_mode": self.degraded_answers,
+                "scatter_timeout": self.scatter_timeout,
+            }
+        resilience["breakers"] = {
+            str(shard_id): breaker.stats()
+            for shard_id, breaker in enumerate(self.breakers)
+        }
+        document["resilience"] = resilience
+        return document
 
     def close(self) -> None:
         """Shut the scatter pool down (idempotent)."""

@@ -60,6 +60,9 @@ class ShardedQueryService(QueryService):
         shard_landmarks: int | None = None,
         local_fast_path: bool = True,
         parallel_scatter: bool = True,
+        degraded_answers: bool = False,
+        scatter_timeout: float | None = None,
+        retry_policy=None,
         **kwargs: Any,
     ) -> None:
         if shards < 1:
@@ -90,6 +93,9 @@ class ShardedQueryService(QueryService):
             candidate_cache=self.candidates,
             local_fast_path=local_fast_path,
             parallel=parallel_scatter,
+            degraded_answers=degraded_answers,
+            scatter_timeout=scatter_timeout,
+            retry_policy=retry_policy,
         )
 
     def __repr__(self) -> str:

@@ -29,17 +29,28 @@ from __future__ import annotations
 
 import json
 import threading
+import urllib.error
 import urllib.request
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.query import LSCRQuery
-from repro.exceptions import BadRequestError
+from repro.exceptions import BadRequestError, DeadlineExceededError
+from repro.resilience.deadline import Deadline
 from repro.service.app import QueryService
 from repro.shard.partitioner import GraphSlice
 
-__all__ = ["ExpandResult", "ShardWorker", "HttpShardWorker"]
+__all__ = [
+    "DEFAULT_HTTP_TIMEOUT",
+    "ExpandResult",
+    "ShardWorker",
+    "HttpShardWorker",
+]
+
+#: Socket timeout for remote workers when neither ``--shard-timeout``
+#: nor a request deadline narrows it.
+DEFAULT_HTTP_TIMEOUT = 30.0
 
 
 @dataclass(frozen=True)
@@ -114,6 +125,7 @@ class ShardWorker:
         mask: int,
         exclude: Iterable[int] = (),
         trace: str | None = None,
+        deadline_ms: float | None = None,
     ) -> ExpandResult:
         """Local closure of ``seeds`` under ``mask`` within the slice.
 
@@ -131,8 +143,23 @@ class ShardWorker:
         half of cross-process trace stitching.  Untraced calls
         (``trace=None``, the default and the hot path) skip the timing
         entirely.
+
+        ``deadline_ms`` is the *remaining* request budget shipped by the
+        coordinator (over the wire for remote workers): the DFS checks
+        it so a worker stops early instead of computing a closure whose
+        requester already timed out.
         """
         started = perf_counter() if trace is not None else 0.0
+        deadline = None
+        if deadline_ms is not None:
+            if deadline_ms <= 0:
+                raise DeadlineExceededError(
+                    "shard-expand",
+                    elapsed_ms=0.0,
+                    budget_ms=max(0.0, deadline_ms),
+                    partial={"shard": self.shard_id},
+                )
+            deadline = Deadline(deadline_ms)
         graph_slice = self.slice
         local_of = graph_slice.local_of
         shard_of = graph_slice.shard_of
@@ -159,6 +186,10 @@ class ShardWorker:
         expanded = 0
         targets_masked = graph_slice.csr.targets_masked
         while stack:
+            if deadline is not None:
+                deadline.check(
+                    "shard-expand", shard=my_shard, expanded=expanded
+                )
             position = stack.pop()
             expanded += 1
             # The border table's runtime job: one dict probe per vertex
@@ -281,7 +312,15 @@ class ShardWorker:
         trace = payload.get("trace")
         if trace is not None and not isinstance(trace, str):
             raise BadRequestError("'trace' must be a string trace id")
-        result = self.expand(seeds, mask, exclude, trace=trace)
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None and (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+        ):
+            raise BadRequestError("'deadline_ms' must be a number")
+        result = self.expand(
+            seeds, mask, exclude, trace=trace, deadline_ms=deadline_ms
+        )
         document = {
             "reached": list(result.reached),
             "crossings": {
@@ -336,23 +375,57 @@ class HttpShardWorker:
     workers attached (``python -m repro serve --shards N``).
     """
 
-    def __init__(self, base_url: str, shard_id: int, timeout: float = 30.0) -> None:
+    #: Grace added on top of a deadline-derived socket timeout, so the
+    #: remote worker's own deadline check gets to answer with a
+    #: structured 504 before the socket gives up.
+    DEADLINE_GRACE_SECONDS = 0.25
+
+    def __init__(
+        self,
+        base_url: str,
+        shard_id: int,
+        timeout: float | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.shard_id = shard_id
-        self.timeout = timeout
+        self.timeout = DEFAULT_HTTP_TIMEOUT if timeout is None else timeout
 
     def __repr__(self) -> str:
         return f"HttpShardWorker({self.base_url!r}, shard={self.shard_id})"
 
-    def _post(self, endpoint: str, payload: dict) -> dict:
+    def _post(
+        self, endpoint: str, payload: dict, *, timeout: float | None = None
+    ) -> dict:
         request = urllib.request.Request(
             f"{self.base_url}/shard/{self.shard_id}/{endpoint}",
             data=json.dumps(payload).encode("utf-8"),
             headers={"Content-Type": "application/json"},
             method="POST",
         )
-        with urllib.request.urlopen(request, timeout=self.timeout) as response:
-            return json.loads(response.read())
+        budget = self.timeout if timeout is None else timeout
+        try:
+            with urllib.request.urlopen(request, timeout=budget) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            # Surface the remote worker's structured 504 as the same
+            # exception a local worker raises, so the coordinator treats
+            # "remote stopped early on our deadline" as deadline expiry,
+            # not as a worker failure that trips the breaker.
+            body = error.read()
+            kind = None
+            try:
+                kind = json.loads(body)["error"]["type"]
+            except Exception:
+                pass
+            if kind == "deadline-exceeded":
+                deadline_ms = payload.get("deadline_ms") or 0.0
+                raise DeadlineExceededError(
+                    "shard-expand-remote",
+                    elapsed_ms=deadline_ms,
+                    budget_ms=deadline_ms,
+                    partial={"shard": self.shard_id, "remote": self.base_url},
+                ) from error
+            raise
 
     def expand(
         self,
@@ -360,11 +433,21 @@ class HttpShardWorker:
         mask: int,
         exclude: Iterable[int] = (),
         trace: str | None = None,
+        deadline_ms: float | None = None,
     ) -> ExpandResult:
         payload = {"seeds": list(seeds), "mask": mask, "exclude": list(exclude)}
         if trace is not None:
             payload["trace"] = trace
-        document = self._post("expand", payload)
+        timeout = None
+        if deadline_ms is not None:
+            # Ship the remaining budget and derive the socket budget from
+            # it: never wait longer than the request can still use.
+            payload["deadline_ms"] = deadline_ms
+            timeout = min(
+                self.timeout,
+                deadline_ms / 1000.0 + self.DEADLINE_GRACE_SECONDS,
+            )
+        document = self._post("expand", payload, timeout=timeout)
         span_doc = document.get("trace")
         if span_doc is not None:
             # Stamp where the span came from; everything else in the

@@ -30,11 +30,14 @@ republishing.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 
 from repro.exceptions import WalError
 from repro.wal.log import TenantWal
+
+_LOG = logging.getLogger("repro.wal.follower")
 
 __all__ = ["DEFAULT_POLL_INTERVAL", "WalFollower"]
 
@@ -59,6 +62,11 @@ class WalFollower:
         self.records_applied = 0
         self.last_poll_at: float | None = None
         self.last_error: str | None = None
+        #: Set when :meth:`stop` could not join the polling thread — the
+        #: poll is wedged in I/O (dead NFS mount, hung snapshot read).
+        #: Surfaced in :meth:`describe` and the ``repro_follower_stuck``
+        #: gauge so operators see the zombie instead of a silent leak.
+        self.stuck = False
         self._lag_epochs = 0
         self._lag_seconds = 0.0
         self._stop = threading.Event()
@@ -141,13 +149,37 @@ class WalFollower:
         )
         self._thread.start()
 
-    def stop(self) -> None:
-        """Stop and join the polling thread (idempotent)."""
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Stop the polling thread (idempotent); True when it exited.
+
+        A poll wedged in I/O cannot be interrupted from Python, so a
+        join past ``timeout`` abandons the (daemon) thread rather than
+        hanging shutdown forever — but loudly: :attr:`stuck` flips,
+        :attr:`last_error` names the condition, and a warning is logged.
+        The old code returned silently here, leaking the thread with no
+        trace anywhere.
+        """
         self._stop.set()
         thread = self._thread
-        if thread is not None:
-            thread.join(timeout=10.0)
-            self._thread = None
+        if thread is None:
+            return True
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            self.stuck = True
+            self.last_error = (
+                f"follower thread failed to stop within {timeout:.1f}s; "
+                f"a poll is wedged (stale filesystem?) and the daemon "
+                f"thread was abandoned"
+            )
+            _LOG.warning(
+                "wal follower for %s stuck: poll did not finish within "
+                "%.1fs of stop(); abandoning daemon thread",
+                self.wal.directory,
+                timeout,
+            )
+            return False
+        self._thread = None
+        return True
 
     def _run(self) -> None:
         while not self._stop.is_set():
@@ -174,6 +206,7 @@ class WalFollower:
             "interval_seconds": self.interval,
             "last_poll_at": self.last_poll_at,
             "directory": str(self.wal.directory),
+            "stuck": self.stuck,
         }
         if self.last_error is not None:
             document["error"] = self.last_error

@@ -1,0 +1,151 @@
+"""CircuitBreaker state machine driven by an injected clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("window", 10)
+    kwargs.setdefault("min_calls", 5)
+    kwargs.setdefault("reset_timeout", 5.0)
+    breaker = CircuitBreaker(clock=clock, **kwargs)
+    return breaker, clock
+
+
+def trip(breaker):
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure()
+
+
+class TestClosed:
+    def test_starts_closed_and_admits(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow() is True
+
+    def test_success_resets_consecutive_failures(self):
+        # min_calls high enough that the windowed-rate trigger stays out
+        # of the way; only the consecutive counter is under test.
+        breaker, _ = make_breaker(failure_threshold=3, min_calls=10)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(error_rate=0.0)
+
+
+class TestTripping:
+    def test_consecutive_failures_open_the_breaker(self):
+        breaker, _ = make_breaker(failure_threshold=3)
+        trip(breaker)
+        assert breaker.state == OPEN
+        assert breaker.allow() is False
+        assert breaker.stats()["opens"] == 1
+        assert breaker.stats()["rejected"] >= 1
+
+    def test_error_rate_trips_only_past_min_calls(self):
+        # One failure in a cold window must not trip, even at 100% rate.
+        breaker, _ = make_breaker(
+            failure_threshold=100, min_calls=5, error_rate=0.5
+        )
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        # Interleave so consecutive failures stay below the threshold but
+        # the windowed rate crosses 50% once min_calls outcomes are in.
+        for _ in range(2):
+            breaker.record_success()
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_healthy_majority_stays_closed(self):
+        breaker, _ = make_breaker(failure_threshold=100, min_calls=5)
+        for _ in range(20):
+            breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestRecovery:
+    def test_open_becomes_half_open_after_reset_timeout(self):
+        breaker, clock = make_breaker(reset_timeout=5.0)
+        trip(breaker)
+        clock.advance(4.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_one_probe_at_a_time(self):
+        breaker, clock = make_breaker(reset_timeout=5.0)
+        trip(breaker)
+        clock.advance(5.1)
+        assert breaker.allow() is True  # the probe
+        assert breaker.allow() is False  # concurrent caller rejected
+
+    def test_probe_success_closes_and_clears_window(self):
+        breaker, clock = make_breaker(reset_timeout=5.0)
+        trip(breaker)
+        clock.advance(5.1)
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        stats = breaker.stats()
+        assert stats["window_calls"] == 0
+        assert stats["consecutive_failures"] == 0
+
+    def test_probe_failure_reopens_with_fresh_timer(self):
+        breaker, clock = make_breaker(reset_timeout=5.0)
+        trip(breaker)
+        clock.advance(5.1)
+        assert breaker.allow() is True
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+
+class TestStats:
+    def test_stats_shape_and_state_code(self):
+        breaker, clock = make_breaker()
+        breaker.record_success()
+        stats = breaker.stats()
+        assert set(stats) == {
+            "state",
+            "state_code",
+            "consecutive_failures",
+            "window_calls",
+            "window_error_rate",
+            "opens",
+            "rejected",
+            "failures",
+            "successes",
+        }
+        assert stats["state_code"] == 0
+        trip(breaker)
+        assert breaker.stats()["state_code"] == 2
+        clock.advance(10)
+        assert breaker.stats()["state_code"] == 1

@@ -1,0 +1,133 @@
+"""RetryPolicy: backoff bounds, non-retryable short-circuit, budget awareness."""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+from repro.exceptions import CircuitOpenError, DeadlineExceededError
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import RetryPolicy
+
+
+class Flaky:
+    """Callable failing ``failures`` times before succeeding."""
+
+    def __init__(self, failures, error=ConnectionError("boom")):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+def make_policy(**kwargs):
+    kwargs.setdefault("max_attempts", 3)
+    kwargs.setdefault("base_delay", 0.01)
+    kwargs.setdefault("seed", 7)
+    kwargs.setdefault("sleep", lambda _delay: None)
+    return RetryPolicy(**kwargs)
+
+
+class TestCall:
+    def test_success_without_failures_is_one_call(self):
+        fn = Flaky(0)
+        assert make_policy().call(fn) == "ok"
+        assert fn.calls == 1
+
+    def test_recovers_within_budget(self):
+        fn = Flaky(2)
+        assert make_policy(max_attempts=3).call(fn) == "ok"
+        assert fn.calls == 3
+
+    def test_exhaustion_reraises_last_error(self):
+        fn = Flaky(10, error=ConnectionError("still down"))
+        with pytest.raises(ConnectionError, match="still down"):
+            make_policy(max_attempts=3).call(fn)
+        assert fn.calls == 3
+
+    def test_non_retryable_errors_fail_immediately(self):
+        for error in (
+            DeadlineExceededError("x", elapsed_ms=1, budget_ms=1),
+            CircuitOpenError(0, "open"),
+        ):
+            fn = Flaky(10, error=error)
+            with pytest.raises(type(error)):
+                make_policy().call(fn)
+            assert fn.calls == 1
+
+    def test_on_retry_and_on_failure_callbacks(self):
+        retries = []
+        failures = []
+        fn = Flaky(2)
+        make_policy(max_attempts=3).call(
+            fn,
+            on_retry=lambda attempt, error: retries.append(attempt),
+            on_failure=lambda error: failures.append(type(error).__name__),
+        )
+        assert retries == [1, 2]
+        assert failures == ["ConnectionError", "ConnectionError"]
+
+    def test_on_failure_fires_on_final_attempt_too(self):
+        failures = []
+        with pytest.raises(ConnectionError):
+            make_policy(max_attempts=2).call(
+                Flaky(10), on_failure=lambda error: failures.append(error)
+            )
+        assert len(failures) == 2
+
+
+class TestDeadlineAwareness:
+    def test_gives_up_when_delay_exceeds_remaining_budget(self):
+        # ~1ms of budget left but backoff delays are >= 50ms: the policy
+        # must re-raise instead of sleeping past the deadline.
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.05, seed=7, sleep=slept.append
+        )
+        fn = Flaky(10)
+        deadline = Deadline(1.0, started=perf_counter())
+        with pytest.raises(ConnectionError):
+            policy.call(fn, deadline=deadline)
+        assert fn.calls == 1
+        assert slept == []
+
+    def test_retries_normally_with_generous_budget(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.001, seed=7, sleep=slept.append
+        )
+        fn = Flaky(2)
+        assert policy.call(fn, deadline=Deadline.after_ms(60_000)) == "ok"
+        assert fn.calls == 3
+        assert len(slept) == 2
+
+
+class TestBackoff:
+    def test_delays_stay_within_configured_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.05, max_delay=2.0, seed=11
+        )
+        delay = None
+        for _ in range(50):
+            delay = policy.next_delay(delay)
+            assert 0.05 <= delay <= 2.0
+
+    def test_seeded_policies_are_deterministic(self):
+        a = RetryPolicy(max_attempts=3, base_delay=0.05, seed=3)
+        b = RetryPolicy(max_attempts=3, base_delay=0.05, seed=3)
+        sequence_a = [a.next_delay(None)]
+        sequence_b = [b.next_delay(None)]
+        for _ in range(5):
+            sequence_a.append(a.next_delay(sequence_a[-1]))
+            sequence_b.append(b.next_delay(sequence_b[-1]))
+        assert sequence_a == sequence_b
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)

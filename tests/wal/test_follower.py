@@ -244,3 +244,61 @@ class TestPollingThread:
             follower.stop()
             leader.close()
             replica.close()
+
+
+class TestStuckShutdown:
+    def test_wedged_poll_is_abandoned_loudly(self, tmp_path):
+        from repro.resilience.faults import FaultRule, FaultyWal
+
+        leader, replica, follower = make_pair(tmp_path)
+        leader.apply_updates([("a1", "go", "a2")])
+        # First reload wedges for 1s — a dead NFS mount in miniature.
+        faulty = FaultyWal(
+            follower.wal,
+            [FaultRule("hang", operation="reload", count=1, duration=1.0)],
+        )
+        follower.wal = faulty
+        follower.interval = 30.0  # one poll is all this test needs
+        try:
+            follower.start()
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if faulty._calls.get("reload", 0) >= 1:
+                    break  # the poll has entered the hang
+                time.sleep(0.005)
+            assert faulty._calls.get("reload", 0) >= 1
+            stopped = follower.stop(timeout=0.2)
+            assert stopped is False
+            assert follower.stuck is True
+            assert "failed to stop" in follower.last_error
+            described = follower.describe()
+            assert described["stuck"] is True
+            assert described["error"] == follower.last_error
+            samples = parse_prometheus_text(
+                render_metrics({"default": replica.stats_snapshot()},
+                               version="test")
+            )
+            stuck_values = [
+                value for (name, _labels), value in samples.items()
+                if name == "repro_follower_stuck"
+            ]
+            assert stuck_values == [1.0]
+        finally:
+            # Let the wedged poll drain so close() tears down cleanly.
+            thread = follower._thread
+            if thread is not None:
+                thread.join(timeout=5)
+            leader.close()
+            replica.close()
+
+    def test_clean_stop_reports_not_stuck(self, tmp_path):
+        leader, replica, follower = make_pair(tmp_path)
+        try:
+            follower.interval = 0.05
+            follower.start()
+            assert follower.stop() is True
+            assert follower.stuck is False
+            assert follower.describe()["stuck"] is False
+        finally:
+            leader.close()
+            replica.close()

@@ -243,8 +243,116 @@ def bench_updates(graph, index, specs, *, rounds: int, seed: int) -> dict:
         service.close()
 
 
+def bench_approx(config: dict, *, rounds: int, seed: int) -> dict:
+    """The approx tier on the workload it exists for: sparse + repetitive.
+
+    The dense hot-path graph is one giant SCC, so its bounds index can
+    never refuse anything — this dimension instead builds a sparse
+    graph (density 1.5: roughly two thirds of ordered pairs are
+    label-blind unreachable) and draws the query stream from a small
+    pool, so repeats hit the witness tier.  A routed service and an
+    ``approx=False`` twin answer the same stream in exact mode, with an
+    identical ``apply_updates`` batch applied to both between rounds
+    (epoch swap: result caches rotate, witnesses re-verify and
+    survive).  The harness asserts bit-identical answers every round —
+    the tier's soundness claim under churn — and reports the
+    short-circuit share plus an opt-in ``mode=approximate`` pass with
+    ``recheck_rate=1.0`` so the recorded false rate is a full recount.
+    """
+    rng = random.Random(seed * 104729 + 13)
+    vertices = config["vertices"]
+    labels = config["labels"]
+    graph = random_labeled_graph(
+        vertices, 1.5, labels, rng=seed + 1, name="hotpath-approx"
+    )
+    label_names = [f"l{i}" for i in range(labels)]
+    constraints = [
+        "SELECT ?x WHERE { ?x <l0> ?y . ?x <l1> ?z . }",
+        "SELECT ?x WHERE { ?x <l1> ?y . ?y <l0> ?z . }",
+        "SELECT ?x WHERE { ?x <l2> ?y . ?x <l0> ?z . }",
+    ]
+    pool = [
+        {
+            "source": f"n{rng.randrange(vertices)}",
+            "target": f"n{rng.randrange(vertices)}",
+            "labels": rng.sample(label_names, rng.randint(2, 3)),
+            "constraint": rng.choice(constraints),
+        }
+        for _ in range(max(8, config["queries"] // 3))
+    ]
+    specs = [rng.choice(pool) for _ in range(config["queries"])]
+    vertex_names = [f"n{i}" for i in range(vertices)]
+    routed = QueryService(graph.copy(), seed=0, approx_recheck=1.0)
+    plain = QueryService(graph.copy(), seed=0, approx=False)
+    try:
+        routed.query_batch(specs, use_cache=False)  # warm-up (+ witnesses)
+        plain.query_batch(specs, use_cache=False)
+        routed_best = float("inf")
+        plain_best = float("inf")
+        approx_best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            routed_answers = routed.query_batch(specs, use_cache=False)
+            routed_best = min(routed_best, time.perf_counter() - started)
+            started = time.perf_counter()
+            plain_answers = plain.query_batch(specs, use_cache=False)
+            plain_best = min(plain_best, time.perf_counter() - started)
+            if [r.answer for r, _ in routed_answers] != [
+                r.answer for r, _ in plain_answers
+            ]:
+                raise SystemExit(
+                    "approx mode: routed exact answers disagree with the "
+                    "approx=False twin"
+                )
+            started = time.perf_counter()
+            routed.query_batch(specs, use_cache=False, mode="approximate")
+            approx_best = min(approx_best, time.perf_counter() - started)
+            batch = [
+                (rng.choice(vertex_names), rng.choice(label_names),
+                 rng.choice(vertex_names))
+                for _ in range(10)
+            ]
+            routed.apply_updates(batch)
+            plain.apply_updates(batch)
+        stats = routed.approx.stats()
+        return {
+            "workload": {
+                "vertices": graph.num_vertices,
+                "edges": graph.num_edges,
+                "distinct_queries": len(pool),
+                "queries": len(specs),
+                "rounds": rounds,
+                "update_edges_per_round": 10,
+            },
+            "routed_exact": {
+                "best_seconds": routed_best,
+                "qps": len(specs) / routed_best,
+            },
+            "plain_exact": {
+                "best_seconds": plain_best,
+                "qps": len(specs) / plain_best,
+            },
+            "approximate_mode": {
+                "best_seconds": approx_best,
+                "qps": len(specs) / approx_best,
+                "recheck_rate": stats["recheck_rate"],
+                "false_rate": stats["false_rate"],
+                "approximate_answers": stats["approximate_answers"],
+            },
+            "speedup": plain_best / routed_best,
+            "short_circuit_rate": stats["short_circuit_rate"],
+            "short_circuit_no": stats["short_circuit_no"],
+            "short_circuit_yes": stats["short_circuit_yes"],
+            "exact_fallthrough": stats["exact_fallthrough"],
+            "bounds": routed.epoch.bounds.describe(),
+        }
+    finally:
+        routed.close()
+        plain.close()
+
+
 def run(quick: bool, compare: bool, seed: int, shards: int = 0,
-        updates: bool = False) -> dict:
+        updates: bool = False, approx: bool = False) -> dict:
     config = QUICK if quick else FULL
     graph, index, specs = build_workload(config, seed)
     frozen = graph.freeze()
@@ -253,7 +361,7 @@ def run(quick: bool, compare: bool, seed: int, shards: int = 0,
         "schema": SCHEMA_VERSION,
         "generated_by": "benchmarks/bench_hotpath.py",
         "mode": {"quick": quick, "compare": compare, "seed": seed,
-                 "shards": shards, "updates": updates},
+                 "shards": shards, "updates": updates, "approx": approx},
         "workload": {
             "vertices": graph.num_vertices,
             "edges": graph.num_edges,
@@ -375,6 +483,19 @@ def run(quick: bool, compare: bool, seed: int, shards: int = 0,
         if result is not None:
             result.pop("answers", None)
     report["service_batch"] = cell
+    if approx:
+        approx_cell = bench_approx(config, rounds=config["rounds"], seed=seed)
+        report["approx"] = approx_cell
+        print(
+            f"approx/routed exact:  {approx_cell['routed_exact']['qps']:9.1f} q/s "
+            f"(vs plain {approx_cell['speedup']:.2f}x, short-circuit rate "
+            f"{approx_cell['short_circuit_rate']:.0%})"
+        )
+        print(
+            f"approx/approximate:   {approx_cell['approximate_mode']['qps']:9.1f} q/s "
+            f"(false rate {approx_cell['approximate_mode']['false_rate']:.3f} "
+            f"at recheck 1.0)"
+        )
     return report
 
 
@@ -396,11 +517,18 @@ def main(argv: list[str] | None = None) -> int:
         "interleaved with query batches) and record post-swap throughput",
     )
     parser.add_argument(
+        "--approx", action="store_true",
+        help="also bench the approx tier on a sparse repetitive workload "
+        "(routed vs approx=False twin, plus an opt-in approximate-mode "
+        "pass with full recheck accounting)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=REPO_ROOT / "BENCH_hotpath.json",
         help="where to write the JSON report (default: repo root)",
     )
     args = parser.parse_args(argv)
-    report = run(args.quick, args.compare, args.seed, args.shards, args.updates)
+    report = run(args.quick, args.compare, args.seed, args.shards,
+                 args.updates, args.approx)
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
     return 0

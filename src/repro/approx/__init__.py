@@ -1,0 +1,42 @@
+"""`repro.approx` — bounded-answer tier with exact fallback.
+
+Sound short-circuit filters ahead of the two-phase LSCR evaluation,
+grounded in *Approximate Evaluation of Label-Constrained Reachability
+Queries* (Dumbrava et al.) with upper-bound index choices from the
+Zhang/Bonifati/Özsu reachability-indexing survey:
+
+* :mod:`repro.approx.bounds` — a label-blind reachability upper bound
+  (SCC condensation + exact bitset closure or GRAIL-style randomized
+  intervals) built at freeze time and bundled into every
+  :class:`~repro.service.epoch.GraphEpoch`.
+* :mod:`repro.approx.witness` — an epoch-surviving LRU of verified
+  witness paths, the definite-Yes lower bound.
+* :mod:`repro.approx.router` — the `_execute`-seam router gluing both
+  into definite-No / definite-Yes / uncertain routing, plus the opt-in
+  ``mode=approximate`` with sampled-re-check false-rate accounting.
+"""
+
+from repro.approx.bounds import BoundsIndex, build_bounds
+from repro.approx.router import (
+    APPROX_ALGORITHM,
+    BOUNDS_ALGORITHM,
+    MODES,
+    SHORT_CIRCUIT_ALGORITHMS,
+    WITNESS_ALGORITHM,
+    ApproxRouter,
+    RouteDecision,
+)
+from repro.approx.witness import WitnessCache
+
+__all__ = [
+    "APPROX_ALGORITHM",
+    "BOUNDS_ALGORITHM",
+    "MODES",
+    "SHORT_CIRCUIT_ALGORITHMS",
+    "WITNESS_ALGORITHM",
+    "ApproxRouter",
+    "BoundsIndex",
+    "RouteDecision",
+    "WitnessCache",
+    "build_bounds",
+]

@@ -55,17 +55,24 @@ class WitnessPath:
         return len(self.edges)
 
 
-def find_witness(graph: KnowledgeGraph, query: LSCRQuery) -> WitnessPath | None:
+def find_witness(
+    graph: KnowledgeGraph,
+    query: LSCRQuery,
+    satisfying: set[int] | None = None,
+) -> WitnessPath | None:
     """Return a shortest witness path for ``query``, or None if false.
 
     ``find_witness(g, q) is not None`` is exactly the LSCR answer, so
     this doubles as a fourth independent decision procedure (used as
-    such by the property tests).
+    such by the property tests).  Callers that already hold ``V(S, G)``
+    for this graph (the service's candidate cache) can pass it as
+    ``satisfying`` to skip re-running the SPARQL evaluation.
     """
     source = graph.vid(query.source)
     target = graph.vid(query.target)
     mask = query.labels.mask_for(graph)
-    satisfying = set(query.constraint.satisfying_vertices(graph))
+    if satisfying is None:
+        satisfying = set(query.constraint.satisfying_vertices(graph))
 
     n = graph.num_vertices
     # parent[layer][v] = (previous vertex, label id, previous layer) or

@@ -428,6 +428,60 @@ def render_service_metrics(
         families.add("repro_admission_queue_timeouts_total", "counter",
                      "Queued requests that timed out waiting", labels,
                      admission.get("queue_timeouts", 0))
+    approx = document.get("approx")
+    if isinstance(approx, dict):
+        families.add("repro_approx_routed_total", "counter",
+                     "Queries the approx-tier router inspected", labels,
+                     approx.get("routed", 0))
+        families.add("repro_approx_short_circuit_no_total", "counter",
+                     "Definite-No answers from the label-blind bounds",
+                     labels, approx.get("short_circuit_no", 0))
+        families.add("repro_approx_short_circuit_yes_total", "counter",
+                     "Definite-Yes answers from re-verified witness paths",
+                     labels, approx.get("short_circuit_yes", 0))
+        families.add("repro_approx_exact_fallthrough_total", "counter",
+                     "Uncertain-band queries that ran the exact evaluators",
+                     labels, approx.get("exact_fallthrough", 0))
+        families.add("repro_approx_short_circuit_rate", "gauge",
+                     "Fraction of routed queries settled without INS/UIS*",
+                     labels, approx.get("short_circuit_rate", 0.0))
+        families.add("repro_approx_answers_total", "counter",
+                     "Best-effort answers served in mode=approximate",
+                     labels, approx.get("approximate_answers", 0))
+        families.add("repro_approx_rechecks_total", "counter",
+                     "Approximate answers sampled for an exact re-check",
+                     labels, approx.get("rechecks", 0))
+        families.add("repro_approx_recheck_mismatches_total", "counter",
+                     "Sampled re-checks where the approximate answer was "
+                     "wrong", labels,
+                     approx.get("recheck_mismatches", 0))
+        families.add("repro_approx_false_rate", "gauge",
+                     "Observed approximate false rate "
+                     "(mismatches / re-checks); alert on drift", labels,
+                     approx.get("false_rate", 0.0))
+        witness = approx.get("witness_cache")
+        if isinstance(witness, dict):
+            families.add("repro_approx_witness_entries", "gauge",
+                         "Witness paths currently cached", labels,
+                         witness.get("size", 0))
+            families.add("repro_approx_witness_hits_total", "counter",
+                         "Witness-cache lookups that found a path", labels,
+                         witness.get("hits", 0))
+            families.add("repro_approx_witness_invalidations_total",
+                         "counter",
+                         "Cached witnesses dropped after failing "
+                         "re-verification", labels,
+                         witness.get("invalidations", 0))
+        bounds = approx.get("bounds")
+        if isinstance(bounds, dict) and bounds.get("mode") != "none":
+            families.add("repro_approx_bounds_components", "gauge",
+                         "Strongly connected components in the bounds "
+                         "condensation", labels,
+                         bounds.get("components", 0))
+            families.add("repro_approx_bounds_build_seconds", "gauge",
+                         "Time the current epoch's bounds index took to "
+                         "build", labels,
+                         bounds.get("build_seconds", 0.0))
     shards = document.get("shards")
     if isinstance(shards, dict):
         _shards_section(families, labels, shards)

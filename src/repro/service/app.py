@@ -50,6 +50,14 @@ from time import perf_counter
 from typing import Any
 
 from repro._version import __version__
+from repro.approx import (
+    APPROX_ALGORITHM,
+    MODES,
+    SHORT_CIRCUIT_ALGORITHMS,
+    ApproxRouter,
+    build_bounds,
+)
+from repro.approx.bounds import BoundsIndex
 from repro.constraints.label_constraint import LabelConstraint
 from repro.constraints.substructure import SubstructureConstraint
 from repro.core.result import QueryResult
@@ -138,11 +146,36 @@ class QueryService:
         slow_log_size: int = DEFAULT_SLOW_LOG_SIZE,
         max_concurrent: int | None = None,
         max_queue: int = 0,
+        approx: bool = True,
+        approx_default: bool = False,
+        approx_recheck: float = 0.05,
     ) -> None:
         if max_batch < 1:
             raise ServiceConfigError(f"max_batch must be >= 1, got {max_batch}")
         self.seed = seed
         self.max_batch = max_batch
+        if approx_default and not approx:
+            raise ServiceConfigError(
+                "approx_default requires the approx tier to be enabled"
+            )
+        #: The bounded-answer tier (``repro.approx``): sound
+        #: short-circuits ahead of the exact evaluators plus the opt-in
+        #: ``mode=approximate``.  None disables routing entirely and the
+        #: service behaves exactly as before the tier existed.
+        self.approx: ApproxRouter | None = None
+        if approx:
+            try:
+                self.approx = ApproxRouter(
+                    approx_default=approx_default,
+                    recheck_rate=approx_recheck,
+                    # Follows the result cache's knob: cache_size=0
+                    # keeps the sound bounds but stores no witnesses,
+                    # so the uncached service stays genuinely uncached.
+                    witness_cache_size=cache_size,
+                    seed=seed,
+                )
+            except ValueError as error:
+                raise ServiceConfigError(str(error)) from error
         #: Admission control for the query endpoints (``--max-concurrent``
         #: / ``--max-queue``); None — the default — admits everything and
         #: costs nothing on the request path.
@@ -200,6 +233,7 @@ class QueryService:
             CandidateCache(max_size=cache_size),
             self.constraints,
             seed,
+            bounds=self._build_bounds(frozen),
         )
         #: Serialises writers only (apply_updates); readers never take it.
         self._update_lock = Lock()
@@ -297,6 +331,33 @@ class QueryService:
         """The algorithm requests run on when they don't name one."""
         return self._forced_algorithm or self.planner.default_algorithm
 
+    def _build_bounds(self, graph: KnowledgeGraph) -> BoundsIndex | None:
+        """The label-blind upper bound for one snapshot (None when off).
+
+        Called at every epoch construction site — warm start, update
+        publish, whole-graph replacement — so the bounds the router
+        consults always describe exactly the graph the epoch serves.
+        """
+        if self.approx is None:
+            return None
+        return build_bounds(graph, seed=self.seed)
+
+    def _resolve_mode(self, mode: str | None) -> str:
+        """Validate a per-request answer mode against the tier config."""
+        if self.approx is not None:
+            try:
+                return self.approx.resolve_mode(mode)
+            except ValueError as error:
+                raise BadRequestError(str(error)) from error
+        if mode is None or mode == "exact":
+            return "exact"
+        if mode == "approximate":
+            raise BadRequestError(
+                "mode=approximate requires the approx tier "
+                "(the service was built with approx=False)"
+            )
+        raise BadRequestError(f"mode must be one of {MODES}, got {mode!r}")
+
     def close(self) -> None:
         """Release pooled resources (the persistent batch thread pool).
 
@@ -320,30 +381,38 @@ class QueryService:
         constraint: str | SubstructureConstraint,
         algorithm: str | None = None,
         use_cache: bool = True,
+        mode: str | None = None,
         _batch: bool = False,
     ) -> tuple[QueryResult, dict]:
         """Answer one query; returns ``(result, meta)``.
 
         ``meta`` reports how the answer was produced: ``cached``,
-        ``trivial``, the planner's ``reason`` and the ``epoch`` the
-        answer is valid for.  With ``use_cache`` off the result cache is
-        neither consulted nor populated.
+        ``trivial``, the planner's ``reason``, the ``epoch`` the answer
+        is valid for and — when the approx tier routed the query — the
+        ``tier`` that settled it.  With ``use_cache`` off the result
+        cache is neither consulted nor populated.  ``mode`` is
+        ``"exact"`` or ``"approximate"`` (None follows the service
+        default, normally exact).
 
         The epoch is read exactly once: planning, cache lookup and
         execution all bind to it, so a concurrent :meth:`apply_updates`
         publishing a new epoch mid-call never mixes graph versions —
         this query simply completes on the epoch it started on.
         """
+        mode = self._resolve_mode(mode)
         if algorithm is None:
             algorithm = self._forced_algorithm
         epoch = self._epoch
         plan = epoch.planner.plan(source, target, labels, constraint, algorithm)
-        return self._finish(plan, epoch, use_cache=use_cache, batch=_batch)
+        return self._finish(
+            plan, epoch, use_cache=use_cache, batch=_batch, mode=mode
+        )
 
     def query_batch(
         self,
         specs: Iterable[dict],
         use_cache: bool = True,
+        mode: str | None = None,
     ) -> list[tuple[QueryResult, dict]]:
         """Answer a homogeneous batch concurrently, preserving order.
 
@@ -354,6 +423,7 @@ class QueryService:
         overrides the batch-level flag for that query only.
         """
         started = perf_counter()
+        mode = self._resolve_mode(mode)
         specs = list(specs)
         if len(specs) > self.max_batch:
             raise BadRequestError(
@@ -383,7 +453,7 @@ class QueryService:
         deadline = current_deadline()
         if trace is None and deadline is None:
             runner = lambda item: self._finish(  # noqa: E731
-                item[1][0], epoch, use_cache=item[1][1], batch=True
+                item[1][0], epoch, use_cache=item[1][1], batch=True, mode=mode
             )
         else:
             # Pool threads don't inherit context variables: re-activate
@@ -396,7 +466,7 @@ class QueryService:
                     "query", index=position
                 ):
                     return self._finish(
-                        plan, epoch, use_cache=item_cache, batch=True
+                        plan, epoch, use_cache=item_cache, batch=True, mode=mode
                     )
 
         answered = self.executor.map(runner, list(enumerate(plans)))
@@ -558,6 +628,17 @@ class QueryService:
                     repair_span.set(
                         action=index_action, regions=regions_refreshed
                     )
+            with span("bounds") as bounds_span:
+                # The bounds index describes one snapshot; rebuild it for
+                # the new graph so router short-circuits stay sound the
+                # instant the epoch publishes.
+                new_bounds = self._build_bounds(new_graph)
+                bounds_span.set(
+                    enabled=new_bounds is not None,
+                    components=(
+                        new_bounds.component_count if new_bounds else 0
+                    ),
+                )
             with span("publish") as publish_span:
                 new_epoch = GraphEpoch(
                     old.epoch_id + 1,
@@ -567,6 +648,7 @@ class QueryService:
                     CandidateCache(max_size=self._cache_size),
                     self.constraints,
                     self.seed,
+                    bounds=new_bounds,
                 )
                 # The publish: a single attribute store is atomic under
                 # the GIL — this is the only line readers ever observe
@@ -662,6 +744,8 @@ class QueryService:
                 old.candidates,
                 self.constraints,
                 self.seed,
+                # Same graph, same bounds: renumbering never re-derives.
+                bounds=old.bounds,
             )
             self._epoch = new_epoch
             self.results.purge(
@@ -713,6 +797,7 @@ class QueryService:
                 CandidateCache(max_size=self._cache_size),
                 self.constraints,
                 self.seed,
+                bounds=self._build_bounds(frozen),
             )
             self._epoch = new_epoch
             self.results.purge(
@@ -722,7 +807,13 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def _finish(
-        self, plan: QueryPlan, epoch: GraphEpoch, *, use_cache: bool, batch: bool
+        self,
+        plan: QueryPlan,
+        epoch: GraphEpoch,
+        *,
+        use_cache: bool,
+        batch: bool,
+        mode: str = "exact",
     ) -> tuple[QueryResult, dict]:
         """Execute (or short-circuit) one plan and record telemetry.
 
@@ -770,7 +861,7 @@ class QueryService:
                 self._record_slow(plan, meta, cached, elapsed)
                 return cached, meta
         with span("execute", algorithm=plan.algorithm) as execute_span:
-            result = self._execute(plan, epoch)
+            result = self._execute(plan, epoch, mode)
             execute_span.set(
                 answer=result.answer,
                 passed_vertices=result.passed_vertices,
@@ -780,6 +871,16 @@ class QueryService:
                 index_resolutions=result.index_resolutions,
             )
         annotate(source="evaluated")
+        if self.approx is not None and not plan.forced:
+            # The routing decision, stamped for clients and the flight
+            # recorder: short-circuit answers are exact (sound bounds),
+            # "approximate" marks the one case the answer is a guess.
+            if result.algorithm == APPROX_ALGORITHM:
+                meta["tier"] = "approximate"
+            elif result.algorithm in SHORT_CIRCUIT_ALGORITHMS:
+                meta["tier"] = "short-circuit"
+            else:
+                meta["tier"] = "exact"
         if result.degraded is not None:
             # A degraded answer reflects whichever shards happened to be
             # alive at execution time; caching it would keep serving the
@@ -787,7 +888,9 @@ class QueryService:
             meta["degraded"] = result.degraded
             annotate(degraded=True)
             self.stats.record_degraded()
-        elif use_cache:
+        elif use_cache and result.algorithm != APPROX_ALGORITHM:
+            # Approximate answers are best-effort guesses; caching one
+            # would let it leak into later exact-mode requests.
             self.results.put(cache_key, result)
         self.stats.record_query(result, batch=batch)
         elapsed = perf_counter() - started
@@ -820,6 +923,10 @@ class QueryService:
             },
             "algorithm": result.algorithm,
             "answer": result.answer,
+            # Which tier settled the answer — a bounds-index miss that
+            # fell through to an evaluator stall triages differently
+            # from a slow short-circuit.
+            "tier": meta.get("tier", "exact"),
             "meta": dict(meta),
             "trace_id": trace.trace_id if trace is not None else None,
             "trace": None,
@@ -831,21 +938,71 @@ class QueryService:
             )
         self.flight.record(elapsed, entry)
 
-    def _execute(self, plan: QueryPlan, epoch: GraphEpoch) -> QueryResult:
-        """Run one non-trivial plan on the session it names.
+    def _execute(
+        self, plan: QueryPlan, epoch: GraphEpoch, mode: str = "exact"
+    ) -> QueryResult:
+        """Route one non-trivial plan: bounds tier first, then exact.
 
-        The execution seam subclasses reroute: the sharded service
-        (:class:`repro.shard.ShardedQueryService`) sends non-forced
-        plans to its scatter-gather coordinator instead.
+        The approx tier tries to settle the query soundly before any
+        evaluator runs — definite-No from the label-blind upper bound,
+        definite-Yes from a re-verified witness path — and everything
+        uncertain falls through to :meth:`_evaluate` (in
+        ``mode=approximate``, the uncertain band is instead answered
+        True from the bounds alone, with sampled exact re-checks
+        feeding the false-rate accounting).  Forced-algorithm plans
+        bypass routing entirely: naming an algorithm is a request to
+        *run* it.
 
         The ambient request deadline (if any) is checked once here —
-        before the evaluator starts — so a budget that lapsed in the
-        admission queue or an earlier batch member fails without paying
-        for a doomed traversal; the evaluators themselves check it per
-        loop iteration after that.
+        before the router or evaluator starts — so a budget that lapsed
+        in the admission queue or an earlier batch member fails without
+        paying for a doomed traversal; the evaluators themselves check
+        it per loop iteration after that.
         """
         assert plan.query is not None
         check_deadline("execute")
+        router = self.approx
+        if router is None or plan.forced:
+            return self._evaluate(plan, epoch)
+        with span("route", mode=mode) as route_span:
+            decision = router.decide(plan, epoch)
+            if decision is not None:
+                route_span.set(tier="short-circuit", verdict=decision.verdict)
+                return decision.result
+            route_span.set(verdict="uncertain")
+            if mode == "approximate":
+                route_span.set(tier="approximate")
+                result = router.approximate_result()
+                if router.should_recheck():
+                    exact = self._evaluate(plan, epoch)
+                    router.record_recheck(
+                        mismatch=exact.answer != result.answer
+                    )
+                    if exact.answer and exact.degraded is None:
+                        router.remember_witness(plan, epoch)
+                return result
+            route_span.set(tier="exact")
+        router.record_fallthrough()
+        result = self._evaluate(plan, epoch)
+        if result.answer and result.degraded is None:
+            # A True exact answer certifies a witness path exists; pull
+            # it out now so the next repeat is a definite-Yes without
+            # touching INS/UIS* (the epoch's candidate cache makes the
+            # extraction one BFS, not a second SPARQL evaluation).
+            with span("witness-extract") as witness_span:
+                witness_span.set(stored=router.remember_witness(plan, epoch))
+        return result
+
+    def _evaluate(self, plan: QueryPlan, epoch: GraphEpoch) -> QueryResult:
+        """Run one plan on the session it names — the exact path.
+
+        The execution seam subclasses reroute: the sharded service
+        (:class:`repro.shard.ShardedQueryService`) sends non-forced
+        plans to its scatter-gather coordinator instead — which is why
+        the router above lives in :meth:`_execute`, not here: the
+        coordinator-local bounds answer before anything scatters.
+        """
+        assert plan.query is not None
         return epoch.session(plan.algorithm).answer(plan.query)
 
     def _session(self, algorithm: str) -> LSCRSession:
@@ -887,21 +1044,30 @@ class QueryService:
             self.stats.record_shed()
             raise
 
-    def handle_query(self, payload: object, *, trace: bool = False) -> dict:
+    def handle_query(
+        self,
+        payload: object,
+        *,
+        trace: bool = False,
+        mode: str | None = None,
+    ) -> dict:
         """``POST /query``: validate a JSON payload and answer it.
 
         With ``trace=True`` (the HTTP layer's ``?trace=1``) the response
         carries the request's full span tree under ``"trace"``.
+        ``mode`` (the ``?mode=`` query parameter) picks exact or
+        approximate answering; invalid values 400 via
+        :meth:`_resolve_mode`.
         """
         spec = self._validate_spec(payload, where="query")
         with self._admit():
             active = self._start_trace("query", trace)
             if active is None:
-                result, meta = self._query_spec(spec)
+                result, meta = self._query_spec(spec, mode=mode)
                 return self._result_payload(result, meta)
             with use_trace(active):
                 try:
-                    result, meta = self._query_spec(spec)
+                    result, meta = self._query_spec(spec, mode=mode)
                 finally:
                     active.finish()
         response = self._result_payload(result, meta)
@@ -909,7 +1075,9 @@ class QueryService:
             response["trace"] = active.to_dict()
         return response
 
-    def _query_spec(self, spec: dict) -> tuple[QueryResult, dict]:
+    def _query_spec(
+        self, spec: dict, mode: str | None = None
+    ) -> tuple[QueryResult, dict]:
         try:
             return self.query(
                 spec["source"],
@@ -918,11 +1086,18 @@ class QueryService:
                 spec["constraint"],
                 algorithm=spec.get("algorithm"),
                 use_cache=spec.get("use_cache", True),
+                mode=mode,
             )
         except (ConstraintError, SparqlError) as error:
             raise BadRequestError(f"invalid query: {error}") from error
 
-    def handle_batch(self, payload: object, *, trace: bool = False) -> dict:
+    def handle_batch(
+        self,
+        payload: object,
+        *,
+        trace: bool = False,
+        mode: str | None = None,
+    ) -> dict:
         """``POST /batch``: validate and answer a batch payload."""
         if not isinstance(payload, dict) or "queries" not in payload:
             raise BadRequestError(
@@ -942,12 +1117,14 @@ class QueryService:
             active = self._start_trace("batch", trace)
             try:
                 if active is None:
-                    answered = self.query_batch(specs, use_cache=use_cache)
+                    answered = self.query_batch(
+                        specs, use_cache=use_cache, mode=mode
+                    )
                 else:
                     with use_trace(active):
                         try:
                             answered = self.query_batch(
-                                specs, use_cache=use_cache
+                                specs, use_cache=use_cache, mode=mode
                             )
                         finally:
                             active.finish()
@@ -1046,8 +1223,21 @@ class QueryService:
                 "trace_sample": self.trace_sample,
                 "slow_ms": self.flight.threshold_ms,
                 "slow_log_size": self.flight.max_entries,
+                "approx": self.approx is not None,
+                "approx_default": (
+                    self.approx is not None
+                    and self.approx.default_mode == "approximate"
+                ),
             },
         }
+        if self.approx is not None:
+            approx_stats = self.approx.stats()
+            approx_stats["bounds"] = (
+                epoch.bounds.describe()
+                if epoch.bounds is not None
+                else {"mode": "none"}
+            )
+            document["approx"] = approx_stats
         if self.admission is not None:
             document["admission"] = self.admission.stats()
         if self._wal is not None:
@@ -1242,6 +1432,11 @@ class QueryService:
             "epoch": meta["epoch"],
             "source": meta.get("source", "evaluated"),
         }
+        if "tier" in meta:
+            # Which approx-tier path settled the answer: "short-circuit"
+            # (sound bounds/witness, exact), "exact" (fell through to
+            # the evaluators) or "approximate" (best-effort guess).
+            payload["tier"] = meta["tier"]
         if "degraded" in meta:
             # Shards were missing: ``answer`` covers only the surviving
             # slices, and ``degraded["verdict"]`` says how to read it —

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 from threading import Lock
+from typing import TYPE_CHECKING
 
 from repro.exceptions import BadRequestError
 from repro.graph.labeled_graph import KnowledgeGraph
@@ -35,6 +36,9 @@ from repro.index.local_index import LocalIndex
 from repro.service.cache import CandidateCache, ConstraintCache
 from repro.service.planner import QueryPlanner
 from repro.session import LSCRSession
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.approx.bounds import BoundsIndex
 
 __all__ = ["GraphEpoch", "normalize_edge_updates", "validate_edge_updates"]
 
@@ -65,6 +69,7 @@ class GraphEpoch:
         "candidates",
         "constraints",
         "seed",
+        "bounds",
         "fingerprint",
         "created_at",
         "_sessions",
@@ -80,6 +85,7 @@ class GraphEpoch:
         candidates: CandidateCache,
         constraints: ConstraintCache,
         seed: int,
+        bounds: "BoundsIndex | None" = None,
     ) -> None:
         self.epoch_id = epoch_id
         self.graph = graph
@@ -88,6 +94,10 @@ class GraphEpoch:
         self.candidates = candidates
         self.constraints = constraints
         self.seed = seed
+        #: Label-blind reachability upper bound for *this* snapshot
+        #: (``repro.approx``); rebuilt whenever the graph changes so the
+        #: router's definite-No stays sound across updates and replay.
+        self.bounds = bounds
         #: Content digest of the graph this epoch serves; part of the
         #: save/load snapshot identity.
         self.fingerprint = graph.content_fingerprint()

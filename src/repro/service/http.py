@@ -105,6 +105,10 @@ _TENANT_OPTION_FIELDS = {
     and not isinstance(v, bool) and v >= 0,
     "slow_log_size": lambda v: isinstance(v, int) and not isinstance(v, bool)
     and v >= 1,
+    "approx": lambda v: isinstance(v, bool),
+    "approx_default": lambda v: isinstance(v, bool),
+    "approx_recheck": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and 0.0 <= v <= 1.0,
 }
 
 
@@ -233,11 +237,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             else:
                 # Deadlines cover the answering endpoints only: update
                 # batches are admin operations that must run to the end.
+                # ``?mode=`` (exact | approximate) rides the same query
+                # string; the service validates it into a 400.
+                mode = query.get("mode")
                 with self._deadline_scope(query):
                     if endpoint == "query":
-                        response = service.handle_query(payload, trace=trace)
+                        response = service.handle_query(
+                            payload, trace=trace, mode=mode
+                        )
                     else:
-                        response = service.handle_batch(payload, trace=trace)
+                        response = service.handle_batch(
+                            payload, trace=trace, mode=mode
+                        )
                 self._send_json(200, response)
         except BadRequestError as error:
             kind = self._error_kind(error)

@@ -112,10 +112,16 @@ class ShardedQueryService(QueryService):
 
     # ------------------------------------------------------------------
 
-    def _execute(self, plan: QueryPlan, epoch: GraphEpoch) -> QueryResult:
-        """Scatter-gather by default; forced plans run the named session."""
+    def _evaluate(self, plan: QueryPlan, epoch: GraphEpoch) -> QueryResult:
+        """Scatter-gather by default; forced plans run the named session.
+
+        This overrides the *exact* half of the execute seam only: the
+        base class's ``_execute`` router consults the coordinator-local
+        bounds first, so definite-No/definite-Yes queries are settled
+        here on the coordinator and never scatter to the workers.
+        """
         if plan.forced:
-            return super()._execute(plan, epoch)
+            return super()._evaluate(plan, epoch)
         assert plan.query is not None
         return self.coordinator.answer(plan.query)
 

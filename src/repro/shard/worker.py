@@ -100,6 +100,10 @@ class ShardWorker:
                 seed=seed,
                 cache_size=cache_size,
                 cache_ttl=cache_ttl,
+                # The owning service's router already consulted *its*
+                # bounds before the fast path reached this slice; a
+                # per-slice bounds index would only duplicate the build.
+                approx=False,
             )
             if local_service
             else None

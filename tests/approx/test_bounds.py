@@ -1,0 +1,144 @@
+"""Bounds-index soundness: the upper bound never lies about No.
+
+The whole approx tier rests on one invariant: ``maybe_reachable(s, t)
+== False`` implies no directed ``s -> t`` path exists at all — and
+therefore no LSCR witness path either.  This suite checks it directly
+against a label-blind BFS oracle and indirectly against the naive LSCR
+oracle, across 50 random graphs, in both index modes (the exact bitset
+closure and the GRAIL-style randomized intervals, the latter forced by
+``closure_limit=0``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.approx.bounds import BoundsIndex, build_bounds
+from repro.constraints.label_constraint import LabelConstraint
+from repro.constraints.substructure import SubstructureConstraint
+from repro.core.naive import NaiveTwoProcedure
+from repro.core.query import LSCRQuery
+from repro.datasets.synthetic import random_labeled_graph
+from repro.graph.csr import freeze_graph
+from tests.helpers import graph_from_edges
+
+SEEDS = list(range(50))
+
+
+def bfs_reachable(graph, s):
+    """Label-blind oracle: every vertex reachable from ``s``."""
+    seen = {s}
+    queue = deque((s,))
+    while queue:
+        u = queue.popleft()
+        for _label, w in graph.out_edges(u):
+            if w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return seen
+
+
+class TestToyGraphs:
+    def test_chain_and_disconnected(self):
+        graph = graph_from_edges(
+            [("a", "go", "b"), ("b", "go", "c"), ("x", "go", "y")]
+        )
+        bounds = build_bounds(freeze_graph(graph))
+        assert bounds.mode == "closure"
+        a, b, c = graph.vid("a"), graph.vid("b"), graph.vid("c")
+        x, y = graph.vid("x"), graph.vid("y")
+        assert bounds.maybe_reachable(a, c)
+        assert not bounds.maybe_reachable(c, a)
+        assert not bounds.maybe_reachable(a, y)
+        assert not bounds.maybe_reachable(x, c)
+        assert bounds.maybe_reachable(x, y)
+
+    def test_cycle_is_one_component(self):
+        graph = graph_from_edges(
+            [("a", "go", "b"), ("b", "go", "c"), ("c", "go", "a")]
+        )
+        bounds = build_bounds(freeze_graph(graph))
+        assert bounds.component_count == 1
+        a, c = graph.vid("a"), graph.vid("c")
+        assert bounds.maybe_reachable(c, a)
+        assert bounds.maybe_reachable(a, a)
+
+    def test_interval_mode_forced(self):
+        graph = graph_from_edges(
+            [("a", "go", "b"), ("b", "go", "c"), ("x", "go", "y")]
+        )
+        bounds = BoundsIndex(freeze_graph(graph), closure_limit=0)
+        assert bounds.mode == "interval"
+        a, c = graph.vid("a"), graph.vid("c")
+        # Necessary condition: the true pair always passes...
+        assert bounds.maybe_reachable(a, c)
+        # ...and a definitely-unreachable *reverse* pair is excluded by
+        # the interval filter on this tiny DAG.
+        assert not bounds.maybe_reachable(c, a)
+
+    def test_describe_shape(self):
+        graph = graph_from_edges([("a", "go", "b")])
+        described = build_bounds(freeze_graph(graph)).describe()
+        assert described["mode"] == "closure"
+        assert described["vertices"] == 2
+        assert described["components"] == 2
+        assert described["build_seconds"] >= 0
+
+    def test_unfrozen_graph_supported(self):
+        graph = graph_from_edges([("a", "go", "b"), ("b", "go", "a")])
+        bounds = build_bounds(graph)  # dict-backed adjacency fallback
+        assert bounds.component_count == 1
+
+
+class TestFiftySeedSoundness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_upper_bound_covers_bfs_oracle(self, seed):
+        graph = random_labeled_graph(
+            12, 1.6, 3, rng=seed, name=f"bounds-{seed}"
+        )
+        frozen = freeze_graph(graph)
+        closure = build_bounds(frozen, seed=seed)
+        interval = BoundsIndex(frozen, closure_limit=0, seed=seed)
+        assert closure.mode == "closure"
+        assert interval.mode == "interval"
+        for s in range(graph.num_vertices):
+            reached = bfs_reachable(graph, s)
+            for t in range(graph.num_vertices):
+                truly = t in reached
+                # Closure mode is exact label-blind reachability.
+                assert closure.maybe_reachable(s, t) == truly
+                if truly:
+                    # Interval mode is a necessary-condition filter: it
+                    # may say maybe on an unreachable pair, never No on
+                    # a reachable one.
+                    assert interval.maybe_reachable(s, t)
+
+    @pytest.mark.parametrize("seed", SEEDS[::5])
+    def test_never_no_when_naive_oracle_says_yes(self, seed):
+        graph = random_labeled_graph(
+            10, 1.8, 3, rng=seed, name=f"lscr-bounds-{seed}"
+        )
+        frozen = freeze_graph(graph)
+        closure = build_bounds(frozen, seed=seed)
+        interval = BoundsIndex(frozen, closure_limit=0, seed=seed)
+        naive = NaiveTwoProcedure(graph)
+        rng = random.Random(seed * 31 + 7)
+        vertices = [f"n{i}" for i in range(graph.num_vertices)]
+        for _ in range(12):
+            source, target = rng.choice(vertices), rng.choice(vertices)
+            label = f"l{rng.randrange(3)}"
+            query = LSCRQuery(
+                source=source,
+                target=target,
+                labels=LabelConstraint([label, "l0"]),
+                constraint=SubstructureConstraint.from_sparql(
+                    f"SELECT ?x WHERE {{ ?x <{label}> ?y . }}"
+                ),
+            )
+            if naive.decide(query):
+                s, t = graph.vid(source), graph.vid(target)
+                assert closure.maybe_reachable(s, t)
+                assert interval.maybe_reachable(s, t)

@@ -41,6 +41,7 @@ class TestQuery:
             "reason": "local index loaded",
             "epoch": 0,
             "source": "evaluated",
+            "tier": "exact",
         }
         result, _ = service.query("v0", "v3", LABELS, S0)
         assert result.answer is False

@@ -32,9 +32,12 @@ QUERY = {
 @pytest.fixture
 def service():
     # scatter_timeout forces the bounded (pool) path even for one-shard
-    # rounds, so the shutdown race below is actually exercised.
+    # rounds, so the shutdown race below is actually exercised;
+    # approx=False keeps the witness tier from answering repeats before
+    # the coordinator (which is the object under test).
     svc = ShardedQueryService(
-        make_graph(), shards=3, local_fast_path=False, scatter_timeout=5.0
+        make_graph(), shards=3, local_fast_path=False, scatter_timeout=5.0,
+        approx=False,
     )
     yield svc
     svc.close()

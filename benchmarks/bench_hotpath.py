@@ -32,7 +32,13 @@ as the hardware allows" north star:
   in-process slice workers), recorded as ``service_batch.sharded`` with
   ``sharded_vs_unsharded`` — the coordination overhead / co-location
   win tracked PR over PR; the harness asserts the sharded answers match
-  the unsharded ones per query.
+  the unsharded ones per query.  The same flag also grows a
+  ``service_batch.sharded.remote`` dimension: the slices are dumped to
+  files, one real ``serve --worker`` subprocess boots per slice on an
+  ephemeral port, and the coordinator attaches them by URL — the full
+  cross-host wire (handshake, pooled keep-alive HTTP, slice-epoch
+  echo) timed under the identical workload, with the same per-query
+  agreement gate.
 
 The workload mixes the paper's two Table 3 constraint shapes — anchored
 patterns (small, cheap ``V(S, G)``) and star patterns (expensive
@@ -55,8 +61,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
+import re
+import shutil
+import subprocess
 import sys
+import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -69,7 +81,12 @@ from repro.index.local_index import build_local_index  # noqa: E402
 from repro.service.app import QueryService  # noqa: E402
 from repro.service.cache import CandidateCache  # noqa: E402
 from repro.session import LSCRSession  # noqa: E402
-from repro.shard import ShardedQueryService  # noqa: E402
+from repro.shard import (  # noqa: E402
+    ShardedQueryService,
+    build_shard_plan,
+    cut_slices,
+    dump_slice,
+)
 
 SCHEMA_VERSION = 1
 
@@ -181,6 +198,89 @@ def bench_service(
         }
     finally:
         service.close()
+
+
+def bench_service_remote(graph, index, specs, *, shards: int, rounds: int) -> dict:
+    """Batched throughput over real ``serve --worker`` subprocesses.
+
+    Cuts the shard plan's slices to files exactly as ``python -m repro
+    cut`` would — same partition, same correlation table, so the plan
+    hash matches and the coordinator's handshake needs no resync — then
+    boots one worker process per slice on an ephemeral port and
+    attaches a :class:`ShardedQueryService` to them by URL.  This is
+    the cross-host wire end to end: descriptor handshake, pooled
+    keep-alive HTTP, per-expand slice-epoch echo.  Probes are disabled
+    (``probe_interval=0``) so the bench times the scatter path, not the
+    health loop.
+    """
+    frozen = graph.freeze()
+    plan = build_shard_plan(
+        frozen, index.partition, shards, index.region_correlations()
+    )
+    fingerprint = frozen.content_fingerprint()
+    tmp = Path(tempfile.mkdtemp(prefix="bench-remote-"))
+    procs: list[subprocess.Popen] = []
+    urls: list[str] = []
+    try:
+        for graph_slice in cut_slices(frozen, plan):
+            path = tmp / f"shard-{graph_slice.shard_id}.slice.json"
+            dump_slice(graph_slice, plan, path, epoch=0, fingerprint=fingerprint)
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--worker", str(path),
+                 "--host", "127.0.0.1", "--port", "0"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+            )
+            procs.append(proc)
+            for line in proc.stdout:
+                match = re.search(r"listening on (http://\S+)", line)
+                if match:
+                    urls.append(match.group(1))
+                    break
+            else:
+                raise SystemExit(
+                    f"remote bench: worker for shard {graph_slice.shard_id} "
+                    "exited before printing its ready line"
+                )
+            # Keep the pipe drained for the rest of the run so a chatty
+            # worker can never block on a full pipe buffer.
+            threading.Thread(
+                target=proc.stdout.read, daemon=True
+            ).start()
+        service = ShardedQueryService(
+            graph, index, seed=0, shards=shards, worker_urls=urls,
+            probe_interval=0,
+        )
+        try:
+            service.query_batch(specs, use_cache=False)  # warm-up
+            best = float("inf")
+            for _ in range(rounds):
+                started = time.perf_counter()
+                answered = service.query_batch(specs, use_cache=False)
+                best = min(best, time.perf_counter() - started)
+            return {
+                "queries": len(specs),
+                "true_answers": sum(result.answer for result, _ in answered),
+                "best_seconds": best,
+                "qps": len(specs) / best,
+                "workers": len(urls),
+                "answers": [result.answer for result, _ in answered],
+            }
+        finally:
+            service.close()
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        shutil.rmtree(tmp, ignore_errors=True)
 
 
 def bench_updates(graph, index, specs, *, rounds: int, seed: int) -> dict:
@@ -467,6 +567,24 @@ def run(quick: bool, compare: bool, seed: int, shards: int = 0,
                 "service batch: sharded and unsharded services disagree on "
                 "per-query answers"
             )
+        remote_result = bench_service_remote(
+            graph, index, specs, shards=shards, rounds=config["rounds"]
+        )
+        if remote_result["answers"] != frozen_result["answers"]:
+            raise SystemExit(
+                "service batch: remote-worker deployment disagrees with the "
+                "unsharded service on per-query answers"
+            )
+        remote_result.pop("answers", None)
+        remote_result["remote_vs_inprocess"] = (
+            remote_result["qps"] / sharded_result["qps"]
+        )
+        sharded_result["remote"] = remote_result
+        print(
+            f"service/batch remote({shards}):  {remote_result['qps']:9.1f} q/s "
+            f"(vs in-process {remote_result['remote_vs_inprocess']:.2f}x, "
+            f"{remote_result['workers']} worker processes)"
+        )
     if updates:
         updates_result = bench_updates(
             graph, index, specs, rounds=config["rounds"], seed=seed

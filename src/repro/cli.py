@@ -1,12 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the end-to-end workflow on TSV-serialised graphs
+Six subcommands cover the end-to-end workflow on TSV-serialised graphs
 (see :mod:`repro.graph.io` for the format):
 
 * ``generate`` — produce a LUBM-like / YAGO-like / random dataset;
 * ``stats``    — describe a graph (sizes, degrees, label histogram);
 * ``index``    — build and persist a local index (Algorithm 3);
 * ``query``    — answer one LSCR query, optionally with a witness path;
+* ``cut``      — cut a graph into serialized shard slices for workers;
 * ``serve``    — serve LSCR queries over HTTP (:mod:`repro.service`).
 
 Examples::
@@ -25,6 +26,11 @@ Examples::
         --tenant yago=y.tsv:y.index.json --tenant toy=toy.tsv
     python -m repro serve --graph d1.tsv --index d1.index.json \
         --shards 4 --warm-cache d1.cache.json
+    python -m repro cut d1.tsv --shards 2 --out slices/
+    python -m repro serve --worker slices/shard-0.slice.json --port 9000
+    python -m repro serve --worker slices/shard-1.slice.json --port 9001
+    python -m repro serve --graph d1.tsv --shards 2 \
+        --worker-url http://127.0.0.1:9000 --worker-url http://127.0.0.1:9001
 
 The second ``serve`` form hosts three graphs in one process: ``d1`` as
 the default tenant behind the un-prefixed routes, the others behind
@@ -32,7 +38,12 @@ the default tenant behind the un-prefixed routes, the others behind
 The third serves ``d1`` through a region-sharded scatter-gather
 coordinator (four in-process shard workers, also reachable at
 ``/shard/<id>/...`` for remote coordinators), warming the result cache
-from — and snapshotting it back to — ``d1.cache.json``.
+from — and snapshotting it back to — ``d1.cache.json``.  The last
+block is the **cross-host** deployment: ``cut`` serializes the slices,
+each ``serve --worker`` process serves one of them, and the
+coordinator attaches them by URL — handshaking on plan hash and wire
+version at startup, probing health periodically, and propagating every
+update epoch over the two-phase slice-swap wire.
 """
 
 from __future__ import annotations
@@ -52,14 +63,21 @@ from repro.datasets.lubm import SCALED_DATASETS, generate_dataset
 from repro.datasets.synthetic import random_labeled_graph
 from repro.datasets.yago import YagoConfig, generate_yago_like
 from repro.exceptions import ReproError, ServiceConfigError
+from repro.graph.csr import freeze_graph
 from repro.graph.io import dump_tsv, load_tsv
 from repro.graph.stats import graph_stats, label_histogram
+from repro.index.landmarks import (
+    bfs_traverse,
+    select_landmarks,
+    structural_correlations,
+)
 from repro.index.local_index import build_local_index
 from repro.index.storage import load_local_index, save_local_index
 from repro.service.app import QueryService
 from repro.service.http import create_server
 from repro.service.registry import DEFAULT_TENANT, TenantRegistry
-from repro.shard import ShardedQueryService
+from repro.shard import ShardedQueryService, ShardWorker, build_shard_plan, cut_slices
+from repro.shard.slicefile import SLICE_WIRE_VERSION, dump_slice, load_slice
 from repro.wal import (
     DEFAULT_COMPACT_EVERY,
     DEFAULT_POLL_INTERVAL,
@@ -136,6 +154,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--witness", action="store_true", help="also print a witness path"
     )
 
+    cut = commands.add_parser(
+        "cut",
+        help="cut a TSV graph into serialized shard slices for "
+        "cross-host workers (serve --worker)",
+    )
+    cut.add_argument("graph", help="TSV graph file")
+    cut.add_argument(
+        "--shards", type=int, required=True, metavar="N", help="shard count"
+    )
+    cut.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="directory for the shard-<id>.slice.json files (created)",
+    )
+    cut.add_argument(
+        "--index", default=None,
+        help="local index JSON whose partition and D table guide the cut "
+        "(default: fresh landmark partition with structural correlations "
+        "— identical to what serve --shards builds for the same seed)",
+    )
+    cut.add_argument("--k", type=int, default=None, help="landmark count")
+    cut.add_argument("--seed", type=int, default=0)
+
     serve = commands.add_parser(
         "serve", help="serve LSCR queries over HTTP (POST /query, /batch)"
     )
@@ -191,6 +231,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve --graph through a region-sharded scatter-gather "
         "coordinator with N in-process shard workers (0 = unsharded); the "
         "workers are also exposed at /shard/<id>/... for remote coordinators",
+    )
+    serve.add_argument(
+        "--worker",
+        default=None,
+        metavar="SLICE_FILE",
+        help="serve as a standalone shard worker process from a slice file "
+        "written by 'cut': exposes /shard/<id>/{expand,query,update} and "
+        "the GET /shard/<id> descriptor for a coordinator's handshake "
+        "(mutually exclusive with --graph/--tenant/--shards)",
+    )
+    serve.add_argument(
+        "--worker-url",
+        action="append",
+        default=[],
+        metavar="URL",
+        help="attach a remote shard worker (a 'serve --worker' process) "
+        "instead of an in-process one; repeat once per shard, in shard-id "
+        "order (requires --shards N with N matching the count given)",
+    )
+    serve.add_argument(
+        "--worker-probe-interval",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="seconds between coordinator health probes of --worker-url "
+        "workers (feeds the per-worker circuit breakers and re-pushes "
+        "slices to workers that restarted stale; default 5)",
     )
     serve.add_argument(
         "--default-deadline-ms",
@@ -258,7 +325,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable updates: replay the write-ahead log under DIR at "
         "startup (recovering the pre-crash epoch), then append every "
         "applied POST /edges batch there before acknowledging (requires "
-        "--graph; incompatible with --shards and --follow)",
+        "--graph; composes with --shards — replay re-cuts and re-pushes "
+        "worker slices to the logged epoch; incompatible with --follow)",
     )
     serve.add_argument(
         "--compact-every",
@@ -347,6 +415,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_index(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "cut":
+            return _cmd_cut(args)
         if args.command == "serve":
             return _cmd_serve(args)
     except ReproError as error:
@@ -429,6 +499,86 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0 if result.answer else 1
 
 
+def _cmd_cut(args: argparse.Namespace) -> int:
+    """Serialize one slice file per shard, coordinator-compatible.
+
+    The partition, correlation table and plan are built exactly the way
+    ``serve --graph G --shards N --seed S`` builds them, so a
+    coordinator started with the same graph/index/seed handshakes with
+    the workers booted from these files without a resync.
+    """
+    if args.shards < 1:
+        raise ServiceConfigError(f"--shards must be >= 1, got {args.shards}")
+    graph = freeze_graph(load_tsv(args.graph, name=Path(args.graph).stem))
+    if args.index is not None:
+        index = load_local_index(args.index, graph)
+        partition = index.partition
+        correlations = index.region_correlations()
+    else:
+        landmarks = select_landmarks(graph, k=args.k, rng=args.seed)
+        partition = bfs_traverse(graph, landmarks)
+        correlations = structural_correlations(graph, partition)
+    plan = build_shard_plan(graph, partition, args.shards, correlations)
+    fingerprint = graph.content_fingerprint()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    total = 0
+    for graph_slice in cut_slices(graph, plan):
+        path = out / f"shard-{graph_slice.shard_id}.slice.json"
+        size = dump_slice(graph_slice, plan, path, epoch=0, fingerprint=fingerprint)
+        total += size
+        print(
+            f"shard {graph_slice.shard_id}: |V|={graph_slice.num_vertices} "
+            f"|E|={graph_slice.num_edges} "
+            f"borders={len(graph_slice.border_vertices)} "
+            f"-> {path} ({size} bytes)"
+        )
+    loaded = load_slice(out / "shard-0.slice.json")
+    print(
+        f"cut {plan.num_shards} slices ({total} bytes); "
+        f"plan {loaded.plan_hash} at epoch 0, wire v{SLICE_WIRE_VERSION}"
+    )
+    return 0
+
+
+def _serve_worker(args: argparse.Namespace) -> int:
+    """``serve --worker SLICE_FILE``: one shard worker process."""
+    loaded = load_slice(args.worker)
+    worker = ShardWorker(
+        loaded.slice,
+        seed=args.seed,
+        cache_size=args.cache_size,
+        cache_ttl=args.cache_ttl,
+        epoch=loaded.epoch,
+        fingerprint=loaded.fingerprint,
+        plan_hash=loaded.plan_hash,
+        plan=loaded.plan,
+    )
+    # No tenants: the registry only backs the admin routes; queries go
+    # through the coordinator that attaches this worker by URL.
+    registry = TenantRegistry()
+    server = create_server(
+        registry, args.host, args.port, {str(loaded.slice.shard_id): worker}
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"worker: shard {loaded.slice.shard_id} of {loaded.plan.num_shards} "
+        f"from {args.worker} (|V|={loaded.slice.num_vertices} "
+        f"|E|={loaded.slice.num_edges}; epoch {loaded.epoch}, "
+        f"plan {loaded.plan_hash[:12]}..., wire v{SLICE_WIRE_VERSION})",
+        flush=True,
+    )
+    print(f"listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        worker.close()
+    return 0
+
+
 def _parse_tenant_spec(spec: str) -> tuple[str, str, str | None]:
     """``NAME=GRAPH[:INDEX]`` → (name, graph path, index path or None)."""
     name, separator, paths = spec.partition("=")
@@ -441,6 +591,24 @@ def _parse_tenant_spec(spec: str) -> tuple[str, str, str | None]:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.worker is not None:
+        conflicts = {
+            "--graph": args.graph is not None,
+            "--tenant": bool(args.tenant),
+            "--shards": bool(args.shards),
+            "--worker-url": bool(args.worker_url),
+            "--wal": args.wal is not None,
+            "--follow": args.follow is not None,
+            "--allow-updates": args.allow_updates,
+            "--warm-cache": args.warm_cache is not None,
+        }
+        named = [flag for flag, given in conflicts.items() if given]
+        if named:
+            raise ServiceConfigError(
+                f"--worker serves one slice and nothing else; drop "
+                f"{', '.join(named)}"
+            )
+        return _serve_worker(args)
     tenants = [_parse_tenant_spec(spec) for spec in args.tenant]
     if args.graph is None and not tenants:
         raise ServiceConfigError(
@@ -450,6 +618,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ServiceConfigError("--shards requires --graph (the default tenant)")
     if args.shards < 0:
         raise ServiceConfigError(f"--shards must be >= 0, got {args.shards}")
+    if args.worker_url and not args.shards:
+        raise ServiceConfigError("--worker-url requires --shards")
+    if args.worker_url and len(args.worker_url) != args.shards:
+        raise ServiceConfigError(
+            f"--shards {args.shards} needs exactly {args.shards} "
+            f"--worker-url values, got {len(args.worker_url)}"
+        )
+    if args.worker_probe_interval is not None and not args.worker_url:
+        raise ServiceConfigError("--worker-probe-interval requires --worker-url")
     if args.wal is not None and args.follow is not None:
         raise ServiceConfigError(
             "--wal and --follow are mutually exclusive: a process either "
@@ -460,10 +637,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--wal/--follow require --graph (the base TSV the log's first "
             "record was written against)"
         )
-    if (args.wal is not None or args.follow is not None) and args.shards:
+    if args.follow is not None and args.shards:
         raise ServiceConfigError(
-            "--wal/--follow do not support --shards yet: the log is the "
-            "planned slice-epoch carrier, but per-slice replay is unbuilt"
+            "--follow does not support --shards: a follower republishes "
+            "the leader's epochs read-only, it does not drive a fleet"
         )
     if args.follow is not None and args.allow_updates:
         raise ServiceConfigError(
@@ -535,24 +712,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     tenant_wal = None
     replay = None
     if args.graph is not None:
+        shard_options = {}
         if args.shards:
-            default_service = ShardedQueryService.from_files(
-                args.graph,
-                args.index,
+            shard_options = dict(
                 shards=args.shards,
                 degraded_answers=args.degraded_answers,
                 scatter_timeout=args.shard_timeout,
-                **options,
             )
-            shard_workers = {
-                str(position): worker
-                for position, worker in enumerate(default_service.workers)
-            }
-        elif args.wal is not None or args.follow is not None:
+            if args.worker_url:
+                shard_options["worker_urls"] = list(args.worker_url)
+                if args.worker_probe_interval is not None:
+                    shard_options["probe_interval"] = args.worker_probe_interval
+        if args.wal is not None or args.follow is not None:
             # Leader and follower recover identically — snapshot (if
             # any) + record replay, fingerprint-verified — and differ
             # only in what happens next: the leader attaches the log so
-            # new batches append, the follower tails it read-only.
+            # new batches append, the follower tails it read-only.  A
+            # sharded leader recovers through ShardedQueryService, so
+            # the snapshot adoption and every replayed batch re-cut and
+            # re-push worker slices to the logged epoch.
             update_wal = UpdateWal(
                 args.wal if args.wal is not None else args.follow,
                 compact_every=args.compact_every,
@@ -563,12 +741,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 graph_path=args.graph,
                 index_path=args.index,
                 attach=args.wal is not None,
+                service_cls=ShardedQueryService if args.shards else QueryService,
+                **shard_options,
                 **options,
+            )
+        elif args.shards:
+            default_service = ShardedQueryService.from_files(
+                args.graph, args.index, **shard_options, **options
             )
         else:
             default_service = QueryService.from_files(
                 args.graph, args.index, **options
             )
+        if args.shards and not args.worker_url:
+            shard_workers = {
+                str(position): worker
+                for position, worker in enumerate(default_service.workers)
+            }
         registry.add(DEFAULT_TENANT, default_service)
     for name, graph_path, index_path in tenants:
         registry.register_files(name, graph_path, index_path, **options)
@@ -643,11 +832,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.shards:
         plan = service.shard_plan.describe()
-        print(
-            f"shards: {args.shards} (vertices per shard: "
-            f"{plan['vertices_per_shard']}; workers at /shard/<id>/expand)",
-            flush=True,
-        )
+        if args.worker_url:
+            print(
+                f"shards: {args.shards} remote (vertices per shard: "
+                f"{plan['vertices_per_shard']}; workers: "
+                f"{', '.join(args.worker_url)}; slice epoch "
+                f"{service.slice_epoch}, handshake ok)",
+                flush=True,
+            )
+        else:
+            print(
+                f"shards: {args.shards} (vertices per shard: "
+                f"{plan['vertices_per_shard']}; workers at /shard/<id>/expand)",
+                flush=True,
+            )
     if len(registry) > 1:
         print(
             f"tenants: {', '.join(registry.names())} "

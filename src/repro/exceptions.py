@@ -283,15 +283,56 @@ class CircuitOpenError(ServiceError):
 class UpdatesUnsupportedError(BadRequestError):
     """The service topology cannot apply live updates (HTTP 501).
 
-    Raised by :class:`~repro.shard.ShardedQueryService`: mutating only
-    the coordinator's graph would leave every worker's
-    :class:`~repro.shard.partitioner.GraphSlice` (CSR slice + border
-    tables) silently stale.  ``detail`` names the missing seam
-    (per-slice epoch swap) so clients and operators see *why*.
+    Historical note: sharded services answered ``POST /edges`` with this
+    until slice-epoch propagation landed; today the only raiser left is
+    third-party topologies that opt out explicitly.  Kept because the
+    HTTP error table maps it to a structured 501.
     """
 
     def __init__(self, message: str, detail: dict | None = None):
         super().__init__(message, status=501, detail=detail)
+
+
+class SliceFileError(ServiceConfigError):
+    """A serialized graph slice could not be read or validated.
+
+    Raised by :mod:`repro.shard.slicefile` on truncated files, version
+    mismatches, checksum/plan-hash disagreements and structurally
+    malformed documents — a worker must refuse to boot (or to stage an
+    update) rather than serve garbage answers from a half-read slice.
+    """
+
+
+class ShardHandshakeError(ServiceConfigError):
+    """A remote shard worker refused (or failed) the startup handshake.
+
+    The coordinator attaches ``--worker-url`` workers only after each
+    one's ``GET /shard/<id>`` descriptor agrees on the plan hash and
+    protocol version; a disagreement means the worker is serving a slice
+    cut from a different plan and composing with it would be silently
+    wrong.  ``detail`` carries both sides' view.
+    """
+
+    def __init__(self, message: str, detail: dict | None = None):
+        super().__init__(message)
+        self.detail = detail
+
+
+class RemoteShardError(ServiceError):
+    """A remote shard worker answered the wire with an HTTP error.
+
+    Raised by :class:`~repro.shard.worker.HttpShardWorker` for non-2xx
+    responses that are not structured 504s (those surface as
+    :class:`DeadlineExceededError`).  Carries the status and the remote
+    error body so the coordinator's failure accounting names the cause.
+    """
+
+    def __init__(self, shard: int, status: int, message: str):
+        super().__init__(
+            f"shard {shard} remote call failed with HTTP {status}: {message}"
+        )
+        self.shard = shard
+        self.status = status
 
 
 class WalError(ServiceError):

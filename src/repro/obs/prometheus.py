@@ -180,7 +180,7 @@ _CACHE_GAUGES = ("size", "max_size", "hit_rate")
 
 _COORDINATOR_COUNTERS = (
     "queries", "fast_path_hits", "rounds_total", "expand_calls_total",
-    "crossings_total", "scatter_serial_fallbacks",
+    "crossings_total", "scatter_serial_fallbacks", "epoch_skew_retries",
 )
 
 #: ``coordinator.resilience`` counter keys → metric suffix (all under
@@ -212,9 +212,32 @@ _BREAKER_COUNTERS = {
 _WORKER_COUNTERS = (
     "expand_calls", "seeds_in", "reached_out", "crossings_out",
     "local_queries", "local_hits",
+    "updates_prepared", "updates_published", "updates_aborted",
 )
 
 _WORKER_GAUGES = ("regions", "vertices", "edges", "border_vertices")
+
+#: Remote-stub connection-pool stats (``HttpShardWorker.describe()``).
+_WORKER_POOL_COUNTERS = (
+    "connections_opened", "connection_reuses", "reconnects",
+)
+
+#: Coordinator-side health-ledger fields merged into each worker entry.
+_WORKER_HEALTH_GAUGES = {
+    "epoch": ("slice_epoch", "Slice epoch the worker last reported"),
+    "consecutive_failures": (
+        "consecutive_failures",
+        "Consecutive failed health probes for the worker",
+    ),
+    "last_seen_age_seconds": (
+        "last_seen_age_seconds",
+        "Seconds since the worker last answered a probe or handshake",
+    ),
+    "resyncs": (
+        "resyncs_total",
+        "Times the coordinator re-pushed a slice to heal worker drift",
+    ),
+}
 
 
 def _service_section(
@@ -282,6 +305,10 @@ def _shards_section(
     plan = shards.get("plan", {})
     families.add("repro_shard_count", "gauge", "Shards in the plan",
                  labels, plan.get("num_shards", 0))
+    if "slice_epoch" in shards:
+        families.add("repro_shard_slice_epoch", "gauge",
+                     "Coordinated slice epoch the fleet serves", labels,
+                     shards["slice_epoch"])
     coordinator = shards.get("coordinator", {})
     for key in _COORDINATOR_COUNTERS:
         families.add(f"repro_shard_coordinator_{key}", "counter",
@@ -318,6 +345,29 @@ def _shards_section(
                 families.add(f"repro_shard_worker_{key}", "gauge",
                              "Shard worker slice sizes", worker_labels,
                              worker[key])
+        if isinstance(worker.get("epoch"), (int, float)):
+            # In-process workers report their slice epoch directly; for
+            # remote stubs it arrives through the health ledger below.
+            families.add("repro_shard_worker_slice_epoch", "gauge",
+                         "Slice epoch the worker last reported",
+                         worker_labels, worker["epoch"])
+        for key in _WORKER_POOL_COUNTERS:
+            if key in worker:
+                families.add(f"repro_shard_worker_{key}_total", "counter",
+                             "Remote worker connection-pool counters",
+                             worker_labels, worker[key])
+        if "idle_connections" in worker:
+            families.add("repro_shard_worker_idle_connections", "gauge",
+                         "Pooled idle keep-alive connections to the worker",
+                         worker_labels, worker["idle_connections"])
+        health = worker.get("health")
+        if isinstance(health, dict):
+            for key, (suffix, help_text) in _WORKER_HEALTH_GAUGES.items():
+                value = health.get(key)
+                if isinstance(value, (int, float)):
+                    kind = "counter" if suffix.endswith("_total") else "gauge"
+                    families.add(f"repro_shard_worker_{suffix}", kind,
+                                 help_text, worker_labels, value)
 
 
 def render_service_metrics(

@@ -35,10 +35,14 @@ The server routes onto a :class:`~repro.service.registry.TenantRegistry`
   started lazily on its first query;
 * ``DELETE /t/<tenant>`` — deregister a tenant;
 * ``POST /shard/<id>/expand``, ``POST /shard/<id>/query``,
-  ``GET /shard/<id>`` — present when shard workers are attached
-  (``serve --shards N``): the scatter-gather wire protocol a remote
-  :class:`~repro.shard.worker.HttpShardWorker` drives, so a shard can
-  live in another process behind this same front end.
+  ``POST /shard/<id>/update``, ``GET /shard/<id>`` — present when shard
+  workers are attached (``serve --shards N`` or ``serve --worker
+  SLICE_FILE``): the scatter-gather and two-phase slice-swap wire a
+  remote :class:`~repro.shard.worker.HttpShardWorker` drives, so a
+  shard can live in another process behind this same front end;
+* ``POST /admin/rebalance``, ``POST /t/<tenant>/admin/rebalance`` —
+  D-guided shard rebalancing from live border-crossing counters; only
+  sharded tenants accept it (plain tenants answer a structured 501).
 
 Errors are structured: every failure body is
 ``{"error": {"type": ..., "message": ...}}`` with a matching 4xx/5xx
@@ -219,20 +223,33 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             if path.startswith("/shard/"):
                 self._handle_shard_post(path, payload)
                 return
-            if path in ("/query", "/batch", "/edges"):
+            if path in ("/query", "/batch", "/edges", "/admin/rebalance"):
                 tenant, endpoint = None, path[1:]
             else:
                 tenant, endpoint = self._split_tenant_path(path)
-                if endpoint not in ("query", "batch", "edges"):
+                if endpoint not in ("query", "batch", "edges", "admin/rebalance"):
                     raise BadRequestError(
                         f"no such endpoint: POST {self.path}", status=404
                     )
+            if endpoint == "admin/rebalance" and not self.server.allow_updates:
+                # Rebalancing rewrites every worker's slice — the same
+                # trust level as a live update batch, behind the same gate.
+                raise UpdatesDisabledError()
             if endpoint == "edges" and not self.server.allow_updates:
                 # Checked before the tenant lookup: the gate is a server
                 # policy, not a per-tenant property.
                 raise UpdatesDisabledError()
             service = registry.get(tenant)
-            if endpoint == "edges":
+            if endpoint == "admin/rebalance":
+                rebalance = getattr(service, "rebalance", None)
+                if rebalance is None:
+                    raise UpdatesUnsupportedError(
+                        "this tenant is not sharded; only sharded tenants "
+                        "can rebalance slices",
+                        detail={"tenant": tenant or "default"},
+                    )
+                self._send_json(200, rebalance())
+            elif endpoint == "edges":
                 self._send_json(200, service.handle_updates(payload, trace=trace))
             else:
                 # Deadlines cover the answering endpoints only: update
@@ -340,13 +357,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         return worker
 
     def _handle_shard_post(self, path: str, payload: object) -> None:
-        """``POST /shard/<id>/{expand,query}`` → the attached worker."""
+        """``POST /shard/<id>/{expand,query,update}`` → the worker.
+
+        ``update`` (the two-phase slice swap) is deliberately *not*
+        behind ``allow_updates``: a worker process trusts the
+        coordinator that attached it — the gate governs a tenant's
+        public write surface, not the fleet-internal wire.
+        """
         worker = self._shard_worker(path, expected_parts=3)
         endpoint = path.strip("/").split("/")[2]
         if endpoint == "expand":
             self._send_json(200, worker.handle_expand(payload))
         elif endpoint == "query":
             self._send_json(200, worker.handle_query(payload))
+        elif endpoint == "update":
+            self._send_json(200, worker.handle_update(payload))
         else:
             raise BadRequestError(
                 f"no such endpoint: POST {self.path}", status=404

@@ -11,15 +11,27 @@ single-process one.  The pieces compose in one direction:
                           :class:`ShardPlan` vertex ownership,
                           :class:`GraphSlice` region-restricted CSR
                           slices with border tables
+:mod:`~.slicefile`        deterministic slice serialization — the file
+                          a worker process boots from, stamped with
+                          slice epoch, content fingerprint and plan
+                          hash (:func:`dump_slice` / :func:`load_slice`)
 :mod:`~.worker`           :class:`ShardWorker` — slice-local closure
-                          expansion + the co-located fast path over a
-                          per-slice ``QueryService``;
+                          expansion, the co-located fast path over a
+                          per-slice ``QueryService``, and the two-phase
+                          prepare/publish slice swap;
                           :class:`HttpShardWorker` drives a remote one
+                          over pooled keep-alive connections
 :mod:`~.coordinator`      :class:`ShardCoordinator` — multi-round
                           scatter-gather closures, exact two-phase LSCR
-                          evaluation, early stop, round telemetry
+                          evaluation, early stop, slice-epoch skew
+                          detection, round telemetry
+:mod:`~.rebalance`        :func:`propose_rebalance` — D-guided re-cut
+                          of the shard plan from live border-crossing
+                          counters
 :mod:`~.service`          :class:`ShardedQueryService` — a drop-in
-                          tenant whose executor is the coordinator
+                          tenant whose executor is the coordinator,
+                          with per-slice update propagation, remote
+                          worker handshake/health and rebalancing
 ========================  =============================================
 
 Start one from the CLI with ``python -m repro serve --graph g.tsv
@@ -30,8 +42,15 @@ Start one from the CLI with ``python -m repro serve --graph g.tsv
     service = ShardedQueryService.from_files("g.tsv", "g.index.json", shards=4)
     answer, meta = service.query("a", "b", ["l0"], "SELECT ?x WHERE { ... }")
 
+Cross-host, the same topology splits into processes: ``python -m repro
+cut g.tsv --shards 2 --out slices/`` serializes the slices, each
+``serve --worker slices/shard-<id>.slice.json`` process serves one,
+and ``serve --graph g.tsv --shards 2 --worker-url ...`` attaches them
+by URL.
+
 Sharded and unsharded services answer identically on every query — the
-randomized agreement suite (``tests/shard/``) holds them to that.
+randomized agreement suite (``tests/shard/``) holds them to that,
+in-process and across worker processes.
 """
 
 from repro.shard.coordinator import ShardCoordinator
@@ -42,7 +61,16 @@ from repro.shard.partitioner import (
     build_shard_plan,
     cut_slices,
 )
+from repro.shard.rebalance import propose_rebalance
 from repro.shard.service import ShardedQueryService
+from repro.shard.slicefile import (
+    SliceFile,
+    dump_slice,
+    load_slice,
+    plan_fingerprint,
+    slice_document,
+    slice_from_document,
+)
 from repro.shard.worker import ExpandResult, HttpShardWorker, ShardWorker
 
 __all__ = [
@@ -53,7 +81,14 @@ __all__ = [
     "ShardPlan",
     "ShardWorker",
     "ShardedQueryService",
+    "SliceFile",
     "assign_regions",
     "build_shard_plan",
     "cut_slices",
+    "dump_slice",
+    "load_slice",
+    "plan_fingerprint",
+    "propose_rebalance",
+    "slice_document",
+    "slice_from_document",
 ]

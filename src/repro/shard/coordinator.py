@@ -38,6 +38,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass
 from time import perf_counter
 
 from repro.core.query import LSCRQuery
@@ -67,6 +68,41 @@ SHARDED_ALGORITHM = "sharded"
 ROUND_GRACE_SECONDS = 0.05
 
 
+@dataclass(frozen=True)
+class _Topology:
+    """The coordinator facts that must swap together on a slice publish.
+
+    Reading graph, plan and slice epoch through one immutable bundle is
+    what makes a mid-query :meth:`ShardCoordinator.publish` safe: a
+    query evaluates wholly against the topology it grabbed at entry —
+    never the old plan with the new epoch or vice versa.
+    """
+
+    graph: KnowledgeGraph
+    plan: ShardPlan
+    slice_epoch: int
+
+
+class _EpochSkew(Exception):
+    """A worker answered an expand at a different slice epoch (internal).
+
+    Raised from :meth:`ShardCoordinator.closure` when an echoed epoch
+    disagrees with the topology the query grabbed — a slice swap landed
+    mid-scatter.  Mixing rounds from two epochs could answer wrongly
+    under *both*, so the whole query re-runs once against the new
+    topology; the coordinator converts a second skew into a structured
+    503 rather than loop.
+    """
+
+    def __init__(self, shard: int, saw: int, expected: int):
+        super().__init__(
+            f"shard {shard} answered at slice epoch {saw}, expected {expected}"
+        )
+        self.shard = shard
+        self.saw = saw
+        self.expected = expected
+
+
 class ShardCoordinator:
     """Scatter-gather execution over a fixed set of shard workers.
 
@@ -90,13 +126,13 @@ class ShardCoordinator:
         breakers: list[CircuitBreaker] | None = None,
         degraded_answers: bool = False,
         scatter_timeout: float | None = None,
+        slice_epoch: int = 0,
     ) -> None:
         if len(workers) != plan.num_shards:
             raise ValueError(
                 f"plan wants {plan.num_shards} workers, got {len(workers)}"
             )
-        self.graph = graph
-        self.plan = plan
+        self._topology = _Topology(graph, plan, slice_epoch)
         self.workers = workers
         self.candidates = candidate_cache
         self.local_fast_path = local_fast_path
@@ -142,11 +178,48 @@ class ShardCoordinator:
         self._degraded_answers = 0
         self._deadline_exceeded = 0
         self._fast_path_errors = 0
+        self._epoch_skew_retries = 0
+
+    # ------------------------------------------------------------------
+    # topology views + the publish seam of slice-epoch propagation
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        return self._topology.graph
+
+    @property
+    def plan(self) -> ShardPlan:
+        return self._topology.plan
+
+    @property
+    def slice_epoch(self) -> int:
+        """The slice epoch this coordinator expects workers to echo."""
+        return self._topology.slice_epoch
+
+    def publish(
+        self, graph: KnowledgeGraph, plan: ShardPlan, slice_epoch: int
+    ) -> None:
+        """Swap in a new topology (after an update push or a rebalance).
+
+        One atomic reference store; in-flight queries keep the bundle
+        they grabbed and the epoch-skew check handles any that straddle
+        the swap.  The worker list itself is fixed — workers receive
+        their new slices through the two-phase update wire, not here.
+        """
+        if plan.num_shards != len(self.workers):
+            raise ValueError(
+                f"cannot publish a {plan.num_shards}-shard plan over "
+                f"{len(self.workers)} workers"
+            )
+        self._topology = _Topology(graph, plan, slice_epoch)
 
     def __repr__(self) -> str:
+        topology = self._topology
         return (
-            f"ShardCoordinator({self.graph.name!r}, "
-            f"shards={self.plan.num_shards})"
+            f"ShardCoordinator({topology.graph.name!r}, "
+            f"shards={topology.plan.num_shards}, "
+            f"epoch={topology.slice_epoch})"
         )
 
     # ------------------------------------------------------------------
@@ -164,16 +237,39 @@ class ShardCoordinator:
         underneath.
         """
         with span("coordinator", shards=self.plan.num_shards) as handle:
-            return self._answer(query, handle)
+            try:
+                return self._answer(query, handle)
+            except _EpochSkew as skew:
+                # A slice swap landed mid-scatter: every visited vertex
+                # so far was proven against the *old* epoch, so the only
+                # sound move is to re-run the whole query against the
+                # new topology.  Once — a second skew during the retry
+                # means swaps are outpacing queries; refuse structurally
+                # (503, retryable) rather than loop.
+                with self._lock:
+                    self._epoch_skew_retries += 1
+                handle.set(epoch_skew_retry=True)
+                try:
+                    return self._answer(query, handle)
+                except _EpochSkew as again:
+                    raise ShardUnavailableError(
+                        again.shard,
+                        "slice epoch changed mid-query twice",
+                        detail={
+                            "saw_epoch": again.saw,
+                            "expected_epoch": again.expected,
+                        },
+                    ) from None
 
     def _answer(self, query: LSCRQuery, handle) -> QueryResult:
         started = perf_counter()
-        graph = self.graph
+        topology = self._topology
+        graph = topology.graph
         source = graph.vid(query.source)
         target = graph.vid(query.target)
         mask = query.labels.mask_for(graph)
 
-        shard_of = self.plan.shard_of
+        shard_of = topology.plan.shard_of
         deadline = current_deadline()
         #: Shards that stayed down past the retry budget this query
         #: (shared across both phases; only populated under
@@ -236,7 +332,7 @@ class ShardCoordinator:
         if verdict is None:
             reachable, phase_one = self.closure(
                 {source}, mask, phase="phase1",
-                deadline=deadline, missing=missing,
+                deadline=deadline, missing=missing, topology=topology,
             )
             for key in telemetry:
                 telemetry[key] += phase_one[key]
@@ -255,7 +351,7 @@ class ShardCoordinator:
             else:
                 second, phase_two = self.closure(
                     satisfying, mask, stop=target, phase="phase2",
-                    deadline=deadline, missing=missing,
+                    deadline=deadline, missing=missing, topology=topology,
                 )
                 for key in telemetry:
                     telemetry[key] += phase_two[key]
@@ -315,6 +411,7 @@ class ShardCoordinator:
         phase: str = "closure",
         deadline=None,
         missing: set[int] | None = None,
+        topology: _Topology | None = None,
     ) -> tuple[set[int], dict[str, int]]:
         """All vertices reachable from ``seeds`` under ``mask``.
 
@@ -340,8 +437,17 @@ class ShardCoordinator:
         workers' ``expand`` spans — which the workers built by value
         (the scatter pool's threads, and remote processes, don't share
         the request context).
+
+        ``topology`` is the bundle the enclosing query grabbed at entry
+        (defaulting to the current one for direct callers); any worker
+        echoing a *different* slice epoch aborts the closure with
+        :class:`_EpochSkew`, because a closure mixing two epochs can be
+        wrong under both.
         """
-        shard_of = self.plan.shard_of
+        if topology is None:
+            topology = self._topology
+        shard_of = topology.plan.shard_of
+        expected_epoch = topology.slice_epoch
         if missing is None:
             missing = set()
         visited: set[int] = set()
@@ -410,6 +516,11 @@ class ShardCoordinator:
                 next_frontier: dict[int, list[int]] = {}
                 round_crossings = 0
                 for shard_id, result in results:
+                    if (
+                        result.epoch is not None
+                        and result.epoch != expected_epoch
+                    ):
+                        raise _EpochSkew(shard_id, result.epoch, expected_epoch)
                     round_span.attach(result.span)
                     expanded_by_shard.setdefault(shard_id, set()).update(
                         result.reached
@@ -680,6 +791,8 @@ class ShardCoordinator:
                 "crossings_total": self._crossings,
                 "mean_rounds": self._rounds / queries if queries else 0.0,
                 "scatter_serial_fallbacks": self._scatter_serial_fallbacks,
+                "slice_epoch": self._topology.slice_epoch,
+                "epoch_skew_retries": self._epoch_skew_retries,
             }
             resilience = {
                 "retries": self._retries,

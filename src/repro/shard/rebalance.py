@@ -1,0 +1,146 @@
+"""D-guided shard rebalancing from observed border crossings.
+
+A shard plan is chosen before any query runs, from the *structural*
+region-correlation table ``D`` — how many label-constrained paths the
+index saw between regions.  Live traffic is the ground truth the static
+table approximates: every scatter-gather round the workers count, per
+peer shard, how many frontier vertices they handed across the border
+(:meth:`~repro.shard.worker.ShardWorker.crossings_by_peer`).  Crossings
+are the only thing a round pays for — each one is a vertex that must be
+shipped to another worker and expanded there — so a placement that
+moves crossing-heavy region groups onto the same shard converts remote
+rounds into slice-local CSR walks.
+
+:func:`propose_rebalance` is the pure half: fold the observed
+shard-to-shard crossing matrix back into ``D`` as extra affinity
+between the region groups on crossing-heavy shard pairs, re-run the
+same deterministic placement loop (:func:`~repro.shard.partitioner
+.assign_regions`), and return a new :class:`~repro.shard.partitioner
+.ShardPlan` — or ``None`` when the observed traffic does not move any
+region (the common steady state, and the guarantee that makes the
+admin endpoint idempotent).  Applying a proposal is the service's job
+(:meth:`~repro.shard.service.ShardedQueryService.rebalance`): it pushes
+the re-cut slices through the same two-phase prepare/publish wire a
+live update uses, at a bumped slice epoch.
+"""
+
+from __future__ import annotations
+
+from repro.index.landmarks import NO_REGION, Partition
+from repro.shard.partitioner import ShardPlan, assign_regions
+
+__all__ = ["propose_rebalance", "plan_for_assignment", "fold_crossings"]
+
+
+def fold_crossings(
+    correlations: dict[int, dict[int, int]] | None,
+    plan: ShardPlan,
+    crossings: dict[int, dict[int, int]],
+) -> dict[int, dict[int, int]]:
+    """Fold a shard-level crossing matrix into region-level ``D``.
+
+    ``crossings[a][b]`` vertices crossed from shard ``a`` to shard
+    ``b``; the static table has no row resolution below a region, so
+    each shard pair's weight is spread evenly over its region pairs
+    (rounded up — a nonzero observation must never vanish to zero
+    boost, or a 1-region shard pair could not attract at all).  Returns
+    a new table; the input is not mutated.
+    """
+    boosted: dict[int, dict[int, int]] = {
+        u: dict(row) for u, row in (correlations or {}).items()
+    }
+    for source_shard, row in crossings.items():
+        if not 0 <= source_shard < plan.num_shards:
+            continue
+        source_regions = plan.regions_by_shard[source_shard]
+        if not source_regions:
+            continue
+        for target_shard, weight in row.items():
+            if weight <= 0 or not 0 <= target_shard < plan.num_shards:
+                continue
+            target_regions = plan.regions_by_shard[target_shard]
+            if not target_regions or target_shard == source_shard:
+                continue
+            pairs = len(source_regions) * len(target_regions)
+            bonus = -(-int(weight) // pairs)  # ceil division
+            for u in source_regions:
+                target_row = boosted.setdefault(u, {})
+                for v in target_regions:
+                    target_row[v] = target_row.get(v, 0) + bonus
+    return boosted
+
+
+def plan_for_assignment(
+    partition: Partition,
+    assignment: dict[int, int],
+    num_shards: int,
+    num_vertices: int,
+) -> ShardPlan:
+    """Materialise a region → shard assignment as a full vertex plan.
+
+    Mirrors :func:`~repro.shard.partitioner.build_shard_plan` but sized
+    to ``num_vertices``, which may exceed the partition (vertices
+    interned by live updates have no landmark region and keep the same
+    deterministic ``vid % num_shards`` owners they were dealt at update
+    time — a rebalance never moves them, so only region membership ever
+    changes ownership).
+    """
+    region = partition.region
+    shard_of: list[int] = []
+    for vid in range(num_vertices):
+        r = region[vid] if vid < len(region) else NO_REGION
+        if r == NO_REGION:
+            shard_of.append(vid % num_shards)
+        else:
+            shard_of.append(assignment[r])
+    regions_by_shard: list[list[int]] = [[] for _ in range(num_shards)]
+    for landmark, shard_id in assignment.items():
+        regions_by_shard[shard_id].append(landmark)
+    return ShardPlan(
+        num_shards=num_shards,
+        shard_of=tuple(shard_of),
+        regions_by_shard=tuple(
+            tuple(sorted(group)) for group in regions_by_shard
+        ),
+        region_shard=assignment,
+    )
+
+
+def propose_rebalance(
+    partition: Partition,
+    plan: ShardPlan,
+    correlations: dict[int, dict[int, int]] | None,
+    crossings: dict[int, dict[int, int]],
+    *,
+    num_vertices: int,
+    min_crossings: int = 1,
+) -> ShardPlan | None:
+    """A better plan under observed traffic, or ``None`` to stand pat.
+
+    Pure and deterministic: same partition, plan, ``D`` and counters →
+    same proposal.  Returns ``None`` when there is structurally nothing
+    to move (one shard), too little evidence (fewer than
+    ``min_crossings`` total observed crossings), or when the boosted
+    placement reproduces the current assignment — so callers can poll
+    it harmlessly.
+    """
+    if plan.num_shards < 2:
+        return None
+    observed = sum(
+        weight
+        for source_shard, row in crossings.items()
+        for target_shard, weight in row.items()
+        if target_shard != source_shard and weight > 0
+    )
+    if observed < max(1, min_crossings):
+        return None
+    boosted = fold_crossings(correlations, plan, crossings)
+    assignment = assign_regions(partition, plan.num_shards, boosted)
+    if assignment == plan.region_shard:
+        return None
+    proposal = plan_for_assignment(
+        partition, assignment, plan.num_shards, num_vertices
+    )
+    if proposal.shard_of == plan.shard_of:
+        return None
+    return proposal

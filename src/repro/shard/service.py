@@ -16,19 +16,44 @@ Construction: the region partition comes from the loaded local index
 when there is one (its ``D`` table then guides shard placement); an
 index-free service builds a fresh landmark partition and derives the
 correlation table structurally
-(:func:`~repro.index.landmarks.structural_correlations`).  Slices are
-cut from the frozen CSR snapshot and served by in-process
-:class:`~repro.shard.worker.ShardWorker`\\ s; attach the workers to an
-HTTP server (``python -m repro serve --shards N``) and remote
-coordinators can drive them via
-:class:`~repro.shard.worker.HttpShardWorker` — the cross-host seam.
+(:func:`~repro.index.landmarks.structural_correlations`).  Two worker
+topologies serve the slices:
+
+* **in-process** (default): slices are cut from the frozen CSR snapshot
+  and served by :class:`~repro.shard.worker.ShardWorker`\\ s in this
+  process — N threads;
+* **cross-host** (``worker_urls=[...]``, ``serve --worker-url``): each
+  shard is an :class:`~repro.shard.worker.HttpShardWorker` stub driving
+  a separate ``serve --worker SLICE_FILE`` process.  Attachment starts
+  with a **handshake** — the worker's ``GET /shard/<id>`` descriptor
+  must agree on wire version and plan hash (epoch/fingerprint drift is
+  healed by pushing the coordinator's current slice) — and continues
+  with **periodic health probes** that feed the per-worker circuit
+  breakers and re-push slices to workers that restarted from stale
+  files.
+
+Live updates propagate **per slice**: :meth:`apply_updates` runs the
+inherited copy-on-write epoch swap on the coordinator, re-cuts the
+slices of every shard the batch touched, and pushes them over the
+two-phase ``prepare``/``publish`` wire before acknowledging — bumping a
+coordinated *slice epoch* that every expand response echoes, so a
+scatter that straddles the swap detects the skew and re-runs against
+the new topology.  The per-tenant WAL composes: the coordinator appends
+the batch only after every slice acknowledged its prepare, making the
+log the slice-epoch carrier replay re-cuts from.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Any
 
-from repro.exceptions import ServiceConfigError, UpdatesUnsupportedError
+from repro.exceptions import (
+    ServiceConfigError,
+    ShardHandshakeError,
+    ShardUnavailableError,
+)
 from repro.index.landmarks import (
     bfs_traverse,
     select_landmarks,
@@ -36,16 +61,30 @@ from repro.index.landmarks import (
 )
 from repro.index.local_index import LocalIndex
 from repro.service.app import QueryService
-from repro.service.epoch import GraphEpoch
+from repro.service.epoch import GraphEpoch, normalize_edge_updates
 from repro.service.planner import QueryPlan
 from repro.service.stats import merge_snapshots
 from repro.core.result import QueryResult
 from repro.graph.labeled_graph import KnowledgeGraph
 from repro.shard.coordinator import SHARDED_ALGORITHM, ShardCoordinator
-from repro.shard.partitioner import build_shard_plan, cut_slices
-from repro.shard.worker import ShardWorker
+from repro.shard.partitioner import (
+    GraphSlice,
+    ShardPlan,
+    build_shard_plan,
+    cut_slices,
+)
+from repro.shard.rebalance import propose_rebalance
+from repro.shard.slicefile import (
+    SLICE_WIRE_VERSION,
+    plan_fingerprint,
+    slice_document,
+)
+from repro.shard.worker import HttpShardWorker, ShardWorker
 
-__all__ = ["ShardedQueryService"]
+__all__ = ["ShardedQueryService", "DEFAULT_PROBE_INTERVAL"]
+
+#: Seconds between health probes of remote workers.
+DEFAULT_PROBE_INTERVAL = 5.0
 
 
 class ShardedQueryService(QueryService):
@@ -63,6 +102,9 @@ class ShardedQueryService(QueryService):
         degraded_answers: bool = False,
         scatter_timeout: float | None = None,
         retry_policy=None,
+        worker_urls: list[str] | None = None,
+        worker_timeout: float | None = None,
+        probe_interval: float | None = None,
         **kwargs: Any,
     ) -> None:
         if shards < 1:
@@ -76,16 +118,43 @@ class ShardedQueryService(QueryService):
             landmarks = select_landmarks(frozen, k=shard_landmarks, rng=self.seed)
             partition = bfs_traverse(frozen, landmarks)
             correlations = structural_correlations(frozen, partition)
+        #: Retained for D-guided rebalancing: live crossing counters are
+        #: folded into this correlation table to re-place regions.
+        self._partition = partition
+        self._correlations = correlations
         self.shard_plan = build_shard_plan(frozen, partition, shards, correlations)
-        self.workers = [
-            ShardWorker(
-                graph_slice,
-                seed=self.seed,
-                cache_size=self.results.max_size,
-                cache_ttl=self.results.ttl_seconds,
-            )
-            for graph_slice in cut_slices(frozen, self.shard_plan)
-        ]
+        #: Serialises every slice push (updates, rebalances, resyncs).
+        self._shard_lock = threading.RLock()
+        self._slice_epoch = self.epoch.epoch_id
+        self._health_lock = threading.Lock()
+        self._worker_health: dict[int, dict] = {}
+        self._probe_stop = threading.Event()
+        self._probe_thread: threading.Thread | None = None
+        plan_hash = plan_fingerprint(self.shard_plan)
+        if worker_urls is not None:
+            if len(worker_urls) != shards:
+                raise ServiceConfigError(
+                    f"--shards {shards} needs exactly {shards} --worker-url "
+                    f"values, got {len(worker_urls)}"
+                )
+            self.workers: list = [
+                HttpShardWorker(url, shard_id, timeout=worker_timeout)
+                for shard_id, url in enumerate(worker_urls)
+            ]
+        else:
+            self.workers = [
+                ShardWorker(
+                    graph_slice,
+                    seed=self.seed,
+                    cache_size=self.results.max_size,
+                    cache_ttl=self.results.ttl_seconds,
+                    epoch=self._slice_epoch,
+                    fingerprint=self.epoch.fingerprint,
+                    plan_hash=plan_hash,
+                    plan=self.shard_plan,
+                )
+                for graph_slice in cut_slices(frozen, self.shard_plan)
+            ]
         self.coordinator = ShardCoordinator(
             frozen,
             self.shard_plan,
@@ -96,7 +165,26 @@ class ShardedQueryService(QueryService):
             degraded_answers=degraded_answers,
             scatter_timeout=scatter_timeout,
             retry_policy=retry_policy,
+            slice_epoch=self._slice_epoch,
         )
+        if worker_urls is not None:
+            try:
+                for shard_id, worker in enumerate(self.workers):
+                    self._handshake(shard_id, worker)
+            except Exception:
+                self.close()
+                raise
+            interval = (
+                DEFAULT_PROBE_INTERVAL if probe_interval is None else probe_interval
+            )
+            if interval and interval > 0:
+                self._probe_thread = threading.Thread(
+                    target=self._probe_loop,
+                    args=(interval,),
+                    name="repro-shard-probe",
+                    daemon=True,
+                )
+                self._probe_thread.start()
 
     def __repr__(self) -> str:
         return (
@@ -109,6 +197,11 @@ class ShardedQueryService(QueryService):
     def default_algorithm(self) -> str:
         """``"sharded"`` unless the whole service forces one algorithm."""
         return self._forced_algorithm or SHARDED_ALGORITHM
+
+    @property
+    def slice_epoch(self) -> int:
+        """The coordinated slice epoch every worker currently serves."""
+        return self._slice_epoch
 
     # ------------------------------------------------------------------
 
@@ -126,61 +219,532 @@ class ShardedQueryService(QueryService):
         return self.coordinator.answer(plan.query)
 
     # ------------------------------------------------------------------
+    # cross-host attachment: handshake + health probes + resync
+    # ------------------------------------------------------------------
+
+    def _handshake(self, shard_id: int, worker: HttpShardWorker) -> None:
+        """Verify a remote worker serves this deployment's shard.
+
+        Wire-version or shard-identity disagreement is a structured
+        refusal (:class:`~repro.exceptions.ShardHandshakeError`); plan
+        or epoch drift — a worker booted from a stale slice file — is
+        healed by pushing the coordinator's current slice.
+        """
+        try:
+            descriptor = worker.probe()
+        except Exception as error:
+            raise ShardHandshakeError(
+                f"worker {worker.base_url} for shard {shard_id} did not "
+                f"answer its descriptor probe: {error}",
+                detail={"shard": shard_id, "url": worker.base_url},
+            ) from error
+        if descriptor.get("shard") != shard_id:
+            raise ShardHandshakeError(
+                f"worker {worker.base_url} serves shard "
+                f"{descriptor.get('shard')!r}, expected {shard_id}",
+                detail={"shard": shard_id, "descriptor": descriptor},
+            )
+        wire = descriptor.get("wire_version")
+        if wire != SLICE_WIRE_VERSION:
+            raise ShardHandshakeError(
+                f"worker {worker.base_url} speaks shard wire version "
+                f"{wire!r}, this coordinator speaks {SLICE_WIRE_VERSION}",
+                detail={
+                    "shard": shard_id,
+                    "worker_wire_version": wire,
+                    "coordinator_wire_version": SLICE_WIRE_VERSION,
+                },
+            )
+        plan_hash = plan_fingerprint(self.shard_plan)
+        if (
+            descriptor.get("plan_hash") != plan_hash
+            or descriptor.get("epoch") != self._slice_epoch
+            or descriptor.get("fingerprint") != self.epoch.fingerprint
+        ):
+            try:
+                self._resync_worker(shard_id, worker)
+            except Exception as error:
+                raise ShardHandshakeError(
+                    f"worker {worker.base_url} disagrees on plan/epoch and "
+                    f"could not be resynced: {error}",
+                    detail={
+                        "shard": shard_id,
+                        "descriptor": {
+                            key: descriptor.get(key)
+                            for key in ("epoch", "fingerprint", "plan_hash")
+                        },
+                        "expected": {
+                            "epoch": self._slice_epoch,
+                            "fingerprint": self.epoch.fingerprint,
+                            "plan_hash": plan_hash,
+                        },
+                    },
+                ) from error
+        self._note_health(
+            shard_id,
+            epoch=self._slice_epoch,
+            plan_hash=plan_hash,
+        )
+
+    def _resync_worker(self, shard_id: int, worker) -> None:
+        """Push the coordinator's current slice to one drifted worker."""
+        with self._shard_lock:
+            epoch = self.epoch
+            plan = self.shard_plan
+            graph_slice = GraphSlice(epoch.graph, plan, shard_id)
+            plan_hash = plan_fingerprint(plan)
+            txn = f"resync-{self._slice_epoch}-{shard_id}"
+            if isinstance(worker, ShardWorker):
+                worker.prepare_slice(
+                    txn,
+                    graph_slice,
+                    epoch=self._slice_epoch,
+                    fingerprint=epoch.fingerprint,
+                    plan_hash=plan_hash,
+                    plan=plan,
+                )
+            else:
+                worker.prepare_update(
+                    txn,
+                    epoch=self._slice_epoch,
+                    fingerprint=epoch.fingerprint,
+                    plan_hash=plan_hash,
+                    slice_document=slice_document(
+                        graph_slice,
+                        plan,
+                        epoch=self._slice_epoch,
+                        fingerprint=epoch.fingerprint,
+                    ),
+                )
+            worker.publish_update(txn)
+            with self._health_lock:
+                entry = self._worker_health.setdefault(shard_id, {})
+                entry["resyncs"] = entry.get("resyncs", 0) + 1
+
+    def _note_health(self, shard_id: int, **fields: Any) -> None:
+        with self._health_lock:
+            entry = self._worker_health.setdefault(
+                shard_id, {"consecutive_failures": 0}
+            )
+            entry["last_seen"] = time.time()
+            entry["consecutive_failures"] = 0
+            entry.pop("last_error", None)
+            entry.update(fields)
+
+    def _note_unhealthy(self, shard_id: int, error: BaseException) -> None:
+        with self._health_lock:
+            entry = self._worker_health.setdefault(
+                shard_id, {"consecutive_failures": 0}
+            )
+            entry["consecutive_failures"] = (
+                entry.get("consecutive_failures", 0) + 1
+            )
+            entry["last_error"] = f"{type(error).__name__}: {error}"
+
+    def _probe_loop(self, interval: float) -> None:
+        while not self._probe_stop.wait(interval):
+            try:
+                self._probe_workers(timeout=max(0.5, min(interval, 5.0)))
+            except Exception:  # pragma: no cover - probe loop never dies
+                pass
+
+    def _probe_workers(self, timeout: float = 5.0) -> None:
+        """One health sweep: probe every remote worker, heal drift.
+
+        Probe outcomes feed the coordinator's per-worker circuit
+        breakers — a responsive descriptor closes a half-open breaker
+        without waiting for query traffic, and a dead worker keeps its
+        breaker open between queries.  A worker answering with a stale
+        epoch or plan hash (it restarted from an old slice file) gets
+        the current slice re-pushed.
+        """
+        for shard_id, worker in enumerate(self.workers):
+            probe = getattr(worker, "probe", None)
+            if probe is None:
+                continue
+            try:
+                descriptor = probe(timeout=timeout)
+            except Exception as error:
+                self.coordinator.breakers[shard_id].record_failure()
+                self._note_unhealthy(shard_id, error)
+                continue
+            self.coordinator.breakers[shard_id].record_success()
+            self._note_health(
+                shard_id,
+                epoch=descriptor.get("epoch"),
+                plan_hash=descriptor.get("plan_hash"),
+            )
+            if (
+                descriptor.get("epoch") != self._slice_epoch
+                or descriptor.get("plan_hash")
+                != plan_fingerprint(self.shard_plan)
+            ):
+                try:
+                    self._resync_worker(shard_id, worker)
+                except Exception as error:
+                    self._note_unhealthy(shard_id, error)
+
+    # ------------------------------------------------------------------
+    # slice-epoch propagation: the two-phase push
+    # ------------------------------------------------------------------
+
+    def _extended_plan(self, graph: KnowledgeGraph) -> ShardPlan:
+        """The current plan, extended over vertices interned since.
+
+        New vertices have no landmark region, so they take the same
+        round-robin owners :func:`build_shard_plan` gives unreached
+        vertices — deterministic and balanced, no re-placement of
+        existing vertices.
+        """
+        plan = self.shard_plan
+        count = graph.num_vertices
+        if count == plan.num_vertices:
+            return plan
+        shard_of = list(plan.shard_of) + [
+            vid % plan.num_shards for vid in range(plan.num_vertices, count)
+        ]
+        return ShardPlan(
+            num_shards=plan.num_shards,
+            shard_of=tuple(shard_of),
+            regions_by_shard=plan.regions_by_shard,
+            region_shard=plan.region_shard,
+        )
+
+    def _push_slices(
+        self,
+        slice_epoch: int,
+        *,
+        plan: ShardPlan | None = None,
+        touched: set[int] | None = None,
+        reason: str,
+    ) -> tuple[ShardPlan, list[tuple[int, str]]]:
+        """Re-cut and push slices, two-phase, then publish the topology.
+
+        Phase one *prepares* every worker — touched shards receive their
+        re-cut slice (all the rebuild cost lands here, off the serving
+        path), untouched shards a bare epoch bump — and any failure
+        aborts all staged state and re-raises before anything served
+        changes.  Past that point the new topology publishes on the
+        coordinator and every worker; publish stragglers are returned
+        (not raised) because the swap is already committed — their
+        expands echo a stale epoch, the skew check refuses structurally,
+        and the health sweep re-pushes until they converge.
+        """
+        epoch = self.epoch
+        graph = epoch.graph
+        if plan is None:
+            plan = self._extended_plan(graph)
+        plan_hash = plan_fingerprint(plan)
+        txn = f"{reason}-{slice_epoch}"
+        prepared: list = []
+        try:
+            for shard_id, worker in enumerate(self.workers):
+                ship = touched is None or shard_id in touched
+                if isinstance(worker, ShardWorker):
+                    if ship:
+                        worker.prepare_slice(
+                            txn,
+                            GraphSlice(graph, plan, shard_id),
+                            epoch=slice_epoch,
+                            fingerprint=epoch.fingerprint,
+                            plan_hash=plan_hash,
+                            plan=plan,
+                        )
+                    else:
+                        worker.prepare_update(
+                            txn,
+                            epoch=slice_epoch,
+                            fingerprint=epoch.fingerprint,
+                            plan_hash=plan_hash,
+                        )
+                else:
+                    document = None
+                    if ship:
+                        document = slice_document(
+                            GraphSlice(graph, plan, shard_id),
+                            plan,
+                            epoch=slice_epoch,
+                            fingerprint=epoch.fingerprint,
+                        )
+                    worker.prepare_update(
+                        txn,
+                        epoch=slice_epoch,
+                        fingerprint=epoch.fingerprint,
+                        plan_hash=plan_hash,
+                        slice_document=document,
+                    )
+                prepared.append(worker)
+        except Exception:
+            for worker in prepared:
+                try:
+                    worker.abort_update(txn)
+                except Exception:
+                    pass
+            raise
+        # Point of no return: every worker holds the staged state.
+        self.shard_plan = plan
+        self._slice_epoch = slice_epoch
+        self.coordinator.publish(graph, plan, slice_epoch)
+        failures: list[tuple[int, str]] = []
+        for shard_id, worker in enumerate(self.workers):
+            try:
+                worker.publish_update(txn)
+            except Exception as error:
+                self._note_unhealthy(shard_id, error)
+                failures.append(
+                    (shard_id, f"{type(error).__name__}: {error}")
+                )
+            else:
+                if not isinstance(worker, ShardWorker):
+                    self._note_health(
+                        shard_id, epoch=slice_epoch, plan_hash=plan_hash
+                    )
+        # Queries that raced the swap may have cached answers computed
+        # on the previous topology under the new epoch's namespace;
+        # drop them so the cache only ever re-serves post-swap answers.
+        self.results.purge(
+            lambda key: isinstance(key, tuple) and key[0] == epoch.epoch_id
+        )
+        return plan, failures
+
+    def _rollback_epoch(self, old: GraphEpoch, failed: GraphEpoch) -> None:
+        """Un-publish a base epoch whose slice push could not prepare."""
+        with self._update_lock:
+            if self._epoch is failed:
+                self._epoch = old
+        self.results.purge(
+            lambda key: isinstance(key, tuple) and key[0] == failed.epoch_id
+        )
+
+    def _touched_shards(
+        self, updates: list, graph: KnowledgeGraph, plan: ShardPlan
+    ) -> set[int]:
+        """Owners (under ``plan``) of every updated edge's source vertex.
+
+        An edge lives in exactly one slice — its source's — so these are
+        the only slices whose content an applied batch can change.  A
+        brand-new vertex that only ever appears as a target needs no
+        slice re-cut: no slice stores out-edges for it yet, and the
+        coordinator counts crossed-to vertices as visited without asking
+        their owner to expand them.
+        """
+        touched: set[int] = set()
+        for source, _label, _target, _op in updates:
+            if graph.has_vertex(source):
+                touched.add(plan.shard_of[graph.vid(source)])
+        return touched
 
     def apply_updates(self, edges: Any, **kwargs: Any) -> dict:
-        """Refuse live updates: worker slices would go silently stale.
+        """Epoch-swap the coordinator, then propagate the swap per slice.
 
-        The coordinator's graph is only one copy of the data — every
-        :class:`~repro.shard.partitioner.GraphSlice` (region-restricted
-        CSR plus border tables) held by the workers was cut from the
-        pre-update snapshot, so mutating just the coordinator would make
-        scatter-gather answer for a graph the slices no longer match.
-        Until epochs propagate *per slice* (the slice-epoch seam noted
-        in ROADMAP.md), a sharded service answers ``POST /edges`` with a
-        structured 501 naming that seam.
+        The inherited copy-on-write pipeline does the graph/index work
+        and publishes the coordinator's new :class:`GraphEpoch`; this
+        override then re-cuts the slices of every shard owning an
+        updated edge's source and drives the two-phase push.  The WAL —
+        when attached — is bypassed during the base call and appended
+        here instead, *after* every slice acknowledged its prepare: an
+        acknowledged batch is durable and fleet-visible, and replay
+        through this same method re-cuts and re-pushes slices on
+        recovery.  If any worker refuses its prepare, the base epoch is
+        rolled back (nothing was served from it) and the batch fails
+        with a structured 503 — the deployment stays consistent at the
+        previous epoch.
         """
-        raise UpdatesUnsupportedError(
-            "sharded services cannot apply live updates: the worker "
-            "GraphSlice border tables were cut from the current snapshot "
-            "and would go silently stale; per-slice epoch swap is the "
-            "missing seam (see ROADMAP.md)",
-            detail={
-                "seam": "slice-epoch",
-                "shards": self.shard_plan.num_shards,
-                "epoch": self.epoch.epoch_id,
-            },
-        )
+        updates = normalize_edge_updates(edges)
+        with self._shard_lock:
+            old_epoch = self.epoch
+            wal = self._wal
+            self._wal = None
+            try:
+                summary = super().apply_updates(updates, **kwargs)
+            finally:
+                self._wal = wal
+            new_epoch = self.epoch
+            if new_epoch.epoch_id == old_epoch.epoch_id:
+                # No-op batch: nothing published, nothing to push.
+                return summary
+            slice_epoch = max(new_epoch.epoch_id, self._slice_epoch + 1)
+            plan = self._extended_plan(new_epoch.graph)
+            touched = self._touched_shards(updates, new_epoch.graph, plan)
+            try:
+                plan, failures = self._push_slices(
+                    slice_epoch,
+                    plan=plan,
+                    touched=touched,
+                    reason="update",
+                )
+            except Exception as error:
+                self._rollback_epoch(old_epoch, new_epoch)
+                raise ShardUnavailableError(
+                    getattr(error, "shard", -1),
+                    f"slice push could not prepare: {error}",
+                    detail={"epoch": old_epoch.epoch_id},
+                ) from error
+            if wal is not None:
+                wal.append(
+                    updates,
+                    epoch=new_epoch.epoch_id,
+                    fingerprint=new_epoch.fingerprint,
+                    graph=new_epoch.graph,
+                )
+            summary["slice_epoch"] = slice_epoch
+            summary["shards_updated"] = sorted(touched)
+            if failures:
+                summary["shards_unpublished"] = [
+                    {"shard": shard_id, "error": message}
+                    for shard_id, message in failures
+                ]
+            return summary
+
+    def reset_epoch(
+        self, epoch_id: int, *, expected_fingerprint: str | None = None
+    ) -> None:
+        """Renumber the epoch and propagate the new id to every slice.
+
+        WAL recovery's counter-restore: the graph content is already
+        correct, but workers must echo the logged epoch or every
+        post-recovery scatter would look like a mid-swap skew.
+        """
+        with self._shard_lock:
+            before = self.epoch.epoch_id
+            super().reset_epoch(
+                epoch_id, expected_fingerprint=expected_fingerprint
+            )
+            if self.epoch.epoch_id == before:
+                return
+            slice_epoch = max(epoch_id, self._slice_epoch + 1)
+            self._push_slices(slice_epoch, reason="reset")
+
+    # ------------------------------------------------------------------
+    # D-guided rebalancing
+    # ------------------------------------------------------------------
+
+    def rebalance(self) -> dict:
+        """Re-cut the shard plan from live border-crossing counters.
+
+        Folds each worker's per-peer crossing counts into the structural
+        correlation table (:func:`~repro.shard.rebalance
+        .propose_rebalance` is the pure half) and — when the proposal
+        actually moves a region — pushes the re-cut slices through the
+        same two-phase wire an update uses, at a bumped slice epoch.
+        """
+        with self._shard_lock:
+            crossings: dict[int, dict[int, int]] = {}
+            for shard_id, worker in enumerate(self.workers):
+                if isinstance(worker, ShardWorker):
+                    crossings[shard_id] = worker.crossings_by_peer()
+                else:
+                    try:
+                        descriptor = worker.probe()
+                    except Exception as error:
+                        raise ShardUnavailableError(
+                            shard_id,
+                            f"cannot read crossing counters: {error}",
+                        ) from error
+                    crossings[shard_id] = {
+                        int(peer): int(count)
+                        for peer, count in (
+                            descriptor.get("crossings_by_peer") or {}
+                        ).items()
+                    }
+            proposal = propose_rebalance(
+                self._partition,
+                self.shard_plan,
+                self._correlations,
+                crossings,
+                num_vertices=self.epoch.graph.num_vertices,
+            )
+            if proposal is None:
+                return {
+                    "rebalanced": False,
+                    "reason": "current placement already minimises observed "
+                    "crossings (or there is nothing to move)",
+                    "slice_epoch": self._slice_epoch,
+                    "crossings": {
+                        str(shard): {str(p): c for p, c in peers.items()}
+                        for shard, peers in sorted(crossings.items())
+                    },
+                }
+            moved = sum(
+                1
+                for landmark, shard in proposal.region_shard.items()
+                if self.shard_plan.region_shard.get(landmark) != shard
+            )
+            slice_epoch = self._slice_epoch + 1
+            plan, failures = self._push_slices(
+                slice_epoch, plan=proposal, reason="rebalance"
+            )
+            document = {
+                "rebalanced": True,
+                "slice_epoch": slice_epoch,
+                "regions_moved": moved,
+                "plan": plan.describe(),
+            }
+            if failures:
+                document["shards_unpublished"] = [
+                    {"shard": shard_id, "error": message}
+                    for shard_id, message in failures
+                ]
+            return document
+
+    # ------------------------------------------------------------------
 
     def health(self) -> dict:
         document = super().health()
         document["shards"] = self.shard_plan.num_shards
+        document["slice_epoch"] = self._slice_epoch
         return document
 
     def stats_snapshot(self) -> dict:
         """The inherited document plus a ``shards`` section.
 
-        ``workers_totals`` folds every worker's per-slice service
-        counters (the co-located fast-path traffic, with its own
-        ``ResultAggregate`` cells and latency histograms) into one
-        document via the same :func:`merge_snapshots` the registry uses
-        across tenants — the shard-level aggregation view.
+        Each worker entry is its own descriptor (slice sizes, traffic
+        and update counters — plus connection reuse for remote stubs)
+        merged with the coordinator-side health ledger (``last_seen``
+        age, consecutive probe failures, last observed epoch/plan).
+        ``workers_totals`` folds every in-process worker's per-slice
+        service counters into one document via the same
+        :func:`merge_snapshots` the registry uses across tenants.
         """
         document = super().stats_snapshot()
+        now = time.time()
+        with self._health_lock:
+            health = {
+                shard_id: dict(entry)
+                for shard_id, entry in self._worker_health.items()
+            }
+        workers = []
+        for shard_id, worker in enumerate(self.workers):
+            entry = worker.describe()
+            ledger = health.get(shard_id)
+            if ledger is not None:
+                last_seen = ledger.pop("last_seen", None)
+                if last_seen is not None:
+                    ledger["last_seen_age_seconds"] = max(0.0, now - last_seen)
+                entry["health"] = ledger
+            workers.append(entry)
         document["shards"] = {
             "plan": self.shard_plan.describe(),
+            "plan_hash": plan_fingerprint(self.shard_plan),
+            "slice_epoch": self._slice_epoch,
             "coordinator": self.coordinator.stats(),
-            "workers": [worker.describe() for worker in self.workers],
+            "workers": workers,
             "workers_totals": merge_snapshots(
                 worker.service.stats.snapshot()
                 for worker in self.workers
-                if worker.service is not None
+                if getattr(worker, "service", None) is not None
             ),
         }
         document["config"]["shards"] = self.shard_plan.num_shards
         return document
 
     def close(self) -> None:
-        """Release the coordinator pool and every worker's slice service."""
+        """Stop probing, release the coordinator pool and every worker."""
+        self._probe_stop.set()
+        thread = self._probe_thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+            self._probe_thread = None
         self.coordinator.close()
         for worker in self.workers:
             worker.close()

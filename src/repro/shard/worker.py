@@ -1,7 +1,7 @@
 """Shard workers: the expand/answer half of scatter-gather serving.
 
 A worker owns one :class:`~repro.shard.partitioner.GraphSlice` and
-exposes exactly two operations the coordinator needs:
+exposes the operations the coordinator needs:
 
 * :meth:`ShardWorker.expand` — the scatter-gather primitive: given
   frontier seeds the shard owns and a label mask, compute the *local*
@@ -10,36 +10,54 @@ exposes exactly two operations the coordinator needs:
   owning the crossed-to vertex.  Stateless across queries — the
   coordinator ships the shard's previously expanded set back as
   ``exclude`` — so any number of queries can fan out concurrently and a
-  worker can live in another process;
+  worker can live in another process.  Every result echoes the worker's
+  current **slice epoch**, which is how a coordinator detects that a
+  scatter round straddled a slice swap;
 * :meth:`ShardWorker.local_query` — the co-located fast path: the
   worker wraps a full per-slice :class:`~repro.service.app.QueryService`
   over its slice graph, and because a slice's edges are a subset of the
   graph's, a *true* answer from the slice is a true answer globally
   (false means "unknown", and the coordinator falls back to
-  scatter-gather).
+  scatter-gather);
+* :meth:`ShardWorker.prepare_update` / :meth:`publish_update` /
+  :meth:`abort_update` — the worker half of slice-epoch propagation:
+  a coordinator pushing an update stages the re-cut slice (all the
+  expensive rebuild work happens here, off the serving path), then
+  publishes it as one atomic reference swap.  Workers untouched by a
+  batch stage an epoch bump without a slice payload, so the whole
+  fleet moves epochs in lockstep.
 
-Both operations also speak JSON (:meth:`handle_expand`,
-:meth:`handle_query`), which is how the existing HTTP layer hosts a
-worker in a separate process (``POST /shard/<id>/expand``);
-:class:`HttpShardWorker` is the matching client stub with the same
-Python interface, so the coordinator cannot tell local from remote.
+All of it also speaks JSON (:meth:`handle_expand`, :meth:`handle_query`,
+:meth:`handle_update`), which is how the existing HTTP layer hosts a
+worker in a separate process (``POST /shard/<id>/{expand,query,update}``
+plus the ``GET /shard/<id>`` descriptor); :class:`HttpShardWorker` is
+the matching client stub with the same Python interface — over pooled
+keep-alive connections — so the coordinator cannot tell local from
+remote.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
-import urllib.error
-import urllib.request
+import urllib.parse
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.query import LSCRQuery
-from repro.exceptions import BadRequestError, DeadlineExceededError
+from repro.exceptions import (
+    BadRequestError,
+    DeadlineExceededError,
+    RemoteShardError,
+    ServiceConfigError,
+    SliceFileError,
+)
 from repro.resilience.deadline import Deadline
 from repro.service.app import QueryService
-from repro.shard.partitioner import GraphSlice
+from repro.shard.partitioner import GraphSlice, ShardPlan
+from repro.shard.slicefile import SLICE_WIRE_VERSION, slice_from_document
 
 __all__ = [
     "DEFAULT_HTTP_TIMEOUT",
@@ -69,6 +87,29 @@ class ExpandResult:
     #: build the dict themselves — in another process there is no shared
     #: context variable, so the trace travels by value over the wire.
     span: dict | None = field(default=None, compare=False)
+    #: The slice epoch this expand answered for (None from worker
+    #: stand-ins that predate slice-epoch propagation).  The coordinator
+    #: compares it against its expected epoch: a mismatch means the
+    #: round straddled a slice swap and must be retried.
+    epoch: int | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class _SliceState:
+    """Everything that swaps together when a worker publishes a slice.
+
+    Readers load ``worker._state`` once and work off the bundle, so a
+    concurrent publish can never hand them the new slice with the old
+    epoch (or vice versa) — the same single-atomic-reference discipline
+    :class:`~repro.service.epoch.GraphEpoch` uses in the query service.
+    """
+
+    slice: GraphSlice
+    service: QueryService | None
+    epoch: int
+    fingerprint: str
+    plan_hash: str
+    plan: ShardPlan | None
 
 
 class ShardWorker:
@@ -76,7 +117,8 @@ class ShardWorker:
 
     Thread-safe: :meth:`expand` touches only per-call state plus the
     slice's read-only CSR (whose lazy mask-view cells are safe under
-    concurrent writers), and counters mutate under one lock.
+    concurrent writers), counters mutate under one lock, and slice
+    swaps replace one immutable :class:`_SliceState` reference.
     """
 
     def __init__(
@@ -87,37 +129,92 @@ class ShardWorker:
         local_service: bool = True,
         cache_size: int = 1024,
         cache_ttl: float | None = None,
+        epoch: int = 0,
+        fingerprint: str = "",
+        plan_hash: str = "",
+        plan: ShardPlan | None = None,
     ) -> None:
-        self.slice = graph_slice
         self.shard_id = graph_slice.shard_id
-        #: The per-slice query service behind the co-located fast path
-        #: (and the worker's own /stats when served remotely).  Cache
-        #: knobs follow the owning service's so ``cache_size=0`` really
-        #: does disable every cache in a sharded deployment.
-        self.service: QueryService | None = (
-            QueryService(
-                graph_slice.to_graph(),
-                seed=seed,
-                cache_size=cache_size,
-                cache_ttl=cache_ttl,
-                # The owning service's router already consulted *its*
-                # bounds before the fast path reached this slice; a
-                # per-slice bounds index would only duplicate the build.
-                approx=False,
-            )
-            if local_service
-            else None
+        self._seed = seed
+        self._local_service = local_service
+        self._cache_size = cache_size
+        self._cache_ttl = cache_ttl
+        self._state = _SliceState(
+            slice=graph_slice,
+            service=self._build_service(graph_slice),
+            epoch=epoch,
+            fingerprint=fingerprint,
+            plan_hash=plan_hash,
+            plan=plan,
         )
         self._lock = threading.Lock()
+        self._update_lock = threading.Lock()
+        self._staged: dict[str, _SliceState] = {}
         self._expand_calls = 0
         self._seeds_in = 0
         self._reached_out = 0
         self._crossings_out = 0
+        self._crossings_by_peer: dict[int, int] = {}
         self._local_queries = 0
         self._local_hits = 0
+        self._updates_prepared = 0
+        self._updates_published = 0
+        self._updates_aborted = 0
+
+    def _build_service(self, graph_slice: GraphSlice) -> QueryService | None:
+        """The per-slice query service behind the co-located fast path
+        (and the worker's own /stats when served remotely).  Cache knobs
+        follow the owning service's so ``cache_size=0`` really does
+        disable every cache in a sharded deployment.
+        """
+        if not self._local_service:
+            return None
+        return QueryService(
+            graph_slice.to_graph(),
+            seed=self._seed,
+            cache_size=self._cache_size,
+            cache_ttl=self._cache_ttl,
+            # The owning service's router already consulted *its*
+            # bounds before the fast path reached this slice; a
+            # per-slice bounds index would only duplicate the build.
+            approx=False,
+        )
+
+    # ------------------------------------------------------------------
+    # current-state views (one atomic reference behind them all)
+    # ------------------------------------------------------------------
+
+    @property
+    def slice(self) -> GraphSlice:
+        return self._state.slice
+
+    @property
+    def service(self) -> QueryService | None:
+        return self._state.service
+
+    @property
+    def epoch(self) -> int:
+        """The slice epoch this worker currently serves."""
+        return self._state.epoch
+
+    @property
+    def fingerprint(self) -> str:
+        return self._state.fingerprint
+
+    @property
+    def plan_hash(self) -> str:
+        return self._state.plan_hash
+
+    @property
+    def plan(self) -> ShardPlan | None:
+        return self._state.plan
 
     def __repr__(self) -> str:
-        return f"ShardWorker(shard={self.shard_id}, slice={self.slice!r})"
+        state = self._state
+        return (
+            f"ShardWorker(shard={self.shard_id}, epoch={state.epoch}, "
+            f"slice={state.slice!r})"
+        )
 
     # ------------------------------------------------------------------
     # the scatter-gather primitive
@@ -164,7 +261,8 @@ class ShardWorker:
                     partial={"shard": self.shard_id},
                 )
             deadline = Deadline(deadline_ms)
-        graph_slice = self.slice
+        state = self._state
+        graph_slice = state.slice
         local_of = graph_slice.local_of
         shard_of = graph_slice.shard_of
         border = graph_slice.border_targets
@@ -245,12 +343,17 @@ class ShardWorker:
             crossings=crossings_out,
             expanded=expanded,
             span=span_doc,
+            epoch=state.epoch,
         )
         with self._lock:
             self._expand_calls += 1
             self._seeds_in += seed_count
             self._reached_out += len(result.reached)
-            self._crossings_out += sum(len(t) for t in result.crossings.values())
+            for owner, targets in result.crossings.items():
+                self._crossings_out += len(targets)
+                self._crossings_by_peer[owner] = (
+                    self._crossings_by_peer.get(owner, 0) + len(targets)
+                )
         return result
 
     # ------------------------------------------------------------------
@@ -272,7 +375,7 @@ class ShardWorker:
         and a worker-level cache would leak answers to requests that
         asked for uncached execution.
         """
-        service = self.service
+        service = self._state.service
         if service is None:
             return False
         if not service.graph.has_vertex(query.source) or not service.graph.has_vertex(
@@ -291,6 +394,146 @@ class ShardWorker:
             if result.answer:
                 self._local_hits += 1
         return result.answer
+
+    # ------------------------------------------------------------------
+    # slice-epoch propagation (two-phase slice swap)
+    # ------------------------------------------------------------------
+
+    def prepare_update(
+        self,
+        txn: str,
+        *,
+        epoch: int,
+        fingerprint: str,
+        plan_hash: str | None = None,
+        slice_document: dict | None = None,
+    ) -> dict:
+        """Stage the next slice state without serving it.
+
+        With ``slice_document`` the re-cut slice is rebuilt and its
+        query service constructed *here* — all the expensive work of a
+        swap, off the serving path.  Without it this is a pure epoch
+        bump: the batch touched no edge this shard owns, but the fleet's
+        epochs must still advance together or the coordinator's skew
+        check would flag healthy workers forever.
+        """
+        if slice_document is not None:
+            loaded = slice_from_document(
+                slice_document,
+                source=f"shard {self.shard_id} update {txn}",
+            )
+            if loaded.shard_id != self.shard_id:
+                raise BadRequestError(
+                    f"update {txn} ships slice for shard {loaded.shard_id} "
+                    f"to shard {self.shard_id}"
+                )
+            if loaded.epoch != epoch or loaded.fingerprint != fingerprint:
+                raise BadRequestError(
+                    f"update {txn} epoch/fingerprint disagree with its "
+                    f"slice document (epoch {epoch} vs {loaded.epoch})"
+                )
+            staged = _SliceState(
+                slice=loaded.slice,
+                service=self._build_service(loaded.slice),
+                epoch=loaded.epoch,
+                fingerprint=loaded.fingerprint,
+                plan_hash=loaded.plan_hash,
+                plan=loaded.plan,
+            )
+        else:
+            current = self._state
+            staged = _SliceState(
+                slice=current.slice,
+                service=current.service,
+                epoch=int(epoch),
+                fingerprint=fingerprint,
+                plan_hash=current.plan_hash if plan_hash is None else plan_hash,
+                plan=current.plan,
+            )
+        return self._stage(txn, staged, staged_slice=slice_document is not None)
+
+    def prepare_slice(
+        self,
+        txn: str,
+        graph_slice: GraphSlice,
+        *,
+        epoch: int,
+        fingerprint: str,
+        plan_hash: str,
+        plan: ShardPlan | None = None,
+    ) -> dict:
+        """In-process fast lane of :meth:`prepare_update`.
+
+        A co-hosted coordinator already holds the re-cut
+        :class:`GraphSlice` object; staging it directly skips the
+        serialize→reparse roundtrip the wire needs.  Semantically
+        identical to a prepare with a slice document.
+        """
+        if graph_slice.shard_id != self.shard_id:
+            raise BadRequestError(
+                f"update {txn} stages slice for shard {graph_slice.shard_id} "
+                f"on shard {self.shard_id}"
+            )
+        staged = _SliceState(
+            slice=graph_slice,
+            service=self._build_service(graph_slice),
+            epoch=int(epoch),
+            fingerprint=fingerprint,
+            plan_hash=plan_hash,
+            plan=plan,
+        )
+        return self._stage(txn, staged, staged_slice=True)
+
+    def _stage(self, txn: str, staged: _SliceState, *, staged_slice: bool) -> dict:
+        with self._update_lock:
+            previous = self._staged.pop(txn, None)
+            self._staged[txn] = staged
+        if previous is not None:
+            self._discard_staged(previous)
+        with self._lock:
+            self._updates_prepared += 1
+        return {
+            "shard": self.shard_id,
+            "txn": txn,
+            "epoch": staged.epoch,
+            "plan_hash": staged.plan_hash,
+            "staged_slice": staged_slice,
+        }
+
+    def publish_update(self, txn: str) -> dict:
+        """Swap a staged state in (one atomic reference store)."""
+        with self._update_lock:
+            staged = self._staged.pop(txn, None)
+            if staged is None:
+                raise BadRequestError(
+                    f"shard {self.shard_id} has no prepared update {txn}",
+                    status=409,
+                )
+            old = self._state
+            self._state = staged
+        if staged.service is not old.service and old.service is not None:
+            old.service.close()
+        with self._lock:
+            self._updates_published += 1
+        return {"shard": self.shard_id, "txn": txn, "epoch": staged.epoch}
+
+    def abort_update(self, txn: str) -> dict:
+        """Drop a staged state (idempotent — unknown txns are no-ops)."""
+        with self._update_lock:
+            staged = self._staged.pop(txn, None)
+        if staged is not None:
+            self._discard_staged(staged)
+            with self._lock:
+                self._updates_aborted += 1
+        return {
+            "shard": self.shard_id,
+            "txn": txn,
+            "epoch": self._state.epoch,
+        }
+
+    def _discard_staged(self, staged: _SliceState) -> None:
+        if staged.service is not None and staged.service is not self._state.service:
+            staged.service.close()
 
     # ------------------------------------------------------------------
     # JSON API (how the HTTP layer hosts a worker in another process)
@@ -332,6 +575,7 @@ class ShardWorker:
                 for owner, targets in result.crossings.items()
             },
             "expanded": result.expanded,
+            "epoch": result.epoch,
         }
         if result.span is not None:
             document["trace"] = result.span
@@ -339,7 +583,7 @@ class ShardWorker:
 
     def handle_query(self, payload: object) -> dict:
         """``POST /shard/<id>/query``: the fast path over the slice service."""
-        service = self.service
+        service = self._state.service
         if service is None:
             raise BadRequestError(
                 f"shard {self.shard_id} runs without a local query service",
@@ -347,42 +591,213 @@ class ShardWorker:
             )
         return service.handle_query(payload)
 
+    def handle_update(self, payload: object) -> dict:
+        """``POST /shard/<id>/update``: the two-phase slice-swap wire.
+
+        ``{"phase": "prepare"|"publish"|"abort", "txn": ..., ...}``.
+        Prepare additionally carries the coordinated ``epoch`` and
+        ``fingerprint`` plus, for touched shards, the re-cut slice as
+        its canonical document.  A ``wire_version`` other than this
+        build's is refused before anything is staged.
+        """
+        if not isinstance(payload, dict):
+            raise BadRequestError("update body must be a JSON object")
+        wire = payload.get("wire_version", SLICE_WIRE_VERSION)
+        if wire != SLICE_WIRE_VERSION:
+            raise BadRequestError(
+                f"unsupported shard wire version {wire!r} "
+                f"(this worker speaks {SLICE_WIRE_VERSION})",
+                detail={"wire_version": SLICE_WIRE_VERSION},
+            )
+        phase = payload.get("phase")
+        txn = payload.get("txn")
+        if phase not in ("prepare", "publish", "abort"):
+            raise BadRequestError(
+                "'phase' must be one of 'prepare', 'publish', 'abort'"
+            )
+        if not isinstance(txn, str) or not txn:
+            raise BadRequestError("'txn' must be a non-empty string")
+        if phase == "publish":
+            return self.publish_update(txn)
+        if phase == "abort":
+            return self.abort_update(txn)
+        epoch = payload.get("epoch")
+        if not isinstance(epoch, int) or isinstance(epoch, bool):
+            raise BadRequestError("'epoch' must be an integer")
+        fingerprint = payload.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            raise BadRequestError("'fingerprint' must be a string")
+        plan_hash = payload.get("plan_hash")
+        if plan_hash is not None and not isinstance(plan_hash, str):
+            raise BadRequestError("'plan_hash' must be a string")
+        slice_doc = payload.get("slice")
+        if slice_doc is not None and not isinstance(slice_doc, dict):
+            raise BadRequestError("'slice' must be a slice document object")
+        try:
+            return self.prepare_update(
+                txn,
+                epoch=epoch,
+                fingerprint=fingerprint,
+                plan_hash=plan_hash,
+                slice_document=slice_doc,
+            )
+        except SliceFileError as error:
+            raise BadRequestError(
+                f"slice document rejected: {error}",
+                detail={"phase": "prepare", "txn": txn},
+            ) from None
+
     # ------------------------------------------------------------------
 
     def describe(self) -> dict:
-        """JSON-ready slice sizes + traffic counters for ``/stats``."""
+        """JSON-ready descriptor: identity + slice sizes + counters.
+
+        Served verbatim as ``GET /shard/<id>`` — the handshake and
+        health-probe surface — and embedded in the owning service's
+        ``/stats`` shards section.
+        """
+        state = self._state
         with self._lock:
             counters = {
                 "expand_calls": self._expand_calls,
                 "seeds_in": self._seeds_in,
                 "reached_out": self._reached_out,
                 "crossings_out": self._crossings_out,
+                "crossings_by_peer": {
+                    str(owner): count
+                    for owner, count in sorted(self._crossings_by_peer.items())
+                },
                 "local_queries": self._local_queries,
                 "local_hits": self._local_hits,
+                "updates_prepared": self._updates_prepared,
+                "updates_published": self._updates_published,
+                "updates_aborted": self._updates_aborted,
             }
-        return {**self.slice.describe(), **counters}
+        return {
+            **state.slice.describe(),
+            "epoch": state.epoch,
+            "fingerprint": state.fingerprint,
+            "plan_hash": state.plan_hash,
+            "wire_version": SLICE_WIRE_VERSION,
+            **counters,
+        }
+
+    def crossings_by_peer(self) -> dict[int, int]:
+        """Live border-crossing counts per peer shard (for rebalancing)."""
+        with self._lock:
+            return dict(self._crossings_by_peer)
 
     def close(self) -> None:
         """Release the slice service's pooled resources (idempotent)."""
-        if self.service is not None:
-            self.service.close()
+        with self._update_lock:
+            staged = list(self._staged.values())
+            self._staged.clear()
+        for state in staged:
+            self._discard_staged(state)
+        service = self._state.service
+        if service is not None:
+            service.close()
+
+
+class _KeepAlivePool:
+    """A tiny keep-alive connection pool for one worker base URL.
+
+    ``http.client`` connections are not thread-safe, so the pool hands
+    each caller exclusive use of one connection (LIFO — the most
+    recently used connection is the least likely to have been idled out
+    by the server) and takes it back afterwards.  Connections whose
+    response closed the stream, or that erred mid-call, are discarded.
+    """
+
+    def __init__(self, base_url: str, timeout: float) -> None:
+        parts = urllib.parse.urlsplit(base_url)
+        if parts.scheme != "http":
+            raise ServiceConfigError(
+                f"shard worker URLs must be http://, got {base_url!r}"
+            )
+        if parts.hostname is None:
+            raise ServiceConfigError(f"shard worker URL has no host: {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port if parts.port is not None else 80
+        #: Path prefix in front of /shard/<id>/... (usually empty).
+        self.prefix = parts.path.rstrip("/")
+        self.timeout = timeout
+        self._idle: list[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self.opened = 0
+        self.reused = 0
+        self.reconnects = 0
+
+    def acquire(self) -> tuple[http.client.HTTPConnection, bool]:
+        """An exclusive connection plus whether it is being reused."""
+        with self._lock:
+            if self._idle:
+                self.reused += 1
+                return self._idle.pop(), True
+            self.opened += 1
+        return (
+            http.client.HTTPConnection(self.host, self.port, timeout=self.timeout),
+            False,
+        )
+
+    def release(self, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if not self._closed:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    def discard(self, connection: http.client.HTTPConnection) -> None:
+        connection.close()
+
+    def note_reconnect(self) -> None:
+        with self._lock:
+            self.reconnects += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "connections_opened": self.opened,
+                "connection_reuses": self.reused,
+                "reconnects": self.reconnects,
+                "idle_connections": len(self._idle),
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for connection in idle:
+            connection.close()
 
 
 class HttpShardWorker:
     """Client stub driving a remote worker over the existing HTTP layer.
 
-    Implements the same ``expand`` / ``local_query`` surface as
-    :class:`ShardWorker`, so a
+    Implements the same ``expand`` / ``local_query`` /
+    ``prepare_update`` / ``publish_update`` / ``abort_update`` surface
+    as :class:`ShardWorker`, so a
     :class:`~repro.shard.coordinator.ShardCoordinator` can mix local and
     remote shards freely.  The remote end is any
-    :class:`~repro.service.http.ServiceHTTPServer` started with shard
-    workers attached (``python -m repro serve --shards N``).
+    :class:`~repro.service.http.ServiceHTTPServer` with shard workers
+    attached (``python -m repro serve --worker SLICE_FILE``, or a
+    co-hosted ``serve --shards N``).
+
+    Calls ride a per-worker pool of keep-alive connections instead of a
+    fresh TCP handshake per expand (a measurable share of the remote
+    round-trip); a stale pooled connection — the server idled it out —
+    is detected on the first read and retried once on a fresh one.
     """
 
     #: Grace added on top of a deadline-derived socket timeout, so the
     #: remote worker's own deadline check gets to answer with a
     #: structured 504 before the socket gives up.
     DEADLINE_GRACE_SECONDS = 0.25
+
+    #: Remote workers have no in-process query service to snapshot;
+    #: callers probing for one (stats aggregation) see None.
+    service = None
 
     def __init__(
         self,
@@ -393,43 +808,117 @@ class HttpShardWorker:
         self.base_url = base_url.rstrip("/")
         self.shard_id = shard_id
         self.timeout = DEFAULT_HTTP_TIMEOUT if timeout is None else timeout
+        self._pool = _KeepAlivePool(self.base_url, self.timeout)
 
     def __repr__(self) -> str:
         return f"HttpShardWorker({self.base_url!r}, shard={self.shard_id})"
 
-    def _post(
-        self, endpoint: str, payload: dict, *, timeout: float | None = None
-    ) -> dict:
-        request = urllib.request.Request(
-            f"{self.base_url}/shard/{self.shard_id}/{endpoint}",
-            data=json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-            method="POST",
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> tuple[int, bytes]:
+        """One HTTP exchange over a pooled connection.
+
+        Returns ``(status, body)``.  A stale reused connection (closed
+        server-side while idle) surfaces as a connection error on the
+        first use; that exact case retries once on a fresh connection —
+        other failures propagate, because the caller's retry policy and
+        breaker own that decision.
+        """
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
         )
-        budget = self.timeout if timeout is None else timeout
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            connection, reused = self._pool.acquire()
+            try:
+                per_call = self.timeout if timeout is None else timeout
+                connection.timeout = per_call
+                if connection.sock is not None:
+                    connection.sock.settimeout(per_call)
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+                status = response.status
+                if response.will_close:
+                    self._pool.discard(connection)
+                else:
+                    self._pool.release(connection)
+                return status, data
+            except (
+                http.client.RemoteDisconnected,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                self._pool.discard(connection)
+                if reused and attempt == 0:
+                    self._pool.note_reconnect()
+                    continue
+                raise
+            except Exception:
+                self._pool.discard(connection)
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _shard_path(self, endpoint: str = "") -> str:
+        base = f"{self._pool.prefix}/shard/{self.shard_id}"
+        return f"{base}/{endpoint}" if endpoint else base
+
+    def _decode(self, status: int, data: bytes, *, deadline_ms: float | None = None) -> dict:
+        """Decode a response, mapping remote errors onto local exceptions."""
+        if 200 <= status < 300:
+            try:
+                return json.loads(data)
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise RemoteShardError(
+                    self.shard_id, status, f"unparseable response body: {error}"
+                ) from None
+        kind = None
+        message = data.decode("utf-8", "replace")[:200]
         try:
-            with urllib.request.urlopen(request, timeout=budget) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as error:
+            error_doc = json.loads(data)["error"]
+            kind = error_doc.get("type")
+            message = error_doc.get("message", message)
+        except Exception:
+            pass
+        if kind == "deadline-exceeded":
             # Surface the remote worker's structured 504 as the same
             # exception a local worker raises, so the coordinator treats
             # "remote stopped early on our deadline" as deadline expiry,
             # not as a worker failure that trips the breaker.
-            body = error.read()
-            kind = None
-            try:
-                kind = json.loads(body)["error"]["type"]
-            except Exception:
-                pass
-            if kind == "deadline-exceeded":
-                deadline_ms = payload.get("deadline_ms") or 0.0
-                raise DeadlineExceededError(
-                    "shard-expand-remote",
-                    elapsed_ms=deadline_ms,
-                    budget_ms=deadline_ms,
-                    partial={"shard": self.shard_id, "remote": self.base_url},
-                ) from error
-            raise
+            budget = deadline_ms or 0.0
+            raise DeadlineExceededError(
+                "shard-expand-remote",
+                elapsed_ms=budget,
+                budget_ms=budget,
+                partial={"shard": self.shard_id, "remote": self.base_url},
+            )
+        raise RemoteShardError(self.shard_id, status, message)
+
+    def _post(
+        self,
+        endpoint: str,
+        payload: dict,
+        *,
+        timeout: float | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        status, data = self._request(
+            "POST", self._shard_path(endpoint), payload, timeout=timeout
+        )
+        return self._decode(status, data, deadline_ms=deadline_ms)
+
+    # ------------------------------------------------------------------
+    # the ShardWorker surface
+    # ------------------------------------------------------------------
 
     def expand(
         self,
@@ -451,12 +940,15 @@ class HttpShardWorker:
                 self.timeout,
                 deadline_ms / 1000.0 + self.DEADLINE_GRACE_SECONDS,
             )
-        document = self._post("expand", payload, timeout=timeout)
+        document = self._post(
+            "expand", payload, timeout=timeout, deadline_ms=deadline_ms
+        )
         span_doc = document.get("trace")
         if span_doc is not None:
             # Stamp where the span came from; everything else in the
             # dict is the remote worker's own account of itself.
             span_doc.setdefault("attrs", {})["remote"] = self.base_url
+        epoch = document.get("epoch")
         return ExpandResult(
             reached=tuple(document["reached"]),
             crossings={
@@ -465,6 +957,7 @@ class HttpShardWorker:
             },
             expanded=int(document["expanded"]),
             span=span_doc,
+            epoch=int(epoch) if epoch is not None else None,
         )
 
     def local_query(self, query: LSCRQuery) -> bool:
@@ -482,8 +975,54 @@ class HttpShardWorker:
         )
         return bool(document["answer"])
 
+    def probe(self, timeout: float | None = None) -> dict:
+        """``GET /shard/<id>``: the worker's descriptor (handshake/health)."""
+        status, data = self._request(
+            "GET", self._shard_path(), timeout=timeout
+        )
+        return self._decode(status, data)
+
+    def prepare_update(
+        self,
+        txn: str,
+        *,
+        epoch: int,
+        fingerprint: str,
+        plan_hash: str | None = None,
+        slice_document: dict | None = None,
+    ) -> dict:
+        payload: dict = {
+            "phase": "prepare",
+            "txn": txn,
+            "wire_version": SLICE_WIRE_VERSION,
+            "epoch": epoch,
+            "fingerprint": fingerprint,
+        }
+        if plan_hash is not None:
+            payload["plan_hash"] = plan_hash
+        if slice_document is not None:
+            payload["slice"] = slice_document
+        return self._post("update", payload)
+
+    def publish_update(self, txn: str) -> dict:
+        return self._post(
+            "update",
+            {"phase": "publish", "txn": txn, "wire_version": SLICE_WIRE_VERSION},
+        )
+
+    def abort_update(self, txn: str) -> dict:
+        return self._post(
+            "update",
+            {"phase": "abort", "txn": txn, "wire_version": SLICE_WIRE_VERSION},
+        )
+
     def describe(self) -> dict:
-        return {"shard": self.shard_id, "remote": self.base_url}
+        return {
+            "shard": self.shard_id,
+            "remote": self.base_url,
+            **self._pool.stats(),
+        }
 
     def close(self) -> None:
-        """Nothing to release client-side."""
+        """Drop the pooled connections."""
+        self._pool.close()

@@ -61,6 +61,7 @@ def recover_service(
     landmark_count: int | None = None,
     seed: int = 0,
     attach: bool = True,
+    service_cls: type[QueryService] = QueryService,
     **service_kwargs: Any,
 ) -> tuple[QueryService, dict]:
     """Rebuild a service to the WAL's tip; returns ``(service, replay)``.
@@ -88,10 +89,18 @@ def recover_service(
     The ``replay`` dict reports ``applied`` / ``skipped`` record counts,
     the final ``epoch`` and whether a ``truncated_tail`` (torn final
     append) was tolerated.
+
+    ``service_cls`` chooses the topology the log replays into —
+    :class:`~repro.shard.service.ShardedQueryService` makes recovery
+    *sharded*: the snapshot adoption (:meth:`~QueryService.reset_epoch`)
+    and every replayed batch re-cut and re-push worker slices, so the
+    fleet converges to the logged epoch right along with the
+    coordinator.  Extra keywords (``shards=...``) pass through to the
+    constructor.
     """
     loaded = wal.load_snapshot()
     if loaded is None:
-        service = QueryService.from_files(
+        service = service_cls.from_files(
             graph_path,
             index_path,
             landmark_count=landmark_count,
@@ -104,7 +113,7 @@ def recover_service(
         index = None
         if index_path is not None:
             index = build_local_index(frozen, k=landmark_count, rng=seed)
-        service = QueryService(frozen, index, seed=seed, **service_kwargs)
+        service = service_cls(frozen, index, seed=seed, **service_kwargs)
         service.reset_epoch(epoch, expected_fingerprint=fingerprint)
     replay = wal.replay_into(service)
     if attach:

@@ -10,7 +10,9 @@ Covers the epoch-swap mechanics the randomized agreement suite
   served for the post-update graph (the headline staleness bug);
 * ``POST /edges`` over real HTTP — default tenant and ``/t/<tenant>``
   routes, structured validation errors, the ``--allow-updates`` gate
-  (403 when off) and the sharded 501 with its seam-naming detail.
+  (403 when off) and the sharded path: a sharded tenant now re-cuts and
+  pushes worker slices per batch, so ``POST /edges`` succeeds end to
+  end and the summary carries the bumped slice epoch.
 """
 
 from __future__ import annotations
@@ -25,7 +27,6 @@ import pytest
 from repro.exceptions import (
     BadRequestError,
     ServiceConfigError,
-    UpdatesUnsupportedError,
 )
 from repro.graph import FrozenGraph
 from repro.index.local_index import build_local_index
@@ -352,18 +353,42 @@ class TestReadOnlyFollowerGate:
             service.close()
 
 
-class TestShardedUpdatesRejected:
-    def test_apply_updates_raises_structured_501(self):
+class TestShardedUpdates:
+    def test_apply_updates_recuts_slices_and_bumps_slice_epoch(self):
         graph = graph_from_edges(
             [(f"n{i}", "l", f"n{i + 1}") for i in range(12)], name="sharded"
         )
         service = ShardedQueryService(graph, seed=0, shards=2)
         try:
-            with pytest.raises(UpdatesUnsupportedError) as excinfo:
-                service.apply_updates([("a", "l", "b")])
-            assert excinfo.value.status == 501
-            assert excinfo.value.detail["seam"] == "slice-epoch"
-            assert excinfo.value.detail["shards"] == 2
+            assert service.slice_epoch == 0
+            summary = service.apply_updates([("n0", "l", "n7")])
+            assert summary["epoch"] == 1
+            assert summary["slice_epoch"] == 1
+            assert summary["shards_updated"] == [
+                service.shard_plan.shard_of[service.graph.vid("n0")]
+            ]
+            assert service.slice_epoch == 1
+            # Every in-process worker now serves the new slice epoch.
+            for worker in service.workers:
+                assert worker.describe()["epoch"] == 1
+            result, meta = service.query(
+                "n0", "n7", ["l"], "SELECT ?x WHERE { ?x <l> ?y . }"
+            )
+            assert result.answer is True
+            assert meta["epoch"] == 1
+        finally:
+            service.close()
+
+    def test_no_op_batch_does_not_bump_slice_epoch(self):
+        graph = graph_from_edges(
+            [(f"n{i}", "l", f"n{i + 1}") for i in range(12)], name="sharded"
+        )
+        service = ShardedQueryService(graph, seed=0, shards=2)
+        try:
+            summary = service.apply_updates([("n0", "l", "n1")])  # duplicate
+            assert summary["epoch"] == 0
+            assert "slice_epoch" not in summary
+            assert service.slice_epoch == 0
         finally:
             service.close()
 
@@ -454,7 +479,7 @@ class TestHttpEdges:
             server.shutdown()
             server.server_close()
 
-    def test_sharded_tenant_gives_501_with_seam_detail(self):
+    def test_sharded_tenant_accepts_post_edges(self):
         graph = graph_from_edges(
             [(f"n{i}", "l", f"n{i + 1}") for i in range(12)], name="sharded"
         )
@@ -464,12 +489,67 @@ class TestHttpEdges:
         thread.start()
         try:
             base_url = f"http://127.0.0.1:{server.server_address[1]}"
-            status, body = http_post(
-                f"{base_url}/edges", {"edges": [["a", "l", "b"]]}
+            status, summary = http_post(
+                f"{base_url}/edges", {"edges": [["n0", "l", "n7"]]}
             )
+            assert status == 200
+            assert summary["epoch"] == 1
+            assert summary["slice_epoch"] == 1
+            query = {"source": "n0", "target": "n7", "labels": ["l"],
+                     "constraint": "SELECT ?x WHERE { ?x <l> ?y . }"}
+            status, body = http_post(f"{base_url}/query", query)
+            assert status == 200 and body["answer"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_admin_rebalance_routes(self):
+        graph = graph_from_edges(
+            [(f"n{i}", "l", f"n{(i * 5 + 1) % 40}") for i in range(40)],
+            name="sharded",
+        )
+        service = ShardedQueryService(graph, seed=0, shards=2)
+        server = create_server(service, "127.0.0.1", 0, allow_updates=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base_url = f"http://127.0.0.1:{server.server_address[1]}"
+            status, body = http_post(f"{base_url}/admin/rebalance", {})
+            assert status == 200
+            assert "rebalanced" in body
+            if body["rebalanced"]:
+                assert body["slice_epoch"] == service.slice_epoch
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_admin_rebalance_on_plain_tenant_is_501(self):
+        service = make_service()
+        server = create_server(service, "127.0.0.1", 0, allow_updates=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base_url = f"http://127.0.0.1:{server.server_address[1]}"
+            status, body = http_post(f"{base_url}/admin/rebalance", {})
             assert status == 501
             assert body["error"]["type"] == "updates-unsupported"
-            assert body["error"]["detail"]["seam"] == "slice-epoch"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_admin_rebalance_gated_by_allow_updates(self):
+        service = make_service()
+        server = create_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base_url = f"http://127.0.0.1:{server.server_address[1]}"
+            status, body = http_post(f"{base_url}/admin/rebalance", {})
+            assert status == 403
+            assert body["error"]["type"] == "updates-disabled"
         finally:
             server.shutdown()
             server.server_close()

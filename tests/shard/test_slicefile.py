@@ -1,0 +1,180 @@
+"""Slice files: deterministic roundtrip and defensive loading.
+
+The serialization contract ``serve --worker`` boots on: ``dump → load →
+dump`` is byte-identical (a slice file is a content-addressable
+artifact), the deployment metadata (epoch, fingerprint, plan hash)
+survives the roundtrip, and every way a file can lie — truncation,
+version skew, tampered plan, tampered adjacency or border table —
+raises :class:`SliceFileError` instead of booting a worker on garbage.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets.synthetic import random_labeled_graph
+from repro.exceptions import SliceFileError
+from repro.index.landmarks import (
+    bfs_traverse,
+    select_landmarks,
+    structural_correlations,
+)
+from repro.shard import build_shard_plan, cut_slices
+from repro.shard.slicefile import (
+    SLICE_FORMAT_VERSION,
+    dump_slice,
+    load_slice,
+    plan_fingerprint,
+    slice_document,
+    slice_from_document,
+)
+
+SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    graph = random_labeled_graph(120, 4.0, 6, rng=3, name="slicefile")
+    frozen = graph.freeze()
+    landmarks = select_landmarks(frozen, rng=3)
+    partition = bfs_traverse(frozen, landmarks)
+    correlations = structural_correlations(frozen, partition)
+    plan = build_shard_plan(frozen, partition, SHARDS, correlations)
+    slices = cut_slices(frozen, plan)
+    return frozen, plan, slices
+
+
+class TestRoundtrip:
+    def test_dump_load_dump_is_byte_identical(self, deployment, tmp_path):
+        frozen, plan, slices = deployment
+        fingerprint = frozen.content_fingerprint()
+        for graph_slice in slices:
+            first = tmp_path / f"first-{graph_slice.shard_id}.json"
+            second = tmp_path / f"second-{graph_slice.shard_id}.json"
+            dump_slice(graph_slice, plan, first, epoch=7,
+                       fingerprint=fingerprint)
+            loaded = load_slice(first)
+            dump_slice(loaded.slice, loaded.plan, second, epoch=loaded.epoch,
+                       fingerprint=loaded.fingerprint)
+            assert first.read_bytes() == second.read_bytes()
+
+    def test_metadata_survives(self, deployment, tmp_path):
+        frozen, plan, slices = deployment
+        fingerprint = frozen.content_fingerprint()
+        path = tmp_path / "slice.json"
+        dump_slice(slices[1], plan, path, epoch=42, fingerprint=fingerprint)
+        loaded = load_slice(path)
+        assert loaded.shard_id == 1
+        assert loaded.epoch == 42
+        assert loaded.fingerprint == fingerprint
+        assert loaded.plan_hash == plan_fingerprint(plan)
+        assert loaded.plan.shard_of == plan.shard_of
+        assert loaded.path == path
+
+    def test_rebuilt_slice_matches_the_original(self, deployment, tmp_path):
+        frozen, plan, slices = deployment
+        fingerprint = frozen.content_fingerprint()
+        original = slices[0]
+        path = tmp_path / "slice.json"
+        dump_slice(original, plan, path, epoch=0, fingerprint=fingerprint)
+        rebuilt = load_slice(path).slice
+        assert rebuilt.num_edges == original.num_edges
+        assert rebuilt.border_targets == original.border_targets
+        assert rebuilt.peer_shards == original.peer_shards
+        assert sorted(rebuilt.edges()) == sorted(original.edges())
+
+    def test_document_roundtrip_without_a_file(self, deployment):
+        frozen, plan, slices = deployment
+        fingerprint = frozen.content_fingerprint()
+        document = slice_document(slices[2], plan, epoch=3,
+                                  fingerprint=fingerprint)
+        loaded = slice_from_document(json.loads(json.dumps(document)))
+        assert loaded.document() == document
+
+
+class TestDefensiveLoading:
+    def _document(self, deployment):
+        frozen, plan, slices = deployment
+        return slice_document(
+            slices[0], plan, epoch=0,
+            fingerprint=frozen.content_fingerprint(),
+        )
+
+    def _dump(self, deployment, tmp_path, mutate):
+        document = self._document(deployment)
+        mutate(document)
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SliceFileError, match="cannot read"):
+            load_slice(tmp_path / "nope.json")
+
+    def test_truncated_file(self, deployment, tmp_path):
+        path = self._dump(deployment, tmp_path, lambda d: None)
+        path.write_bytes(path.read_bytes()[:-40])
+        with pytest.raises(SliceFileError, match="corrupt or truncated"):
+            load_slice(path)
+
+    def test_non_object_json(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SliceFileError, match="not a JSON object"):
+            load_slice(path)
+
+    def test_version_mismatch(self, deployment, tmp_path):
+        path = self._dump(
+            deployment, tmp_path,
+            lambda d: d.update(format_version=SLICE_FORMAT_VERSION + 1),
+        )
+        with pytest.raises(SliceFileError, match="not supported"):
+            load_slice(path)
+
+    def test_wrong_kind(self, deployment, tmp_path):
+        path = self._dump(
+            deployment, tmp_path, lambda d: d.update(kind="wal-snapshot")
+        )
+        with pytest.raises(SliceFileError, match="kind"):
+            load_slice(path)
+
+    def test_shard_id_outside_plan(self, deployment, tmp_path):
+        path = self._dump(
+            deployment, tmp_path, lambda d: d.update(shard_id=SHARDS)
+        )
+        with pytest.raises(SliceFileError, match="outside plan"):
+            load_slice(path)
+
+    def test_tampered_plan_fails_the_hash(self, deployment, tmp_path):
+        def flip_owner(document):
+            shard_of = document["plan"]["shard_of"]
+            shard_of[0] = (shard_of[0] + 1) % SHARDS
+
+        path = self._dump(deployment, tmp_path, flip_owner)
+        with pytest.raises(SliceFileError, match="plan_hash"):
+            load_slice(path)
+
+    def test_tampered_adjacency_fails_the_border_check(
+        self, deployment, tmp_path
+    ):
+        def drop_row(document):
+            # Empty one owned vertex's adjacency: edge/border bookkeeping
+            # no longer matches the declared tables.
+            for row in document["adjacency"]:
+                if row:
+                    del row[:]
+                    break
+
+        path = self._dump(deployment, tmp_path, drop_row)
+        with pytest.raises(SliceFileError):
+            load_slice(path)
+
+    def test_tampered_edge_count(self, deployment, tmp_path):
+        path = self._dump(
+            deployment, tmp_path,
+            lambda d: d.update(num_edges=d["num_edges"] + 1),
+        )
+        with pytest.raises(SliceFileError, match="edges"):
+            load_slice(path)

@@ -241,9 +241,11 @@ class TestServeWalFlags:
         assert code == 2
         assert "require --graph" in capsys.readouterr().err
 
-    def test_wal_incompatible_with_shards(self, capsys):
+    def test_follow_incompatible_with_shards(self, capsys):
+        # --wal --shards compose (the log carries slice epochs); a
+        # follower republishes read-only and cannot drive a fleet.
         code = main(["serve", "--graph", "g.tsv", "--shards", "2",
-                     "--wal", "d"])
+                     "--follow", "d"])
         assert code == 2
         assert "--shards" in capsys.readouterr().err
 
